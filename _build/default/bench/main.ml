@@ -1,0 +1,272 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section plus the DESIGN.md ablations and kernel
+   microbenchmarks.
+
+     dune exec bench/main.exe                  -- everything
+     dune exec bench/main.exe table1 fig7      -- selected experiments
+     dune exec bench/main.exe -- --quick all   -- reduced suite (CI-sized)
+
+   Experiments: table1, table2, fig7, ablation, micro. *)
+
+module Experiments = Rip_workload.Experiments
+module Suite = Rip_workload.Suite
+module Baseline = Rip_workload.Baseline
+module Table = Rip_workload.Table
+module Rip = Rip_core.Rip
+module Config = Rip_core.Config
+module Stats = Rip_numerics.Stats
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+
+let process = Rip_tech.Process.default_180nm
+
+type scale = {
+  nets : int;
+  targets : int;
+}
+
+let full_scale = { nets = Suite.default_count; targets = 20 }
+let quick_scale = { nets = 6; targets = 7 }
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+(* --- Table 1 and Figure 7 (shared sweep) ------------------------------ *)
+
+let run_table1_fig7 scale =
+  section "Table 1 / Figure 7 sweep";
+  let nets = Suite.nets ~count:scale.nets () in
+  let started = Unix.gettimeofday () in
+  let runs =
+    Experiments.run_suite ~granularities:[ 10.0; 20.0; 40.0 ]
+      ~fixed_range:false ~nets ~targets_per_net:scale.targets process
+  in
+  Printf.printf "(sweep of %d nets x %d targets took %.1fs)\n\n" scale.nets
+    scale.targets
+    (Unix.gettimeofday () -. started);
+  print_string "Table 1: power reduction for two-pin nets\n";
+  print_string (Experiments.render_table1 (Experiments.table1 runs));
+  print_newline ();
+  List.iter
+    (fun granularity ->
+      print_string
+        (Experiments.render_fig7 ~granularity
+           (Experiments.fig7 ~granularity runs));
+      print_newline ())
+    [ 10.0; 40.0 ];
+  (* RIP feasibility claim of the paper: no violations, ever. *)
+  let rip_failures =
+    List.concat_map
+      (fun (run : Experiments.net_run) ->
+        List.filter_map
+          (fun (cell : Experiments.cell) ->
+            match cell.Experiments.rip with
+            | Error e -> Some (run.Experiments.net.Rip_net.Net.name, e)
+            | Ok _ -> None)
+          run.Experiments.cells)
+      runs
+  in
+  Printf.printf "RIP timing violations across the sweep: %d\n"
+    (List.length rip_failures);
+  List.iter (fun (net, e) -> Printf.printf "  %s: %s\n" net e) rip_failures
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+let run_table2 scale =
+  section "Table 2: power savings and speedup tradeoff";
+  let nets = Suite.nets ~count:scale.nets () in
+  let started = Unix.gettimeofday () in
+  let rows =
+    Experiments.table2 ~granularities:[ 40.0; 30.0; 20.0; 10.0 ] ~nets
+      ~targets_per_net:scale.targets process
+  in
+  Printf.printf "(took %.1fs)\n\n" (Unix.gettimeofday () -. started);
+  print_string (Experiments.render_table2 rows)
+
+(* --- Ablations (DESIGN.md section 5) ----------------------------------- *)
+
+(* Mean saving of a RIP variant over the g=40u fixed-size baseline on a
+   reduced sweep, plus its mean runtime. *)
+let ablation_measure config nets targets =
+  let savings = ref [] and times = ref [] in
+  List.iter
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      let baseline = Baseline.fixed_size ~granularity:40.0 in
+      List.iter
+        (fun budget ->
+          let base = Baseline.solve baseline process geometry ~budget in
+          match (base.Baseline.result, Rip.solve_geometry ~config process geometry ~budget) with
+          | Some b, Ok r ->
+              times := r.Rip.runtime_seconds :: !times;
+              (match Experiments.saving_percent ~baseline:b ~rip:r with
+              | Some s -> savings := s :: !savings
+              | None -> ())
+          | _, Ok r -> times := r.Rip.runtime_seconds :: !times
+          | _, Error _ -> ())
+        (Suite.timing_targets ~count:targets ~tau_min ()))
+    nets;
+  (Stats.mean !savings, Stats.mean !times)
+
+let run_ablation scale =
+  section "Ablations (vs DP[14] size-10 g=40u)";
+  let nets = Suite.nets ~count:(Stdlib.min scale.nets 8) () in
+  let targets = Stdlib.min scale.targets 7 in
+  let base_config = Config.default in
+  let variants =
+    [
+      ("rip default", base_config);
+      ( "no REFINE movement (widths only)",
+        { base_config with
+          refine = { base_config.Config.refine with
+                     Rip_refine.Refine.max_iterations = 0 } } );
+      ( "newton width solver",
+        { base_config with
+          refine = { base_config.Config.refine with
+                     Rip_refine.Refine.backend = Rip_refine.Width_solver.Newton } } );
+      ( "refined radius 2",
+        { base_config with Config.refined_radius = 2 } );
+      ( "refined radius 20",
+        { base_config with Config.refined_radius = 20 } );
+      ( "coarse pitch 400um",
+        { base_config with Config.coarse_pitch = 400.0 } );
+      ( "coarse pitch 100um",
+        { base_config with Config.coarse_pitch = 100.0 } );
+      ( "coarse library 2x160u",
+        { base_config with
+          Config.coarse_library =
+            Rip_dp.Repeater_library.uniform ~min_width:160.0 ~step:160.0
+              ~count:2 } );
+      ("three refine passes", { base_config with Config.refine_passes = 3 });
+      ( "REFINE hops small zones",
+        { base_config with
+          refine = { base_config.Config.refine with
+                     Rip_refine.Refine.hop_zones = true } } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let saving, time = ablation_measure config nets targets in
+        [ name; Table.percent saving; Table.seconds time ])
+      variants
+  in
+  print_string
+    (Table.render ~header:[ "variant"; "DMean vs g40 (%)"; "T_RIP(s)" ] ~rows)
+
+(* --- Tree extension ------------------------------------------------------ *)
+
+let run_tree scale =
+  section "Tree extension: hybrid vs pure DPs on random trees";
+  let count = Stdlib.min 10 (Stdlib.max 4 (scale.nets / 2)) in
+  let trees = Rip_workload.Tree_gen.suite ~count () in
+  let started = Unix.gettimeofday () in
+  let rows =
+    Rip_workload.Tree_experiments.run ~trees ~targets_per_tree:6 process
+  in
+  Printf.printf "(took %.1fs)\n\n" (Unix.gettimeofday () -. started);
+  print_string (Rip_workload.Tree_experiments.render rows)
+
+(* --- Microbenchmarks (Bechamel) ---------------------------------------- *)
+
+let run_micro () =
+  section "Kernel microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let net = List.nth (Suite.nets ~count:5 ()) 3 in
+  let geometry = Geometry.of_net net in
+  let repeater = process.Rip_tech.Process.repeater in
+  let tau_min = Rip.tau_min process geometry in
+  let budget = 1.4 *. tau_min in
+  let candidates = Rip_dp.Candidates.uniform net ~pitch:200.0 in
+  let library =
+    Rip_dp.Repeater_library.uniform ~min_width:10.0 ~step:40.0 ~count:10
+  in
+  let coarse =
+    match
+      Rip_dp.Power_dp.solve geometry repeater
+        ~library:Config.default.Config.coarse_library ~candidates ~budget
+    with
+    | Some r -> r.Rip_dp.Power_dp.solution
+    | None -> Solution.empty
+  in
+  let positions = Array.of_list (Solution.positions coarse) in
+  let tests =
+    [
+      Test.make ~name:"stage_delay(eq1)"
+        (Staged.stage (fun () ->
+             Rip_elmore.Stage.delay repeater geometry ~driver_pos:500.0
+               ~driver_width:40.0 ~load_pos:4000.0 ~load_width:80.0));
+      Test.make ~name:"total_delay(eq2)"
+        (Staged.stage (fun () ->
+             Rip_elmore.Delay.total repeater geometry coarse));
+      Test.make ~name:"power_dp[14](g=40u)"
+        (Staged.stage (fun () ->
+             Rip_dp.Power_dp.solve geometry repeater ~library ~candidates
+               ~budget));
+      Test.make ~name:"width_solver(eq5+eq8)"
+        (Staged.stage (fun () ->
+             Rip_refine.Width_solver.solve geometry repeater ~positions
+               ~budget));
+      Test.make ~name:"refine(fig5)"
+        (Staged.stage (fun () ->
+             Rip_refine.Refine.run geometry repeater ~budget ~initial:coarse));
+      Test.make ~name:"rip(fig6)"
+        (Staged.stage (fun () ->
+             Rip.solve_geometry process geometry ~budget));
+    ]
+  in
+  let test = Test.make_grouped ~name:"rip" ~fmt:"%s/%s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> Float.nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+    |> List.map (fun (name, nanos) ->
+           [ name; Printf.sprintf "%.3f us" (nanos /. 1e3) ])
+  in
+  print_string (Table.render ~header:[ "kernel"; "time/run" ] ~rows)
+
+(* --- Entry point -------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let quick = List.mem "--quick" args in
+  let scale = if quick then quick_scale else full_scale in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let wanted = if wanted = [] || List.mem "all" wanted then
+      [ "table1"; "table2"; "tree"; "ablation"; "micro" ]
+    else wanted
+  in
+  let known = [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro" ] in
+  List.iter
+    (fun w ->
+      if not (List.mem w known) then begin
+        Printf.eprintf "unknown experiment %S (known: %s)\n" w
+          (String.concat ", " known);
+        exit 2
+      end)
+    wanted;
+  (* fig7 shares table1's sweep; run it once when either is requested. *)
+  if List.mem "table1" wanted || List.mem "fig7" wanted then
+    run_table1_fig7 scale;
+  if List.mem "table2" wanted then run_table2 scale;
+  if List.mem "tree" wanted then run_tree scale;
+  if List.mem "ablation" wanted then run_ablation scale;
+  if List.mem "micro" wanted then run_micro ()

@@ -1,0 +1,75 @@
+(* experiments: regenerate the paper's tables and figures selectively.
+
+     experiments_cli table1
+     experiments_cli fig7 --granularity 40
+     experiments_cli table2 --nets 8 --targets 10 *)
+
+module Experiments = Rip_workload.Experiments
+module Suite = Rip_workload.Suite
+
+let process = Rip_tech.Process.default_180nm
+
+let table1_run nets targets =
+  let nets = Suite.nets ~count:nets () in
+  let runs =
+    Experiments.run_suite ~granularities:[ 10.0; 20.0; 40.0 ] ~nets
+      ~targets_per_net:targets process
+  in
+  print_string (Experiments.render_table1 (Experiments.table1 runs));
+  0
+
+let fig7_run nets targets granularity =
+  let nets = Suite.nets ~count:nets () in
+  let runs =
+    Experiments.run_suite ~granularities:[ granularity ] ~nets
+      ~targets_per_net:targets process
+  in
+  print_string
+    (Experiments.render_fig7 ~granularity
+       (Experiments.fig7 ~granularity runs));
+  0
+
+let table2_run nets targets =
+  let nets = Suite.nets ~count:nets () in
+  print_string
+    (Experiments.render_table2
+       (Experiments.table2 ~nets ~targets_per_net:targets process));
+  0
+
+open Cmdliner
+
+let nets =
+  Arg.(
+    value & opt int Suite.default_count
+    & info [ "nets" ] ~docv:"N" ~doc:"Number of suite nets to sweep.")
+
+let targets =
+  Arg.(
+    value & opt int 20
+    & info [ "targets" ] ~docv:"K" ~doc:"Timing targets per net (max 20).")
+
+let granularity =
+  Arg.(
+    value & opt float 40.0
+    & info [ "granularity"; "g" ] ~docv:"G"
+        ~doc:"Baseline width granularity in u (Figure 7 uses 10 and 40).")
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1")
+    Term.(const table1_run $ nets $ targets)
+
+let fig7_cmd =
+  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce one Figure 7 series")
+    Term.(const fig7_run $ nets $ targets $ granularity)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (runtime-sensitive)")
+    Term.(const table2_run $ nets $ targets)
+
+let main =
+  Cmd.group
+    (Cmd.info "experiments_cli" ~version:"1.0.0"
+       ~doc:"Reproduce the RIP paper's evaluation artefacts")
+    [ table1_cmd; fig7_cmd; table2_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,50 @@
+(* netgen: emit random Section-6 benchmark nets as net files.
+
+     netgen_cli --count 20 --seed 1380533809 --out-dir nets/ *)
+
+module Netgen = Rip_workload.Netgen
+module Suite = Rip_workload.Suite
+
+let generate count seed out_dir =
+  let rng = Rip_numerics.Prng.create (Int64.of_int seed) in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  List.iter
+    (fun index ->
+      let net = Netgen.generate rng ~index in
+      let path =
+        Filename.concat out_dir (Printf.sprintf "net%02d.net" index)
+      in
+      Rip_net.Net_io.write_file path net;
+      Printf.printf "%s: %d segments, %.0f um, zone %s\n" path
+        (Rip_net.Net.segment_count net)
+        (Rip_net.Net.total_length net)
+        (Fmt.str "%a" Fmt.(list Rip_net.Zone.pp) net.Rip_net.Net.zones))
+    (List.init count (fun i -> i + 1));
+  0
+
+open Cmdliner
+
+let count =
+  Arg.(
+    value & opt int 20
+    & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of nets to generate.")
+
+let seed =
+  Arg.(
+    value
+    & opt int (Int64.to_int Suite.default_seed)
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Generator seed; the default reproduces the benchmark suite.")
+
+let out_dir =
+  Arg.(
+    value & opt string "nets"
+    & info [ "out-dir"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let main =
+  Cmd.v
+    (Cmd.info "netgen_cli" ~version:"1.0.0"
+       ~doc:"Generate random global-interconnect benchmarks (paper Section 6)")
+    Term.(const generate $ count $ seed $ out_dir)
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/budget_sweep.ml: List Printf Rip_core Rip_dp Rip_elmore Rip_net Rip_tech Rip_workload

@@ -1,0 +1,1 @@
+examples/budget_sweep.mli:

@@ -1,0 +1,1 @@
+examples/delay_models.ml: List Printf Rip_core Rip_elmore Rip_net Rip_tech Rip_workload

@@ -1,0 +1,1 @@
+examples/fanout_tree.ml: Array List Printf Rip_tech Rip_tree

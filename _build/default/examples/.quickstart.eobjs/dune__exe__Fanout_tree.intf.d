@@ -1,0 +1,1 @@
+examples/fanout_tree.mli:

@@ -1,0 +1,1 @@
+examples/library_study.ml: Fmt List Printf Rip_core Rip_dp Rip_net Rip_tech Rip_workload Unix

@@ -1,0 +1,1 @@
+examples/macro_blockage.ml: List Printf Rip_core Rip_elmore Rip_net Rip_tech

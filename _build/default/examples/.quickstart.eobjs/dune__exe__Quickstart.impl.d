@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Rip_core Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,58 @@
+(* Power-delay tradeoff: sweep the timing budget from 1.05 to 2.05 times
+   the minimum delay on one benchmark net and plot (as a text table) how
+   repeater power falls as timing relaxes — RIP against the conventional
+   DP baseline of ref. [14] — the per-net view behind Figure 7.
+
+     dune exec examples/budget_sweep.exe *)
+
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+module Rip = Rip_core.Rip
+module Suite = Rip_workload.Suite
+module Baseline = Rip_workload.Baseline
+
+let process = Rip_tech.Process.default_180nm
+
+let () =
+  let net = List.nth (Suite.nets ~count:3 ()) 2 in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  Printf.printf "net %s: %.0f um, tau_min %.1f ps\n\n" net.Rip_net.Net.name
+    (Rip_net.Net.total_length net)
+    (tau_min *. 1e12);
+  Printf.printf
+    "budget      RIP                    DP[14] g=40u           saving\n";
+  Printf.printf
+    "(x tau_min) width(u)  power(mW)    width(u)  power(mW)    (%%)\n";
+  Printf.printf
+    "----------------------------------------------------------------\n";
+  List.iteri
+    (fun k budget ->
+      let multiple = Suite.target_multiple k in
+      let rip = Rip.solve_geometry process geometry ~budget in
+      let base =
+        Baseline.solve (Baseline.fixed_size ~granularity:40.0) process
+          geometry ~budget
+      in
+      let power w =
+        Rip_tech.Power_model.repeater_power process.Rip_tech.Process.power
+          ~repeater:process.Rip_tech.Process.repeater ~total_width:w
+      in
+      match (rip, base.Baseline.result) with
+      | Ok r, Some b ->
+          let bw = b.Rip_dp.Power_dp.total_width in
+          let saving =
+            if bw > 0.0 then 100.0 *. (bw -. r.Rip.total_width) /. bw else 0.0
+          in
+          Printf.printf "%-11.2f %-9.0f %-12.4f %-9.0f %-12.4f %+.1f\n"
+            multiple r.Rip.total_width
+            (power r.Rip.total_width *. 1e3)
+            bw
+            (power bw *. 1e3)
+            saving
+      | Ok r, None ->
+          Printf.printf "%-11.2f %-9.0f %-12.4f DP infeasible (zone I)\n"
+            multiple r.Rip.total_width
+            (power r.Rip.total_width *. 1e3)
+      | Error e, _ -> Printf.printf "%-11.2f RIP: %s\n" multiple e)
+    (Suite.timing_targets ~tau_min ())

@@ -1,0 +1,62 @@
+(* Library granularity study — "what repeater library do we need?".
+
+   Runs the conventional DP over libraries of decreasing width granularity
+   on one net, showing the paper's core tension: fine grids are slow,
+   coarse grids waste power.  RIP sidesteps it by *deriving* a tiny
+   net-specific library analytically; the study prints the library RIP
+   synthesised for comparison.
+
+     dune exec examples/library_study.exe *)
+
+module Geometry = Rip_net.Geometry
+module Repeater_library = Rip_dp.Repeater_library
+module Candidates = Rip_dp.Candidates
+module Power_dp = Rip_dp.Power_dp
+module Rip = Rip_core.Rip
+module Suite = Rip_workload.Suite
+
+let process = Rip_tech.Process.default_180nm
+
+let () =
+  let net = List.nth (Suite.nets ~count:2 ()) 1 in
+  let geometry = Geometry.of_net net in
+  let repeater = process.Rip_tech.Process.repeater in
+  let tau_min = Rip.tau_min process geometry in
+  let budget = 1.20 *. tau_min in
+  Printf.printf "net %s, budget %.1f ps (1.20 x tau_min)\n\n"
+    net.Rip_net.Net.name (budget *. 1e12);
+  let candidates = Candidates.uniform net ~pitch:200.0 in
+  Printf.printf "conventional DP, library range (10u, 400u):\n";
+  Printf.printf "g_DP(u)  widths  result(u)  time(ms)\n";
+  List.iter
+    (fun g ->
+      let library =
+        Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:g
+      in
+      let t0 = Unix.gettimeofday () in
+      let result =
+        Power_dp.solve geometry repeater ~library ~candidates ~budget
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      match result with
+      | Some r ->
+          Printf.printf "%-8.0f %-7d %-10.0f %.1f\n" g
+            (Repeater_library.size library) r.Power_dp.total_width ms
+      | None -> Printf.printf "%-8.0f %-7d infeasible  %.1f\n" g
+                  (Repeater_library.size library) ms)
+    [ 80.0; 40.0; 20.0; 10.0 ];
+  print_newline ();
+  match Rip.solve_geometry process geometry ~budget with
+  | Error e -> Printf.printf "RIP failed: %s\n" e
+  | Ok r ->
+      Printf.printf "RIP: result %.0fu in %.1f ms\n" r.Rip.total_width
+        (r.Rip.runtime_seconds *. 1e3);
+      (match r.Rip.trace.Rip.refined_library with
+      | Some b ->
+          Printf.printf
+            "library synthesised by REFINE for this net: %s (%d entries, \
+             %d candidate sites)\n"
+            (Fmt.str "%a" Repeater_library.pp b)
+            (Repeater_library.size b)
+            (List.length r.Rip.trace.Rip.refined_candidates)
+      | None -> Printf.printf "no refined library (bare wire met timing)\n")

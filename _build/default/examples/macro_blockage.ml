@@ -1,0 +1,68 @@
+(* Macro blockage study: the paper's forbidden zones in action.
+
+   The same net is solved twice under the same absolute timing budget —
+   once with a free track and once routed across a 3.2 mm macro where no
+   repeater can land — to show how RIP shifts repeaters to the macro's
+   edges and what the blockage costs in repeater power.
+
+     dune exec examples/macro_blockage.exe *)
+
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+module Zone = Rip_net.Zone
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+module Rip = Rip_core.Rip
+
+let process = Rip_tech.Process.default_180nm
+
+let segments () =
+  [
+    Segment.of_layer Rip_tech.Layer.metal4 ~length:2400.0;
+    Segment.of_layer Rip_tech.Layer.metal5 ~length:2100.0;
+    Segment.of_layer Rip_tech.Layer.metal4 ~length:2300.0;
+    Segment.of_layer Rip_tech.Layer.metal5 ~length:2600.0;
+    Segment.of_layer Rip_tech.Layer.metal4 ~length:2100.0;
+  ]
+
+let build name zones =
+  Net.create ~name ~segments:(segments ()) ~zones ~driver_width:20.0
+    ~receiver_width:40.0 ()
+
+let solve net ~budget =
+  let geometry = Geometry.of_net net in
+  match Rip.solve_geometry process geometry ~budget with
+  | Error e -> failwith e
+  | Ok report ->
+      Printf.printf "%-12s width %.0fu, %.4f mW, delay %.1f ps\n"
+        net.Net.name report.Rip.total_width
+        (report.Rip.power_watts *. 1e3)
+        (report.Rip.delay *. 1e12);
+      List.iter
+        (fun (r : Solution.repeater) ->
+          let blocked =
+            List.exists (fun z -> Zone.contains z r.position) net.Net.zones
+          in
+          Printf.printf "    %6.0f um : %5.0fu%s\n" r.position r.width
+            (if blocked then "  <- ILLEGAL" else ""))
+        (Solution.repeaters report.Rip.solution);
+      report
+
+let () =
+  let zone = Zone.create ~z_start:4200.0 ~z_end:7400.0 in
+  let free = build "free_track" [] in
+  let crossed = build "macro_cross" [ zone ] in
+  (* Budget anchored on the *blocked* net so both variants are feasible. *)
+  let budget =
+    1.25 *. Rip.tau_min process (Geometry.of_net crossed)
+  in
+  Printf.printf "shared timing budget: %.1f ps\n\n" (budget *. 1e12);
+  let free_report = solve free ~budget in
+  Printf.printf "\nmacro blocks (%.0f, %.0f) um:\n" zone.Zone.z_start
+    zone.Zone.z_end;
+  let crossed_report = solve crossed ~budget in
+  Printf.printf
+    "\nblockage cost: +%.1f%% repeater power for the same timing budget\n"
+    (100.0
+    *. (crossed_report.Rip.total_width -. free_report.Rip.total_width)
+    /. free_report.Rip.total_width)

@@ -1,0 +1,51 @@
+(* Quickstart: build a two-pin global net, pick a timing budget, and let
+   RIP insert power-minimal repeaters.
+
+     dune exec examples/quickstart.exe *)
+
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+module Rip = Rip_core.Rip
+
+let () =
+  (* 1. Describe the routed net: an 11 mm spine on metal4/metal5 driven by
+     a 20u driver into a 40u receiver. *)
+  let net =
+    Net.create ~name:"demo_spine"
+      ~segments:
+        [
+          Segment.of_layer Rip_tech.Layer.metal4 ~length:2500.0;
+          Segment.of_layer Rip_tech.Layer.metal5 ~length:3000.0;
+          Segment.of_layer Rip_tech.Layer.metal4 ~length:2500.0;
+          Segment.of_layer Rip_tech.Layer.metal5 ~length:3000.0;
+        ]
+      ~zones:[] ~driver_width:20.0 ~receiver_width:40.0 ()
+  in
+  let process = Rip_tech.Process.default_180nm in
+  let geometry = Geometry.of_net net in
+
+  (* 2. Anchor the budget at the net's minimum achievable delay. *)
+  let tau_min = Rip.tau_min process geometry in
+  let budget = 1.30 *. tau_min in
+  Printf.printf "net %s: %.0f um; tau_min = %.1f ps; budget = %.1f ps\n\n"
+    net.Net.name (Net.total_length net) (tau_min *. 1e12) (budget *. 1e12);
+
+  (* 3. Solve and inspect. *)
+  match Rip.solve_geometry process geometry ~budget with
+  | Error e -> Printf.printf "infeasible: %s\n" e
+  | Ok report ->
+      Printf.printf "RIP inserted %d repeaters:\n"
+        (Solution.count report.Rip.solution);
+      List.iter
+        (fun (r : Solution.repeater) ->
+          Printf.printf "  %6.0f um : %5.0fu\n" r.position r.width)
+        (Solution.repeaters report.Rip.solution);
+      Printf.printf
+        "\ntotal width %.0fu -> %.4f mW; delay %.1f ps (budget %.1f ps); \
+         solved in %.1f ms\n"
+        report.Rip.total_width
+        (report.Rip.power_watts *. 1e3)
+        (report.Rip.delay *. 1e12) (budget *. 1e12)
+        (report.Rip.runtime_seconds *. 1e3)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Fmt Rip_dp Rip_refine

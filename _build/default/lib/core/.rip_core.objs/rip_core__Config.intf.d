@@ -1,0 +1,1 @@
+lib/core/config.mli: Fmt Rip_dp Rip_refine

@@ -1,0 +1,1 @@
+lib/core/rip.ml: Config Float List Printf Rip_dp Rip_elmore Rip_net Rip_refine Rip_tech Stdlib Unix

@@ -1,0 +1,1 @@
+lib/core/rip.mli: Config Rip_dp Rip_elmore Rip_net Rip_refine Rip_tech

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Float Fmt List Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/core/validate.mli: Fmt Rip_elmore Rip_net Rip_tech

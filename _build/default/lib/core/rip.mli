@@ -1,0 +1,59 @@
+(** Algorithm RIP (Figure 6 of the paper): the hybrid repeater insertion
+    scheme.
+
+    {ol
+    {- run the power DP with a coarse library and coarse uniform candidate
+       locations;}
+    {- improve the seed with the analytical solver REFINE;}
+    {- synthesise a concise refined library (REFINE widths snapped to the
+       discrete grid) and a small refined candidate set (REFINE locations
+       plus/minus a few fine-pitch slots);}
+    {- rerun the power DP on the refined space.}}
+
+    When the coarse DP finds no solution (the coarse library may simply
+    lack the right sizes for very tight budgets), line 1 is retried with
+    the configured fallback library before giving up; when the final DP is
+    infeasible despite the refined space (rare rounding corner), the best
+    earlier feasible solution is returned.  Every returned solution is
+    legal and meets the budget. *)
+
+type phase_trace = {
+  coarse : Rip_dp.Power_dp.result option;
+      (** line 1 result ([None] only if even the fallback failed) *)
+  used_fallback_library : bool;
+  refined : Rip_refine.Refine.outcome option;  (** line 2 result *)
+  refined_library : Rip_dp.Repeater_library.t option;  (** line 3 library B *)
+  refined_candidates : float list;  (** line 3 location set S *)
+  final : Rip_dp.Power_dp.result option;  (** line 4 result *)
+  rescue : Rip_dp.Power_dp.result option;
+      (** last-resort pass for budgets so tight that every DP grid missed:
+          a DP over fine-pitch candidates around the analytical min-delay
+          locations ({!Rip_refine.Min_delay_analytic}) with the full
+          reference library.  [None] unless it was needed. *)
+}
+
+type report = {
+  solution : Rip_elmore.Solution.t;
+  total_width : float;  (** power proxy p = sum w_i, u *)
+  delay : float;  (** seconds, <= budget *)
+  power_watts : float;  (** via the process power model, Eq. (3) *)
+  runtime_seconds : float;  (** wall clock of the whole pipeline *)
+  trace : phase_trace;
+}
+
+val solve :
+  ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Net.t -> budget:float ->
+  (report, string) result
+(** Solve Problem LPRI for the net under the given delay budget. *)
+
+val solve_geometry :
+  ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Geometry.t ->
+  budget:float -> (report, string) result
+(** As {!solve} with a pre-built geometry (the experiment harness reuses
+    one geometry across the 20 timing targets of a net). *)
+
+val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
+(** The timing-target anchor, "the minimum delay of the net": the better
+    of the analytical continuous minimum
+    ({!Rip_refine.Min_delay_analytic}) and a fine-grid DP minimum
+    ({!Config.tau_min_library} at {!Config.tau_min_pitch}). *)

@@ -1,0 +1,68 @@
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+
+type violation =
+  | Outside_net of float
+  | In_forbidden_zone of float
+  | Width_out_of_range of float
+  | Over_budget of { delay : float; budget : float }
+
+let pp_violation ppf = function
+  | Outside_net x -> Fmt.pf ppf "repeater at %gum is outside the net" x
+  | In_forbidden_zone x ->
+      Fmt.pf ppf "repeater at %gum sits in a forbidden zone" x
+  | Width_out_of_range w -> Fmt.pf ppf "width %gu out of range" w
+  | Over_budget { delay; budget } ->
+      Fmt.pf ppf "delay %.4gps exceeds budget %.4gps" (delay *. 1e12)
+        (budget *. 1e12)
+
+let check ?(min_width = 0.0) ?(max_width = Float.infinity)
+    (process : Rip_tech.Process.t) net ~budget solution =
+  let length = Net.total_length net in
+  let placement_violations =
+    List.concat_map
+      (fun (r : Solution.repeater) ->
+        let position =
+          if r.position < 0.0 || r.position > length then
+            [ Outside_net r.position ]
+          else if Zone.blocked net.Net.zones r.position then
+            [ In_forbidden_zone r.position ]
+          else []
+        in
+        let width =
+          if r.width < min_width || r.width > max_width then
+            [ Width_out_of_range r.width ]
+          else []
+        in
+        position @ width)
+      (Solution.repeaters solution)
+  in
+  let in_range =
+    List.for_all
+      (fun (r : Solution.repeater) -> r.position >= 0.0 && r.position <= length)
+      (Solution.repeaters solution)
+  in
+  let timing =
+    (* Delay is only evaluable when every repeater lies on the net; an
+       out-of-range placement is already reported above. *)
+    if not in_range then []
+    else
+      let geometry = Geometry.of_net net in
+      if
+        Delay.meets_budget process.Rip_tech.Process.repeater geometry solution
+          ~budget
+      then []
+      else
+        [ Over_budget
+            { delay =
+                Delay.total process.Rip_tech.Process.repeater geometry
+                  solution;
+              budget } ]
+  in
+  placement_violations @ timing
+
+let is_valid ?min_width ?max_width process net ~budget solution =
+  check ?min_width ?max_width process net ~budget solution = []

@@ -1,0 +1,20 @@
+(** Legality and timing checks for insertion solutions (Problem LPRI). *)
+
+type violation =
+  | Outside_net of float  (** repeater position beyond [0, L] *)
+  | In_forbidden_zone of float
+  | Width_out_of_range of float  (** outside the configured [min, max] *)
+  | Over_budget of { delay : float; budget : float }
+
+val pp_violation : violation Fmt.t
+
+val check :
+  ?min_width:float -> ?max_width:float -> Rip_tech.Process.t ->
+  Rip_net.Net.t -> budget:float -> Rip_elmore.Solution.t -> violation list
+(** Every LPRI violation of the solution; empty means valid.  Width bounds
+    default to accepting any positive width (REFINE's continuous solutions
+    are checkable too). *)
+
+val is_valid :
+  ?min_width:float -> ?max_width:float -> Rip_tech.Process.t ->
+  Rip_net.Net.t -> budget:float -> Rip_elmore.Solution.t -> bool

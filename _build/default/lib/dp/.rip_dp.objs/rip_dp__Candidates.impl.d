@@ -1,0 +1,1 @@
+lib/dp/candidates.ml: Float List Rip_net

@@ -1,0 +1,1 @@
+lib/dp/candidates.mli: Rip_net

@@ -1,0 +1,1 @@
+lib/dp/chain.ml: Array Float List Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/dp/chain.mli: Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/dp/exhaustive.ml: Array Float Option Repeater_library Rip_elmore

@@ -1,0 +1,1 @@
+lib/dp/exhaustive.mli: Repeater_library Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/dp/min_delay.ml: Array Chain Float Repeater_library Rip_elmore

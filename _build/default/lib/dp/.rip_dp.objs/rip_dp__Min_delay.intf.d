@@ -1,0 +1,1 @@
+lib/dp/min_delay.mli: Repeater_library Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/dp/power_dp.ml: Array Chain Float Hashtbl List Repeater_library Rip_elmore

@@ -1,0 +1,1 @@
+lib/dp/power_dp.mli: Repeater_library Rip_elmore Rip_net Rip_tech

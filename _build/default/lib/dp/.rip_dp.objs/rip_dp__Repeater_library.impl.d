@@ -1,0 +1,1 @@
+lib/dp/repeater_library.ml: Array Float Fmt List

@@ -1,0 +1,1 @@
+lib/dp/repeater_library.mli: Fmt

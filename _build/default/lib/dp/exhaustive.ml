@@ -1,0 +1,53 @@
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+
+let enumeration_size ~sites ~library_size =
+  let rec power acc k = if k = 0 then acc else power (acc * (library_size + 1)) (k - 1) in
+  power 1 sites
+
+let max_enumeration = 10_000_000
+
+(* Visit every assignment of (no repeater | width from library) per site. *)
+let iter_solutions ~library ~candidates visit =
+  let sites = Array.of_list candidates in
+  let widths = Repeater_library.to_array library in
+  let n = Array.length sites in
+  if enumeration_size ~sites:n ~library_size:(Array.length widths)
+     > max_enumeration
+  then invalid_arg "Exhaustive: instance too large";
+  let rec assign idx placements =
+    if idx = n then visit (Solution.create placements)
+    else begin
+      assign (idx + 1) placements;
+      Array.iter
+        (fun w -> assign (idx + 1) ((sites.(idx), w) :: placements))
+        widths
+    end
+  in
+  assign 0 []
+
+let min_width_under_budget geometry repeater ~library ~candidates ~budget =
+  let best = ref None in
+  let better width delay =
+    match !best with
+    | None -> true
+    | Some (_, bw, bd) ->
+        width < bw -. 1e-12
+        || (Float.abs (width -. bw) <= 1e-12 && delay < bd)
+  in
+  iter_solutions ~library ~candidates (fun solution ->
+      let delay = Delay.total repeater geometry solution in
+      if delay <= budget then begin
+        let width = Solution.total_width solution in
+        if better width delay then best := Some (solution, width, delay)
+      end);
+  Option.map (fun (solution, width, _) -> (solution, width)) !best
+
+let min_delay geometry repeater ~library ~candidates =
+  let best = ref (Solution.empty, Delay.total repeater geometry Solution.empty)
+  in
+  iter_solutions ~library ~candidates (fun solution ->
+      let delay = Delay.total repeater geometry solution in
+      let _, best_delay = !best in
+      if delay < best_delay then best := (solution, delay));
+  !best

@@ -1,0 +1,26 @@
+(** Brute-force reference optimiser for tiny instances.
+
+    Enumerates every subset of the candidate sites and every width
+    assignment from the library, evaluating each full solution through
+    {!Rip_elmore.Delay}.  Exponential — intended for cross-checking the DP
+    on instances with at most a handful of sites (the test suite uses it to
+    certify {!Power_dp} and {!Min_delay} optimality). *)
+
+val enumeration_size :
+  sites:int -> library_size:int -> int
+(** Number of solutions enumerated: [(library_size + 1) ^ sites]. *)
+
+val min_width_under_budget :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list -> budget:float ->
+  (Rip_elmore.Solution.t * float) option
+(** Minimum-total-width solution meeting the budget, or [None].
+    @raise Invalid_argument when the enumeration would exceed 10 million
+    solutions. *)
+
+val min_delay :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list ->
+  Rip_elmore.Solution.t * float
+(** Minimum-delay solution over the same space (the empty insertion is
+    included). *)

@@ -1,0 +1,70 @@
+module Solution = Rip_elmore.Solution
+
+type result = {
+  solution : Solution.t;
+  delay : float;
+}
+
+type cell = {
+  mutable best : float;
+  mutable pred_site : int;
+  mutable pred_width : int;
+}
+
+let solve geometry repeater ~library ~candidates =
+  let chain = Chain.create geometry repeater ~candidates in
+  let n_sites = Chain.site_count chain in
+  let last = n_sites - 1 in
+  let lib = Repeater_library.to_array library in
+  let widths_at site =
+    if site = 0 then [| chain.Chain.driver_width |]
+    else if site = last then [| chain.Chain.receiver_width |]
+    else lib
+  in
+  let cells =
+    Array.init n_sites (fun site ->
+        Array.init (Array.length (widths_at site)) (fun _ ->
+            { best = Float.infinity; pred_site = -1; pred_width = -1 }))
+  in
+  cells.(0).(0).best <- 0.0;
+  for site = 1 to last do
+    let site_widths = widths_at site in
+    for wj = 0 to Array.length site_widths - 1 do
+      let cell = cells.(site).(wj) in
+      for src = 0 to site - 1 do
+        let src_widths = widths_at src in
+        for wi = 0 to Array.length src_widths - 1 do
+          let arrival = cells.(src).(wi).best in
+          if arrival < Float.infinity then begin
+            let total =
+              arrival
+              +. Chain.stage_delay chain ~from_site:src
+                   ~from_width:src_widths.(wi) ~to_site:site
+                   ~to_width:site_widths.(wj)
+            in
+            if total < cell.best then begin
+              cell.best <- total;
+              cell.pred_site <- src;
+              cell.pred_width <- wi
+            end
+          end
+        done
+      done
+    done
+  done;
+  let rec backtrack site wj acc =
+    if site <= 0 then acc
+    else
+      let cell = cells.(site).(wj) in
+      let acc =
+        if Chain.is_interior chain site then
+          (chain.Chain.positions.(site), (widths_at site).(wj)) :: acc
+        else acc
+      in
+      backtrack cell.pred_site cell.pred_width acc
+  in
+  let solution = Solution.create (backtrack last 0 []) in
+  { solution; delay = cells.(last).(0).best }
+
+let tau_min geometry repeater ~library ~candidates =
+  (solve geometry repeater ~library ~candidates).delay

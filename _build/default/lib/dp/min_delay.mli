@@ -1,0 +1,21 @@
+(** Minimum-delay repeater insertion over a candidate grid — the classic
+    van Ginneken-style DP, used to anchor the timing targets: the paper
+    sweeps budgets from 1.05 to 2.05 times [tau_min].
+
+    Unlike the power DP, each state only needs the scalar best arrival
+    delay, so the run is fast even with rich libraries. *)
+
+type result = {
+  solution : Rip_elmore.Solution.t;
+  delay : float;  (** tau_min over the given sites and library *)
+}
+
+val solve :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list -> result
+(** Always succeeds (the empty insertion is a valid fallback). *)
+
+val tau_min :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list -> float
+(** [(solve ...).delay]. *)

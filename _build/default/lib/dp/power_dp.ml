@@ -1,0 +1,140 @@
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+
+type stats = {
+  sites : int;
+  transitions : int;
+  labels : int;
+}
+
+type result = {
+  solution : Solution.t;
+  total_width : float;
+  delay : float;
+  stats : stats;
+}
+
+type label = {
+  delay : float;
+  width_units : int;  (* total repeater width quantised to milli-u *)
+  pred_site : int;
+  pred_width : int;  (* index into the predecessor site's width array *)
+  pred_label : int;  (* index into the predecessor state's frontier *)
+}
+
+let units_per_u = 1000.0
+let width_units w = int_of_float (Float.round (w *. units_per_u))
+
+(* Pareto prune: ascending width, then keep strictly decreasing delay. *)
+let freeze_frontier labels =
+  let arr = Array.of_list labels in
+  Array.sort
+    (fun a b ->
+      match compare a.width_units b.width_units with
+      | 0 -> Float.compare a.delay b.delay
+      | c -> c)
+    arr;
+  let kept = ref [] in
+  let best_delay = ref Float.infinity in
+  Array.iter
+    (fun l ->
+      if l.delay < !best_delay then begin
+        kept := l :: !kept;
+        best_delay := l.delay
+      end)
+    arr;
+  Array.of_list (List.rev !kept)
+
+let solve geometry repeater ~library ~candidates ~budget =
+  let chain = Chain.create geometry repeater ~candidates in
+  let n_sites = Chain.site_count chain in
+  let last = n_sites - 1 in
+  let lib = Repeater_library.to_array library in
+  let widths_at site =
+    if site = 0 then [| chain.Chain.driver_width |]
+    else if site = last then [| chain.Chain.receiver_width |]
+    else lib
+  in
+  (* frontiers.(site).(width_index) — filled strictly left to right. *)
+  let frontiers =
+    Array.init n_sites (fun site ->
+        Array.make (Array.length (widths_at site)) [||])
+  in
+  frontiers.(0).(0) <-
+    [| { delay = 0.0; width_units = 0; pred_site = -1; pred_width = -1;
+         pred_label = -1 } |];
+  let transitions = ref 0 in
+  let labels = ref 0 in
+  let collected : (int, label) Hashtbl.t = Hashtbl.create 256 in
+  for site = 1 to last do
+    let site_widths = widths_at site in
+    let added_units =
+      if Chain.is_interior chain site then
+        Array.map width_units site_widths
+      else Array.map (fun _ -> 0) site_widths
+    in
+    for wj = 0 to Array.length site_widths - 1 do
+      Hashtbl.reset collected;
+      let to_width = site_widths.(wj) in
+      for src = 0 to site - 1 do
+        let src_widths = widths_at src in
+        for wi = 0 to Array.length src_widths - 1 do
+          let frontier = frontiers.(src).(wi) in
+          if Array.length frontier > 0 then begin
+            incr transitions;
+            let stage =
+              Chain.stage_delay chain ~from_site:src
+                ~from_width:src_widths.(wi) ~to_site:site ~to_width
+            in
+            Array.iteri
+              (fun li l ->
+                let delay = l.delay +. stage in
+                if delay <= budget then begin
+                  let width_units = l.width_units + added_units.(wj) in
+                  let candidate =
+                    { delay; width_units; pred_site = src; pred_width = wi;
+                      pred_label = li }
+                  in
+                  match Hashtbl.find_opt collected width_units with
+                  | Some best when best.delay <= delay -> ()
+                  | Some _ | None ->
+                      Hashtbl.replace collected width_units candidate
+                end)
+              frontier
+          end
+        done
+      done;
+      let frontier =
+        freeze_frontier (Hashtbl.fold (fun _ l acc -> l :: acc) collected [])
+      in
+      labels := !labels + Array.length frontier;
+      frontiers.(site).(wj) <- frontier
+    done
+  done;
+  let receiver = frontiers.(last).(0) in
+  if Array.length receiver = 0 then None
+  else begin
+    (* The frozen frontier is width-ascending, so entry 0 is min width. *)
+    let rec backtrack site wj li acc =
+      if site <= 0 then acc
+      else
+        let l = frontiers.(site).(wj).(li) in
+        let acc =
+          if Chain.is_interior chain site then
+            (chain.Chain.positions.(site), (widths_at site).(wj)) :: acc
+          else acc
+        in
+        backtrack l.pred_site l.pred_width l.pred_label acc
+    in
+    let placements = backtrack last 0 0 [] in
+    let solution = Solution.create placements in
+    let delay = Delay.total repeater geometry solution in
+    Some
+      {
+        solution;
+        total_width = Solution.total_width solution;
+        delay;
+        stats = { sites = n_sites; transitions = !transitions;
+                  labels = !labels };
+      }
+  end

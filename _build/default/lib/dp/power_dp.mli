@@ -1,0 +1,32 @@
+(** Power-minimal repeater insertion under a delay budget — the DP of
+    Lillis, Cheng & Lin (ref. [14] of the paper), specialised to two-pin
+    chains.
+
+    Every DP state is a (candidate site, repeater width) pair; a state
+    carries the Pareto frontier of [(arrival delay, total width so far)]
+    labels over all ways of reaching it.  Transitions append one Eq.-(1)
+    stage delay.  Labels exceeding the budget are discarded eagerly
+    (delay only grows along the chain), and frontiers are bucketed by
+    quantised total width so each distinct width keeps only its fastest
+    label — the pseudo-polynomial bound of [14]. *)
+
+type stats = {
+  sites : int;  (** candidate sites including driver and receiver *)
+  transitions : int;  (** stage-delay evaluations *)
+  labels : int;  (** labels surviving pruning, summed over states *)
+}
+
+type result = {
+  solution : Rip_elmore.Solution.t;
+  total_width : float;  (** the optimised power proxy, u *)
+  delay : float;  (** Elmore delay of [solution], seconds *)
+  stats : stats;
+}
+
+val solve :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list -> budget:float ->
+  result option
+(** [None] when no repeater assignment over the given sites and library
+    meets the budget.  The returned solution's delay is recomputed through
+    {!Rip_elmore.Delay.total} and always satisfies [delay <= budget]. *)

@@ -1,0 +1,1 @@
+lib/elmore/delay.ml: Float List Rip_net Solution Stage

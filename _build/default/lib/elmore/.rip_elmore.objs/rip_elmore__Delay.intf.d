@@ -1,0 +1,1 @@
+lib/elmore/delay.mli: Rip_net Rip_tech Solution

@@ -1,0 +1,1 @@
+lib/elmore/rc_ladder.ml: Array Float List Rip_net Rip_tech Stdlib

@@ -1,0 +1,1 @@
+lib/elmore/rc_ladder.mli: Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/elmore/solution.ml: Float Fmt List Rip_net

@@ -1,0 +1,1 @@
+lib/elmore/solution.mli: Fmt Rip_net

@@ -1,0 +1,1 @@
+lib/elmore/stage.ml: Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/elmore/stage.mli: Rip_net Rip_tech

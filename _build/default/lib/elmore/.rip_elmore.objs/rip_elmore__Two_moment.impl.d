@@ -1,0 +1,1 @@
+lib/elmore/two_moment.ml: Delay Float List Rc_ladder Rip_net Rip_tech Solution

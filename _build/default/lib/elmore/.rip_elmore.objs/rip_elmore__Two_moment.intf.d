@@ -1,0 +1,1 @@
+lib/elmore/two_moment.mli: Rip_net Rip_tech Solution

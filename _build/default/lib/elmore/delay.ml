@@ -1,0 +1,31 @@
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+
+(* Fold over stages: (0, w_d) -> repeaters -> (L, w_r). *)
+let stage_delays repeater geometry solution =
+  let net = Geometry.net geometry in
+  let length = Geometry.total_length geometry in
+  let endpoints =
+    ((0.0, net.Net.driver_width)
+     :: List.map
+          (fun (r : Solution.repeater) -> (r.position, r.width))
+          (Solution.repeaters solution))
+    @ [ (length, net.Net.receiver_width) ]
+  in
+  let rec stages = function
+    | (a, wa) :: ((b, wb) :: _ as rest) ->
+        Stage.delay repeater geometry ~driver_pos:a ~driver_width:wa
+          ~load_pos:b ~load_width:wb
+        :: stages rest
+    | [ _ ] | [] -> []
+  in
+  stages endpoints
+
+let total repeater geometry solution =
+  List.fold_left ( +. ) 0.0 (stage_delays repeater geometry solution)
+
+let slack repeater geometry solution ~budget =
+  budget -. total repeater geometry solution
+
+let meets_budget repeater geometry solution ~budget =
+  slack repeater geometry solution ~budget >= -1e-6 *. Float.abs budget

@@ -1,0 +1,21 @@
+(** Total Elmore delay of an insertion solution (Eq. (2)): the sum of stage
+    delays from the driver through each repeater to the receiver. *)
+
+val stage_delays :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t -> float list
+(** The [n + 1] per-stage delays in source-to-sink order. *)
+
+val total :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t -> float
+(** [tau_total], seconds. *)
+
+val slack :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t ->
+  budget:float -> float
+(** [budget - total]; non-negative iff the solution meets timing. *)
+
+val meets_budget :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t ->
+  budget:float -> bool
+(** [slack >= -. tolerance] with a 1 ppm relative tolerance, so that a
+    solution produced *at* the budget by a solver is accepted. *)

@@ -1,0 +1,106 @@
+module Repeater_model = Rip_tech.Repeater_model
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+
+type section = {
+  series_resistance : float;
+  shunt_capacitance : float;
+}
+
+(* Elmore delay of a pi-section ladder: each section contributes half its
+   capacitance before and half after its series resistance; every capacitor
+   sees the total resistance upstream of it. *)
+let ladder_delay ~driver_resistance ~sections ~load_capacitance =
+  let upstream = ref driver_resistance in
+  let delay = ref 0.0 in
+  List.iter
+    (fun s ->
+      delay := !delay +. (!upstream *. (0.5 *. s.shunt_capacitance));
+      upstream := !upstream +. s.series_resistance;
+      delay := !delay +. (!upstream *. (0.5 *. s.shunt_capacitance)))
+    sections;
+  !delay +. (!upstream *. load_capacitance)
+
+(* Node view of the pi-ladder: node k sits after the k-th series resistor
+   and carries the adjacent half-capacitances; node 0 is the driver output
+   (before any series resistance) with the first half-capacitance. *)
+let ladder_nodes ~driver_resistance ~sections ~load_capacitance =
+  let sections = Array.of_list sections in
+  let n = Array.length sections in
+  let cap = Array.make (n + 1) 0.0 in
+  let upstream = Array.make (n + 1) driver_resistance in
+  for k = 0 to n - 1 do
+    let s = sections.(k) in
+    cap.(k) <- cap.(k) +. (0.5 *. s.shunt_capacitance);
+    cap.(k + 1) <- cap.(k + 1) +. (0.5 *. s.shunt_capacitance);
+    upstream.(k + 1) <- upstream.(k) +. s.series_resistance
+  done;
+  cap.(n) <- cap.(n) +. load_capacitance;
+  (cap, upstream)
+
+let ladder_moments ~driver_resistance ~sections ~load_capacitance =
+  let cap, upstream =
+    ladder_nodes ~driver_resistance ~sections ~load_capacitance
+  in
+  let n = Array.length cap - 1 in
+  (* m1 at every node, O(n): raising k adds (R_up(k) - R_up(k-1)) times
+     the capacitance at-or-beyond node k. *)
+  let tail_cap = Array.make (n + 2) 0.0 in
+  for k = n downto 0 do
+    tail_cap.(k) <- tail_cap.(k + 1) +. cap.(k)
+  done;
+  let m1 = Array.make (n + 1) 0.0 in
+  m1.(0) <- upstream.(0) *. tail_cap.(0);
+  for k = 1 to n do
+    m1.(k) <- m1.(k - 1) +. ((upstream.(k) -. upstream.(k - 1)) *. tail_cap.(k))
+  done;
+  (* m2 at the last node: on a single path the shared resistance with the
+     load is each node's own upstream resistance. *)
+  let m2 = ref 0.0 in
+  for k = 0 to n do
+    m2 := !m2 +. (upstream.(k) *. cap.(k) *. m1.(k))
+  done;
+  (m1.(n), !m2)
+
+(* Chop [driver_pos, load_pos] into uniform lumps, but never across a
+   segment boundary, so each lump has constant per-um RC. *)
+let wire_sections geometry ~driver_pos ~load_pos ~lumps_per_um =
+  let net = Geometry.net geometry in
+  let segments = net.Net.segments in
+  let cuts =
+    List.filter
+      (fun b -> b > driver_pos && b < load_pos)
+      (Geometry.boundaries geometry)
+  in
+  let points = (driver_pos :: cuts) @ [ load_pos ] in
+  let rec pieces = function
+    | a :: (b :: _ as rest) -> (a, b) :: pieces rest
+    | [ _ ] | [] -> []
+  in
+  List.concat_map
+    (fun (a, b) ->
+      let i = Geometry.segment_index_at geometry Geometry.Right a in
+      let s = segments.(i) in
+      let span = b -. a in
+      let n = Stdlib.max 1 (int_of_float (Float.ceil (span *. lumps_per_um))) in
+      let lump = span /. float_of_int n in
+      List.init n (fun _ ->
+          {
+            series_resistance = lump *. s.Segment.resistance_per_um;
+            shunt_capacitance = lump *. s.Segment.capacitance_per_um;
+          }))
+    (pieces points)
+
+let stage_delay_discretised repeater geometry ~driver_pos ~driver_width
+    ~load_pos ~load_width ~lumps_per_um =
+  let sections =
+    if load_pos > driver_pos then
+      wire_sections geometry ~driver_pos ~load_pos ~lumps_per_um
+    else []
+  in
+  Repeater_model.intrinsic_delay repeater
+  +. ladder_delay
+       ~driver_resistance:(Repeater_model.output_resistance repeater driver_width)
+       ~sections
+       ~load_capacitance:(Repeater_model.input_capacitance repeater load_width)

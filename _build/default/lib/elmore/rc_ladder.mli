@@ -1,0 +1,37 @@
+(** Independent RC-ladder Elmore evaluator.
+
+    Used by the test suite to cross-check the closed-form stage delay of
+    {!Stage}: a stage's distributed wire is discretised into many small
+    pi-sections and the Elmore delay of the resulting lumped ladder is
+    computed from first principles (sum over capacitors of the upstream
+    resistance).  The discretisation error is O(1/n^2). *)
+
+type section = {
+  series_resistance : float;  (** Ohm *)
+  shunt_capacitance : float;  (** F, as a pi-section: half at each end *)
+}
+
+val ladder_delay :
+  driver_resistance:float -> sections:section list -> load_capacitance:float ->
+  float
+(** Elmore delay from the driver through the ladder to the load. *)
+
+val ladder_moments :
+  driver_resistance:float -> sections:section list -> load_capacitance:float ->
+  float * float
+(** First and second transfer-function moments [(m1, m2)] at the load:
+    [m1] is the Elmore delay; [m2 = sum_k R_up(k) C_k m1(k)] over the
+    ladder nodes.  Used by {!Two_moment} for the D2M delay metric. *)
+
+val wire_sections :
+  Rip_net.Geometry.t -> driver_pos:float -> load_pos:float ->
+  lumps_per_um:float -> section list
+(** Discretise a wire span into pi-sections, never crossing a segment
+    boundary (each lump has constant per-um RC). *)
+
+val stage_delay_discretised :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t ->
+  driver_pos:float -> driver_width:float ->
+  load_pos:float -> load_width:float -> lumps_per_um:float -> float
+(** The same quantity as {!Stage.delay} computed by discretisation
+    (including the driver's intrinsic [Rs*Cp] term), for validation. *)

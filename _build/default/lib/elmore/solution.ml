@@ -1,0 +1,51 @@
+type repeater = {
+  position : float;
+  width : float;
+}
+
+type t = repeater list
+
+let empty = []
+
+let of_repeaters placements =
+  List.iter
+    (fun r ->
+      if r.width <= 0.0 then
+        invalid_arg "Solution.create: repeater width must be positive";
+      if r.position < 0.0 then
+        invalid_arg "Solution.create: repeater position must be non-negative")
+    placements;
+  let sorted =
+    List.sort (fun a b -> Float.compare a.position b.position) placements
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.position = b.position then
+          invalid_arg "Solution.create: duplicate repeater position";
+        check rest
+    | [] | [ _ ] -> ()
+  in
+  check sorted;
+  sorted
+
+let create placements =
+  of_repeaters
+    (List.map (fun (position, width) -> { position; width }) placements)
+
+let repeaters t = t
+let count = List.length
+let total_width t = List.fold_left (fun acc r -> acc +. r.width) 0.0 t
+let positions t = List.map (fun r -> r.position) t
+let widths t = List.map (fun r -> r.width) t
+
+let legal net t =
+  List.for_all (fun r -> Rip_net.Net.position_legal net r.position) t
+
+let equal a b =
+  List.equal
+    (fun x y -> x.position = y.position && x.width = y.width)
+    a b
+
+let pp ppf t =
+  let pp_rep ppf r = Fmt.pf ppf "%gu@%gum" r.width r.position in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp_rep) t

@@ -1,0 +1,37 @@
+(** A repeater insertion solution: the repeaters inserted along a net,
+    ordered by position.  The driver and receiver are part of the net, not
+    of the solution. *)
+
+type repeater = {
+  position : float;  (** um from the driver *)
+  width : float;  (** u, strictly positive *)
+}
+
+type t = private repeater list
+(** Sorted by strictly increasing position. *)
+
+val empty : t
+(** The unrepeated net. *)
+
+val create : (float * float) list -> t
+(** [create placements] from [(position, width)] pairs, in any order.
+    @raise Invalid_argument on a non-positive width, a negative position,
+    or two repeaters at the same position. *)
+
+val of_repeaters : repeater list -> t
+(** As {!create}. *)
+
+val repeaters : t -> repeater list
+val count : t -> int
+
+val total_width : t -> float
+(** The power proxy [p = sum w_i] of Eq. (4). *)
+
+val positions : t -> float list
+val widths : t -> float list
+
+val legal : Rip_net.Net.t -> t -> bool
+(** All repeaters inside [0, L] and outside every forbidden zone. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,20 @@
+module Repeater_model = Rip_tech.Repeater_model
+module Geometry = Rip_net.Geometry
+
+let lumped_load repeater geometry ~driver_pos ~load_pos ~load_width =
+  Geometry.capacitance_between geometry driver_pos load_pos
+  +. Repeater_model.input_capacitance repeater load_width
+
+let delay repeater geometry ~driver_pos ~driver_width ~load_pos ~load_width =
+  if driver_pos > load_pos then
+    invalid_arg "Stage.delay: driver downstream of load";
+  let r_drv = Repeater_model.output_resistance repeater driver_width in
+  let c_load =
+    lumped_load repeater geometry ~driver_pos ~load_pos ~load_width
+  in
+  let r_wire = Geometry.resistance_between geometry driver_pos load_pos in
+  let c_gate = Repeater_model.input_capacitance repeater load_width in
+  Repeater_model.intrinsic_delay repeater
+  +. (r_drv *. c_load)
+  +. (r_wire *. c_gate)
+  +. Geometry.wire_elmore_between geometry driver_pos load_pos

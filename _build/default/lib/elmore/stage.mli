@@ -1,0 +1,20 @@
+(** Elmore delay of one repeater stage (Eq. (1) of the paper).
+
+    A stage is a driving gate of width [w_a] at position [a], the wire up to
+    position [b], and a receiving gate of width [w_b] at [b] modelled as the
+    capacitor [Co * w_b].  The driving gate contributes its intrinsic
+    [Rs * Cp] self-loading delay and its output resistance [Rs / w_a]. *)
+
+val delay :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t ->
+  driver_pos:float -> driver_width:float ->
+  load_pos:float -> load_width:float -> float
+(** Stage Elmore delay in seconds.
+    @raise Invalid_argument when [driver_pos > load_pos] or a width is not
+    strictly positive. *)
+
+val lumped_load :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t ->
+  driver_pos:float -> load_pos:float -> load_width:float -> float
+(** Total capacitance seen by the driver: wire capacitance of the span plus
+    the receiving gate's input capacitance. *)

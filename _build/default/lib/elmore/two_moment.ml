@@ -1,0 +1,49 @@
+module Repeater_model = Rip_tech.Repeater_model
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+
+let ln2 = Float.log 2.0
+
+let stage_delay repeater geometry ~driver_pos ~driver_width ~load_pos
+    ~load_width ?(lumps_per_um = 0.5) () =
+  if driver_pos > load_pos then
+    invalid_arg "Two_moment.stage_delay: driver downstream of load";
+  let sections =
+    if load_pos > driver_pos then
+      Rc_ladder.wire_sections geometry ~driver_pos ~load_pos ~lumps_per_um
+    else []
+  in
+  let m1, m2 =
+    Rc_ladder.ladder_moments
+      ~driver_resistance:(Repeater_model.output_resistance repeater driver_width)
+      ~sections
+      ~load_capacitance:(Repeater_model.input_capacitance repeater load_width)
+  in
+  let d2m = if m2 <= 0.0 then m1 else ln2 *. m1 *. m1 /. sqrt m2 in
+  (* D2M can only tighten Elmore, never exceed it. *)
+  Repeater_model.intrinsic_delay repeater +. Float.min m1 d2m
+
+let total repeater geometry solution =
+  let net = Geometry.net geometry in
+  let length = Geometry.total_length geometry in
+  let endpoints =
+    ((0.0, net.Net.driver_width)
+     :: List.map
+          (fun (r : Solution.repeater) -> (r.position, r.width))
+          (Solution.repeaters solution))
+    @ [ (length, net.Net.receiver_width) ]
+  in
+  let rec stages acc = function
+    | (a, wa) :: ((b, wb) :: _ as rest) ->
+        stages
+          (acc
+          +. stage_delay repeater geometry ~driver_pos:a ~driver_width:wa
+               ~load_pos:b ~load_width:wb ())
+          rest
+    | [ _ ] | [] -> acc
+  in
+  stages 0.0 endpoints
+
+let elmore_ratio repeater geometry solution =
+  total repeater geometry solution
+  /. Delay.total repeater geometry solution

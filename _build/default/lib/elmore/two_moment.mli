@@ -1,0 +1,31 @@
+(** D2M two-moment delay metric (Alpert/Devgan/Kashyap).
+
+    The paper notes (Section 4.1) that "more accurate analytical delay
+    models can be used by replacing the Elmore delay with the
+    corresponding delay functions".  This module provides the standard
+    next step up: the D2M metric [ln 2 * m1^2 / sqrt m2] over the first
+    two transfer moments, evaluated on a discretised stage.  Elmore
+    (= [m1]) is a provable upper bound of the 50 % delay; D2M tracks the
+    true delay much more closely on resistively shielded lines.
+
+    The optimisers deliberately stay on Elmore (as the paper's do); this
+    evaluator is for *analysis* — checking that designs optimised under
+    Elmore still order correctly under a more accurate metric. *)
+
+val stage_delay :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t ->
+  driver_pos:float -> driver_width:float ->
+  load_pos:float -> load_width:float -> ?lumps_per_um:float -> unit -> float
+(** D2M delay of one stage, including the driver's intrinsic [Rs*Cp]
+    delay (kept as an additive term, as in Eq. (1)).  Default
+    discretisation: 0.5 lumps/um. *)
+
+val total :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t -> float
+(** Sum of D2M stage delays along the repeated net (Eq. (2) with the
+    replaced stage metric). *)
+
+val elmore_ratio :
+  Rip_tech.Repeater_model.t -> Rip_net.Geometry.t -> Solution.t -> float
+(** [total / Delay.total]: how much of the Elmore pessimism the design
+    carries; in [ln 2, 1] for RC stages. *)

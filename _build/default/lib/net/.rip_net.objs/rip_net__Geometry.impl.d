@@ -1,0 +1,1 @@
+lib/net/geometry.ml: Array Float Net Printf Segment

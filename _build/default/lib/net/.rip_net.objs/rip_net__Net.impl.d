@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Fmt List Segment String Zone

@@ -1,0 +1,1 @@
+lib/net/net.mli: Fmt Rip_tech Segment Zone

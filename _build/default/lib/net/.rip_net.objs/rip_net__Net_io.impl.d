@@ -1,0 +1,1 @@
+lib/net/net_io.ml: Array Buffer In_channel List Net Out_channel Printf Result Segment String Zone

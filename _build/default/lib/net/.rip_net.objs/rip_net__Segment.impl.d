@@ -1,0 +1,1 @@
+lib/net/segment.ml: Fmt Rip_tech String

@@ -1,0 +1,1 @@
+lib/net/segment.mli: Fmt Rip_tech

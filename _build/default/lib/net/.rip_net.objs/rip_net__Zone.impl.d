@@ -1,0 +1,1 @@
+lib/net/zone.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/net/zone.mli: Fmt

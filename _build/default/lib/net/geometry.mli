@@ -1,0 +1,56 @@
+(** Prefix-sum geometry engine over a net.
+
+    Precomputes, at every segment boundary, cumulative wire resistance
+    [R(x) = int_0^x r], capacitance [C(x) = int_0^x c] and the mixed moment
+    [P(x) = int_0^x r(t) C(t) dt], so that the wire resistance, capacitance
+    and distributed Elmore term between any two positions are O(log m)
+    (binary search) with exact piecewise-constant integration — no
+    re-walking of segments in the DP inner loop. *)
+
+type t
+
+type side = Left | Right
+(** Which side of a position to sample at a segment boundary, where the
+    per-unit-length RC is discontinuous (used by Eqs. (17) and (18)). *)
+
+val of_net : Net.t -> t
+val net : t -> Net.t
+val total_length : t -> float
+
+val segment_index_at : t -> side -> float -> int
+(** Index of the segment covering position [x]; at an interior boundary the
+    [side] picks the earlier or later segment.  Positions are clamped to
+    [0, L] within a small tolerance.
+    @raise Invalid_argument when [x] is outside the net beyond tolerance. *)
+
+val resistance_between : t -> float -> float -> float
+(** [resistance_between g a b] is [int_a^b r(t) dt], Ohm.  Requires
+    [a <= b] (within tolerance). *)
+
+val capacitance_between : t -> float -> float -> float
+(** [capacitance_between g a b] is [int_a^b c(t) dt], F. *)
+
+val wire_elmore_between : t -> float -> float -> float
+(** [wire_elmore_between g a b] is the distributed wire delay
+    [int_a^b r(t) (C(b) - C(t)) dt], seconds — the last term of Eq. (1). *)
+
+val unit_rc_at : t -> side -> float -> float * float
+(** Per-unit-length [(r, c)] of the wire immediately on the given side of
+    the position (the [r_{i1}, c_{i1}] / [r_{(i-1)k}, c_{(i-1)k}] of
+    Eqs. (17)–(18)).  At [x = 0.] only [Right] is meaningful and [Left]
+    falls back to the first segment; symmetrically at [x = L]. *)
+
+val boundaries : t -> float list
+(** Segment boundary positions including 0 and L, ascending. *)
+
+val cumulative_resistance : t -> float -> float
+(** [R(x) = int_0^x r(t) dt], Ohm. *)
+
+val cumulative_capacitance : t -> float -> float
+(** [C(x) = int_0^x c(t) dt], F. *)
+
+val cumulative_rc_moment : t -> float -> float
+(** [P(x) = int_0^x r(t) C(t) dt], seconds.  Together with [R] and [C] this
+    gives the wire Elmore of a span as
+    [(R(b) - R(a)) * C(b) - (P(b) - P(a))]; DP clients precompute these
+    three values per candidate site to make stage delays pure arithmetic. *)

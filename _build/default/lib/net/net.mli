@@ -1,0 +1,42 @@
+(** A multi-layer two-pin interconnect (Problem LPRI, Section 3):
+    [m] wire segments in a linear chain from a driver of width [w_d] to a
+    receiver of width [w_r], with forbidden zones where no repeater fits.
+    Positions along the net are microns from the driver, in [0, L]. *)
+
+type t = private {
+  name : string;
+  segments : Segment.t array;  (** non-empty, in routing order *)
+  zones : Zone.t list;  (** normalized: sorted, disjoint, inside [0, L] *)
+  driver_width : float;  (** w_d in u, strictly positive *)
+  receiver_width : float;  (** w_r in u, strictly positive *)
+}
+
+val create :
+  ?name:string -> segments:Segment.t list -> zones:Zone.t list ->
+  driver_width:float -> receiver_width:float -> unit -> t
+(** Validates and normalizes.  Zones may be given in any order; they are
+    merged and must fit within the net (a zone end may touch [L]).
+    @raise Invalid_argument on an empty segment list, non-positive pin
+    widths, or a zone outside the net. *)
+
+val total_length : t -> float
+(** [L = sum l_i] in um. *)
+
+val segment_count : t -> int
+
+val total_wire_capacitance : t -> float
+(** Sum over segments of [l_i *. c_i], F. *)
+
+val total_wire_resistance : t -> float
+(** Sum over segments of [l_i *. r_i], Ohm. *)
+
+val position_legal : t -> float -> bool
+(** True when the position is inside [0, L] and not strictly inside a
+    forbidden zone. *)
+
+val uniform : ?name:string -> Rip_tech.Layer.t -> length:float ->
+  segment_count:int -> driver_width:float -> receiver_width:float -> t
+(** Convenience: a zone-free uniform net split into equal segments. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

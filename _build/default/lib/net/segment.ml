@@ -1,0 +1,31 @@
+type t = {
+  length : float;
+  resistance_per_um : float;
+  capacitance_per_um : float;
+  layer_name : string;
+}
+
+let create ?(layer_name = "custom") ~length ~resistance_per_um
+    ~capacitance_per_um () =
+  if length <= 0.0 then invalid_arg "Segment.create: length must be positive";
+  if resistance_per_um <= 0.0 || capacitance_per_um <= 0.0 then
+    invalid_arg "Segment.create: RC values must be positive";
+  { length; resistance_per_um; capacitance_per_um; layer_name }
+
+let of_layer (layer : Rip_tech.Layer.t) ~length =
+  create ~layer_name:layer.name ~length
+    ~resistance_per_um:layer.resistance_per_um
+    ~capacitance_per_um:layer.capacitance_per_um ()
+
+let total_resistance s = s.length *. s.resistance_per_um
+let total_capacitance s = s.length *. s.capacitance_per_um
+
+let equal a b =
+  a.length = b.length
+  && a.resistance_per_um = b.resistance_per_um
+  && a.capacitance_per_um = b.capacitance_per_um
+  && String.equal a.layer_name b.layer_name
+
+let pp ppf s =
+  Fmt.pf ppf "%s[%gum, %g Ohm/um, %g F/um]" s.layer_name s.length
+    s.resistance_per_um s.capacitance_per_um

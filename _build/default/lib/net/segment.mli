@@ -1,0 +1,28 @@
+(** One routed wire segment of a multi-layer two-pin interconnect
+    (Figure 1 of the paper): a fixed length with the per-unit-length RC of
+    the layer it is routed on. *)
+
+type t = {
+  length : float;  (** um, strictly positive *)
+  resistance_per_um : float;  (** Ohm/um, strictly positive *)
+  capacitance_per_um : float;  (** F/um, strictly positive *)
+  layer_name : string;  (** informational; "custom" when built from raw RC *)
+}
+
+val create :
+  ?layer_name:string -> length:float -> resistance_per_um:float ->
+  capacitance_per_um:float -> unit -> t
+(** @raise Invalid_argument when any numeric field is not strictly
+    positive. *)
+
+val of_layer : Rip_tech.Layer.t -> length:float -> t
+(** Segment routed on a named process layer. *)
+
+val total_resistance : t -> float
+(** [length *. resistance_per_um]. *)
+
+val total_capacitance : t -> float
+(** [length *. capacitance_per_um]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

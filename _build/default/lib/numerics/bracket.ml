@@ -1,0 +1,52 @@
+type outcome =
+  | Root of float
+  | No_sign_change of float * float
+
+let opposite_signs u v = (u <= 0.0 && v >= 0.0) || (u >= 0.0 && v <= 0.0)
+
+let expand_bracket ~f ~lo ~hi ~max_expansions =
+  let rec loop lo hi flo fhi k =
+    if opposite_signs flo fhi then Some (lo, hi)
+    else if k >= max_expansions then None
+    else
+      let lo' = lo /. 4.0 and hi' = hi *. 4.0 in
+      loop lo' hi' (f lo') (f hi') (k + 1)
+  in
+  if hi <= lo then invalid_arg "Bracket.expand_bracket: hi <= lo";
+  loop lo hi (f lo) (f hi) 0
+
+(* Bisection with an interleaved secant step: the secant candidate is used
+   whenever it falls strictly inside the current bracket, which gives
+   superlinear convergence on smooth monotone functions while keeping the
+   bisection guarantee. *)
+let bisect ~f ~lo ~hi ~tol ~max_iter =
+  let flo = f lo and fhi = f hi in
+  if not (opposite_signs flo fhi) then
+    invalid_arg "Bracket.bisect: endpoints do not straddle zero";
+  let rec loop lo hi flo fhi k =
+    let width = hi -. lo in
+    let scale =
+      Float.max Float.min_float (Float.max (Float.abs lo) (Float.abs hi))
+    in
+    if width <= tol *. scale || k >= max_iter then 0.5 *. (lo +. hi)
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      let secant =
+        if fhi <> flo then lo -. (flo *. (hi -. lo) /. (fhi -. flo)) else mid
+      in
+      let x =
+        if secant > lo +. (0.01 *. width) && secant < hi -. (0.01 *. width)
+        then secant
+        else mid
+      in
+      let fx = f x in
+      if fx = 0.0 then x
+      else if opposite_signs flo fx then loop lo x flo fx (k + 1)
+      else loop x hi fx fhi (k + 1)
+  in
+  if flo = 0.0 then lo else if fhi = 0.0 then hi else loop lo hi flo fhi 0
+
+let find_root ~f ~lo ~hi ~tol =
+  match expand_bracket ~f ~lo ~hi ~max_expansions:60 with
+  | None -> No_sign_change (lo, hi)
+  | Some (lo, hi) -> Root (bisect ~f ~lo ~hi ~tol ~max_iter:200)

@@ -1,0 +1,75 @@
+exception Singular
+
+let pivot_tolerance = 1e-300
+
+let mat_vec a x =
+  let n = Array.length a in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let row = a.(i) in
+    if Array.length row <> Array.length x then
+      invalid_arg "Matrix.mat_vec: dimension mismatch";
+    let acc = ref 0.0 in
+    for j = 0 to Array.length x - 1 do
+      acc := !acc +. (row.(j) *. x.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let residual_norm a x b =
+  let y = mat_vec a x in
+  let worst = ref 0.0 in
+  Array.iteri (fun i yi -> worst := Float.max !worst (Float.abs (yi -. b.(i)))) y;
+  !worst
+
+(* Gaussian elimination with partial pivoting, destroying [a] and [b].
+   Row swaps are physical; back substitution fills the result in place. *)
+let solve_in_place a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Matrix.solve: dimension mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Matrix.solve: matrix not square")
+    a;
+  for k = 0 to n - 1 do
+    let best = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!best).(k) then best := i
+    done;
+    if !best <> k then begin
+      let row = a.(k) in
+      a.(k) <- a.(!best);
+      a.(!best) <- row;
+      let v = b.(k) in
+      b.(k) <- b.(!best);
+      b.(!best) <- v
+    end;
+    let pivot = a.(k).(k) in
+    if Float.abs pivot < pivot_tolerance || not (Float.is_finite pivot) then
+      raise Singular;
+    for i = k + 1 to n - 1 do
+      let factor = a.(i).(k) /. pivot in
+      if factor <> 0.0 then begin
+        a.(i).(k) <- 0.0;
+        for j = k + 1 to n - 1 do
+          a.(i).(j) <- a.(i).(j) -. (factor *. a.(k).(j))
+        done;
+        b.(i) <- b.(i) -. (factor *. b.(k))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. a.(i).(i)
+  done;
+  x
+
+let solve a b =
+  let a = Array.map Array.copy a in
+  let b = Array.copy b in
+  solve_in_place a b

@@ -1,0 +1,22 @@
+(** Dense linear algebra used by the analytical width solver.
+
+    Matrices are row-major [float array array]; all functions operate on
+    square systems of modest size (one row per repeater), so a direct
+    Gaussian elimination with partial pivoting is appropriate. *)
+
+exception Singular
+(** Raised when elimination encounters a pivot below the tolerance. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] returns [x] with [a x = b].  [a] and [b] are not modified.
+    @raise Singular if [a] is (numerically) singular.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_in_place : float array array -> float array -> float array
+(** As {!solve} but destroys the inputs, avoiding the defensive copy. *)
+
+val mat_vec : float array array -> float array -> float array
+(** [mat_vec a x] is the product [a x]. *)
+
+val residual_norm : float array array -> float array -> float array -> float
+(** [residual_norm a x b] is the max-norm of [a x - b]. *)

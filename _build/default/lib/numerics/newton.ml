@@ -1,0 +1,78 @@
+type status =
+  | Converged of int
+  | Max_iterations
+  | Diverged
+
+type result = {
+  solution : float array;
+  residual : float;
+  status : status;
+}
+
+let max_norm v =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let all_finite v = Array.for_all Float.is_finite v
+
+let solve_system ~residual ~jacobian ~init ?(tol = 1e-10) ?(max_iter = 60)
+    ?(damping = 1.0) ?lower_bounds () =
+  let n = Array.length init in
+  let respects_bounds x =
+    match lower_bounds with
+    | None -> true
+    | Some lb ->
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if x.(i) < lb.(i) then ok := false
+        done;
+        !ok
+  in
+  let rec iterate x fx norm k =
+    if norm <= tol then { solution = x; residual = norm; status = Converged k }
+    else if k >= max_iter then
+      { solution = x; residual = norm; status = Max_iterations }
+    else
+      match jacobian x with
+      | exception _ -> { solution = x; residual = norm; status = Diverged }
+      | jac -> (
+          match Matrix.solve jac fx with
+          | exception Matrix.Singular ->
+              { solution = x; residual = norm; status = Diverged }
+          | step ->
+              (* Backtracking line search on the residual norm. *)
+              let rec try_step alpha attempts =
+                if attempts > 40 then None
+                else
+                  let candidate =
+                    Array.init n (fun i -> x.(i) -. (alpha *. step.(i)))
+                  in
+                  if not (respects_bounds candidate) then
+                    try_step (alpha /. 2.0) (attempts + 1)
+                  else
+                    let fc = residual candidate in
+                    if all_finite fc && (max_norm fc < norm || alpha < 1e-6)
+                    then Some (candidate, fc)
+                    else try_step (alpha /. 2.0) (attempts + 1)
+              in
+              (match try_step damping 0 with
+              | None -> { solution = x; residual = norm; status = Diverged }
+              | Some (x', fx') -> iterate x' fx' (max_norm fx') (k + 1)))
+  in
+  let f0 = residual init in
+  if not (all_finite f0) then
+    { solution = init; residual = Float.infinity; status = Diverged }
+  else iterate (Array.copy init) f0 (max_norm f0) 0
+
+let solve_scalar ~f ~df ~init ?(tol = 1e-12) ?(max_iter = 80) () =
+  let rec loop x k =
+    if k >= max_iter then None
+    else
+      let fx = f x in
+      if not (Float.is_finite fx) then None
+      else if Float.abs fx <= tol then Some x
+      else
+        let d = df x in
+        if d = 0.0 || not (Float.is_finite d) then None
+        else loop (x -. (fx /. d)) (k + 1)
+  in
+  loop init 0

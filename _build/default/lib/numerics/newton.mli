@@ -1,0 +1,37 @@
+(** Newton–Raphson solvers.
+
+    The multi-dimensional variant is used by the full-KKT backend of the
+    width solver (Section 5.1 of the paper solves Eqs. (5) and (8) with
+    Newton–Raphson). *)
+
+type status =
+  | Converged of int  (** iterations used *)
+  | Max_iterations
+  | Diverged  (** non-finite residual or singular Jacobian *)
+
+type result = {
+  solution : float array;
+  residual : float;  (** max-norm of the final residual *)
+  status : status;
+}
+
+val solve_system :
+  residual:(float array -> float array) ->
+  jacobian:(float array -> float array array) ->
+  init:float array ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  ?lower_bounds:float array ->
+  unit ->
+  result
+(** [solve_system ~residual ~jacobian ~init ()] iterates
+    [x <- x - J(x)^-1 F(x)] from [init] until the residual max-norm drops
+    below [tol] (default [1e-10]).  Steps are damped by halving (starting
+    from [damping], default [1.0]) whenever they fail to reduce the residual
+    norm or leave a coordinate below its entry in [lower_bounds]. *)
+
+val solve_scalar :
+  f:(float -> float) -> df:(float -> float) -> init:float ->
+  ?tol:float -> ?max_iter:int -> unit -> float option
+(** One-dimensional Newton iteration; [None] on divergence. *)

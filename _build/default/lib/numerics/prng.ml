@@ -1,0 +1,37 @@
+type t = { mutable state : int64; seed : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finaliser (Steele, Lea & Flood, OOPSLA 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed; seed }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let derive g salt = create (mix (Int64.add g.seed (mix salt)))
+
+(* Top 53 bits give a uniform double in [0,1). *)
+let unit_float g =
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range g lo hi =
+  if hi < lo then invalid_arg "Prng.float_range: hi < lo";
+  lo +. ((hi -. lo) *. unit_float g)
+
+let int_range g lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: hi < lo";
+  let span = Int64.of_int (hi - lo + 1) in
+  let raw = Int64.rem (next_int64 g) span in
+  let raw = if Int64.compare raw 0L < 0 then Int64.add raw span else raw in
+  lo + Int64.to_int raw
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L

@@ -1,0 +1,30 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    The workload suite must be byte-for-byte reproducible across runs and
+    machines, so it cannot depend on [Stdlib.Random]'s evolving default
+    state; this generator is self-contained and splittable by construction
+    (derive an independent stream per net id). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val derive : t -> int64 -> t
+(** [derive g salt] makes an independent child generator determined by the
+    parent seed and [salt] (it does not advance [g]). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range g lo hi] draws uniformly from [[lo, hi)].
+    @raise Invalid_argument when [hi < lo]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range g lo hi] draws uniformly from the inclusive range [lo..hi].
+    @raise Invalid_argument when [hi < lo]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)

@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let max_value xs = List.fold_left Float.max Float.neg_infinity xs
+let min_value xs = List.fold_left Float.min Float.infinity xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let sum_sq =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      in
+      sqrt (sum_sq /. float_of_int (List.length xs))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let sorted = List.sort Float.compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let pos = p *. float_of_int (n - 1) in
+  let k = int_of_float (Float.floor pos) in
+  if k >= n - 1 then arr.(n - 1)
+  else
+    let frac = pos -. float_of_int k in
+    arr.(k) +. (frac *. (arr.(k + 1) -. arr.(k)))
+
+let ratio_percent base v =
+  if base = 0.0 then 0.0 else 100.0 *. (base -. v) /. base

@@ -1,0 +1,22 @@
+(** Small summary statistics used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val max_value : float list -> float
+(** Maximum; negative infinity on the empty list. *)
+
+val min_value : float list -> float
+(** Minimum; positive infinity on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [0,1], by linear interpolation between
+    order statistics.  @raise Invalid_argument on the empty list or [p]
+    outside [0,1]. *)
+
+val ratio_percent : float -> float -> float
+(** [ratio_percent base v] is the saving [(base - v) / base] in percent;
+    0 when [base = 0]. *)

@@ -1,0 +1,1 @@
+lib/refine/min_delay_analytic.ml: Array Float List Movement Rip_elmore Rip_net Stdlib Width_solver

@@ -1,0 +1,1 @@
+lib/refine/min_delay_analytic.mli: Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/refine/movement.ml: Array Rip_net Rip_tech

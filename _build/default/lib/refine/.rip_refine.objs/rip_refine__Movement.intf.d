@@ -1,0 +1,1 @@
+lib/refine/movement.mli: Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/refine/refine.ml: Array Float List Movement Rip_elmore Rip_net Width_solver

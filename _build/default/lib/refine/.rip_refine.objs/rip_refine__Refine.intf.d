@@ -1,0 +1,1 @@
+lib/refine/refine.mli: Rip_elmore Rip_net Rip_tech Width_solver

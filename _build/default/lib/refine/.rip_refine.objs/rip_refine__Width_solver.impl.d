@@ -1,0 +1,1 @@
+lib/refine/width_solver.ml: Array Float Rip_net Rip_numerics Rip_tech

@@ -1,0 +1,1 @@
+lib/refine/width_solver.mli: Rip_net Rip_tech

@@ -1,0 +1,31 @@
+(** Analytical (continuous) minimum-delay repeater insertion.
+
+    The paper anchors every timing target at [tau_min], "the minimum delay
+    of the net".  A grid DP can only approach that minimum from above, so
+    this module computes a continuous estimate: for each repeater count
+    [n], size the repeaters with the bounded lambda -> infinity limit of
+    Eq. (8) and descend on locations with the one-sided delay derivatives
+    of Eqs. (17)-(18) (backtracking step, forbidden zones respected),
+    keeping the best delay over all [n].
+
+    Widths are kept inside the manufacturable range so the resulting
+    anchor is ambitious but reachable by the discrete design space. *)
+
+type result = {
+  solution : Rip_elmore.Solution.t;  (** continuous widths *)
+  delay : float;
+  repeater_count : int;
+}
+
+val solve :
+  ?max_repeaters:int -> ?min_width:float -> ?max_width:float ->
+  ?step:float -> Rip_net.Geometry.t -> Rip_tech.Repeater_model.t -> result
+(** Best insertion found; the empty insertion is always a candidate, so
+    this never fails.  [max_repeaters] defaults to one per 1000 um of net
+    (at least 4); widths default to the manufacturable range (10u, 400u);
+    [step] is the initial move distance (100 um). *)
+
+val tau_min :
+  ?max_repeaters:int -> ?min_width:float -> ?max_width:float ->
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t -> float
+(** [(solve ...).delay]. *)

@@ -1,0 +1,57 @@
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+
+type derivative = {
+  minus : float;
+  plus : float;
+}
+
+type direction = Stay | Downstream | Upstream
+
+let location_derivatives geometry repeater ~positions ~widths =
+  let n = Array.length positions in
+  if Array.length widths <> n then
+    invalid_arg "Movement: positions/widths length mismatch";
+  let net = Geometry.net geometry in
+  let length = Geometry.total_length geometry in
+  let rs = repeater.Rip_tech.Repeater_model.rs in
+  let co = repeater.Rip_tech.Repeater_model.co in
+  let point i =
+    if i < 0 then 0.0 else if i >= n then length else positions.(i)
+  in
+  let width i =
+    if i < 0 then net.Net.driver_width
+    else if i >= n then net.Net.receiver_width
+    else widths.(i)
+  in
+  Array.init n (fun i ->
+      if i > 0 && positions.(i) <= positions.(i - 1) then
+        invalid_arg "Movement: positions must be strictly increasing";
+      let upstream_r =
+        Geometry.resistance_between geometry (point (i - 1)) (point i)
+      in
+      let downstream_c =
+        Geometry.capacitance_between geometry (point i) (point (i + 1))
+      in
+      let wi = width i in
+      let w_prev = width (i - 1) in
+      let w_next = width (i + 1) in
+      let one_side (r_unit, c_unit) =
+        (co *. r_unit *. (wi -. w_next))
+        +. (rs *. c_unit *. ((1.0 /. w_prev) -. (1.0 /. wi)))
+        +. (c_unit *. upstream_r)
+        -. (r_unit *. downstream_c)
+      in
+      {
+        minus = one_side (Geometry.unit_rc_at geometry Geometry.Left positions.(i));
+        plus = one_side (Geometry.unit_rc_at geometry Geometry.Right positions.(i));
+      })
+
+let preferred_direction ~lambda d =
+  (* With lambda > 0, condition (22) requires plus >= 0 and (23) requires
+     minus <= 0; the sign of lambda is kept general for robustness. *)
+  let gain_down = -.(lambda *. d.plus) in
+  let gain_up = lambda *. d.minus in
+  if gain_down <= 0.0 && gain_up <= 0.0 then Stay
+  else if gain_down >= gain_up then Downstream
+  else Upstream

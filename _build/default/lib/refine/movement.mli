@@ -1,0 +1,28 @@
+(** One-sided derivatives of the total delay with respect to repeater
+    locations — Eqs. (17) and (18) of the paper.
+
+    When repeater [i] slides downstream, wire load moves from its output to
+    its input; the right-hand derivative uses the unit-length RC of the
+    wire just after [x_i], the left-hand one the RC just before.  Inside a
+    segment the two coincide (Eq. (24)); they differ only at segment
+    boundaries of a multi-layer net. *)
+
+type derivative = {
+  minus : float;  (** left-hand [(d tau / d x_i)_-], Eq. (18) *)
+  plus : float;  (** right-hand [(d tau / d x_i)_+], Eq. (17) *)
+}
+
+val location_derivatives :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  positions:float array -> widths:float array -> derivative array
+(** One entry per repeater.
+    @raise Invalid_argument on length mismatch or unordered positions. *)
+
+type direction = Stay | Downstream | Upstream
+
+val preferred_direction : lambda:float -> derivative -> direction
+(** The move that first-order-reduces the total repeater width (Eq. (13)):
+    [Downstream] when [lambda * plus < 0] — moving right lowers delay and
+    frees width — and [Upstream] when [lambda * minus > 0]; when both
+    optimality conditions (22)–(23) are violated, the direction with the
+    larger first-order gain wins; [Stay] when both hold. *)

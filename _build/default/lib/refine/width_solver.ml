@@ -1,0 +1,243 @@
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+module Repeater_model = Rip_tech.Repeater_model
+module Bracket = Rip_numerics.Bracket
+module Newton_solver = Rip_numerics.Newton
+
+type backend = Gauss_seidel | Newton
+
+type result = {
+  widths : float array;
+  lambda : float;
+  total_width : float;
+  delay : float;
+  evaluations : int;
+}
+
+(* Per-problem precomputation: stage i (0..n) spans positions p_i..p_{i+1}
+   with p_0 = 0 and p_{n+1} = L.  wire_r/wire_c/wire_d are the span's total
+   resistance, capacitance and distributed Elmore term. *)
+type stages = {
+  rs : float;
+  co : float;
+  intrinsic : float;  (* Rs * Cp per stage *)
+  n : int;
+  wire_r : float array;  (* length n+1 *)
+  wire_c : float array;
+  wire_d : float array;
+  driver_width : float;
+  receiver_width : float;
+}
+
+let build_stages geometry repeater ~positions =
+  let net = Geometry.net geometry in
+  let length = Geometry.total_length geometry in
+  let n = Array.length positions in
+  Array.iteri
+    (fun i x ->
+      if x <= 0.0 || x >= length then
+        invalid_arg "Width_solver: position outside (0, L)";
+      if i > 0 && x <= positions.(i - 1) then
+        invalid_arg "Width_solver: positions must be strictly increasing")
+    positions;
+  let point i =
+    if i = 0 then 0.0 else if i = n + 1 then length else positions.(i - 1)
+  in
+  let span f i = f geometry (point i) (point (i + 1)) in
+  {
+    rs = repeater.Repeater_model.rs;
+    co = repeater.Repeater_model.co;
+    intrinsic = Repeater_model.intrinsic_delay repeater;
+    n;
+    wire_r = Array.init (n + 1) (span Geometry.resistance_between);
+    wire_c = Array.init (n + 1) (span Geometry.capacitance_between);
+    wire_d = Array.init (n + 1) (span Geometry.wire_elmore_between);
+    driver_width = net.Net.driver_width;
+    receiver_width = net.Net.receiver_width;
+  }
+
+(* Width of the gate at endpoint index i in 0..n+1 given interior widths. *)
+let endpoint_width st widths i =
+  if i = 0 then st.driver_width
+  else if i = st.n + 1 then st.receiver_width
+  else widths.(i - 1)
+
+let delay_of st widths =
+  let total = ref 0.0 in
+  for i = 0 to st.n do
+    let wa = endpoint_width st widths i in
+    let wb = endpoint_width st widths (i + 1) in
+    total :=
+      !total +. st.intrinsic
+      +. (st.rs /. wa *. (st.wire_c.(i) +. (st.co *. wb)))
+      +. (st.wire_r.(i) *. st.co *. wb)
+      +. st.wire_d.(i)
+  done;
+  !total
+
+(* d tau_total / d w_i for interior repeater i (1-based in the math). *)
+let delay_gradient st widths i =
+  let wi = widths.(i - 1) in
+  let w_next = endpoint_width st widths (i + 1) in
+  let w_prev = endpoint_width st widths (i - 1) in
+  (st.co *. (st.wire_r.(i - 1) +. (st.rs /. w_prev)))
+  -. (st.rs *. (st.wire_c.(i) +. (st.co *. w_next)) /. (wi *. wi))
+
+(* One Gauss-Seidel sweep of the Eq. (8) closed form at fixed 1/lambda,
+   projecting each width into [w_lo, w_hi].  Returns the largest relative
+   width change. *)
+let sweep ?(w_lo = 0.0) ?(w_hi = Float.infinity) st widths inv_lambda =
+  let worst = ref 0.0 in
+  for i = 1 to st.n do
+    let w_prev = endpoint_width st widths (i - 1) in
+    let w_next = endpoint_width st widths (i + 1) in
+    let numerator = st.rs *. (st.wire_c.(i) +. (st.co *. w_next)) in
+    let denominator =
+      inv_lambda +. (st.co *. (st.wire_r.(i - 1) +. (st.rs /. w_prev)))
+    in
+    let w = Float.max w_lo (Float.min w_hi (sqrt (numerator /. denominator))) in
+    let old = widths.(i - 1) in
+    widths.(i - 1) <- w;
+    worst := Float.max !worst (Float.abs (w -. old) /. Float.max w 1e-12)
+  done;
+  !worst
+
+let converge_widths ?w_lo ?w_hi st widths inv_lambda =
+  let rec loop k =
+    let change = sweep ?w_lo ?w_hi st widths inv_lambda in
+    if change > 1e-13 && k < 500 then loop (k + 1) else k + 1
+  in
+  loop 0
+
+let min_delay_sizing_stages st =
+  let widths = Array.make st.n 100.0 in
+  ignore (converge_widths st widths 0.0);
+  widths
+
+let min_delay_sizing geometry repeater ~positions =
+  min_delay_sizing_stages (build_stages geometry repeater ~positions)
+
+let min_delay_sizing_bounded geometry repeater ~positions ~min_width
+    ~max_width =
+  let st = build_stages geometry repeater ~positions in
+  let widths = Array.make st.n (0.5 *. (min_width +. max_width)) in
+  ignore (converge_widths ~w_lo:min_width ~w_hi:max_width st widths 0.0);
+  widths
+
+let tau_total geometry repeater ~positions ~widths =
+  let st = build_stages geometry repeater ~positions in
+  if Array.length widths <> st.n then
+    invalid_arg "Width_solver.tau_total: width/position count mismatch";
+  delay_of st widths
+
+let solve_gauss_seidel st ~budget =
+  let evaluations = ref 0 in
+  let widths = min_delay_sizing_stages st in
+  let fastest = delay_of st widths in
+  if fastest > budget then None
+  else begin
+    (* tau(w(lambda)) is decreasing in lambda, i.e. increasing in
+       inv_lambda; find inv_lambda with tau = budget.  Warm-start each
+       inner solve from the previous widths. *)
+    let f inv_lambda =
+      incr evaluations;
+      ignore (converge_widths st widths inv_lambda);
+      delay_of st widths -. budget
+    in
+    (* Scale guess: inv_lambda has units of d tau/d w. *)
+    let scale =
+      Float.max 1e-30 (Float.abs (fastest /. Float.max 1.0 (float_of_int st.n) /. 100.0))
+    in
+    match
+      Bracket.find_root ~f ~lo:(1e-6 *. scale) ~hi:(1e3 *. scale) ~tol:1e-13
+    with
+    | Bracket.No_sign_change _ -> None
+    | Bracket.Root inv_lambda ->
+        ignore (converge_widths st widths inv_lambda);
+        Some
+          {
+            widths;
+            lambda = (if inv_lambda = 0.0 then Float.infinity else 1.0 /. inv_lambda);
+            total_width = Array.fold_left ( +. ) 0.0 widths;
+            delay = delay_of st widths;
+            evaluations = !evaluations;
+          }
+  end
+
+(* Full KKT Newton: unknowns z = (w_1..w_n, lambda); residuals are Eq. (8)
+   for each i and Eq. (5).  Seeded from a loose Gauss-Seidel solve. *)
+let solve_newton st ~budget =
+  match solve_gauss_seidel st ~budget with
+  | None -> None
+  | Some seed ->
+      let n = st.n in
+      let unpack z = (Array.sub z 0 n, z.(n)) in
+      let residual z =
+        let widths, lambda = unpack z in
+        let r = Array.make (n + 1) 0.0 in
+        for i = 1 to n do
+          r.(i - 1) <- 1.0 +. (lambda *. delay_gradient st widths i)
+        done;
+        r.(n) <- delay_of st widths -. budget;
+        r
+      in
+      let jacobian z =
+        let widths, lambda = unpack z in
+        let j = Array.make_matrix (n + 1) (n + 1) 0.0 in
+        for i = 1 to n do
+          let row = j.(i - 1) in
+          let wi = widths.(i - 1) in
+          let w_next = endpoint_width st widths (i + 1) in
+          (* d/dw_i of Eq. (8) residual *)
+          row.(i - 1) <-
+            lambda *. 2.0 *. st.rs
+            *. (st.wire_c.(i) +. (st.co *. w_next))
+            /. (wi *. wi *. wi);
+          (* d/dw_{i-1}: only when the upstream gate is a repeater *)
+          if i - 1 >= 1 then begin
+            let wp = widths.(i - 2) in
+            row.(i - 2) <- lambda *. st.co *. (-.st.rs /. (wp *. wp))
+          end;
+          (* d/dw_{i+1} *)
+          if i + 1 <= n then
+            row.(i) <- lambda *. (-.st.rs *. st.co) /. (wi *. wi);
+          row.(n) <- delay_gradient st widths i
+        done;
+        for i = 1 to n do
+          j.(n).(i - 1) <- delay_gradient st widths i
+        done;
+        j.(n).(n) <- 0.0;
+        j
+      in
+      let init = Array.append seed.widths [| seed.lambda |] in
+      let lower_bounds = Array.make (n + 1) 1e-6 in
+      let outcome =
+        Newton_solver.solve_system ~residual ~jacobian ~init ~tol:1e-9
+          ~lower_bounds ()
+      in
+      (match outcome.Newton_solver.status with
+      | Newton_solver.Converged _ ->
+          let widths, lambda = unpack outcome.Newton_solver.solution in
+          Some
+            {
+              widths;
+              lambda;
+              total_width = Array.fold_left ( +. ) 0.0 widths;
+              delay = delay_of st widths;
+              evaluations = seed.evaluations;
+            }
+      | Newton_solver.Max_iterations | Newton_solver.Diverged ->
+          (* Fall back to the (already valid) Gauss-Seidel answer. *)
+          Some seed)
+
+let solve ?(backend = Gauss_seidel) geometry repeater ~positions ~budget =
+  let st = build_stages geometry repeater ~positions in
+  if st.n = 0 then
+    if delay_of st [||] <= budget then
+      Some { widths = [||]; lambda = 0.0; total_width = 0.0;
+             delay = delay_of st [||]; evaluations = 0 }
+    else None
+  else
+    match backend with
+    | Gauss_seidel -> solve_gauss_seidel st ~budget
+    | Newton -> solve_newton st ~budget

@@ -1,0 +1,56 @@
+(** Continuous optimal repeater widths for fixed locations — Eqs. (5) and
+    (8) of the paper (REFINE lines 1 and 7).
+
+    Given repeater positions [x_1 < ... < x_n], find widths [w_i > 0] and
+    the Lagrange multiplier [lambda] with
+
+    - stationarity (Eq. (8)):
+      [1 + lambda (Co (R_{i-1} + Rs/w_{i-1}) - Rs (C_i + Co w_{i+1}) / w_i^2) = 0]
+    - active delay constraint (Eq. (5)): [tau_total(w) = tau_t]
+
+    Two backends: [Gauss_seidel] exploits that for fixed [lambda] Eq. (8)
+    yields the closed form
+    [w_i = sqrt (Rs (C_i + Co w_{i+1}) / (1/lambda + Co (R_{i-1} + Rs/w_{i-1})))]
+    whose sweeps converge geometrically, while [tau_total(w(lambda))] is
+    strictly decreasing in [lambda], so the outer constraint is solved by
+    monotone bracketing.  [Newton] runs a damped Newton–Raphson on the full
+    (n+1)-dimensional KKT system (the method the paper names), seeded by a
+    loose Gauss–Seidel pass.  Both agree to solver tolerance. *)
+
+type backend = Gauss_seidel | Newton
+
+type result = {
+  widths : float array;  (** optimal continuous widths, length n *)
+  lambda : float;  (** Lagrange multiplier, > 0 *)
+  total_width : float;  (** sum of [widths] *)
+  delay : float;  (** [tau_total] at the solution; equals the budget *)
+  evaluations : int;  (** inner-solve invocations (diagnostics) *)
+}
+
+val tau_total :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  positions:float array -> widths:float array -> float
+(** Eq. (2) for continuous widths at the given positions (driver and
+    receiver widths come from the net). *)
+
+val min_delay_sizing :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  positions:float array -> float array
+(** The [lambda -> infinity] limit of Eq. (8): the fastest continuous
+    sizing for these positions; its [tau_total] is the feasibility bound. *)
+
+val min_delay_sizing_bounded :
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  positions:float array -> min_width:float -> max_width:float -> float array
+(** As {!min_delay_sizing} with every width projected into
+    [min_width, max_width] during the sweeps (projected fixed point) — the
+    fastest *manufacturable* sizing, used by the analytical tau_min. *)
+
+val solve :
+  ?backend:backend -> Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  positions:float array -> budget:float -> result option
+(** [None] when even {!min_delay_sizing} misses the budget (the positions
+    are infeasible).  With empty [positions] the answer is [Some] with no
+    widths when the bare wire meets the budget, [None] otherwise.
+    @raise Invalid_argument when positions are not strictly increasing or
+    lie outside (0, L). *)

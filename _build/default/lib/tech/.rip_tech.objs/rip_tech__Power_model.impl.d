@@ -1,0 +1,1 @@
+lib/tech/power_model.ml: Fmt Repeater_model

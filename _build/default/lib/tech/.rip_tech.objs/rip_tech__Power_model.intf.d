@@ -1,0 +1,1 @@
+lib/tech/power_model.mli: Fmt Repeater_model

@@ -1,0 +1,1 @@
+lib/tech/process.ml: Fmt Layer List Power_model Repeater_model String

@@ -1,0 +1,1 @@
+lib/tech/process.mli: Fmt Layer Power_model Repeater_model

@@ -1,0 +1,1 @@
+lib/tech/repeater_model.ml: Fmt

@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  resistance_per_um : float;
+  capacitance_per_um : float;
+}
+
+let create ~name ~resistance_per_um ~capacitance_per_um =
+  if resistance_per_um <= 0.0 || capacitance_per_um <= 0.0 then
+    invalid_arg "Layer.create: RC values must be positive";
+  { name; resistance_per_um; capacitance_per_um }
+
+let femto = 1e-15
+
+let metal4 =
+  create ~name:"metal4" ~resistance_per_um:0.06
+    ~capacitance_per_um:(0.48 *. femto)
+
+let metal5 =
+  create ~name:"metal5" ~resistance_per_um:0.05
+    ~capacitance_per_um:(0.52 *. femto)
+
+let equal a b =
+  String.equal a.name b.name
+  && a.resistance_per_um = b.resistance_per_um
+  && a.capacitance_per_um = b.capacitance_per_um
+
+let pp ppf l =
+  Fmt.pf ppf "%s{r=%g Ohm/um; c=%g F/um}" l.name l.resistance_per_um
+    l.capacitance_per_um

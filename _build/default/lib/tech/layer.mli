@@ -1,0 +1,23 @@
+(** Metal layer RC characteristics.
+
+    Global nets in the paper's evaluation are routed on metal4 and metal5
+    of a 0.18 um process; each wire segment carries the per-unit-length
+    resistance and capacitance of its layer. *)
+
+type t = {
+  name : string;
+  resistance_per_um : float;  (** Ohm per micron *)
+  capacitance_per_um : float;  (** F per micron *)
+}
+
+val create : name:string -> resistance_per_um:float -> capacitance_per_um:float -> t
+(** @raise Invalid_argument when either RC value is not strictly positive. *)
+
+val metal4 : t
+(** Default 0.18 um metal4: 0.06 Ohm/um, 0.48 fF/um (coupling included). *)
+
+val metal5 : t
+(** Default 0.18 um metal5: 0.05 Ohm/um, 0.52 fF/um (coupling included). *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,38 @@
+type t = {
+  vdd : float;
+  frequency : float;
+  activity : float;
+  leakage_per_unit_width : float;
+}
+
+let create ~vdd ~frequency ~activity ~leakage_per_unit_width =
+  if vdd <= 0.0 || frequency <= 0.0 then
+    invalid_arg "Power_model.create: vdd and frequency must be positive";
+  if activity <= 0.0 || activity > 1.0 then
+    invalid_arg "Power_model.create: activity must be in (0,1]";
+  if leakage_per_unit_width < 0.0 then
+    invalid_arg "Power_model.create: leakage must be non-negative";
+  { vdd; frequency; activity; leakage_per_unit_width }
+
+let default_180nm =
+  create ~vdd:1.8 ~frequency:500e6 ~activity:0.15
+    ~leakage_per_unit_width:5e-9
+
+let dynamic_power m ~capacitance =
+  m.activity *. m.vdd *. m.vdd *. m.frequency *. capacitance
+
+let width_equivalent_constant m ~repeater =
+  let cap_per_width =
+    Repeater_model.input_capacitance repeater 1.0
+    +. Repeater_model.output_capacitance repeater 1.0
+  in
+  dynamic_power m ~capacitance:cap_per_width +. m.leakage_per_unit_width
+
+let repeater_power m ~repeater ~total_width =
+  if total_width < 0.0 then
+    invalid_arg "Power_model.repeater_power: negative width";
+  width_equivalent_constant m ~repeater *. total_width
+
+let pp ppf m =
+  Fmt.pf ppf "power{vdd=%gV; f=%gHz; alpha=%g; beta=%gW/u}" m.vdd m.frequency
+    m.activity m.leakage_per_unit_width

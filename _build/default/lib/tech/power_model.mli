@@ -1,0 +1,40 @@
+(** Repeater power model (Eqs. (3)–(4) of the paper).
+
+    Total repeater power is approximated by dynamic switching power of the
+    total gate capacitance plus a leakage term linear in repeater width:
+    [P = alpha * vdd^2 * f * C_load + beta * sum w_i].  Since the gate
+    capacitance is itself linear in width, minimising power is equivalent to
+    minimising the total repeater width [p = sum w_i]; the optimiser works
+    on widths and this module converts the result back to watts for
+    reporting. *)
+
+type t = {
+  vdd : float;  (** supply voltage, V *)
+  frequency : float;  (** clock frequency, Hz *)
+  activity : float;  (** switching activity factor alpha *)
+  leakage_per_unit_width : float;  (** beta: leakage power per u, W *)
+}
+
+val create :
+  vdd:float -> frequency:float -> activity:float ->
+  leakage_per_unit_width:float -> t
+(** @raise Invalid_argument on non-positive vdd/frequency, activity outside
+    (0,1], or negative leakage. *)
+
+val default_180nm : t
+(** 1.8 V, 500 MHz, alpha = 0.15, 5 nW leakage per unit width. *)
+
+val dynamic_power : t -> capacitance:float -> float
+(** [dynamic_power m ~capacitance] is [alpha * vdd^2 * f * capacitance]. *)
+
+val repeater_power :
+  t -> repeater:Repeater_model.t -> total_width:float -> float
+(** Watts dissipated by repeaters of combined width [total_width] (input
+    plus parasitic gate capacitance switch every active cycle, plus
+    leakage). *)
+
+val width_equivalent_constant : t -> repeater:Repeater_model.t -> float
+(** The [gamma] of Eq. (4): watts per unit of total repeater width, i.e.
+    [repeater_power] is exactly [gamma *. total_width]. *)
+
+val pp : t Fmt.t

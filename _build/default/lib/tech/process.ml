@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  repeater : Repeater_model.t;
+  layers : Layer.t list;
+  power : Power_model.t;
+}
+
+let create ~name ~repeater ~layers ~power =
+  if layers = [] then invalid_arg "Process.create: no routing layers";
+  { name; repeater; layers; power }
+
+let default_180nm =
+  create ~name:"generic-0.18um"
+    ~repeater:(Repeater_model.create ~rs:14100.0 ~co:1.8e-15 ~cp:1.5e-15)
+    ~layers:[ Layer.metal4; Layer.metal5 ]
+    ~power:Power_model.default_180nm
+
+let layer_by_name t name =
+  List.find_opt (fun (l : Layer.t) -> String.equal l.name name) t.layers
+
+let optimal_uniform_width t (layer : Layer.t) =
+  sqrt
+    (t.repeater.Repeater_model.rs *. layer.capacitance_per_um
+    /. (layer.resistance_per_um *. t.repeater.Repeater_model.co))
+
+let optimal_uniform_spacing t (layer : Layer.t) =
+  sqrt
+    (2.0 *. t.repeater.Repeater_model.rs
+    *. (t.repeater.Repeater_model.cp +. t.repeater.Repeater_model.co)
+    /. (layer.resistance_per_um *. layer.capacitance_per_um))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>process %s@,%a@,%a@,layers: %a@]" t.name Repeater_model.pp
+    t.repeater Power_model.pp t.power
+    Fmt.(list ~sep:comma Layer.pp)
+    t.layers

@@ -1,0 +1,38 @@
+(** A complete process bundle: device model, global metal layers and power
+    model.  The default is the 0.18 um setup of the paper's Section 6, with
+    device constants documented in DESIGN.md (the paper does not publish its
+    exact numbers; these literature values place the power-optimal repeater
+    near 82u, matching the paper's 80u coarse grid). *)
+
+type t = {
+  name : string;
+  repeater : Repeater_model.t;
+  layers : Layer.t list;  (** layers available to the router *)
+  power : Power_model.t;
+}
+
+val create :
+  name:string -> repeater:Repeater_model.t -> layers:Layer.t list ->
+  power:Power_model.t -> t
+(** @raise Invalid_argument when [layers] is empty. *)
+
+val default_180nm : t
+(** Rs = 14.1 kOhm, Co = 1.8 fF, Cp = 1.5 fF; metal4 + metal5.  These put
+    the classic power-oblivious optimal repeater near 250u (metal4) /
+    285u (metal5) with optimal spacing near 1.8 mm — consistent with the
+    paper's (10u, 400u) library range, its 80u-grained coarse grid, and
+    its observation that a library capped at 100u cannot meet tight
+    targets (Figure 7(a) zone I). *)
+
+val layer_by_name : t -> string -> Layer.t option
+(** Look a routing layer up by name. *)
+
+val optimal_uniform_width : t -> Layer.t -> float
+(** The classic closed-form power-oblivious optimum
+    [sqrt (Rs * c / (r * Co))] for a uniform line on the given layer; used
+    for sanity checks and default library ranges. *)
+
+val optimal_uniform_spacing : t -> Layer.t -> float
+(** The classic closed form [sqrt (2 * Rs * (Cp + Co) / (r * c))] in um. *)
+
+val pp : t Fmt.t

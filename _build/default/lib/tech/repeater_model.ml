@@ -1,0 +1,30 @@
+type t = {
+  rs : float;
+  co : float;
+  cp : float;
+}
+
+let create ~rs ~co ~cp =
+  if rs <= 0.0 || co <= 0.0 || cp <= 0.0 then
+    invalid_arg "Repeater_model.create: parameters must be positive";
+  { rs; co; cp }
+
+let positive_width w =
+  if w <= 0.0 then invalid_arg "Repeater_model: width must be positive"
+
+let output_resistance m w =
+  positive_width w;
+  m.rs /. w
+
+let input_capacitance m w =
+  positive_width w;
+  m.co *. w
+
+let output_capacitance m w =
+  positive_width w;
+  m.cp *. w
+
+let intrinsic_delay m = m.rs *. m.cp
+
+let pp ppf m =
+  Fmt.pf ppf "repeater{Rs=%g Ohm; Co=%g F; Cp=%g F}" m.rs m.co m.cp

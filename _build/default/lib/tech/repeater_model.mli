@@ -1,0 +1,30 @@
+(** Switch-level RC model of a repeater (Figure 2 of the paper).
+
+    Widths are expressed as multiples of the minimal repeater width [u]
+    (so [w = 80.0] is the paper's "80u" repeater).  A repeater of width [w]
+    has output resistance [rs /. w], input capacitance [co *. w] and output
+    (drain/parasitic) capacitance [cp *. w]. *)
+
+type t = {
+  rs : float;  (** output resistance of the unit repeater, Ohm *)
+  co : float;  (** input capacitance of the unit repeater, F *)
+  cp : float;  (** output capacitance of the unit repeater, F *)
+}
+
+val create : rs:float -> co:float -> cp:float -> t
+(** @raise Invalid_argument when any parameter is not strictly positive. *)
+
+val output_resistance : t -> float -> float
+(** [output_resistance m w] is [m.rs /. w].
+    @raise Invalid_argument when [w <= 0.]. *)
+
+val input_capacitance : t -> float -> float
+(** [input_capacitance m w] is [m.co *. w]. *)
+
+val output_capacitance : t -> float -> float
+(** [output_capacitance m w] is [m.cp *. w]. *)
+
+val intrinsic_delay : t -> float
+(** The width-independent [Rs * Cp] self-loading term of Eq. (1). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Float Fmt List Printf Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/tree/tree.mli: Fmt Rip_net Rip_tech

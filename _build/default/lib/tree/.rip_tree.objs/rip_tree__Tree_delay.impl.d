@@ -1,0 +1,1 @@
+lib/tree/tree_delay.ml: Array Float Tree_layout Tree_solution

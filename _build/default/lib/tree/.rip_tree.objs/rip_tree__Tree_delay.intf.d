@@ -1,0 +1,1 @@
+lib/tree/tree_delay.mli: Rip_tech Tree Tree_solution

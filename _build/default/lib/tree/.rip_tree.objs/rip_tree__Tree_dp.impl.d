@@ -1,0 +1,1 @@
+lib/tree/tree_dp.ml: Array Float List Rip_dp Rip_tech Tree Tree_delay Tree_solution

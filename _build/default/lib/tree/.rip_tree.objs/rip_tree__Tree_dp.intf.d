@@ -1,0 +1,1 @@
+lib/tree/tree_dp.mli: Rip_dp Rip_tech Tree Tree_solution

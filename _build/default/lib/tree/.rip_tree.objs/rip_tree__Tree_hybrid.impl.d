@@ -1,0 +1,1 @@
+lib/tree/tree_hybrid.ml: Array Printf Rip_dp Rip_tech Tree_dp Tree_min_delay Tree_sizing Tree_solution Unix

@@ -1,0 +1,1 @@
+lib/tree/tree_hybrid.mli: Rip_dp Rip_tech Tree Tree_dp Tree_sizing Tree_solution

@@ -1,0 +1,1 @@
+lib/tree/tree_layout.ml: Array Float List Rip_tech Seq Tree Tree_solution

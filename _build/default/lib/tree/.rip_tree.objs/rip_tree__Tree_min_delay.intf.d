@@ -1,0 +1,1 @@
+lib/tree/tree_min_delay.mli: Rip_dp Rip_tech Tree

@@ -1,0 +1,1 @@
+lib/tree/tree_sizing.ml: Array Float Rip_numerics Rip_tech Tree Tree_layout

@@ -1,0 +1,1 @@
+lib/tree/tree_solution.ml: Array Float Fmt List Tree

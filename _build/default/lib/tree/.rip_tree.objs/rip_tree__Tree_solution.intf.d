@@ -1,0 +1,1 @@
+lib/tree/tree_solution.mli: Fmt Tree

@@ -1,0 +1,168 @@
+type node = {
+  id : int;
+  parent : int;
+  length : float;
+  resistance_per_um : float;
+  capacitance_per_um : float;
+  zones : (float * float) list;
+  children : int list;
+}
+
+type sink = {
+  node : int;
+  load_width : float;
+}
+
+type t = {
+  name : string;
+  nodes : node array;
+  driver_width : float;
+  sinks : sink list;
+}
+
+type builder = {
+  builder_name : string;
+  builder_driver_width : float;
+  mutable nodes_rev : node list;  (* excluding the root *)
+  mutable next_id : int;
+  mutable sinks : (int * float) list;
+}
+
+let builder ?(name = "tree") ~driver_width () =
+  if driver_width <= 0.0 then
+    invalid_arg "Tree.builder: driver width must be positive";
+  { builder_name = name; builder_driver_width = driver_width;
+    nodes_rev = []; next_id = 1; sinks = [] }
+
+let normalize_zones length zones =
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0.0 || hi > length || hi <= lo then
+        invalid_arg "Tree.add_edge: zone outside the edge")
+    zones;
+  List.sort compare zones
+
+let add_edge b ~parent ?(zones = []) ~length ~resistance_per_um
+    ~capacitance_per_um () =
+  if parent < 0 || parent >= b.next_id then
+    invalid_arg "Tree.add_edge: unknown parent";
+  if length <= 0.0 then invalid_arg "Tree.add_edge: length must be positive";
+  if resistance_per_um <= 0.0 || capacitance_per_um <= 0.0 then
+    invalid_arg "Tree.add_edge: RC must be positive";
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.nodes_rev <-
+    { id; parent; length; resistance_per_um; capacitance_per_um;
+      zones = normalize_zones length zones; children = [] }
+    :: b.nodes_rev;
+  id
+
+let add_layer_edge b ~parent ?zones (layer : Rip_tech.Layer.t) ~length =
+  add_edge b ~parent ?zones ~length
+    ~resistance_per_um:layer.Rip_tech.Layer.resistance_per_um
+    ~capacitance_per_um:layer.Rip_tech.Layer.capacitance_per_um ()
+
+let set_sink b ~node ~load_width =
+  if node <= 0 || node >= b.next_id then
+    invalid_arg "Tree.set_sink: unknown node";
+  if load_width <= 0.0 then
+    invalid_arg "Tree.set_sink: load width must be positive";
+  b.sinks <- (node, load_width) :: List.remove_assoc node b.sinks
+
+let build b =
+  let count = b.next_id in
+  if count = 1 then invalid_arg "Tree.build: the root has no edges";
+  let root =
+    { id = 0; parent = -1; length = 0.0; resistance_per_um = 1.0;
+      capacitance_per_um = 1.0; zones = []; children = [] }
+  in
+  let nodes = Array.make count root in
+  List.iter (fun n -> nodes.(n.id) <- n) b.nodes_rev;
+  (* Rebuild child lists in id order. *)
+  for id = count - 1 downto 1 do
+    let n = nodes.(id) in
+    let p = nodes.(n.parent) in
+    nodes.(n.parent) <- { p with children = id :: p.children }
+  done;
+  let sinks =
+    List.filter_map
+      (fun id ->
+        if id > 0 && nodes.(id).children = [] then
+          match List.assoc_opt id b.sinks with
+          | Some load_width -> Some { node = id; load_width }
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Tree.build: leaf %d has no sink" id)
+        else None)
+      (List.init count (fun i -> i))
+  in
+  List.iter
+    (fun (id, _) ->
+      if nodes.(id).children <> [] then
+        invalid_arg
+          (Printf.sprintf "Tree.build: sink %d is not a leaf" id))
+    b.sinks;
+  { name = b.builder_name; nodes; driver_width = b.builder_driver_width;
+    sinks }
+
+let node_count (t : t) = Array.length t.nodes
+let sink_count (t : t) = List.length t.sinks
+let is_leaf t id = t.nodes.(id).children = []
+
+let total_wire_length t =
+  Array.fold_left (fun acc n -> acc +. n.length) 0.0 t.nodes
+
+let total_wire_capacitance t =
+  Array.fold_left
+    (fun acc n -> acc +. (n.length *. n.capacitance_per_um))
+    0.0 t.nodes
+
+let path_to_root t id =
+  let rec walk id acc =
+    if id < 0 then List.rev acc else walk t.nodes.(id).parent (id :: acc)
+  in
+  walk id []
+
+let offset_legal t ~edge offset =
+  let n = t.nodes.(edge) in
+  offset > 0.0 && offset < n.length
+  && not (List.exists (fun (lo, hi) -> offset > lo && offset < hi) n.zones)
+
+let chain_of_net (net : Rip_net.Net.t) =
+  let b =
+    builder ~name:net.Rip_net.Net.name
+      ~driver_width:net.Rip_net.Net.driver_width ()
+  in
+  let start_of = ref 0.0 in
+  let last =
+    Array.fold_left
+      (fun parent (s : Rip_net.Segment.t) ->
+        let seg_start = !start_of in
+        start_of := seg_start +. s.Rip_net.Segment.length;
+        (* Clip the net's global zones onto this segment as offsets. *)
+        let zones =
+          List.filter_map
+            (fun (z : Rip_net.Zone.t) ->
+              (* Clamp into the segment: cumulative starts and the net's
+                 zone tolerance can each drift by ~1e-9. *)
+              let len = s.Rip_net.Segment.length in
+              let lo =
+                Float.max 0.0 (z.Rip_net.Zone.z_start -. seg_start)
+              in
+              let hi =
+                Float.min len (z.Rip_net.Zone.z_end -. seg_start)
+              in
+              if hi > lo then Some (lo, hi) else None)
+            net.Rip_net.Net.zones
+        in
+        add_edge b ~parent ~zones ~length:s.Rip_net.Segment.length
+          ~resistance_per_um:s.Rip_net.Segment.resistance_per_um
+          ~capacitance_per_um:s.Rip_net.Segment.capacitance_per_um ())
+      0 net.Rip_net.Net.segments
+  in
+  set_sink b ~node:last ~load_width:net.Rip_net.Net.receiver_width;
+  build b
+
+let pp ppf t =
+  Fmt.pf ppf "tree %s: %d nodes, %d sinks, %.0f um wire" t.name
+    (node_count t) (sink_count t) (total_wire_length t)

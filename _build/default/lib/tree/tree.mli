@@ -1,0 +1,84 @@
+(** Routed interconnect trees — the substrate for the paper's announced
+    extension ("we are currently extending our hybrid scheme to the design
+    of low-power interconnect trees") and for the tree formulations of the
+    van Ginneken [11] / Lillis [14] DPs it builds on.
+
+    A tree is a rooted set of nodes; every non-root node carries the wire
+    edge from its parent (length, per-um RC, forbidden ranges).  The driver
+    sits at the root; every leaf is a sink with a receiving-gate width.
+    Positions on an edge are offsets in um from the parent end. *)
+
+type node = {
+  id : int;
+  parent : int;  (** -1 for the root *)
+  length : float;  (** edge from the parent, um; 0 for the root *)
+  resistance_per_um : float;
+  capacitance_per_um : float;
+  zones : (float * float) list;
+      (** blocked open offset ranges on the edge, normalized *)
+  children : int list;
+}
+
+type sink = {
+  node : int;
+  load_width : float;  (** receiving gate width, u *)
+}
+
+type t = private {
+  name : string;
+  nodes : node array;  (** indexed by id; node 0 is the root *)
+  driver_width : float;
+  sinks : sink list;  (** one per leaf, by construction *)
+}
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : ?name:string -> driver_width:float -> unit -> builder
+
+val add_edge :
+  builder -> parent:int -> ?zones:(float * float) list ->
+  length:float -> resistance_per_um:float -> capacitance_per_um:float ->
+  unit -> int
+(** Attach a wire edge below [parent] (0 is the root) and return the new
+    node's id.
+    @raise Invalid_argument on an unknown parent, non-positive RC/length,
+    or a zone outside [0, length]. *)
+
+val add_layer_edge :
+  builder -> parent:int -> ?zones:(float * float) list ->
+  Rip_tech.Layer.t -> length:float -> int
+(** {!add_edge} with the RC of a process layer. *)
+
+val set_sink : builder -> node:int -> load_width:float -> unit
+(** Declare the leaf's receiving gate.
+    @raise Invalid_argument on an unknown node. *)
+
+val build : builder -> t
+(** Freeze.  @raise Invalid_argument when the root has no edge, a leaf has
+    no sink declaration, or a sink sits on an internal node. *)
+
+(** {1 Queries} *)
+
+val node_count : t -> int
+val sink_count : t -> int
+val is_leaf : t -> int -> bool
+
+val total_wire_length : t -> float
+val total_wire_capacitance : t -> float
+
+val path_to_root : t -> int -> int list
+(** Node ids from the given node up to and including the root. *)
+
+val offset_legal : t -> edge:int -> float -> bool
+(** True when the offset lies strictly inside the edge and outside every
+    forbidden range (endpoints of ranges are legal, matching two-pin
+    zones). *)
+
+val chain_of_net : Rip_net.Net.t -> t
+(** Embed a two-pin net as a single-path tree (each segment one edge); the
+    degenerate case used to cross-check the tree algorithms against the
+    chain ones. *)
+
+val pp : t Fmt.t

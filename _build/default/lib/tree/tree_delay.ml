@@ -1,0 +1,13 @@
+let sink_delays repeater tree solution =
+  let layout = Tree_layout.expand tree solution in
+  let widths =
+    Array.of_list (Tree_solution.widths solution)
+  in
+  Tree_layout.sink_delays repeater layout ~widths
+
+let max_delay repeater tree solution =
+  Array.fold_left Float.max Float.neg_infinity
+    (sink_delays repeater tree solution)
+
+let meets_budget repeater tree solution ~budget =
+  max_delay repeater tree solution <= budget *. (1.0 +. 1e-6)

@@ -1,0 +1,16 @@
+(** Elmore delays of a repeated tree (convenience wrapper over
+    {!Tree_layout}). *)
+
+val sink_delays :
+  Rip_tech.Repeater_model.t -> Tree.t -> Tree_solution.t -> float array
+(** Source-to-sink Elmore delay per sink, in the order of
+    [tree.Tree.sinks]. *)
+
+val max_delay :
+  Rip_tech.Repeater_model.t -> Tree.t -> Tree_solution.t -> float
+(** The tree's delay: the worst sink. *)
+
+val meets_budget :
+  Rip_tech.Repeater_model.t -> Tree.t -> Tree_solution.t -> budget:float ->
+  bool
+(** Worst sink within [budget], with a 1 ppm relative tolerance. *)

@@ -1,0 +1,222 @@
+module Repeater_model = Rip_tech.Repeater_model
+module Repeater_library = Rip_dp.Repeater_library
+
+type stats = {
+  sites : int;
+  labels : int;
+}
+
+type result = {
+  solution : Tree_solution.t;
+  total_width : float;
+  max_delay : float;
+  stats : stats;
+}
+
+type label = {
+  cap : float;  (* downstream capacitance seen at this point *)
+  req : float;  (* required arrival time at this point *)
+  width_units : int;  (* total downstream repeater width, milli-u *)
+  placements : (int * float * float) list;  (* (edge, offset, width) *)
+}
+
+let units_per_u = 1000.0
+let width_units w = int_of_float (Float.round (w *. units_per_u))
+
+let uniform_sites tree ~pitch =
+  if pitch <= 0.0 then invalid_arg "Tree_dp.uniform_sites: pitch <= 0";
+  Array.init (Tree.node_count tree) (fun id ->
+      if id = 0 then []
+      else
+        let node = tree.Tree.nodes.(id) in
+        let count = int_of_float (Float.floor (node.Tree.length /. pitch)) in
+        List.filter
+          (fun offset -> Tree.offset_legal tree ~edge:id offset)
+          (List.init count (fun k -> float_of_int (k + 1) *. pitch)))
+
+let around_sites tree ~centers ~radius ~pitch =
+  if pitch <= 0.0 then invalid_arg "Tree_dp.around_sites: pitch <= 0";
+  if radius < 0 then invalid_arg "Tree_dp.around_sites: negative radius";
+  let offsets_for edge =
+    List.concat_map
+      (fun (r : Tree_solution.repeater) ->
+        List.init
+          ((2 * radius) + 1)
+          (fun k ->
+            r.Tree_solution.offset +. (float_of_int (k - radius) *. pitch)))
+      (Tree_solution.on_edge centers edge)
+  in
+  Array.init (Tree.node_count tree) (fun id ->
+      if id = 0 then []
+      else
+        let legal =
+          List.filter
+            (fun offset -> Tree.offset_legal tree ~edge:id offset)
+            (offsets_for id)
+        in
+        let sorted = List.sort_uniq Float.compare legal in
+        let dedup acc x =
+          match acc with
+          | prev :: _ when x -. prev <= 1e-6 -> acc
+          | _ -> x :: acc
+        in
+        List.rev (List.fold_left dedup [] sorted))
+
+(* 3-d Pareto prune: sort by total width ascending and keep a growing 2-d
+   (cap, req) front; a candidate dominated by any lighter-or-equal label
+   dies.  The front is kept cap-ascending / req-ascending so dominance is
+   one scan segment. *)
+let prune labels =
+  let arr = Array.of_list labels in
+  Array.sort
+    (fun a b ->
+      match compare a.width_units b.width_units with
+      | 0 -> (
+          match Float.compare a.cap b.cap with
+          | 0 -> Float.compare b.req a.req
+          | c -> c)
+      | c -> c)
+    arr;
+  let front = ref [] in
+  let kept = ref [] in
+  let dominated l =
+    List.exists (fun (c, q) -> c <= l.cap && q >= l.req) !front
+  in
+  Array.iter
+    (fun l ->
+      if not (dominated l) then begin
+        kept := l :: !kept;
+        front :=
+          (l.cap, l.req)
+          :: List.filter (fun (c, q) -> not (c >= l.cap && q <= l.req)) !front
+      end)
+    arr;
+  List.rev !kept
+
+let solve repeater tree ~library ~sites ~budget =
+  if Array.length sites <> Tree.node_count tree then
+    invalid_arg "Tree_dp.solve: sites array size mismatch";
+  let co = repeater.Repeater_model.co in
+  let intrinsic = Repeater_model.intrinsic_delay repeater in
+  let lib = Repeater_library.to_array library in
+  let total_sites = ref 0 in
+  let total_labels = ref 0 in
+  let wire_extend node length l =
+    if length <= 0.0 then l
+    else
+      let wire_c = length *. node.Tree.capacitance_per_um in
+      let wire_r = length *. node.Tree.resistance_per_um in
+      {
+        l with
+        cap = l.cap +. wire_c;
+        req = l.req -. (wire_r *. ((0.5 *. wire_c) +. l.cap));
+      }
+  in
+  let buffer_options edge offset l =
+    Array.to_list
+      (Array.map
+         (fun w ->
+           {
+             cap = co *. w;
+             req =
+               l.req -. intrinsic
+               -. (Repeater_model.output_resistance repeater w *. l.cap);
+             width_units = l.width_units + width_units w;
+             placements = (edge, offset, w) :: l.placements;
+           })
+         lib)
+  in
+  let viable l = l.req >= 0.0 in
+  let merge_two a b =
+    List.concat_map
+      (fun la ->
+        List.filter_map
+          (fun lb ->
+            let merged =
+              {
+                cap = la.cap +. lb.cap;
+                req = Float.min la.req lb.req;
+                width_units = la.width_units + lb.width_units;
+                placements = la.placements @ lb.placements;
+              }
+            in
+            if viable merged then Some merged else None)
+          b)
+      a
+  in
+  (* Labels at the top (parent end) of node v's edge. *)
+  let rec labels_up v =
+    let node = tree.Tree.nodes.(v) in
+    let base =
+      if node.Tree.children = [] then
+        let sink =
+          List.find (fun s -> s.Tree.node = v) tree.Tree.sinks
+        in
+        [ { cap = co *. sink.Tree.load_width; req = budget; width_units = 0;
+            placements = [] } ]
+      else
+        match node.Tree.children with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun acc child -> prune (merge_two acc (labels_up child)))
+              (labels_up first) rest
+    in
+    (* Walk the edge from the node end toward the parent end, visiting
+       candidate sites by descending offset. *)
+    let site_offsets = List.rev sites.(v) in
+    total_sites := !total_sites + List.length site_offsets;
+    let labels, top_boundary =
+      List.fold_left
+        (fun (labels, boundary) offset ->
+          let carried =
+            List.filter viable
+              (List.map (wire_extend node (boundary -. offset)) labels)
+          in
+          let with_buffers =
+            carried
+            @ List.concat_map (buffer_options v offset) carried
+          in
+          let pruned = prune (List.filter viable with_buffers) in
+          total_labels := !total_labels + List.length pruned;
+          (pruned, offset))
+        (base, node.Tree.length) site_offsets
+    in
+    prune (List.filter viable (List.map (wire_extend node top_boundary) labels))
+  in
+  let root = tree.Tree.nodes.(0) in
+  let at_root =
+    match root.Tree.children with
+    | [] -> invalid_arg "Tree_dp.solve: empty tree"
+    | first :: rest ->
+        List.fold_left
+          (fun acc child -> prune (merge_two acc (labels_up child)))
+          (labels_up first) rest
+  in
+  let driver_r =
+    Repeater_model.output_resistance repeater tree.Tree.driver_width
+  in
+  let feasible =
+    List.filter
+      (fun l -> l.req -. intrinsic -. (driver_r *. l.cap) >= 0.0)
+      at_root
+  in
+  match feasible with
+  | [] -> None
+  | labels ->
+      let best =
+        List.fold_left
+          (fun acc l ->
+            if l.width_units < acc.width_units then l
+            else if l.width_units = acc.width_units && l.req > acc.req then l
+            else acc)
+          (List.hd labels) (List.tl labels)
+      in
+      let solution = Tree_solution.create best.placements in
+      Some
+        {
+          solution;
+          total_width = Tree_solution.total_width solution;
+          max_delay = Tree_delay.max_delay repeater tree solution;
+          stats = { sites = !total_sites; labels = !total_labels };
+        }

@@ -1,0 +1,42 @@
+(** Power-minimal repeater insertion on trees under a per-sink delay
+    budget — the tree form of the Lillis/Cheng/Lin DP [14] built on van
+    Ginneken's bottom-up label propagation [11].
+
+    Labels are [(downstream capacitance, required time, total width)]
+    triples propagated from the sinks to the driver: wires lower the
+    required time by their Elmore contribution, a repeater option resets
+    the downstream capacitance to its input capacitance at the cost of its
+    stage delay, and branch merges sum capacitances and widths while
+    keeping the tightest required time.  Three-way dominance pruning and
+    eager deletion of labels with negative slack keep the sets small.
+
+    On a chain tree this reduces exactly to {!Rip_dp.Power_dp} (the test
+    suite certifies the equivalence). *)
+
+type stats = {
+  sites : int;  (** candidate sites over all edges *)
+  labels : int;  (** labels surviving pruning, summed over steps *)
+}
+
+type result = {
+  solution : Tree_solution.t;
+  total_width : float;
+  max_delay : float;  (** worst sink Elmore delay of [solution] *)
+  stats : stats;
+}
+
+val uniform_sites : Tree.t -> pitch:float -> float list array
+(** Per-edge candidate offsets at the given pitch, forbidden ranges
+    excluded (index 0, the root, is empty). *)
+
+val around_sites :
+  Tree.t -> centers:Tree_solution.t -> radius:int -> pitch:float ->
+  float list array
+(** Offsets within [radius] slots of each placed repeater, zone-clipped:
+    the refined location set of the hybrid scheme. *)
+
+val solve :
+  Rip_tech.Repeater_model.t -> Tree.t ->
+  library:Rip_dp.Repeater_library.t -> sites:float list array ->
+  budget:float -> result option
+(** [None] when no assignment meets the budget at every sink. *)

@@ -1,0 +1,109 @@
+module Repeater_library = Rip_dp.Repeater_library
+module Process = Rip_tech.Process
+
+type config = {
+  coarse_library : Repeater_library.t;
+  coarse_pitch : float;
+  refined_granularity : float;
+  refined_radius : int;
+  refined_pitch : float;
+  min_width : float;
+  max_width : float;
+}
+
+let default_config =
+  {
+    coarse_library =
+      Repeater_library.uniform ~min_width:80.0 ~step:80.0 ~count:5;
+    coarse_pitch = 200.0;
+    refined_granularity = 10.0;
+    refined_radius = 10;
+    refined_pitch = 50.0;
+    min_width = 10.0;
+    max_width = 400.0;
+  }
+
+type report = {
+  solution : Tree_solution.t;
+  total_width : float;
+  max_delay : float;
+  runtime_seconds : float;
+  coarse : Tree_dp.result option;
+  sizing : Tree_sizing.result option;
+  final : Tree_dp.result option;
+}
+
+let fallback_library =
+  Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:10.0
+
+let tau_min (process : Process.t) tree =
+  let sites = Tree_dp.uniform_sites tree ~pitch:100.0 in
+  Tree_min_delay.tau_min process.Process.repeater tree
+    ~library:(Repeater_library.range ~min_width:10.0 ~max_width:400.0
+                ~step:20.0)
+    ~sites
+
+let solve ?(config = default_config) (process : Process.t) tree ~budget =
+  let started = Unix.gettimeofday () in
+  let repeater = process.Process.repeater in
+  let coarse_sites = Tree_dp.uniform_sites tree ~pitch:config.coarse_pitch in
+  (* Stage 1: coarse DP (fallback library when the 80u grid cannot meet a
+     tight budget). *)
+  let coarse =
+    match
+      Tree_dp.solve repeater tree ~library:config.coarse_library
+        ~sites:coarse_sites ~budget
+    with
+    | Some r -> Some r
+    | None ->
+        Tree_dp.solve repeater tree ~library:fallback_library
+          ~sites:coarse_sites ~budget
+  in
+  match coarse with
+  | None ->
+      Error
+        (Printf.sprintf "infeasible: no tree insertion meets %.4g ps"
+           (budget *. 1e12))
+  | Some coarse_result ->
+      (* Stage 2: continuous sizing at the coarse locations. *)
+      let sizing =
+        Tree_sizing.solve repeater tree
+          ~placements:coarse_result.Tree_dp.solution ~budget
+      in
+      (* Stage 3: refined library and location set; stage 4: final DP. *)
+      let final =
+        match sizing with
+        | None -> None
+        | Some sized ->
+            if Array.length sized.Tree_sizing.widths = 0 then None
+            else
+              let library =
+                Repeater_library.round_to_grid
+                  ~granularity:config.refined_granularity
+                  ~min_width:config.min_width ~max_width:config.max_width
+                  (Array.to_list sized.Tree_sizing.widths)
+              in
+              let sites =
+                Tree_dp.around_sites tree
+                  ~centers:coarse_result.Tree_dp.solution
+                  ~radius:config.refined_radius ~pitch:config.refined_pitch
+              in
+              Tree_dp.solve repeater tree ~library ~sites ~budget
+      in
+      let best =
+        match final with
+        | Some f
+          when f.Tree_dp.total_width <= coarse_result.Tree_dp.total_width ->
+            f
+        | Some _ | None -> coarse_result
+      in
+      Ok
+        {
+          solution = best.Tree_dp.solution;
+          total_width = best.Tree_dp.total_width;
+          max_delay = best.Tree_dp.max_delay;
+          runtime_seconds = Unix.gettimeofday () -. started;
+          coarse = Some coarse_result;
+          sizing;
+          final;
+        }

@@ -1,0 +1,48 @@
+(** The hybrid scheme extended to trees — the paper's announced future
+    work ("we are currently extending our hybrid scheme to the design of
+    low-power interconnect trees"), assembled from the same three
+    ingredients as two-pin RIP:
+
+    {ol
+    {- a coarse tree DP ({!Tree_dp}) over the 80u library and 200 um
+       uniform sites;}
+    {- continuous Lagrangian sizing at the coarse locations
+       ({!Tree_sizing}) — the analytical stage (the published REFINE's
+       location moves are specific to chains; on trees the sizing alone
+       supplies the width information line 3 needs);}
+    {- a refined library (sized widths snapped to the 10u grid) and a
+       refined location set (slots around the coarse locations), searched
+       by a final tree DP.}} *)
+
+type config = {
+  coarse_library : Rip_dp.Repeater_library.t;
+  coarse_pitch : float;
+  refined_granularity : float;
+  refined_radius : int;
+  refined_pitch : float;
+  min_width : float;
+  max_width : float;
+}
+
+val default_config : config
+(** The paper's Section 6 values, as in {!Rip_core.Config}. *)
+
+type report = {
+  solution : Tree_solution.t;
+  total_width : float;
+  max_delay : float;
+  runtime_seconds : float;
+  coarse : Tree_dp.result option;
+  sizing : Tree_sizing.result option;
+  final : Tree_dp.result option;
+}
+
+val solve :
+  ?config:config -> Rip_tech.Process.t -> Tree.t -> budget:float ->
+  (report, string) result
+(** Power-minimal tree repeater insertion with every sink within
+    [budget]. *)
+
+val tau_min : Rip_tech.Process.t -> Tree.t -> float
+(** Minimum worst-sink delay over the reference design space (min-delay
+    labels on a fine grid), anchoring tree timing targets. *)

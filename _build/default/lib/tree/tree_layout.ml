@@ -1,0 +1,199 @@
+module Repeater_model = Rip_tech.Repeater_model
+
+type kind =
+  | Root_gate
+  | Repeater_gate of int
+  | Sink_load of int
+  | Junction
+
+type point = {
+  parent : int;
+  length : float;
+  resistance_per_um : float;
+  capacitance_per_um : float;
+  kind : kind;
+}
+
+type t = {
+  tree : Tree.t;
+  solution : Tree_solution.t;
+  points : point array;
+  children : int list array;
+  repeater_count : int;
+  sink_points : (int * int) list;
+}
+
+let expand tree solution =
+  let sinks = Array.of_list tree.Tree.sinks in
+  let repeaters = Array.of_list (Tree_solution.repeaters solution) in
+  let buffer = ref [] in
+  let count = ref 0 in
+  let push point =
+    buffer := point :: !buffer;
+    incr count;
+    !count - 1
+  in
+  let sink_points = ref [] in
+  let root =
+    push { parent = -1; length = 0.0; resistance_per_um = 1.0;
+           capacitance_per_um = 1.0; kind = Root_gate }
+  in
+  (* Splice each edge's repeaters (ascending offset), ending at the node's
+     own point (junction or sink). *)
+  let rec visit_node tree_node parent_point =
+    let node = tree.Tree.nodes.(tree_node) in
+    let on_edge =
+      List.filter
+        (fun i -> repeaters.(i).Tree_solution.edge = tree_node)
+        (List.init (Array.length repeaters) (fun i -> i))
+    in
+    let last_point, last_offset =
+      List.fold_left
+        (fun (pp, prev_offset) i ->
+          let r = repeaters.(i) in
+          let p =
+            push
+              { parent = pp;
+                length = r.Tree_solution.offset -. prev_offset;
+                resistance_per_um = node.Tree.resistance_per_um;
+                capacitance_per_um = node.Tree.capacitance_per_um;
+                kind = Repeater_gate i }
+          in
+          (p, r.Tree_solution.offset))
+        (parent_point, 0.0) on_edge
+    in
+    let kind =
+      if node.Tree.children = [] then begin
+        let sink_index =
+          match
+            Array.to_seq sinks
+            |> Seq.mapi (fun i s -> (i, s))
+            |> Seq.find (fun (_, s) -> s.Tree.node = tree_node)
+          with
+          | Some (i, _) -> i
+          | None -> invalid_arg "Tree_layout.expand: leaf without sink"
+        in
+        Sink_load sink_index
+      end
+      else Junction
+    in
+    let self =
+      push
+        { parent = last_point;
+          length = node.Tree.length -. last_offset;
+          resistance_per_um = node.Tree.resistance_per_um;
+          capacitance_per_um = node.Tree.capacitance_per_um;
+          kind }
+    in
+    (match kind with
+    | Sink_load i -> sink_points := (i, self) :: !sink_points
+    | Root_gate | Repeater_gate _ | Junction -> ());
+    List.iter (fun child -> visit_node child self) node.Tree.children
+  in
+  List.iter
+    (fun child -> visit_node child root)
+    tree.Tree.nodes.(0).Tree.children;
+  let points = Array.of_list (List.rev !buffer) in
+  let children = Array.make (Array.length points) [] in
+  Array.iteri
+    (fun i p ->
+      if p.parent >= 0 then children.(p.parent) <- i :: children.(p.parent))
+    points;
+  { tree; solution; points; children; repeater_count = Array.length repeaters;
+    sink_points = !sink_points }
+
+let gate_width layout widths point =
+  match layout.points.(point).kind with
+  | Root_gate -> layout.tree.Tree.driver_width
+  | Repeater_gate i -> widths.(i)
+  | Sink_load _ | Junction ->
+      invalid_arg "Tree_layout.gate_width: not a gate"
+
+(* Capacitance visible to the stage at-and-below point q (stops at gate
+   inputs, which decouple their subtrees). *)
+let rec down_cap repeater layout widths sinks q =
+  let point = layout.points.(q) in
+  match point.kind with
+  | Repeater_gate i -> Repeater_model.input_capacitance repeater widths.(i)
+  | Sink_load s ->
+      Repeater_model.input_capacitance repeater
+        sinks.(s).Tree.load_width
+  | Root_gate | Junction ->
+      List.fold_left
+        (fun acc child ->
+          let piece = layout.points.(child) in
+          acc
+          +. (piece.length *. piece.capacitance_per_um)
+          +. down_cap repeater layout widths sinks child)
+        0.0 layout.children.(q)
+
+let sink_delays repeater layout ~widths =
+  if Array.length widths <> layout.repeater_count then
+    invalid_arg "Tree_layout.sink_delays: wrong width count";
+  let sinks = Array.of_list layout.tree.Tree.sinks in
+  let delays = Array.make (Array.length sinks) Float.nan in
+  (* Evaluate one stage: DFS from the gate, accumulating the distributed
+     wire delay; recurse into downstream gates with their arrival time. *)
+  let rec eval_gate gate arrival =
+    let w = gate_width layout widths gate in
+    let stage_cap =
+      List.fold_left
+        (fun acc child ->
+          let piece = layout.points.(child) in
+          acc
+          +. (piece.length *. piece.capacitance_per_um)
+          +. down_cap repeater layout widths sinks child)
+        0.0 layout.children.(gate)
+    in
+    let base =
+      arrival
+      +. Repeater_model.intrinsic_delay repeater
+      +. (Repeater_model.output_resistance repeater w *. stage_cap)
+    in
+    let rec walk q acc =
+      let piece = layout.points.(q) in
+      let wire_c = piece.length *. piece.capacitance_per_um in
+      let wire_r = piece.length *. piece.resistance_per_um in
+      let below = down_cap repeater layout widths sinks q in
+      let acc = acc +. (wire_r *. ((0.5 *. wire_c) +. below)) in
+      match piece.kind with
+      | Repeater_gate _ -> eval_gate q (base +. acc)
+      | Sink_load s -> delays.(s) <- base +. acc
+      | Junction | Root_gate -> List.iter (fun r -> walk r acc) layout.children.(q)
+    in
+    List.iter (fun q -> walk q 0.0) layout.children.(gate)
+  in
+  eval_gate 0 0.0;
+  delays
+
+let max_sink_delay repeater layout ~widths =
+  Array.fold_left Float.max Float.neg_infinity
+    (sink_delays repeater layout ~widths)
+
+let repeater_points layout =
+  let points = Array.make layout.repeater_count (-1) in
+  Array.iteri
+    (fun q p ->
+      match p.kind with
+      | Repeater_gate i -> points.(i) <- q
+      | Root_gate | Sink_load _ | Junction -> ())
+    layout.points;
+  points
+
+let rec parent_gate layout q =
+  let p = layout.points.(q).parent in
+  if p < 0 then 0
+  else
+    match layout.points.(p).kind with
+    | Root_gate | Repeater_gate _ -> p
+    | Sink_load _ | Junction -> parent_gate layout p
+
+let stage_capacitance repeater layout ~widths ~gate =
+  let sinks = Array.of_list layout.tree.Tree.sinks in
+  List.fold_left
+    (fun acc child ->
+      let piece = layout.points.(child) in
+      acc
+      +. (piece.length *. piece.capacitance_per_um)
+      +. down_cap repeater layout widths sinks child)
+    0.0 layout.children.(gate)

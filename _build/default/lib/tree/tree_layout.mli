@@ -1,0 +1,53 @@
+(** Expanded point tree: the tree with repeaters spliced into their edges.
+
+    Both the tree Elmore evaluator and the continuous sizing solver work on
+    this structure; its geometry is fixed once built, so sizing can vary
+    repeater widths without rebuilding. *)
+
+type kind =
+  | Root_gate  (** the driver *)
+  | Repeater_gate of int  (** index into the solution's repeater order *)
+  | Sink_load of int  (** index into the tree's sink list *)
+  | Junction
+
+type point = {
+  parent : int;  (** point index; -1 for the root point *)
+  length : float;  (** wire piece from the parent point, um *)
+  resistance_per_um : float;
+  capacitance_per_um : float;
+  kind : kind;
+}
+
+type t = {
+  tree : Tree.t;
+  solution : Tree_solution.t;
+  points : point array;  (** topological (parent before child) order *)
+  children : int list array;
+  repeater_count : int;
+  sink_points : (int * int) list;  (** (sink index, point index) *)
+}
+
+val expand : Tree.t -> Tree_solution.t -> t
+
+val sink_delays :
+  Rip_tech.Repeater_model.t -> t -> widths:float array -> float array
+(** Elmore delay from the driver to each sink (indexed like
+    [tree.sinks]), with repeater widths taken from [widths] (indexed by
+    repeater order).  Matches {!Rip_elmore.Delay.total} on chain trees.
+    @raise Invalid_argument when [widths] has the wrong length. *)
+
+val max_sink_delay :
+  Rip_tech.Repeater_model.t -> t -> widths:float array -> float
+
+val repeater_points : t -> int array
+(** Point index of each repeater gate, indexed by repeater order. *)
+
+val parent_gate : t -> int -> int
+(** Nearest gate point strictly above the given point (the root gate for
+    top-level points). *)
+
+val stage_capacitance :
+  Rip_tech.Repeater_model.t -> t -> widths:float array -> gate:int -> float
+(** Total capacitance the gate at the given point drives: its stage's wire
+    plus the input capacitance of the gates/sinks bounding the stage. *)
+

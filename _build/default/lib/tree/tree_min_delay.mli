@@ -1,0 +1,8 @@
+(** Van Ginneken's classic minimum-delay buffering on trees [11]: 2-d
+    [(capacitance, required-time)] label propagation, here used to anchor
+    tree timing targets at the minimum achievable worst-sink delay. *)
+
+val tau_min :
+  Rip_tech.Repeater_model.t -> Tree.t ->
+  library:Rip_dp.Repeater_library.t -> sites:float list array -> float
+(** Minimum worst-sink Elmore delay over the given design space. *)

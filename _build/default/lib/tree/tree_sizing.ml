@@ -1,0 +1,204 @@
+module Repeater_model = Rip_tech.Repeater_model
+module Bracket = Rip_numerics.Bracket
+
+type result = {
+  widths : float array;
+  total_width : float;
+  max_delay : float;
+  sink_weights : float array;
+  outer_iterations : int;
+}
+
+let width_floor = 1e-3
+let width_ceiling = 1e5
+
+type workspace = {
+  layout : Tree_layout.t;
+  repeater : Repeater_model.t;
+  rs : float;
+  co : float;
+  gate_point : int array;  (* repeater order -> point *)
+  order : int array;  (* repeater indices, topological (point ascending) *)
+  parent_gate_of : int array;  (* repeater order -> gate point *)
+  sink_count : int;
+}
+
+let make_workspace repeater tree placements =
+  let layout = Tree_layout.expand tree placements in
+  let gate_point = Tree_layout.repeater_points layout in
+  let order =
+    Array.init (Array.length gate_point) (fun i -> i)
+  in
+  Array.sort (fun a b -> compare gate_point.(a) gate_point.(b)) order;
+  {
+    layout;
+    repeater;
+    rs = repeater.Repeater_model.rs;
+    co = repeater.Repeater_model.co;
+    gate_point;
+    order;
+    parent_gate_of =
+      Array.map (fun q -> Tree_layout.parent_gate layout q) gate_point;
+    sink_count = Tree.sink_count tree;
+  }
+
+(* Summed sink weight at-and-below each point (crossing gates); points are
+   in topological order so one reverse scan suffices. *)
+let downstream_weights ws weights =
+  let points = ws.layout.Tree_layout.points in
+  let w = Array.make (Array.length points) 0.0 in
+  for q = Array.length points - 1 downto 0 do
+    (match points.(q).Tree_layout.kind with
+    | Tree_layout.Sink_load s -> w.(q) <- w.(q) +. weights.(s)
+    | Tree_layout.Root_gate | Tree_layout.Repeater_gate _
+    | Tree_layout.Junction -> ());
+    let parent = points.(q).Tree_layout.parent in
+    if parent >= 0 then w.(parent) <- w.(parent) +. w.(q)
+  done;
+  w
+
+(* Weight-scaled wire resistance from each repeater's parent gate down to
+   the repeater: sum over path pieces of r * l * W(piece endpoint). *)
+let weighted_upstream_resistance ws wdown =
+  let points = ws.layout.Tree_layout.points in
+  Array.mapi
+    (fun i q ->
+      let stop = ws.parent_gate_of.(i) in
+      let rec walk q acc =
+        if q = stop || q < 0 then acc
+        else
+          let p = points.(q) in
+          walk p.Tree_layout.parent
+            (acc
+            +. (p.Tree_layout.length *. p.Tree_layout.resistance_per_um
+               *. wdown.(q)))
+      in
+      walk q 0.0)
+    ws.gate_point
+
+let gate_width ws widths point =
+  match ws.layout.Tree_layout.points.(point).Tree_layout.kind with
+  | Tree_layout.Root_gate -> ws.layout.Tree_layout.tree.Tree.driver_width
+  | Tree_layout.Repeater_gate i -> widths.(i)
+  | Tree_layout.Sink_load _ | Tree_layout.Junction ->
+      invalid_arg "Tree_sizing: not a gate"
+
+(* One Gauss-Seidel sweep of the tree stationarity condition; [offset] is
+   1.0 for the Lagrangian solve and 0.0 for the min-delay limit. *)
+let sweep ws widths wdown wr ~offset =
+  let worst = ref 0.0 in
+  Array.iter
+    (fun i ->
+      let q = ws.gate_point.(i) in
+      let stage_cap =
+        Tree_layout.stage_capacitance ws.repeater ws.layout ~widths ~gate:q
+      in
+      let p = ws.parent_gate_of.(i) in
+      let wp = gate_width ws widths p in
+      let numerator = ws.rs *. stage_cap *. wdown.(q) in
+      let denominator =
+        offset
+        +. (ws.co *. ((ws.rs /. wp *. wdown.(p)) +. wr.(i)))
+      in
+      let w =
+        Float.max width_floor
+          (Float.min width_ceiling (sqrt (numerator /. denominator)))
+      in
+      let old = widths.(i) in
+      widths.(i) <- w;
+      worst := Float.max !worst (Float.abs (w -. old) /. Float.max w 1e-12))
+    ws.order;
+  !worst
+
+let converge ws widths wdown wr ~offset =
+  let rec loop k =
+    if sweep ws widths wdown wr ~offset > 1e-12 && k < 300 then loop (k + 1)
+  in
+  loop 0
+
+let min_delay_widths repeater tree ~placements =
+  let ws = make_workspace repeater tree placements in
+  let weights = Array.make ws.sink_count 1.0 in
+  let wdown = downstream_weights ws weights in
+  let wr = weighted_upstream_resistance ws wdown in
+  let widths = Array.make (Array.length ws.gate_point) 100.0 in
+  converge ws widths wdown wr ~offset:0.0;
+  widths
+
+let solve repeater tree ~placements ~budget =
+  let ws = make_workspace repeater tree placements in
+  let n = Array.length ws.gate_point in
+  if n = 0 then begin
+    let delay = Tree_layout.max_sink_delay repeater ws.layout ~widths:[||] in
+    if delay <= budget then
+      Some { widths = [||]; total_width = 0.0; max_delay = delay;
+             sink_weights = Array.make ws.sink_count 0.0;
+             outer_iterations = 0 }
+    else None
+  end
+  else begin
+    let fastest = min_delay_widths repeater tree ~placements in
+    if Tree_layout.max_sink_delay repeater ws.layout ~widths:fastest > budget
+    then None
+    else begin
+      let mu = Array.make ws.sink_count (1.0 /. float_of_int ws.sink_count) in
+      let widths = Array.copy fastest in
+      let outer = ref 0 in
+      let result = ref None in
+      (* Scale guess: at weight ~ 1/(d tau/d w) the offset term competes
+         with the weighted terms. *)
+      let scale_guess = ref 1e12 in
+      let rounds = 8 in
+      for round = 1 to rounds do
+        incr outer;
+        let weights scale = Array.map (fun m -> scale *. m) mu in
+        let delay_at scale =
+          let w = weights scale in
+          let wdown = downstream_weights ws w in
+          let wr = weighted_upstream_resistance ws wdown in
+          converge ws widths wdown wr ~offset:1.0;
+          Tree_layout.max_sink_delay repeater ws.layout ~widths
+        in
+        (* Larger scale -> larger widths -> smaller delay. *)
+        let f scale = delay_at scale -. budget in
+        (match
+           Bracket.find_root ~f ~lo:(1e-8 *. !scale_guess)
+             ~hi:(1e2 *. !scale_guess) ~tol:1e-12
+         with
+        | Bracket.No_sign_change _ -> ()
+        | Bracket.Root scale ->
+            scale_guess := scale;
+            let max_delay = delay_at scale in
+            let total = Array.fold_left ( +. ) 0.0 widths in
+            let keep =
+              match !result with
+              | Some r -> total < r.total_width
+              | None -> true
+            in
+            if keep && max_delay <= budget *. (1.0 +. 1e-6) then
+              result :=
+                Some
+                  { widths = Array.copy widths; total_width = total;
+                    max_delay; sink_weights = weights scale;
+                    outer_iterations = !outer });
+        (* Rebalance criticality for the next round. *)
+        if round < rounds then begin
+          let w = weights !scale_guess in
+          let wdown = downstream_weights ws w in
+          let wr = weighted_upstream_resistance ws wdown in
+          converge ws widths wdown wr ~offset:1.0;
+          let delays = Tree_layout.sink_delays repeater ws.layout ~widths in
+          let sum = ref 0.0 in
+          Array.iteri
+            (fun s m ->
+              let ratio = delays.(s) /. budget in
+              let m' = Float.max 1e-9 (m *. ratio *. ratio) in
+              mu.(s) <- m';
+              sum := !sum +. m')
+            (Array.copy mu);
+          Array.iteri (fun s m -> mu.(s) <- m /. !sum) mu
+        end
+      done;
+      !result
+    end
+  end

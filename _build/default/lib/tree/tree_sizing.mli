@@ -1,0 +1,40 @@
+(** Continuous repeater sizing on a tree with fixed locations — the tree
+    generalisation of the paper's width solver (Eqs. (5) and (8)).
+
+    With per-sink Lagrange weights [lambda_s], the stationarity condition
+    for repeater [i] driven by gate [p] becomes
+
+    [w_i = sqrt (Rs C_i W_i / (1 + Co ((Rs / w_p) W_p + WR_i)))]
+
+    where [C_i] is the stage capacitance of [i], [W_i] (resp. [W_p]) the
+    summed weight of sinks below [i] (resp. [p]), and [WR_i] the
+    weight-scaled wire resistance from [p] to [i] — on a chain with a
+    single sink this is exactly Eq. (8) with [lambda] the sink weight.
+    Inner Gauss–Seidel sweeps solve the widths for fixed weights; an outer
+    loop rebalances per-sink weights multiplicatively toward equalised
+    criticality and brackets a global weight scale so the worst sink lands
+    on the budget (Eq. (5)).
+
+    This is the analytical stage of the hybrid scheme's tree extension
+    (the paper's announced future work; see DESIGN.md). *)
+
+type result = {
+  widths : float array;  (** by the solution's repeater order *)
+  total_width : float;
+  max_delay : float;  (** equals the budget at convergence *)
+  sink_weights : float array;  (** final lambda_s, scaled *)
+  outer_iterations : int;
+}
+
+val solve :
+  Rip_tech.Repeater_model.t -> Tree.t -> placements:Tree_solution.t ->
+  budget:float -> result option
+(** [None] when even the fastest continuous sizing at these locations
+    misses the budget at some sink, or when there are no repeaters and the
+    bare tree misses it. *)
+
+val min_delay_widths :
+  Rip_tech.Repeater_model.t -> Tree.t -> placements:Tree_solution.t ->
+  float array
+(** The weight -> infinity limit: fastest continuous sizing for the fixed
+    locations (used for the feasibility bound). *)

@@ -1,0 +1,66 @@
+type repeater = {
+  edge : int;
+  offset : float;
+  width : float;
+}
+
+type t = repeater list
+
+let empty = []
+
+let compare_position a b =
+  match compare a.edge b.edge with
+  | 0 -> Float.compare a.offset b.offset
+  | c -> c
+
+let create triples =
+  let repeaters =
+    List.map
+      (fun (edge, offset, width) ->
+        if width <= 0.0 then
+          invalid_arg "Tree_solution.create: width must be positive";
+        if offset < 0.0 then
+          invalid_arg "Tree_solution.create: negative offset";
+        { edge; offset; width })
+      triples
+  in
+  let sorted = List.sort compare_position repeaters in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.edge = b.edge && a.offset = b.offset then
+          invalid_arg "Tree_solution.create: duplicate repeater position";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let repeaters t = t
+let count = List.length
+let total_width t = List.fold_left (fun acc r -> acc +. r.width) 0.0 t
+let widths t = List.map (fun r -> r.width) t
+let on_edge t edge = List.filter (fun r -> r.edge = edge) t
+
+let legal tree t =
+  List.for_all
+    (fun r ->
+      r.edge > 0
+      && r.edge < Tree.node_count tree
+      && Tree.offset_legal tree ~edge:r.edge r.offset)
+    t
+
+let with_widths t widths =
+  if Array.length widths <> List.length t then
+    invalid_arg "Tree_solution.with_widths: length mismatch";
+  List.mapi (fun i r -> { r with width = widths.(i) }) t
+
+let equal a b =
+  List.equal
+    (fun x y -> x.edge = y.edge && x.offset = y.offset && x.width = y.width)
+    a b
+
+let pp ppf t =
+  let pp_rep ppf r =
+    Fmt.pf ppf "%gu@%d+%gum" r.width r.edge r.offset
+  in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp_rep) t

@@ -1,0 +1,36 @@
+(** Repeater assignments on a tree: each repeater sits on an edge at an
+    offset from the parent end. *)
+
+type repeater = {
+  edge : int;  (** node id whose parent edge carries the repeater *)
+  offset : float;  (** um from the parent end, strictly inside the edge *)
+  width : float;  (** u, strictly positive *)
+}
+
+type t = private repeater list
+(** Sorted by (edge, offset); offsets unique per edge. *)
+
+val empty : t
+
+val create : (int * float * float) list -> t
+(** From [(edge, offset, width)] triples.
+    @raise Invalid_argument on non-positive width, negative offset, or two
+    repeaters at the same point. *)
+
+val repeaters : t -> repeater list
+val count : t -> int
+val total_width : t -> float
+val widths : t -> float list
+
+val on_edge : t -> int -> repeater list
+(** Repeaters on the given edge, by ascending offset. *)
+
+val legal : Tree.t -> t -> bool
+(** Every repeater strictly inside its edge and outside forbidden ranges. *)
+
+val with_widths : t -> float array -> t
+(** Replace widths in order (the order of {!repeaters}).
+    @raise Invalid_argument on length mismatch. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/workload/baseline.ml: Printf Rip_dp Rip_net Rip_tech Unix

@@ -1,0 +1,1 @@
+lib/workload/baseline.mli: Rip_dp Rip_net Rip_tech

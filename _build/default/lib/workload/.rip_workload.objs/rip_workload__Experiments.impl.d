@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Baseline Float List Option Printf Rip_core Rip_dp Rip_net Rip_numerics Stdlib String Suite Table

@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Baseline Rip_core Rip_dp Rip_net Rip_tech

@@ -1,0 +1,1 @@
+lib/workload/netgen.ml: Int64 List Printf Rip_net Rip_numerics Rip_tech

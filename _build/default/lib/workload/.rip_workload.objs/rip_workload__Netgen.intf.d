@@ -1,0 +1,1 @@
+lib/workload/netgen.mli: Rip_net Rip_numerics Rip_tech

@@ -1,0 +1,1 @@
+lib/workload/tree_experiments.ml: List Printf Rip_dp Rip_numerics Rip_tech Rip_tree Stdlib Table Tree_gen Unix

@@ -1,0 +1,1 @@
+lib/workload/tree_experiments.mli: Rip_tech Rip_tree

@@ -1,0 +1,1 @@
+lib/workload/tree_gen.ml: Int64 List Printf Rip_numerics Rip_tech Rip_tree Suite

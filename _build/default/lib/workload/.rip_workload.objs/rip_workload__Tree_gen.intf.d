@@ -1,0 +1,1 @@
+lib/workload/tree_gen.mli: Rip_numerics Rip_tech Rip_tree

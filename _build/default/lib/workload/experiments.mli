@@ -1,0 +1,96 @@
+(** Experiment runners regenerating every table and figure of the paper's
+    evaluation (Section 6).  See DESIGN.md for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured results.
+
+    All runners are deterministic given the process and suite seed; only
+    the runtime columns (Table 2) depend on the machine. *)
+
+(** {1 Shared run matrix (Table 1 and Figure 7 reuse one sweep)} *)
+
+type cell = {
+  target_index : int;  (** 0-based k; budget is [(1.05 + 0.05 k) tau_min] *)
+  budget : float;
+  rip : (Rip_core.Rip.report, string) result;
+  baselines : (float * Baseline.run) list;
+      (** baseline outcome per width granularity [g] *)
+}
+
+type net_run = {
+  net : Rip_net.Net.t;
+  tau_min : float;
+  cells : cell list;
+}
+
+val run_suite :
+  ?granularities:float list ->
+  ?fixed_range:bool ->
+  ?nets:Rip_net.Net.t list ->
+  ?targets_per_net:int ->
+  Rip_tech.Process.t ->
+  net_run list
+(** Sweep every net and timing target, solving RIP once per cell and the
+    baseline once per granularity.  Defaults: the 20-net suite, 20 targets,
+    granularities [10; 20; 40] with the paper's fixed-size-10 baseline
+    libraries ([fixed_range = false]). *)
+
+(** {1 Table 1 — power reduction for two-pin nets} *)
+
+type table1_row = {
+  net_name : string;
+  g10_delta_max : float;  (** col 2: max saving vs g=10u baseline, % *)
+  g10_violations : int;  (** col 3: targets the baseline cannot meet *)
+  g20_delta_max : float;
+  g20_delta_mean : float;
+  g40_delta_max : float;
+  g40_delta_mean : float;
+}
+
+type table1 = {
+  rows : table1_row list;
+  average : table1_row;  (** the paper's "Ave" row *)
+}
+
+val table1 : net_run list -> table1
+val render_table1 : table1 -> string
+
+(** {1 Figure 7 — power savings vs timing target} *)
+
+type fig7_point = {
+  target_multiple : float;  (** budget as a multiple of tau_min *)
+  mean_saving : float;  (** mean saving over nets with a feasible baseline *)
+  max_saving : float;
+  min_saving : float;
+  baseline_infeasible : int;  (** nets in zone I at this target *)
+}
+
+val fig7 : granularity:float -> net_run list -> fig7_point list
+(** One series; the paper plots granularities 10u (a) and 40u (b). *)
+
+val render_fig7 : granularity:float -> fig7_point list -> string
+(** Series plus an ASCII bar sketch marking zones I/II/III. *)
+
+(** {1 Table 2 — power savings and speedup tradeoff} *)
+
+type table2_row = {
+  granularity : float;  (** g_DP, u *)
+  delta_mean : float;  (** mean saving of RIP over the baseline, % *)
+  t_dp : float;  (** mean baseline runtime per (net, target), s *)
+  t_rip : float;  (** mean RIP runtime per (net, target), s *)
+  speedup : float;  (** t_dp / t_rip *)
+  baseline_infeasible : int;
+}
+
+val table2 :
+  ?granularities:float list -> ?nets:Rip_net.Net.t list ->
+  ?targets_per_net:int -> Rip_tech.Process.t -> table2_row list
+(** Fixed-range (10u, 400u) baselines per the paper; defaults to
+    granularities [40; 30; 20; 10] over the full suite. *)
+
+val render_table2 : table2_row list -> string
+
+(** {1 Saving arithmetic shared by the reports} *)
+
+val saving_percent :
+  baseline:Rip_dp.Power_dp.result -> rip:Rip_core.Rip.report -> float option
+(** [100 (p_base - p_rip) / p_base]; [Some 0.] when both are zero-width,
+    [None] when only the baseline is zero-width (no meaningful ratio). *)

@@ -1,0 +1,66 @@
+module Prng = Rip_numerics.Prng
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+module Zone = Rip_net.Zone
+
+type config = {
+  min_segments : int;
+  max_segments : int;
+  min_segment_length : float;
+  max_segment_length : float;
+  zone_fraction_min : float;
+  zone_fraction_max : float;
+  zone_count : int;
+  driver_width : float;
+  receiver_width : float;
+  layers : Rip_tech.Layer.t list;
+}
+
+let default =
+  {
+    min_segments = 4;
+    max_segments = 10;
+    min_segment_length = 1000.0;
+    max_segment_length = 2500.0;
+    zone_fraction_min = 0.20;
+    zone_fraction_max = 0.40;
+    zone_count = 1;
+    driver_width = 20.0;
+    receiver_width = 40.0;
+    layers = [ Rip_tech.Layer.metal4; Rip_tech.Layer.metal5 ];
+  }
+
+let pick_layer rng layers =
+  match layers with
+  | [] -> invalid_arg "Netgen: no layers configured"
+  | layers -> List.nth layers (Prng.int_range rng 0 (List.length layers - 1))
+
+let generate ?(config = default) rng ~index =
+  let rng = Prng.derive rng (Int64.of_int index) in
+  let segment_count =
+    Prng.int_range rng config.min_segments config.max_segments
+  in
+  let segment _ =
+    let length =
+      Prng.float_range rng config.min_segment_length
+        config.max_segment_length
+    in
+    Segment.of_layer (pick_layer rng config.layers) ~length
+  in
+  let segments = List.init segment_count segment in
+  let total =
+    List.fold_left (fun acc s -> acc +. s.Segment.length) 0.0 segments
+  in
+  let zone _ =
+    let fraction =
+      Prng.float_range rng config.zone_fraction_min config.zone_fraction_max
+    in
+    let zone_length = fraction *. total in
+    let z_start = Prng.float_range rng 0.0 (total -. zone_length) in
+    Zone.create ~z_start ~z_end:(z_start +. zone_length)
+  in
+  let zones = List.init config.zone_count zone in
+  Net.create
+    ~name:(Printf.sprintf "net%02d" index)
+    ~segments ~zones ~driver_width:config.driver_width
+    ~receiver_width:config.receiver_width ()

@@ -1,0 +1,31 @@
+(** Random interconnect generator following the paper's Section 6 recipe:
+    4-10 segments of 1000-2500 um, each routed on metal4 or metal5, and a
+    single forbidden zone covering 20-40 % of the net, uniformly located.
+
+    Driver and receiver widths are not specified by the paper; the defaults
+    (20u / 40u) are typical global-net pin strengths and are configurable.
+
+    Generation is keyed by a {!Rip_numerics.Prng} stream so the same seed
+    and net index always produce the same net, on any machine. *)
+
+type config = {
+  min_segments : int;
+  max_segments : int;
+  min_segment_length : float;  (** um *)
+  max_segment_length : float;
+  zone_fraction_min : float;  (** forbidden-zone length over net length *)
+  zone_fraction_max : float;
+  zone_count : int;  (** the paper uses exactly 1 *)
+  driver_width : float;  (** u *)
+  receiver_width : float;
+  layers : Rip_tech.Layer.t list;  (** drawn uniformly per segment *)
+}
+
+val default : config
+(** The Section 6 values: 4-10 segments, 1000-2500 um, one zone of
+    20-40 %, metal4/metal5. *)
+
+val generate : ?config:config -> Rip_numerics.Prng.t -> index:int ->
+  Rip_net.Net.t
+(** [generate rng ~index] derives an independent stream for [index] from
+    [rng]'s seed, so nets of a suite do not depend on generation order. *)

@@ -1,0 +1,11 @@
+let default_seed = 0x52495031L (* "RIP1" *)
+let default_count = 20
+
+let nets ?(seed = default_seed) ?(count = default_count) () =
+  let rng = Rip_numerics.Prng.create seed in
+  List.init count (fun i -> Netgen.generate rng ~index:(i + 1))
+
+let target_multiple k = 1.05 +. (float_of_int k /. 19.0)
+
+let timing_targets ?(count = 20) ~tau_min () =
+  List.init count (fun k -> target_multiple k *. tau_min)

@@ -1,0 +1,17 @@
+(** The fixed benchmark suite: the reproduction's stand-in for the paper's
+    20 routed nets (DESIGN.md, "benchmark-net substitution").  Every run
+    sees the same 20 nets because the generator seed is pinned here. *)
+
+val default_seed : int64
+val default_count : int
+
+val nets : ?seed:int64 -> ?count:int -> unit -> Rip_net.Net.t list
+(** The suite, net ids 1..count. *)
+
+val target_multiple : int -> float
+(** [1.05 + k/19]: the k-th timing-target multiple, so the default 20
+    targets span 1.05 to 2.05 times the minimum delay as in the paper. *)
+
+val timing_targets : ?count:int -> tau_min:float -> unit -> float list
+(** The paper's 20 budgets per net: [target_multiple k * tau_min] for
+    [k = 0 .. count-1]. *)

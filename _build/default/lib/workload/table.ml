@@ -1,0 +1,33 @@
+let pad cell width = cell ^ String.make (width - String.length cell) ' '
+
+let render ~header ~rows =
+  let columns =
+    List.fold_left (fun acc row -> Stdlib.max acc (List.length row))
+      (List.length header) rows
+  in
+  let fill row = row @ List.init (columns - List.length row) (fun _ -> "") in
+  let all = List.map fill (header :: rows) in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad cell (List.nth widths i)) row)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    ((line (fill header) :: rule :: List.map (fun r -> line (fill r)) rows)
+    @ [ "" ])
+
+let percent v = Printf.sprintf "%.2f" v
+
+let seconds v =
+  if v >= 10.0 then Printf.sprintf "%.1f" v
+  else if v >= 0.1 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned ASCII table with a header rule.  Ragged rows are padded
+    with empty cells. *)
+
+val percent : float -> string
+(** Two-decimal percent cell, e.g. ["22.95"]. *)
+
+val seconds : float -> string
+(** Runtime cell with adaptive precision. *)

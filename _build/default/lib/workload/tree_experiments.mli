@@ -1,0 +1,23 @@
+(** Experiment runner for the tree extension (DESIGN.md experiment id
+    [tree]): the hybrid scheme against pure DPs on random tree
+    benchmarks — coarse-only DP for quality, fine-grid DP for runtime. *)
+
+type row = {
+  tree_name : string;
+  sinks : int;
+  tau_min : float;
+  hybrid_mean_width : float;  (** mean over targets, u *)
+  coarse_mean_width : float;  (** coarse-only DP, same targets *)
+  fine_mean_width : float;  (** 20u fixed-range DP at 200 um pitch (10u is
+      prohibitively slow on 5-sink trees; see EXPERIMENTS.md) *)
+  saving_vs_coarse : float;  (** % *)
+  hybrid_mean_runtime : float;  (** s per target *)
+  fine_mean_runtime : float;
+  hybrid_violations : int;  (** targets the hybrid could not meet *)
+}
+
+val run :
+  ?trees:Rip_tree.Tree.t list -> ?targets_per_tree:int ->
+  Rip_tech.Process.t -> row list
+
+val render : row list -> string

@@ -1,0 +1,84 @@
+module Prng = Rip_numerics.Prng
+module Tree = Rip_tree.Tree
+
+type config = {
+  min_sinks : int;
+  max_sinks : int;
+  min_edge_length : float;
+  max_edge_length : float;
+  zone_probability : float;
+  zone_fraction_min : float;
+  zone_fraction_max : float;
+  driver_width : float;
+  min_sink_load : float;
+  max_sink_load : float;
+  layers : Rip_tech.Layer.t list;
+}
+
+let default =
+  {
+    min_sinks = 2;
+    max_sinks = 5;
+    min_edge_length = 800.0;
+    max_edge_length = 2200.0;
+    zone_probability = 0.3;
+    zone_fraction_min = 0.20;
+    zone_fraction_max = 0.40;
+    driver_width = 20.0;
+    min_sink_load = 30.0;
+    max_sink_load = 60.0;
+    layers = [ Rip_tech.Layer.metal4; Rip_tech.Layer.metal5 ];
+  }
+
+let pick_layer rng layers =
+  match layers with
+  | [] -> invalid_arg "Tree_gen: no layers configured"
+  | layers -> List.nth layers (Prng.int_range rng 0 (List.length layers - 1))
+
+let random_edge config rng builder ~parent =
+  let length =
+    Prng.float_range rng config.min_edge_length config.max_edge_length
+  in
+  let zones =
+    if Prng.float_range rng 0.0 1.0 < config.zone_probability then begin
+      let fraction =
+        Prng.float_range rng config.zone_fraction_min
+          config.zone_fraction_max
+      in
+      let zone_length = fraction *. length in
+      let lo = Prng.float_range rng 0.0 (length -. zone_length) in
+      [ (lo, lo +. zone_length) ]
+    end
+    else []
+  in
+  Tree.add_layer_edge builder ~parent ~zones
+    (pick_layer rng config.layers)
+    ~length
+
+(* Grow a subtree delivering [sinks] leaves below [parent]. *)
+let rec grow config rng builder ~parent ~sinks =
+  let node = random_edge config rng builder ~parent in
+  if sinks = 1 then
+    Tree.set_sink builder ~node
+      ~load_width:(Prng.float_range rng config.min_sink_load
+                     config.max_sink_load)
+  else begin
+    let left = 1 + Prng.int_range rng 0 (sinks - 2) in
+    grow config rng builder ~parent:node ~sinks:left;
+    grow config rng builder ~parent:node ~sinks:(sinks - left)
+  end
+
+let generate ?(config = default) rng ~index =
+  let rng = Prng.derive rng (Int64.of_int (0x7E000 + index)) in
+  let builder =
+    Tree.builder
+      ~name:(Printf.sprintf "tree%02d" index)
+      ~driver_width:config.driver_width ()
+  in
+  let sinks = Prng.int_range rng config.min_sinks config.max_sinks in
+  grow config rng builder ~parent:0 ~sinks;
+  Tree.build builder
+
+let suite ?config ?(seed = Suite.default_seed) ?(count = 10) () =
+  let rng = Prng.create seed in
+  List.init count (fun i -> generate ?config rng ~index:(i + 1))

@@ -1,0 +1,29 @@
+(** Random interconnect trees for the tree-extension experiments: random
+    binary fanout topologies with Section-6-style edge lengths and layers,
+    and optional forbidden ranges on edges. *)
+
+type config = {
+  min_sinks : int;
+  max_sinks : int;
+  min_edge_length : float;  (** um *)
+  max_edge_length : float;
+  zone_probability : float;  (** chance an edge carries a blocked range *)
+  zone_fraction_min : float;  (** blocked length over edge length *)
+  zone_fraction_max : float;
+  driver_width : float;
+  min_sink_load : float;  (** u *)
+  max_sink_load : float;
+  layers : Rip_tech.Layer.t list;
+}
+
+val default : config
+(** 2-5 sinks, 800-2200 um edges, 30 % zoned edges of 20-40 %, 20u driver,
+    30-60u sink loads, metal4/metal5. *)
+
+val generate :
+  ?config:config -> Rip_numerics.Prng.t -> index:int -> Rip_tree.Tree.t
+(** Deterministic per (seed, index), like {!Netgen.generate}. *)
+
+val suite : ?config:config -> ?seed:int64 -> ?count:int -> unit ->
+  Rip_tree.Tree.t list
+(** Fixed tree benchmark suite (default 10 trees). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Float Fmt List QCheck Rip_net Rip_tech String

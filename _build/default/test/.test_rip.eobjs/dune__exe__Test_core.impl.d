@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Helpers List QCheck QCheck_alcotest Rip_core Rip_dp Rip_elmore Rip_net Rip_tech Rip_workload

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Dump Fmt Helpers List Option QCheck QCheck_alcotest Rip_dp Rip_elmore Rip_net Rip_tech

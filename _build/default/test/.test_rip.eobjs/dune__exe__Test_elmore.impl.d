@@ -1,0 +1,1 @@
+test/test_elmore.ml: Alcotest Helpers List QCheck QCheck_alcotest Rip_elmore Rip_net Rip_tech

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Helpers List Printf Rip_core Rip_dp Rip_elmore Rip_net Rip_numerics Rip_refine Rip_tech Rip_workload Sys

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Filename Gen Helpers List Printf QCheck QCheck_alcotest Rip_net Rip_tech Sys

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Gen Int64 List QCheck QCheck_alcotest Rip_numerics

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Dump Float Fmt Helpers List QCheck QCheck_alcotest Rip_elmore Rip_net Rip_refine Rip_tech

@@ -1,0 +1,1 @@
+test/test_rip.ml: Alcotest List Test_core Test_dp Test_elmore Test_integration Test_net Test_numerics Test_refine Test_tech Test_tree Test_workload

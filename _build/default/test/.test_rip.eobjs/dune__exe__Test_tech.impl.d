@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Float List QCheck QCheck_alcotest Rip_tech

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Float Fmt Helpers List Printf QCheck QCheck_alcotest Rip_dp Rip_elmore Rip_net Rip_refine Rip_tech Rip_tree

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Helpers List QCheck QCheck_alcotest Result Rip_core Rip_dp Rip_elmore Rip_net Rip_numerics Rip_tree Rip_workload String

@@ -1,0 +1,254 @@
+(* Unit and property tests for Rip_core: configuration, validation and the
+   full RIP pipeline. *)
+
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+module Repeater_library = Rip_dp.Repeater_library
+module Config = Rip_core.Config
+module Validate = Rip_core.Validate
+module Rip = Rip_core.Rip
+
+let qcheck = QCheck_alcotest.to_alcotest
+let process = Helpers.process
+let repeater = Helpers.repeater
+
+(* --- Config ------------------------------------------------------------- *)
+
+let test_config_defaults () =
+  let c = Config.default in
+  Alcotest.(check (list (float 1e-9))) "coarse library"
+    [ 80.0; 160.0; 240.0; 320.0; 400.0 ]
+    (Repeater_library.widths c.Config.coarse_library);
+  Alcotest.(check (float 1e-9)) "coarse pitch" 200.0 c.Config.coarse_pitch;
+  Alcotest.(check (float 1e-9)) "refined grid" 10.0 c.Config.refined_granularity;
+  Alcotest.(check int) "radius" 10 c.Config.refined_radius;
+  Alcotest.(check (float 1e-9)) "refined pitch" 50.0 c.Config.refined_pitch;
+  Alcotest.(check int) "reference library size" 40
+    (Repeater_library.size Config.reference_library)
+
+(* --- Validate ------------------------------------------------------------- *)
+
+let test_net () =
+  Net.create
+    ~segments:
+      [
+        Rip_net.Segment.of_layer Rip_tech.Layer.metal4 ~length:4000.0;
+        Rip_net.Segment.of_layer Rip_tech.Layer.metal5 ~length:4000.0;
+      ]
+    ~zones:[ Zone.create ~z_start:2500.0 ~z_end:3500.0 ]
+    ~driver_width:20.0 ~receiver_width:40.0 ()
+
+let generous_budget net =
+  let geometry = Geometry.of_net net in
+  2.0 *. Delay.total repeater geometry Solution.empty
+
+let test_validate_ok () =
+  let net = test_net () in
+  Alcotest.(check bool) "empty valid" true
+    (Validate.is_valid process net ~budget:(generous_budget net)
+       Solution.empty);
+  Alcotest.(check bool) "legal repeater" true
+    (Validate.is_valid process net ~budget:(generous_budget net)
+       (Solution.create [ (1000.0, 100.0) ]))
+
+let test_validate_zone () =
+  let net = test_net () in
+  match
+    Validate.check process net ~budget:(generous_budget net)
+      (Solution.create [ (3000.0, 100.0) ])
+  with
+  | [ Validate.In_forbidden_zone x ] ->
+      Alcotest.(check (float 1e-9)) "position" 3000.0 x
+  | other -> Alcotest.failf "expected zone violation, got %d" (List.length other)
+
+let test_validate_outside () =
+  let net = test_net () in
+  match
+    Validate.check process net ~budget:(generous_budget net)
+      (Solution.create [ (9000.0, 100.0) ])
+  with
+  | [ Validate.Outside_net _ ] -> ()
+  | _ -> Alcotest.fail "expected outside-net violation"
+
+let test_validate_budget () =
+  let net = test_net () in
+  match Validate.check process net ~budget:1e-15 Solution.empty with
+  | [ Validate.Over_budget _ ] -> ()
+  | _ -> Alcotest.fail "expected budget violation"
+
+let test_validate_width_range () =
+  let net = test_net () in
+  (* A 5u repeater also *slows* the net, so a budget violation may
+     legitimately accompany the width violation. *)
+  let violations =
+    Validate.check ~min_width:10.0 ~max_width:400.0 process net
+      ~budget:(generous_budget net)
+      (Solution.create [ (1000.0, 5.0) ])
+  in
+  Alcotest.(check bool) "width violation reported" true
+    (List.exists
+       (function Validate.Width_out_of_range 5.0 -> true | _ -> false)
+       violations)
+
+(* --- Rip pipeline ----------------------------------------------------------- *)
+
+let suite_nets = Rip_workload.Suite.nets ~count:4 ()
+
+let prop_rip_output_valid =
+  QCheck.Test.make ~name:"RIP solutions are always legal and in budget"
+    ~count:20
+    QCheck.(pair (int_range 0 3) (float_range 1.05 2.05))
+    (fun (net_index, slack) ->
+      let net = List.nth suite_nets net_index in
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      let budget = slack *. tau_min in
+      match Rip.solve_geometry process geometry ~budget with
+      | Error _ -> false
+      | Ok r ->
+          Validate.is_valid ~min_width:Config.default.Config.min_width
+            ~max_width:Config.default.Config.max_width process net ~budget
+            r.Rip.solution
+          && Helpers.close ~rel:1e-9 r.Rip.total_width
+               (Solution.total_width r.Rip.solution))
+
+let prop_rip_beats_its_own_seed =
+  QCheck.Test.make ~name:"RIP never returns more width than its coarse seed"
+    ~count:15
+    QCheck.(pair (int_range 0 3) (float_range 1.05 2.0))
+    (fun (net_index, slack) ->
+      let net = List.nth suite_nets net_index in
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      match Rip.solve_geometry process geometry ~budget:(slack *. tau_min) with
+      | Error _ -> false
+      | Ok r -> (
+          match r.Rip.trace.Rip.coarse with
+          | Some coarse ->
+              (* A min-delay-seeded coarse phase is not a power solution;
+                 only compare against budget-meeting seeds. *)
+              coarse.Rip_dp.Power_dp.delay > slack *. tau_min
+              || r.Rip.total_width
+                 <= coarse.Rip_dp.Power_dp.total_width +. 1e-9
+          | None -> false))
+
+let test_rip_impossible_budget () =
+  let net = List.nth suite_nets 0 in
+  match Rip.solve process net ~budget:1e-15 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_rip_power_consistency () =
+  let net = List.nth suite_nets 1 in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  match Rip.solve_geometry process geometry ~budget:(1.3 *. tau_min) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  | Ok r ->
+      let expected =
+        Rip_tech.Power_model.repeater_power process.Rip_tech.Process.power
+          ~repeater ~total_width:r.Rip.total_width
+      in
+      Alcotest.(check bool) "power matches width"
+        true
+        (Helpers.close ~rel:1e-12 expected r.Rip.power_watts)
+
+let test_rip_trace_populated () =
+  let net = List.nth suite_nets 2 in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  match Rip.solve_geometry process geometry ~budget:(1.4 *. tau_min) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "coarse present" true (r.Rip.trace.Rip.coarse <> None);
+      Alcotest.(check bool) "refine present" true
+        (r.Rip.trace.Rip.refined <> None);
+      Alcotest.(check bool) "final present" true (r.Rip.trace.Rip.final <> None);
+      Alcotest.(check bool) "runtime measured" true (r.Rip.runtime_seconds > 0.0)
+
+let test_rip_solve_matches_solve_geometry () =
+  let net = List.nth suite_nets 3 in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  let budget = 1.5 *. tau_min in
+  match (Rip.solve process net ~budget, Rip.solve_geometry process geometry ~budget)
+  with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "same solution" true
+        (Solution.equal a.Rip.solution b.Rip.solution)
+  | _, _ -> Alcotest.fail "both should succeed"
+
+let test_rip_loose_budget_drops_repeaters () =
+  (* A budget safely above the bare-wire delay needs no repeaters at all. *)
+  let net = List.nth suite_nets 0 in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  match Rip.solve_geometry process geometry ~budget:(1.5 *. bare) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  | Ok r -> Alcotest.(check int) "no repeaters" 0 (Solution.count r.Rip.solution)
+
+let test_rip_multi_pass_never_worse () =
+  let config = { Config.default with Config.refine_passes = 3 } in
+  List.iter
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      let budget = 1.3 *. tau_min in
+      match
+        ( Rip.solve_geometry process geometry ~budget,
+          Rip.solve_geometry ~config process geometry ~budget )
+      with
+      | Ok one, Ok three ->
+          Alcotest.(check bool) "extra passes never cost width" true
+            (three.Rip.total_width <= one.Rip.total_width +. 1e-9);
+          Alcotest.(check bool) "still valid" true
+            (Validate.is_valid process net ~budget three.Rip.solution)
+      | _, _ -> Alcotest.fail "both should solve")
+    suite_nets
+
+let test_rip_tau_min_is_reachable () =
+  (* 1.05 * tau_min is the paper's tightest target; RIP must solve it on
+     every suite net. *)
+  List.iter
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      match Rip.solve_geometry process geometry ~budget:(1.05 *. tau_min) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %s" net.Net.name e)
+    suite_nets
+
+let suite =
+  [
+    ( "core.config",
+      [ Alcotest.test_case "defaults" `Quick test_config_defaults ] );
+    ( "core.validate",
+      [
+        Alcotest.test_case "accepts valid" `Quick test_validate_ok;
+        Alcotest.test_case "zone violation" `Quick test_validate_zone;
+        Alcotest.test_case "outside net" `Quick test_validate_outside;
+        Alcotest.test_case "budget violation" `Quick test_validate_budget;
+        Alcotest.test_case "width range" `Quick test_validate_width_range;
+      ] );
+    ( "core.rip",
+      [
+        Alcotest.test_case "impossible budget" `Quick
+          test_rip_impossible_budget;
+        Alcotest.test_case "power consistency" `Quick
+          test_rip_power_consistency;
+        Alcotest.test_case "trace populated" `Quick test_rip_trace_populated;
+        Alcotest.test_case "solve = solve_geometry" `Quick
+          test_rip_solve_matches_solve_geometry;
+        Alcotest.test_case "loose budgets drop repeaters" `Quick
+          test_rip_loose_budget_drops_repeaters;
+        Alcotest.test_case "1.05 tau_min reachable" `Slow
+          test_rip_tau_min_is_reachable;
+        Alcotest.test_case "multi-pass refine never worse" `Slow
+          test_rip_multi_pass_never_worse;
+        qcheck prop_rip_output_valid;
+        qcheck prop_rip_beats_its_own_seed;
+      ] );
+  ]

@@ -1,0 +1,368 @@
+(* Unit and property tests for Rip_dp, including certification of the DP
+   against exhaustive enumeration on small instances. *)
+
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+module Repeater_library = Rip_dp.Repeater_library
+module Candidates = Rip_dp.Candidates
+module Chain = Rip_dp.Chain
+module Power_dp = Rip_dp.Power_dp
+module Min_delay = Rip_dp.Min_delay
+module Exhaustive = Rip_dp.Exhaustive
+
+let qcheck = QCheck_alcotest.to_alcotest
+let invalid name f = Alcotest.match_raises name (function Invalid_argument _ -> true | _ -> false) f
+let check_float = Alcotest.(check (float 1e-9))
+let repeater = Helpers.repeater
+
+(* --- Repeater_library ------------------------------------------------------ *)
+
+let test_library_create () =
+  let l = Repeater_library.create [ 30.0; 10.0; 30.0; 20.0 ] in
+  Alcotest.(check (list (float 1e-9))) "sorted dedup" [ 10.0; 20.0; 30.0 ]
+    (Repeater_library.widths l);
+  Alcotest.(check int) "size" 3 (Repeater_library.size l);
+  check_float "min" 10.0 (Repeater_library.min_width l);
+  check_float "max" 30.0 (Repeater_library.max_width l);
+  Alcotest.(check bool) "mem" true (Repeater_library.mem l 20.0);
+  Alcotest.(check bool) "not mem" false (Repeater_library.mem l 25.0)
+
+let test_library_validation () =
+  invalid "empty" (fun () -> ignore (Repeater_library.create []));
+  invalid "non-positive" (fun () -> ignore (Repeater_library.create [ 0.0 ]))
+
+let test_library_uniform_range () =
+  Alcotest.(check (list (float 1e-9))) "uniform"
+    [ 80.0; 160.0; 240.0; 320.0; 400.0 ]
+    (Repeater_library.widths
+       (Repeater_library.uniform ~min_width:80.0 ~step:80.0 ~count:5));
+  let paper_baseline =
+    Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:10
+  in
+  check_float "baseline cap" 100.0 (Repeater_library.max_width paper_baseline);
+  Alcotest.(check int) "range size"
+    40
+    (Repeater_library.size
+       (Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:10.0))
+
+let test_library_round_to_grid () =
+  let l =
+    Repeater_library.round_to_grid ~granularity:10.0 ~min_width:10.0
+      ~max_width:400.0 [ 23.2; 396.0 ]
+  in
+  (* 23.2 snaps to 20 with neighbours 10 and 30; 396 snaps to 400 with
+     neighbour 390 (410 clamps onto 400). *)
+  Alcotest.(check (list (float 1e-9))) "snapped"
+    [ 10.0; 20.0; 30.0; 390.0; 400.0 ]
+    (Repeater_library.widths l)
+
+let test_library_round_clamps () =
+  let l =
+    Repeater_library.round_to_grid ~granularity:10.0 ~min_width:10.0
+      ~max_width:400.0 [ 2.0; 1000.0 ]
+  in
+  check_float "floor" 10.0 (Repeater_library.min_width l);
+  check_float "ceiling" 400.0 (Repeater_library.max_width l)
+
+(* --- Candidates ------------------------------------------------------------- *)
+
+let zoned_net () =
+  Net.create
+    ~segments:[ Rip_net.Segment.of_layer Rip_tech.Layer.metal4 ~length:2000.0 ]
+    ~zones:[ Zone.create ~z_start:700.0 ~z_end:1300.0 ]
+    ~driver_width:20.0 ~receiver_width:40.0 ()
+
+let test_candidates_uniform () =
+  let sites = Candidates.uniform (zoned_net ()) ~pitch:200.0 in
+  (* 200..1800 step 200, minus zone interior (800..1200) and endpoints. *)
+  Alcotest.(check (list (float 1e-9)))
+    "sites" [ 200.0; 400.0; 600.0; 1400.0; 1600.0; 1800.0 ] sites
+
+let test_candidates_around () =
+  let sites =
+    Candidates.around (zoned_net ()) ~centers:[ 500.0 ] ~radius:2 ~pitch:100.0
+  in
+  (* 300..700; 700 is the zone edge hence legal. *)
+  Alcotest.(check (list (float 1e-9)))
+    "window" [ 300.0; 400.0; 500.0; 600.0; 700.0 ] sites
+
+let test_candidates_merge () =
+  Alcotest.(check (list (float 1e-9))) "merged" [ 1.0; 2.0; 3.0 ]
+    (Candidates.merge [ 1.0; 3.0 ] [ 2.0; 3.0 ])
+
+let prop_candidates_legal =
+  QCheck.Test.make ~name:"uniform candidates are interior and zone-free"
+    ~count:150
+    (Helpers.net_arb ())
+    (fun net ->
+      let sites = Candidates.uniform net ~pitch:150.0 in
+      let length = Net.total_length net in
+      List.for_all
+        (fun x -> x > 0.0 && x < length && Net.position_legal net x)
+        sites
+      && List.sort compare sites = sites)
+
+(* --- Chain ------------------------------------------------------------------- *)
+
+let prop_chain_stage_matches_stage =
+  QCheck.Test.make
+    ~name:"chain stage delay equals the geometry stage delay" ~count:80
+    (Helpers.net_with_span_arb ~with_zone:false ())
+    (fun (net, (a, b)) ->
+      let length = Net.total_length net in
+      QCheck.assume (a > 1.0 && b < length -. 1.0 && b -. a > 1.0);
+      let geometry = Geometry.of_net net in
+      let chain = Chain.create geometry repeater ~candidates:[ a; b ] in
+      let via_chain =
+        Chain.stage_delay chain ~from_site:1 ~from_width:33.0 ~to_site:2
+          ~to_width:77.0
+      in
+      let direct =
+        Rip_elmore.Stage.delay repeater geometry ~driver_pos:a
+          ~driver_width:33.0 ~load_pos:b ~load_width:77.0
+      in
+      Helpers.close ~rel:1e-9 via_chain direct)
+
+let test_chain_sites () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let chain = Chain.create geometry repeater ~candidates:[ 500.0; 1500.0 ] in
+  Alcotest.(check int) "sites" 4 (Chain.site_count chain);
+  Alcotest.(check int) "interior" 2 (Chain.interior_count chain);
+  Alcotest.(check bool) "driver not interior" false (Chain.is_interior chain 0);
+  Alcotest.(check bool) "receiver not interior" false
+    (Chain.is_interior chain 3);
+  Alcotest.(check bool) "site 1 interior" true (Chain.is_interior chain 1)
+
+(* --- Power_dp vs Exhaustive --------------------------------------------------- *)
+
+let small_instance_gen =
+  QCheck.Gen.(
+    let* net = Helpers.net_gen () in
+    let length = Rip_net.Net.total_length net in
+    let* site_count = int_range 2 5 in
+    let* sites =
+      list_repeat site_count (float_range (0.02 *. length) (0.98 *. length))
+    in
+    let sites = List.filter (Net.position_legal net) sites in
+    let* widths = list_size (int_range 1 3) (float_range 10.0 200.0) in
+    let widths = if widths = [] then [ 50.0 ] else widths in
+    let* slack = float_range 0.9 2.5 in
+    return (net, sites, widths, slack))
+
+let small_instance_arb =
+  QCheck.make
+    ~print:(fun (net, sites, widths, slack) ->
+      Fmt.str "%a sites=%a widths=%a slack=%g" Rip_net.Net.pp net
+        Fmt.(Dump.list float)
+        sites
+        Fmt.(Dump.list float)
+        widths slack)
+    small_instance_gen
+
+let prop_power_dp_optimal =
+  QCheck.Test.make ~name:"power DP matches exhaustive enumeration" ~count:60
+    small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      let budget = bare *. slack /. 1.5 in
+      let dp =
+        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+      in
+      let brute =
+        Exhaustive.min_width_under_budget geometry repeater ~library
+          ~candidates:sites ~budget
+      in
+      match (dp, brute) with
+      | None, None -> true
+      | Some dp, Some (_, brute_width) ->
+          Helpers.close ~rel:1e-9 dp.Power_dp.total_width brute_width
+      | Some _, None | None, Some _ -> false)
+
+let prop_power_dp_valid =
+  QCheck.Test.make ~name:"power DP output is legal and meets its budget"
+    ~count:60 small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      let budget = bare *. slack in
+      match Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+      with
+      | None -> true
+      | Some r ->
+          r.Power_dp.delay <= budget +. (1e-9 *. budget)
+          && Solution.legal net r.Power_dp.solution
+          && Helpers.close ~rel:1e-9
+               (Solution.total_width r.Power_dp.solution)
+               r.Power_dp.total_width)
+
+let prop_power_dp_monotone_in_budget =
+  QCheck.Test.make ~name:"looser budgets never cost more width" ~count:40
+    small_instance_arb
+    (fun (net, sites, widths, _) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      let width_at budget =
+        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+        |> Option.map (fun r -> r.Power_dp.total_width)
+      in
+      match (width_at (0.8 *. bare), width_at (1.1 *. bare)) with
+      | Some tight, Some loose -> loose <= tight +. 1e-9
+      | None, _ -> true
+      | Some _, None -> false)
+
+let test_power_dp_generous_budget_is_free () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
+  match
+    Power_dp.solve geometry repeater ~library
+      ~candidates:(Candidates.uniform net ~pitch:200.0)
+      ~budget:(10.0 *. bare)
+  with
+  | Some r -> check_float "no repeaters needed" 0.0 r.Power_dp.total_width
+  | None -> Alcotest.fail "generous budget must be feasible"
+
+let test_power_dp_impossible_budget () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
+  Alcotest.(check bool) "infeasible" true
+    (Power_dp.solve geometry repeater ~library
+       ~candidates:(Candidates.uniform net ~pitch:200.0)
+       ~budget:1e-15
+    = None)
+
+let test_power_dp_zone_respected () =
+  (* All candidate sites come from the generator, which excludes zones, so
+     any solution is zone-free; verify on a zone-heavy net. *)
+  let net =
+    Net.create
+      ~segments:[ Rip_net.Segment.of_layer Rip_tech.Layer.metal4 ~length:8000.0 ]
+      ~zones:[ Zone.create ~z_start:1000.0 ~z_end:7000.0 ]
+      ~driver_width:20.0 ~receiver_width:40.0 ()
+  in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  let library = Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:30.0 in
+  match
+    Power_dp.solve geometry repeater ~library
+      ~candidates:(Candidates.uniform net ~pitch:100.0)
+      ~budget:(0.75 *. bare)
+  with
+  | Some r ->
+      Alcotest.(check bool) "legal" true (Solution.legal net r.Power_dp.solution)
+  | None -> Alcotest.fail "expected feasible"
+
+(* --- Min_delay ----------------------------------------------------------------- *)
+
+let prop_min_delay_optimal =
+  QCheck.Test.make ~name:"min-delay DP matches exhaustive enumeration"
+    ~count:60 small_instance_arb
+    (fun (net, sites, widths, _) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let dp = Min_delay.solve geometry repeater ~library ~candidates:sites in
+      let _, brute =
+        Exhaustive.min_delay geometry repeater ~library ~candidates:sites
+      in
+      Helpers.close ~rel:1e-9 dp.Min_delay.delay brute)
+
+let prop_min_delay_consistent =
+  QCheck.Test.make
+    ~name:"min-delay DP's reported delay matches its solution" ~count:60
+    small_instance_arb
+    (fun (net, sites, widths, _) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let dp = Min_delay.solve geometry repeater ~library ~candidates:sites in
+      Helpers.close ~rel:1e-9 dp.Min_delay.delay
+        (Delay.total repeater geometry dp.Min_delay.solution))
+
+let prop_min_delay_lower_bounds_power_dp =
+  QCheck.Test.make ~name:"tau_min lower-bounds every feasible budget"
+    ~count:40 small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let tau =
+        Min_delay.tau_min geometry repeater ~library ~candidates:sites
+      in
+      let bare = Delay.total repeater geometry Solution.empty in
+      match
+        Power_dp.solve geometry repeater ~library ~candidates:sites
+          ~budget:(bare *. slack)
+      with
+      | None -> true
+      | Some r -> r.Power_dp.delay >= tau -. (1e-9 *. tau))
+
+(* --- Exhaustive ------------------------------------------------------------------ *)
+
+let test_enumeration_size () =
+  Alcotest.(check int) "3 sites 2 widths" 27
+    (Exhaustive.enumeration_size ~sites:3 ~library_size:2)
+
+let test_enumeration_guard () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let library = Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:10.0 in
+  invalid "too large" (fun () ->
+      ignore
+        (Exhaustive.min_delay geometry repeater ~library
+           ~candidates:(List.init 12 (fun i -> 100.0 +. float_of_int i))))
+
+let suite =
+  [
+    ( "dp.repeater_library",
+      [
+        Alcotest.test_case "create" `Quick test_library_create;
+        Alcotest.test_case "validation" `Quick test_library_validation;
+        Alcotest.test_case "uniform and range" `Quick
+          test_library_uniform_range;
+        Alcotest.test_case "round to grid" `Quick test_library_round_to_grid;
+        Alcotest.test_case "round clamps" `Quick test_library_round_clamps;
+      ] );
+    ( "dp.candidates",
+      [
+        Alcotest.test_case "uniform excludes zone" `Quick
+          test_candidates_uniform;
+        Alcotest.test_case "around window" `Quick test_candidates_around;
+        Alcotest.test_case "merge" `Quick test_candidates_merge;
+        qcheck prop_candidates_legal;
+      ] );
+    ( "dp.chain",
+      [
+        Alcotest.test_case "site bookkeeping" `Quick test_chain_sites;
+        qcheck prop_chain_stage_matches_stage;
+      ] );
+    ( "dp.power_dp",
+      [
+        Alcotest.test_case "generous budget" `Quick
+          test_power_dp_generous_budget_is_free;
+        Alcotest.test_case "impossible budget" `Quick
+          test_power_dp_impossible_budget;
+        Alcotest.test_case "zones respected" `Quick test_power_dp_zone_respected;
+        qcheck prop_power_dp_optimal;
+        qcheck prop_power_dp_valid;
+        qcheck prop_power_dp_monotone_in_budget;
+      ] );
+    ( "dp.min_delay",
+      [
+        qcheck prop_min_delay_optimal;
+        qcheck prop_min_delay_consistent;
+        qcheck prop_min_delay_lower_bounds_power_dp;
+      ] );
+    ( "dp.exhaustive",
+      [
+        Alcotest.test_case "enumeration size" `Quick test_enumeration_size;
+        Alcotest.test_case "size guard" `Quick test_enumeration_guard;
+      ] );
+  ]

@@ -1,0 +1,293 @@
+(* Unit and property tests for Rip_elmore. *)
+
+module Geometry = Rip_net.Geometry
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Stage = Rip_elmore.Stage
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+module Rc_ladder = Rip_elmore.Rc_ladder
+
+let qcheck = QCheck_alcotest.to_alcotest
+let invalid name f = Alcotest.match_raises name (function Invalid_argument _ -> true | _ -> false) f
+let repeater = Helpers.repeater
+
+let uniform_net () =
+  Net.uniform Rip_tech.Layer.metal4 ~length:6000.0 ~segment_count:3
+    ~driver_width:20.0 ~receiver_width:40.0
+
+(* --- Rc_ladder ------------------------------------------------------------ *)
+
+let test_ladder_single_rc () =
+  (* One section, all capacitance after the resistor half/half: the Elmore
+     delay is R*(C/2) + R_total*(C/2 + C_load). *)
+  let d =
+    Rc_ladder.ladder_delay ~driver_resistance:100.0
+      ~sections:[ { Rc_ladder.series_resistance = 50.0; shunt_capacitance = 2e-12 } ]
+      ~load_capacitance:1e-12
+  in
+  (* 100*1e-12 + 150*1e-12 + 150*1e-12 *)
+  Alcotest.(check (float 1e-18)) "pi section" 4e-10 d
+
+let test_ladder_no_sections () =
+  let d =
+    Rc_ladder.ladder_delay ~driver_resistance:100.0 ~sections:[]
+      ~load_capacitance:1e-12
+  in
+  Alcotest.(check (float 1e-20)) "pure RC" 1e-10 d
+
+(* --- Stage vs discretised ladder ------------------------------------------ *)
+
+let prop_stage_matches_ladder =
+  QCheck.Test.make ~name:"closed-form stage delay matches discretised ladder"
+    ~count:40
+    (Helpers.net_with_span_arb ())
+    (fun (net, (a, b)) ->
+      QCheck.assume (b -. a > 10.0);
+      let geometry = Geometry.of_net net in
+      let closed =
+        Stage.delay repeater geometry ~driver_pos:a ~driver_width:30.0
+          ~load_pos:b ~load_width:60.0
+      in
+      let discretised =
+        Rc_ladder.stage_delay_discretised repeater geometry ~driver_pos:a
+          ~driver_width:30.0 ~load_pos:b ~load_width:60.0 ~lumps_per_um:2.0
+      in
+      Helpers.close ~rel:1e-3 closed discretised)
+
+let test_stage_zero_length () =
+  let net = uniform_net () in
+  let geometry = Geometry.of_net net in
+  let d =
+    Stage.delay repeater geometry ~driver_pos:1000.0 ~driver_width:50.0
+      ~load_pos:1000.0 ~load_width:60.0
+  in
+  (* No wire: intrinsic + Rs/w * Co*wl. *)
+  let expected =
+    Rip_tech.Repeater_model.intrinsic_delay repeater
+    +. (Rip_tech.Repeater_model.output_resistance repeater 50.0
+       *. Rip_tech.Repeater_model.input_capacitance repeater 60.0)
+  in
+  Alcotest.(check (float 1e-18)) "no wire" expected d
+
+let test_stage_ordering () =
+  let net = uniform_net () in
+  let geometry = Geometry.of_net net in
+  invalid "reversed" (fun () ->
+      ignore
+        (Stage.delay repeater geometry ~driver_pos:2000.0 ~driver_width:10.0
+           ~load_pos:1000.0 ~load_width:10.0))
+
+let prop_stage_monotone_in_driver_width =
+  QCheck.Test.make ~name:"stage delay shrinks as the driver widens" ~count:100
+    (QCheck.make (Helpers.net_gen ~with_zone:false ()))
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let length = Net.total_length net in
+      let d w =
+        Stage.delay repeater geometry ~driver_pos:0.0 ~driver_width:w
+          ~load_pos:length ~load_width:40.0
+      in
+      d 20.0 > d 40.0 && d 40.0 > d 80.0)
+
+let prop_stage_monotone_in_load_width =
+  QCheck.Test.make ~name:"stage delay grows with the load width" ~count:100
+    (QCheck.make (Helpers.net_gen ~with_zone:false ()))
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let length = Net.total_length net in
+      let d w =
+        Stage.delay repeater geometry ~driver_pos:0.0 ~driver_width:40.0
+          ~load_pos:length ~load_width:w
+      in
+      d 20.0 < d 40.0 && d 40.0 < d 80.0)
+
+(* --- Two_moment (D2M) ------------------------------------------------------ *)
+
+let test_d2m_single_pole_exact () =
+  (* For a single-pole circuit (driver R into lumped C, no wire) D2M is
+     exactly ln 2 * RC while Elmore reports RC. *)
+  let m1, m2 =
+    Rc_ladder.ladder_moments ~driver_resistance:1000.0 ~sections:[]
+      ~load_capacitance:1e-12
+  in
+  Alcotest.(check (float 1e-18)) "m1 = RC" 1e-9 m1;
+  Alcotest.(check (float 1e-24)) "m2 = (RC)^2" 1e-18 m2
+
+let test_d2m_moments_match_elmore () =
+  let net = uniform_net () in
+  let geometry = Geometry.of_net net in
+  let sections =
+    Rc_ladder.wire_sections geometry ~driver_pos:0.0 ~load_pos:6000.0
+      ~lumps_per_um:0.5
+  in
+  let m1, _ =
+    Rc_ladder.ladder_moments ~driver_resistance:500.0 ~sections
+      ~load_capacitance:5e-14
+  in
+  let elmore =
+    Rc_ladder.ladder_delay ~driver_resistance:500.0 ~sections
+      ~load_capacitance:5e-14
+  in
+  Alcotest.(check bool) "m1 is the Elmore delay" true
+    (Helpers.close ~rel:1e-9 m1 elmore)
+
+let prop_d2m_bounded_by_elmore =
+  QCheck.Test.make
+    ~name:"D2M lies between ln2*Elmore and Elmore on random stages"
+    ~count:60
+    (Helpers.net_with_span_arb ~with_zone:false ())
+    (fun (net, (a, b)) ->
+      QCheck.assume (b -. a > 10.0);
+      let geometry = Geometry.of_net net in
+      let intrinsic = Rip_tech.Repeater_model.intrinsic_delay repeater in
+      let d2m =
+        Rip_elmore.Two_moment.stage_delay repeater geometry ~driver_pos:a
+          ~driver_width:30.0 ~load_pos:b ~load_width:60.0 ()
+        -. intrinsic
+      in
+      let elmore =
+        Stage.delay repeater geometry ~driver_pos:a ~driver_width:30.0
+          ~load_pos:b ~load_width:60.0
+        -. intrinsic
+      in
+      d2m <= elmore *. (1.0 +. 1e-6)
+      && d2m >= 0.6 *. elmore (* ln 2 with discretisation headroom *))
+
+let prop_d2m_total_orders_like_elmore =
+  QCheck.Test.make
+    ~name:"D2M totals stay within (ln2, 1] of Elmore totals" ~count:40
+    (QCheck.make (Helpers.net_gen ~with_zone:false ()))
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let length = Net.total_length net in
+      let solution =
+        Solution.create [ (0.4 *. length, 60.0); (0.8 *. length, 90.0) ]
+      in
+      let ratio =
+        Rip_elmore.Two_moment.elmore_ratio repeater geometry solution
+      in
+      ratio > 0.6 && ratio <= 1.0 +. 1e-9)
+
+(* --- Solution ----------------------------------------------------------- *)
+
+let test_solution_sorting () =
+  let s = Solution.create [ (2000.0, 30.0); (500.0, 20.0) ] in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 500.0; 2000.0 ]
+    (Solution.positions s);
+  Alcotest.(check (float 1e-9)) "total width" 50.0 (Solution.total_width s);
+  Alcotest.(check int) "count" 2 (Solution.count s)
+
+let test_solution_validation () =
+  invalid "duplicate" (fun () ->
+      ignore (Solution.create [ (100.0, 10.0); (100.0, 20.0) ]));
+  invalid "bad width" (fun () -> ignore (Solution.create [ (100.0, 0.0) ]));
+  invalid "negative position" (fun () ->
+      ignore (Solution.create [ (-5.0, 10.0) ]))
+
+let test_solution_legal () =
+  let net =
+    Net.create
+      ~segments:[ Rip_net.Segment.of_layer Rip_tech.Layer.metal4 ~length:3000.0 ]
+      ~zones:[ Zone.create ~z_start:1000.0 ~z_end:2000.0 ]
+      ~driver_width:20.0 ~receiver_width:20.0 ()
+  in
+  Alcotest.(check bool) "outside zone" true
+    (Solution.legal net (Solution.create [ (500.0, 10.0) ]));
+  Alcotest.(check bool) "inside zone" false
+    (Solution.legal net (Solution.create [ (1500.0, 10.0) ]));
+  Alcotest.(check bool) "zone edge" true
+    (Solution.legal net (Solution.create [ (1000.0, 10.0) ]));
+  Alcotest.(check bool) "empty" true (Solution.legal net Solution.empty)
+
+(* --- Delay ----------------------------------------------------------------- *)
+
+let test_delay_stage_count () =
+  let net = uniform_net () in
+  let geometry = Geometry.of_net net in
+  let solution = Solution.create [ (2000.0, 50.0); (4000.0, 50.0) ] in
+  Alcotest.(check int) "n+1 stages" 3
+    (List.length (Delay.stage_delays repeater geometry solution));
+  Alcotest.(check int) "bare wire one stage" 1
+    (List.length (Delay.stage_delays repeater geometry Solution.empty))
+
+let prop_total_is_sum_of_stages =
+  QCheck.Test.make ~name:"total delay is the sum of stage delays" ~count:100
+    (QCheck.make (Helpers.net_gen ~with_zone:false ()))
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let length = Net.total_length net in
+      let solution =
+        Solution.create [ (0.3 *. length, 40.0); (0.7 *. length, 70.0) ]
+      in
+      let total = Delay.total repeater geometry solution in
+      let sum =
+        List.fold_left ( +. ) 0.0 (Delay.stage_delays repeater geometry solution)
+      in
+      Helpers.close ~rel:1e-12 total sum)
+
+let test_repeater_helps_long_wire () =
+  (* On a long unbuffered line, a well-placed repeater must reduce delay. *)
+  let net =
+    Net.uniform Rip_tech.Layer.metal4 ~length:12000.0 ~segment_count:6
+      ~driver_width:20.0 ~receiver_width:40.0
+  in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  let repeated =
+    Delay.total repeater geometry (Solution.create [ (6000.0, 150.0) ])
+  in
+  Alcotest.(check bool) "repeater helps" true (repeated < bare)
+
+let test_slack_and_budget () =
+  let net = uniform_net () in
+  let geometry = Geometry.of_net net in
+  let d = Delay.total repeater geometry Solution.empty in
+  Alcotest.(check bool) "meets generous budget" true
+    (Delay.meets_budget repeater geometry Solution.empty ~budget:(2.0 *. d));
+  Alcotest.(check bool) "misses tight budget" false
+    (Delay.meets_budget repeater geometry Solution.empty ~budget:(0.5 *. d));
+  Alcotest.(check bool) "meets its own delay" true
+    (Delay.meets_budget repeater geometry Solution.empty ~budget:d);
+  Alcotest.(check (float 1e-15)) "slack" d
+    (Delay.slack repeater geometry Solution.empty ~budget:(2.0 *. d))
+
+let suite =
+  [
+    ( "elmore.rc_ladder",
+      [
+        Alcotest.test_case "single pi section" `Quick test_ladder_single_rc;
+        Alcotest.test_case "no sections" `Quick test_ladder_no_sections;
+      ] );
+    ( "elmore.stage",
+      [
+        Alcotest.test_case "zero-length stage" `Quick test_stage_zero_length;
+        Alcotest.test_case "ordering enforced" `Quick test_stage_ordering;
+        qcheck prop_stage_matches_ladder;
+        qcheck prop_stage_monotone_in_driver_width;
+        qcheck prop_stage_monotone_in_load_width;
+      ] );
+    ( "elmore.two_moment",
+      [
+        Alcotest.test_case "single pole exact" `Quick
+          test_d2m_single_pole_exact;
+        Alcotest.test_case "m1 equals Elmore" `Quick
+          test_d2m_moments_match_elmore;
+        qcheck prop_d2m_bounded_by_elmore;
+        qcheck prop_d2m_total_orders_like_elmore;
+      ] );
+    ( "elmore.solution",
+      [
+        Alcotest.test_case "sorting" `Quick test_solution_sorting;
+        Alcotest.test_case "validation" `Quick test_solution_validation;
+        Alcotest.test_case "zone legality" `Quick test_solution_legal;
+      ] );
+    ( "elmore.delay",
+      [
+        Alcotest.test_case "stage count" `Quick test_delay_stage_count;
+        Alcotest.test_case "repeater helps long wire" `Quick
+          test_repeater_helps_long_wire;
+        Alcotest.test_case "slack and budget" `Quick test_slack_and_budget;
+        qcheck prop_total_is_sum_of_stages;
+      ] );
+  ]

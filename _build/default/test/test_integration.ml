@@ -1,0 +1,199 @@
+(* End-to-end integration tests: the full RIP pipeline against the paper's
+   headline claims, on hand-built and generated nets, through the public
+   API only. *)
+
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Segment = Rip_net.Segment
+module Geometry = Rip_net.Geometry
+module Net_io = Rip_net.Net_io
+module Solution = Rip_elmore.Solution
+module Delay = Rip_elmore.Delay
+module Validate = Rip_core.Validate
+module Rip = Rip_core.Rip
+module Baseline = Rip_workload.Baseline
+module Suite = Rip_workload.Suite
+
+let process = Helpers.process
+let repeater = Helpers.repeater
+
+(* A hand-built 5-segment multi-layer net crossing one macro block. *)
+let macro_net () =
+  Net.create ~name:"macro_crossing"
+    ~segments:
+      [
+        Segment.of_layer Rip_tech.Layer.metal4 ~length:2100.0;
+        Segment.of_layer Rip_tech.Layer.metal5 ~length:1700.0;
+        Segment.of_layer Rip_tech.Layer.metal4 ~length:2400.0;
+        Segment.of_layer Rip_tech.Layer.metal5 ~length:1300.0;
+        Segment.of_layer Rip_tech.Layer.metal4 ~length:2000.0;
+      ]
+    ~zones:[ Zone.create ~z_start:3200.0 ~z_end:6100.0 ]
+    ~driver_width:20.0 ~receiver_width:40.0 ()
+
+let test_full_pipeline_on_macro_net () =
+  let net = macro_net () in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  List.iter
+    (fun slack ->
+      let budget = slack *. tau_min in
+      match Rip.solve_geometry process geometry ~budget with
+      | Error e -> Alcotest.failf "x%.2f failed: %s" slack e
+      | Ok r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "valid at x%.2f" slack)
+            true
+            (Validate.is_valid ~min_width:10.0 ~max_width:400.0 process net
+               ~budget r.Rip.solution))
+    [ 1.05; 1.25; 1.55; 2.05 ]
+
+let test_pipeline_through_file_round_trip () =
+  (* Write the net to a file, parse it back, solve, and compare widths. *)
+  let net = macro_net () in
+  let path = Filename.temp_file "rip_integration" ".net" in
+  Net_io.write_file path net;
+  let parsed =
+    match Net_io.parse_file path with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Sys.remove path;
+  let budget = 1.4 *. Rip.tau_min process (Geometry.of_net net) in
+  match (Rip.solve process net ~budget, Rip.solve process parsed ~budget) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "same result through the file" true
+        (Solution.equal a.Rip.solution b.Rip.solution)
+  | _, _ -> Alcotest.fail "both solves should succeed"
+
+let test_refine_improves_coarse_seed () =
+  (* The analytical stage is the paper's contribution: on the macro net it
+     must strictly improve the coarse seed for mid-range budgets. *)
+  let net = macro_net () in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  match Rip.solve_geometry process geometry ~budget:(1.35 *. tau_min) with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok r -> (
+      match (r.Rip.trace.Rip.coarse, r.Rip.trace.Rip.refined) with
+      | Some coarse, Some refined ->
+          Alcotest.(check bool) "refine below coarse" true
+            (refined.Rip_refine.Refine.total_width
+            < coarse.Rip_dp.Power_dp.total_width +. 1e-9);
+          Alcotest.(check bool) "final below coarse" true
+            (r.Rip.total_width <= coarse.Rip_dp.Power_dp.total_width +. 1e-9)
+      | _ -> Alcotest.fail "trace incomplete")
+
+let test_rip_never_violates_where_baseline_does () =
+  (* Zone I of Figure 7(a): budgets the capped baseline cannot meet, RIP
+     must still meet. *)
+  let nets = Suite.nets ~count:5 () in
+  let found_zone1 = ref false in
+  List.iter
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      List.iter
+        (fun slack ->
+          let budget = slack *. tau_min in
+          let base =
+            Baseline.solve (Baseline.fixed_size ~granularity:10.0) process
+              geometry ~budget
+          in
+          if base.Baseline.result = None then begin
+            found_zone1 := true;
+            match Rip.solve_geometry process geometry ~budget with
+            | Ok r ->
+                Alcotest.(check bool) "RIP feasible in zone I" true
+                  (Validate.is_valid process net ~budget r.Rip.solution)
+            | Error e ->
+                Alcotest.failf "RIP must not violate (%s): %s" net.Net.name e
+          end)
+        [ 1.05; 1.10; 1.15 ])
+    nets;
+  Alcotest.(check bool) "zone I exercised" true !found_zone1
+
+let test_rip_beats_coarse_baseline_on_average () =
+  (* The headline claim, in miniature: against the g=40u baseline, RIP's
+     mean saving across a small sweep is solidly positive. *)
+  let nets = Suite.nets ~count:4 () in
+  let savings = ref [] in
+  List.iter
+    (fun net ->
+      let geometry = Geometry.of_net net in
+      let tau_min = Rip.tau_min process geometry in
+      List.iter
+        (fun slack ->
+          let budget = slack *. tau_min in
+          let base =
+            Baseline.solve (Baseline.fixed_size ~granularity:40.0) process
+              geometry ~budget
+          in
+          match (base.Baseline.result, Rip.solve_geometry process geometry ~budget)
+          with
+          | Some b, Ok r when b.Rip_dp.Power_dp.total_width > 0.0 ->
+              savings :=
+                (100.0
+                *. (b.Rip_dp.Power_dp.total_width -. r.Rip.total_width)
+                /. b.Rip_dp.Power_dp.total_width)
+                :: !savings
+          | _ -> ())
+        [ 1.1; 1.3; 1.5; 1.7; 1.9 ])
+    nets;
+  let mean = Rip_numerics.Stats.mean !savings in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean saving %.1f%% > 5%%" mean)
+    true (mean > 5.0)
+
+let test_rip_runtime_beats_fine_baseline () =
+  (* Table 2's speedup claim, in miniature: RIP is at least 5x faster than
+     the g_DP = 10u fixed-range baseline at comparable quality. *)
+  let net = List.hd (Suite.nets ~count:1 ()) in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  let budget = 1.3 *. tau_min in
+  let base =
+    Baseline.solve (Baseline.fixed_range ~granularity:10.0) process geometry
+      ~budget
+  in
+  match (base.Baseline.result, Rip.solve_geometry process geometry ~budget) with
+  | Some _, Ok r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "speedup %.0fx >= 5x"
+           (base.Baseline.runtime_seconds /. r.Rip.runtime_seconds))
+        true
+        (base.Baseline.runtime_seconds >= 5.0 *. r.Rip.runtime_seconds)
+  | _ -> Alcotest.fail "both should solve"
+
+let test_stage_delay_additivity_across_pipeline () =
+  (* The delay reported by RIP equals an independent re-evaluation. *)
+  let net = macro_net () in
+  let geometry = Geometry.of_net net in
+  let tau_min = Rip.tau_min process geometry in
+  match Rip.solve_geometry process geometry ~budget:(1.5 *. tau_min) with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "delay re-evaluates" true
+        (Helpers.close ~rel:1e-12 r.Rip.delay
+           (Delay.total repeater geometry r.Rip.solution))
+
+let suite =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "full pipeline on macro-crossing net" `Slow
+          test_full_pipeline_on_macro_net;
+        Alcotest.test_case "file round trip through solve" `Slow
+          test_pipeline_through_file_round_trip;
+        Alcotest.test_case "REFINE improves the coarse seed" `Slow
+          test_refine_improves_coarse_seed;
+        Alcotest.test_case "RIP feasible across zone I" `Slow
+          test_rip_never_violates_where_baseline_does;
+        Alcotest.test_case "mean saving vs g=40u baseline" `Slow
+          test_rip_beats_coarse_baseline_on_average;
+        Alcotest.test_case "speedup vs fine baseline" `Slow
+          test_rip_runtime_beats_fine_baseline;
+        Alcotest.test_case "reported delay re-evaluates" `Slow
+          test_stage_delay_additivity_across_pipeline;
+      ] );
+  ]

@@ -1,0 +1,344 @@
+(* Unit and property tests for Rip_numerics. *)
+
+module Matrix = Rip_numerics.Matrix
+module Bracket = Rip_numerics.Bracket
+module Newton = Rip_numerics.Newton
+module Stats = Rip_numerics.Stats
+module Prng = Rip_numerics.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Matrix ----------------------------------------------------------- *)
+
+let test_solve_identity () =
+  let a = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let x = Matrix.solve a [| 3.0; -4.0 |] in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" (-4.0) x.(1)
+
+let test_solve_known_2x2 () =
+  (* 2x + y = 5; x - y = 1  ->  x = 2, y = 1 *)
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; -1.0 |] |] in
+  let x = Matrix.solve a [| 5.0; 1.0 |] in
+  check_float "x" 2.0 x.(0);
+  check_float "y" 1.0 x.(1)
+
+let test_solve_needs_pivoting () =
+  (* Zero leading pivot forces a row swap. *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Matrix.solve a [| 7.0; 9.0 |] in
+  check_float "x" 9.0 x.(0);
+  check_float "y" 7.0 x.(1)
+
+let test_solve_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Matrix.Singular (fun () ->
+      ignore (Matrix.solve a [| 1.0; 2.0 |]))
+
+let test_solve_dimension_mismatch () =
+  let a = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Matrix.solve: dimension mismatch") (fun () ->
+      ignore (Matrix.solve a [| 1.0 |]))
+
+let test_solve_preserves_inputs () =
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; -1.0 |] |] in
+  let b = [| 5.0; 1.0 |] in
+  ignore (Matrix.solve a b);
+  check_float "a00 intact" 2.0 a.(0).(0);
+  check_float "b0 intact" 5.0 b.(0)
+
+let test_mat_vec () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Matrix.mat_vec a [| 1.0; 1.0 |] in
+  check_float "y0" 3.0 y.(0);
+  check_float "y1" 7.0 y.(1)
+
+let prop_solve_residual =
+  QCheck.Test.make ~name:"random diagonally dominant systems solve" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 8) (list (float_range (-5.0) 5.0)))
+    (fun rows ->
+      let n = List.length rows in
+      QCheck.assume (n > 0);
+      let a =
+        Array.init n (fun i ->
+            let row = List.nth rows i in
+            Array.init n (fun j ->
+                let v =
+                  match List.nth_opt row j with Some v -> v | None -> 0.3
+                in
+                if i = j then v +. 20.0 else v))
+      in
+      let b = Array.init n (fun i -> float_of_int (i + 1)) in
+      let x = Matrix.solve a b in
+      Matrix.residual_norm a x b < 1e-8)
+
+(* --- Bracket ----------------------------------------------------------- *)
+
+let test_bisect_linear () =
+  let root =
+    Bracket.bisect ~f:(fun x -> x -. 3.0) ~lo:0.0 ~hi:10.0 ~tol:1e-12
+      ~max_iter:200
+  in
+  check_float "root" 3.0 root
+
+let test_bisect_cos () =
+  let root =
+    Bracket.bisect ~f:cos ~lo:0.0 ~hi:3.0 ~tol:1e-12 ~max_iter:200
+  in
+  Alcotest.(check (float 1e-9)) "pi/2" (Float.pi /. 2.0) root
+
+let test_bisect_requires_sign_change () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Bracket.bisect: endpoints do not straddle zero")
+    (fun () ->
+      ignore
+        (Bracket.bisect ~f:(fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0 ~tol:1e-9
+           ~max_iter:10))
+
+let test_expand_bracket () =
+  match
+    Bracket.expand_bracket ~f:(fun x -> x -. 1000.0) ~lo:0.1 ~hi:1.0
+      ~max_expansions:20
+  with
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "straddles" true (lo < 1000.0 && hi > 1000.0)
+  | None -> Alcotest.fail "expected a bracket"
+
+let test_expand_bracket_failure () =
+  match
+    Bracket.expand_bracket ~f:(fun _ -> 1.0) ~lo:0.1 ~hi:1.0
+      ~max_expansions:4
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no bracket exists"
+
+let test_find_root () =
+  match Bracket.find_root ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.5 ~hi:1.0
+          ~tol:1e-12 with
+  | Bracket.Root r -> Alcotest.(check (float 1e-9)) "sqrt2" (sqrt 2.0) r
+  | Bracket.No_sign_change _ -> Alcotest.fail "root exists"
+
+let prop_bisect_monotone_cubic =
+  (* find_root's bracket expansion is designed for the solver's positive
+     half-line (Lagrange multipliers), so the root is kept positive. *)
+  QCheck.Test.make ~name:"bisect solves monotone cubics" ~count:200
+    QCheck.(pair (float_range 0.1 5.0) (float_range 0.1 50.0))
+    (fun (a, b) ->
+      let f x = (a *. x *. x *. x) +. x -. b in
+      match Bracket.find_root ~f ~lo:1e-6 ~hi:1.0 ~tol:1e-12 with
+      | Bracket.Root r -> Float.abs (f r) < 1e-6 *. (1.0 +. Float.abs b)
+      | Bracket.No_sign_change _ -> false)
+
+(* --- Newton ------------------------------------------------------------ *)
+
+let test_newton_scalar_sqrt () =
+  match
+    Newton.solve_scalar
+      ~f:(fun x -> (x *. x) -. 2.0)
+      ~df:(fun x -> 2.0 *. x)
+      ~init:1.0 ()
+  with
+  | Some r -> Alcotest.(check (float 1e-9)) "sqrt2" (sqrt 2.0) r
+  | None -> Alcotest.fail "newton diverged"
+
+let test_newton_scalar_divergence () =
+  (* Zero derivative at the start kills the iteration. *)
+  match
+    Newton.solve_scalar ~f:(fun x -> (x *. x) +. 1.0) ~df:(fun _ -> 0.0)
+      ~init:0.0 ()
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected divergence"
+
+let test_newton_system () =
+  (* x^2 + y^2 = 4 and x = y -> x = y = sqrt 2. *)
+  let residual z =
+    [| (z.(0) *. z.(0)) +. (z.(1) *. z.(1)) -. 4.0; z.(0) -. z.(1) |]
+  in
+  let jacobian z =
+    [| [| 2.0 *. z.(0); 2.0 *. z.(1) |]; [| 1.0; -1.0 |] |]
+  in
+  let r = Newton.solve_system ~residual ~jacobian ~init:[| 1.0; 2.0 |] () in
+  (match r.Newton.status with
+  | Newton.Converged _ -> ()
+  | _ -> Alcotest.fail "should converge");
+  Alcotest.(check (float 1e-6)) "x" (sqrt 2.0) r.Newton.solution.(0);
+  Alcotest.(check (float 1e-6)) "y" (sqrt 2.0) r.Newton.solution.(1)
+
+let test_newton_lower_bounds () =
+  (* The positive root is enforced by the bound even though the seed is
+     nearer the negative one. *)
+  let residual z = [| (z.(0) *. z.(0)) -. 4.0 |] in
+  let jacobian z = [| [| 2.0 *. z.(0) |] |] in
+  let r =
+    Newton.solve_system ~residual ~jacobian ~init:[| 0.5 |]
+      ~lower_bounds:[| 0.0 |] ()
+  in
+  (match r.Newton.status with
+  | Newton.Converged _ ->
+      Alcotest.(check (float 1e-6)) "positive root" 2.0 r.Newton.solution.(0)
+  | _ -> Alcotest.fail "should converge")
+
+let test_newton_singular_jacobian () =
+  let residual z = [| z.(0) +. 1.0 |] in
+  let jacobian _ = [| [| 0.0 |] |] in
+  let r = Newton.solve_system ~residual ~jacobian ~init:[| 0.0 |] () in
+  match r.Newton.status with
+  | Newton.Diverged -> ()
+  | _ -> Alcotest.fail "expected divergence on singular jacobian"
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "max" 3.0 (Stats.max_value [ 1.0; 3.0; 2.0 ]);
+  check_float "min" 1.0 (Stats.min_value [ 2.0; 1.0; 3.0 ]);
+  check_float "stddev pair" 1.0 (Stats.stddev [ 1.0; 3.0 ]);
+  check_float "stddev singleton" 0.0 (Stats.stddev [ 5.0 ])
+
+let test_percentile () =
+  let xs = [ 4.0; 1.0; 3.0; 2.0 ] in
+  check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 4.0 (Stats.percentile 1.0 xs);
+  check_float "median" 2.5 (Stats.percentile 0.5 xs)
+
+let test_percentile_errors () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 0.5 []));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Stats.percentile: p outside [0,1]") (fun () ->
+      ignore (Stats.percentile 1.5 [ 1.0 ]))
+
+let test_ratio_percent () =
+  check_float "half" 50.0 (Stats.ratio_percent 100.0 50.0);
+  check_float "zero base" 0.0 (Stats.ratio_percent 0.0 50.0);
+  check_float "negative saving" (-50.0) (Stats.ratio_percent 100.0 150.0)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.min_value xs -. 1e-9 && m <= Stats.max_value xs +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.))
+        (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-12)
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a)
+      (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_derive_is_stable () =
+  let parent = Prng.create 7L in
+  (* Consuming from the parent must not change derived streams. *)
+  let d1 = Prng.derive parent 3L in
+  ignore (Prng.next_int64 parent);
+  let d2 = Prng.derive parent 3L in
+  Alcotest.(check int64) "derive independent of consumption"
+    (Prng.next_int64 d1) (Prng.next_int64 d2)
+
+let test_prng_bool_varies () =
+  let g = Prng.create 11L in
+  let values = List.init 64 (fun _ -> Prng.bool g) in
+  Alcotest.(check bool) "both outcomes" true
+    (List.mem true values && List.mem false values)
+
+let prop_float_range =
+  QCheck.Test.make ~name:"float_range stays inside its bounds" ~count:500
+    QCheck.(pair (float_range (-1000.) 1000.) (float_range 0.0 1000.))
+    (fun (lo, span) ->
+      let g = Prng.create (Int64.of_float (lo *. 7919.0)) in
+      let v = Prng.float_range g lo (lo +. span +. 1e-9) in
+      v >= lo && v < lo +. span +. 1e-9)
+
+let prop_int_range =
+  QCheck.Test.make ~name:"int_range covers its inclusive bounds" ~count:100
+    QCheck.(pair (int_range (-50) 50) (int_range 0 20))
+    (fun (lo, span) ->
+      let g = Prng.create (Int64.of_int (lo + (span * 1000))) in
+      let seen = Array.make (span + 1) false in
+      for _ = 1 to 400 do
+        let v = Prng.int_range g lo (lo + span) in
+        if v < lo || v > lo + span then failwith "out of range";
+        seen.(v - lo) <- true
+      done;
+      Array.for_all (fun x -> x) seen)
+
+let suite =
+  [
+    ( "numerics.matrix",
+      [
+        Alcotest.test_case "identity" `Quick test_solve_identity;
+        Alcotest.test_case "known 2x2" `Quick test_solve_known_2x2;
+        Alcotest.test_case "pivoting" `Quick test_solve_needs_pivoting;
+        Alcotest.test_case "singular" `Quick test_solve_singular;
+        Alcotest.test_case "dimension mismatch" `Quick
+          test_solve_dimension_mismatch;
+        Alcotest.test_case "inputs preserved" `Quick
+          test_solve_preserves_inputs;
+        Alcotest.test_case "mat_vec" `Quick test_mat_vec;
+        qcheck prop_solve_residual;
+      ] );
+    ( "numerics.bracket",
+      [
+        Alcotest.test_case "linear" `Quick test_bisect_linear;
+        Alcotest.test_case "cosine" `Quick test_bisect_cos;
+        Alcotest.test_case "sign change required" `Quick
+          test_bisect_requires_sign_change;
+        Alcotest.test_case "expand" `Quick test_expand_bracket;
+        Alcotest.test_case "expand failure" `Quick test_expand_bracket_failure;
+        Alcotest.test_case "find_root" `Quick test_find_root;
+        qcheck prop_bisect_monotone_cubic;
+      ] );
+    ( "numerics.newton",
+      [
+        Alcotest.test_case "scalar sqrt" `Quick test_newton_scalar_sqrt;
+        Alcotest.test_case "scalar divergence" `Quick
+          test_newton_scalar_divergence;
+        Alcotest.test_case "2d system" `Quick test_newton_system;
+        Alcotest.test_case "lower bounds" `Quick test_newton_lower_bounds;
+        Alcotest.test_case "singular jacobian" `Quick
+          test_newton_singular_jacobian;
+      ] );
+    ( "numerics.stats",
+      [
+        Alcotest.test_case "basics" `Quick test_stats_basics;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+        Alcotest.test_case "ratio percent" `Quick test_ratio_percent;
+        qcheck prop_mean_bounded;
+        qcheck prop_percentile_monotone;
+      ] );
+    ( "numerics.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick
+          test_prng_seed_sensitivity;
+        Alcotest.test_case "derive stability" `Quick
+          test_prng_derive_is_stable;
+        Alcotest.test_case "bool varies" `Quick test_prng_bool_varies;
+        qcheck prop_float_range;
+        qcheck prop_int_range;
+      ] );
+  ]

@@ -1,0 +1,16 @@
+(* Aggregated test entry point; each module contributes its suites. *)
+let () =
+  Alcotest.run "rip"
+    (List.concat
+       [
+         Test_numerics.suite;
+         Test_tech.suite;
+         Test_net.suite;
+         Test_elmore.suite;
+         Test_dp.suite;
+         Test_refine.suite;
+         Test_core.suite;
+         Test_workload.suite;
+         Test_tree.suite;
+         Test_integration.suite;
+       ])

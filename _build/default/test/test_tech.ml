@@ -1,0 +1,143 @@
+(* Unit and property tests for Rip_tech. *)
+
+module Repeater_model = Rip_tech.Repeater_model
+module Layer = Rip_tech.Layer
+module Power_model = Rip_tech.Power_model
+module Process = Rip_tech.Process
+
+let check_float = Alcotest.(check (float 1e-12))
+let qcheck = QCheck_alcotest.to_alcotest
+let invalid name f = Alcotest.match_raises name (function Invalid_argument _ -> true | _ -> false) f
+
+let model = Repeater_model.create ~rs:10000.0 ~co:2e-15 ~cp:1e-15
+
+let test_repeater_scaling () =
+  check_float "resistance halves" 5000.0 (Repeater_model.output_resistance model 2.0);
+  check_float "input cap doubles" 4e-15 (Repeater_model.input_capacitance model 2.0);
+  check_float "output cap doubles" 2e-15 (Repeater_model.output_capacitance model 2.0);
+  check_float "intrinsic" 1e-11 (Repeater_model.intrinsic_delay model)
+
+let test_repeater_validation () =
+  invalid "negative rs" (fun () ->
+      ignore (Repeater_model.create ~rs:(-1.0) ~co:1e-15 ~cp:1e-15));
+  invalid "zero co" (fun () ->
+      ignore (Repeater_model.create ~rs:1.0 ~co:0.0 ~cp:1e-15));
+  invalid "zero width" (fun () ->
+      ignore (Repeater_model.output_resistance model 0.0));
+  invalid "negative width" (fun () ->
+      ignore (Repeater_model.input_capacitance model (-3.0)))
+
+let test_layer_defaults () =
+  Alcotest.(check string) "m4 name" "metal4" Layer.metal4.Layer.name;
+  Alcotest.(check string) "m5 name" "metal5" Layer.metal5.Layer.name;
+  Alcotest.(check bool) "m5 less resistive" true
+    (Layer.metal5.Layer.resistance_per_um
+    < Layer.metal4.Layer.resistance_per_um);
+  Alcotest.(check bool) "distinct" false (Layer.equal Layer.metal4 Layer.metal5)
+
+let test_layer_validation () =
+  invalid "bad r" (fun () ->
+      ignore
+        (Layer.create ~name:"x" ~resistance_per_um:0.0
+           ~capacitance_per_um:1e-15))
+
+let power = Power_model.default_180nm
+
+let test_power_validation () =
+  invalid "activity > 1" (fun () ->
+      ignore
+        (Power_model.create ~vdd:1.8 ~frequency:1e9 ~activity:1.5
+           ~leakage_per_unit_width:0.0));
+  invalid "bad vdd" (fun () ->
+      ignore
+        (Power_model.create ~vdd:0.0 ~frequency:1e9 ~activity:0.5
+           ~leakage_per_unit_width:0.0));
+  invalid "negative width" (fun () ->
+      ignore (Power_model.repeater_power power ~repeater:model ~total_width:(-1.0)))
+
+let test_dynamic_power_formula () =
+  let p = Power_model.dynamic_power power ~capacitance:1e-12 in
+  (* alpha vdd^2 f C = 0.15 * 3.24 * 5e8 * 1e-12 *)
+  Alcotest.(check (float 1e-9)) "formula" (0.15 *. 3.24 *. 5e8 *. 1e-12) p
+
+let test_gamma_consistency () =
+  let gamma = Power_model.width_equivalent_constant power ~repeater:model in
+  let direct = Power_model.repeater_power power ~repeater:model ~total_width:37.0 in
+  Alcotest.(check (float 1e-15)) "gamma * width" (gamma *. 37.0) direct
+
+let prop_power_linear_in_width =
+  QCheck.Test.make ~name:"repeater power is linear in total width" ~count:200
+    QCheck.(pair (float_range 1.0 500.0) (float_range 1.0 500.0))
+    (fun (w1, w2) ->
+      let p w = Power_model.repeater_power power ~repeater:model ~total_width:w in
+      Float.abs (p (w1 +. w2) -. (p w1 +. p w2)) < 1e-12)
+
+let process = Process.default_180nm
+
+let test_process_lookup () =
+  (match Process.layer_by_name process "metal4" with
+  | Some l -> Alcotest.(check string) "found" "metal4" l.Layer.name
+  | None -> Alcotest.fail "metal4 missing");
+  Alcotest.(check bool) "absent layer" true
+    (Process.layer_by_name process "poly" = None)
+
+let test_process_validation () =
+  invalid "no layers" (fun () ->
+      ignore
+        (Process.create ~name:"x" ~repeater:model ~layers:[] ~power))
+
+let test_optimal_formulas () =
+  (* The calibration contract documented in DESIGN.md: optimal width above
+     the 100u baseline cap, within the 400u library; spacing around 2 mm. *)
+  List.iter
+    (fun layer ->
+      let w = Process.optimal_uniform_width process layer in
+      let s = Process.optimal_uniform_spacing process layer in
+      Alcotest.(check bool) "wopt in (100,400)" true (w > 100.0 && w < 400.0);
+      Alcotest.(check bool) "spacing in (1,3)mm" true
+        (s > 1000.0 && s < 3000.0))
+    process.Process.layers
+
+let test_optimal_width_is_stationary () =
+  (* For a uniform line, the closed form should beat nearby widths on the
+     per-unit-length repeated delay r*c/2 + (Rs c / w + r Co w) / spacing
+     ... checked through the simpler criterion: the derivative term
+     Rs*c = w^2 * r * Co at the optimum. *)
+  let layer = Layer.metal4 in
+  let w = Process.optimal_uniform_width process layer in
+  let lhs = process.Process.repeater.Repeater_model.rs *. layer.Layer.capacitance_per_um in
+  let rhs =
+    w *. w *. layer.Layer.resistance_per_um
+    *. process.Process.repeater.Repeater_model.co
+  in
+  Alcotest.(check bool) "stationarity" true
+    (Float.abs (lhs -. rhs) /. lhs < 1e-9)
+
+let suite =
+  [
+    ( "tech.repeater_model",
+      [
+        Alcotest.test_case "scaling" `Quick test_repeater_scaling;
+        Alcotest.test_case "validation" `Quick test_repeater_validation;
+      ] );
+    ( "tech.layer",
+      [
+        Alcotest.test_case "defaults" `Quick test_layer_defaults;
+        Alcotest.test_case "validation" `Quick test_layer_validation;
+      ] );
+    ( "tech.power_model",
+      [
+        Alcotest.test_case "validation" `Quick test_power_validation;
+        Alcotest.test_case "dynamic power" `Quick test_dynamic_power_formula;
+        Alcotest.test_case "gamma consistency" `Quick test_gamma_consistency;
+        qcheck prop_power_linear_in_width;
+      ] );
+    ( "tech.process",
+      [
+        Alcotest.test_case "layer lookup" `Quick test_process_lookup;
+        Alcotest.test_case "validation" `Quick test_process_validation;
+        Alcotest.test_case "calibration contract" `Quick test_optimal_formulas;
+        Alcotest.test_case "optimal width stationarity" `Quick
+          test_optimal_width_is_stationary;
+      ] );
+  ]
