@@ -5,8 +5,12 @@
      dune exec bench/main.exe                  -- everything
      dune exec bench/main.exe table1 fig7      -- selected experiments
      dune exec bench/main.exe -- --quick all   -- reduced suite (CI-sized)
+     dune exec bench/main.exe -- --jobs 8 suite -- engine scaling run
 
-   Experiments: table1, table2, fig7, ablation, micro. *)
+   Experiments: table1, table2, fig7, tree, ablation, micro, suite.
+   The suite experiment runs the quick sweep through the rip_engine
+   domain pool at jobs=1 and jobs=N, checks the outcome arrays are
+   identical, and appends machine-readable rows to BENCH_suite.json. *)
 
 module Experiments = Rip_workload.Experiments
 module Suite = Rip_workload.Suite
@@ -17,6 +21,8 @@ module Config = Rip_core.Config
 module Stats = Rip_numerics.Stats
 module Geometry = Rip_net.Geometry
 module Solution = Rip_elmore.Solution
+module Engine = Rip_engine.Engine
+module Telemetry = Rip_engine.Telemetry
 
 let process = Rip_tech.Process.default_180nm
 
@@ -33,17 +39,18 @@ let section title =
 
 (* --- Table 1 and Figure 7 (shared sweep) ------------------------------ *)
 
-let run_table1_fig7 scale =
+let run_table1_fig7 ?jobs scale =
   section "Table 1 / Figure 7 sweep";
   let nets = Suite.nets ~count:scale.nets () in
   let started = Unix.gettimeofday () in
-  let runs =
-    Experiments.run_suite ~granularities:[ 10.0; 20.0; 40.0 ]
+  let runs, telemetry =
+    Experiments.run_suite_stats ?jobs ~granularities:[ 10.0; 20.0; 40.0 ]
       ~fixed_range:false ~nets ~targets_per_net:scale.targets process
   in
-  Printf.printf "(sweep of %d nets x %d targets took %.1fs)\n\n" scale.nets
-    scale.targets
-    (Unix.gettimeofday () -. started);
+  Printf.printf "(sweep of %d nets x %d targets took %.1fs wall; %s)\n\n"
+    scale.nets scale.targets
+    (Unix.gettimeofday () -. started)
+    (Fmt.str "%a" Telemetry.pp telemetry);
   print_string "Table 1: power reduction for two-pin nets\n";
   print_string (Experiments.render_table1 (Experiments.table1 runs));
   print_newline ();
@@ -61,7 +68,10 @@ let run_table1_fig7 scale =
         List.filter_map
           (fun (cell : Experiments.cell) ->
             match cell.Experiments.rip with
-            | Error e -> Some (run.Experiments.net.Rip_net.Net.name, e)
+            | Error e ->
+                Some
+                  ( run.Experiments.net.Rip_net.Net.name,
+                    Rip.error_to_string e )
             | Ok _ -> None)
           run.Experiments.cells)
       runs
@@ -72,12 +82,12 @@ let run_table1_fig7 scale =
 
 (* --- Table 2 ----------------------------------------------------------- *)
 
-let run_table2 scale =
+let run_table2 ?jobs scale =
   section "Table 2: power savings and speedup tradeoff";
   let nets = Suite.nets ~count:scale.nets () in
   let started = Unix.gettimeofday () in
   let rows =
-    Experiments.table2 ~granularities:[ 40.0; 30.0; 20.0; 10.0 ] ~nets
+    Experiments.table2 ?jobs ~granularities:[ 40.0; 30.0; 20.0; 10.0 ] ~nets
       ~targets_per_net:scale.targets process
   in
   Printf.printf "(took %.1fs)\n\n" (Unix.gettimeofday () -. started);
@@ -97,7 +107,11 @@ let ablation_measure config nets targets =
       List.iter
         (fun budget ->
           let base = Baseline.solve baseline process geometry ~budget in
-          match (base.Baseline.result, Rip.solve_geometry ~config process geometry ~budget) with
+          match
+            ( base.Baseline.result,
+              Rip.solve ~config
+                { Rip.process; net; geometry = Some geometry; budget } )
+          with
           | Some b, Ok r ->
               times := r.Rip.runtime_seconds :: !times;
               (match Experiments.saving_percent ~baseline:b ~rip:r with
@@ -213,7 +227,7 @@ let run_micro () =
              Rip_refine.Refine.run geometry repeater ~budget ~initial:coarse));
       Test.make ~name:"rip(fig6)"
         (Staged.stage (fun () ->
-             Rip.solve_geometry process geometry ~budget));
+             Rip.solve { Rip.process; net; geometry = Some geometry; budget }));
     ]
   in
   let test = Test.make_grouped ~name:"rip" ~fmt:"%s/%s" tests in
@@ -242,19 +256,99 @@ let run_micro () =
   in
   print_string (Table.render ~header:[ "kernel"; "time/run" ] ~rows)
 
+(* --- Engine batch-solve scaling (BENCH_suite.json) ---------------------- *)
+
+(* Per-cell results modulo runtime: the determinism contract is that the
+   solution arrays are bit-identical whatever the job count. *)
+let suite_fingerprint runs =
+  List.concat_map
+    (fun (run : Experiments.net_run) ->
+      List.map
+        (fun (cell : Experiments.cell) ->
+          match cell.Experiments.rip with
+          | Ok r ->
+              Ok
+                ( Solution.repeaters r.Rip.solution,
+                  r.Rip.total_width,
+                  r.Rip.delay )
+          | Error e -> Error (Rip.error_to_string e))
+        run.Experiments.cells)
+    runs
+
+let run_suite_bench scale jobs_list =
+  section "Engine batch-solve scaling";
+  let nets = Suite.nets ~count:scale.nets () in
+  let cells = scale.nets * scale.targets in
+  let one jobs =
+    let started = Unix.gettimeofday () in
+    let runs, telemetry =
+      Experiments.run_suite_stats ~jobs ~granularities:[] ~nets
+        ~targets_per_net:scale.targets process
+    in
+    let wall = Unix.gettimeofday () -. started in
+    Printf.printf
+      "jobs=%-2d  wall %6.2fs  cpu %6.2fs  %5.1f cells/s  utilization %3.0f%%\n%!"
+      jobs wall telemetry.Telemetry.cpu_seconds
+      (float_of_int cells /. wall)
+      (100.0 *. telemetry.Telemetry.utilization);
+    (jobs, wall, telemetry, runs)
+  in
+  let measurements = List.map one jobs_list in
+  (match measurements with
+  | (_, _, _, reference) :: rest ->
+      let reference_fp = suite_fingerprint reference in
+      List.iter
+        (fun (jobs, _, _, runs) ->
+          if suite_fingerprint runs <> reference_fp then begin
+            Printf.eprintf
+              "DETERMINISM VIOLATION: jobs=%d differs from jobs=%d\n" jobs
+              (match measurements with (j, _, _, _) :: _ -> j | [] -> 0);
+            exit 1
+          end)
+        rest;
+      Printf.printf "outcome arrays identical across job counts: yes\n"
+  | [] -> ());
+  (* Machine-readable perf trajectory for future PRs. *)
+  let json =
+    let row (jobs, wall, (telemetry : Telemetry.t), _) =
+      Printf.sprintf
+        "    { \"nets\": %d, \"targets\": %d, \"jobs\": %d, \
+         \"wall_seconds\": %.4f, \"cpu_seconds\": %.4f, \
+         \"cells_per_second\": %.2f, \"utilization\": %.3f }"
+        scale.nets scale.targets jobs wall telemetry.Telemetry.cpu_seconds
+        (float_of_int cells /. wall)
+        telemetry.Telemetry.utilization
+    in
+    Printf.sprintf "{\n  \"runs\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map row measurements))
+  in
+  let out = open_out "BENCH_suite.json" in
+  output_string out json;
+  close_out out;
+  Printf.printf "wrote BENCH_suite.json (%d runs)\n" (List.length measurements)
+
 (* --- Entry point -------------------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  (* --jobs N caps the scaling ladder and sizes the sweeps' domain pool. *)
+  let rec extract_jobs acc = function
+    | "--jobs" :: n :: rest -> (int_of_string_opt n, List.rev acc @ rest)
+    | a :: rest -> extract_jobs (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let jobs_override, args = extract_jobs [] args in
   let quick = List.mem "--quick" args in
   let scale = if quick then quick_scale else full_scale in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let wanted = if wanted = [] || List.mem "all" wanted then
-      [ "table1"; "table2"; "tree"; "ablation"; "micro" ]
+      [ "table1"; "table2"; "tree"; "ablation"; "micro"; "suite" ]
     else wanted
   in
-  let known = [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro" ] in
+  let known =
+    [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro"; "suite" ]
+  in
   List.iter
     (fun w ->
       if not (List.mem w known) then begin
@@ -265,8 +359,16 @@ let () =
     wanted;
   (* fig7 shares table1's sweep; run it once when either is requested. *)
   if List.mem "table1" wanted || List.mem "fig7" wanted then
-    run_table1_fig7 scale;
-  if List.mem "table2" wanted then run_table2 scale;
+    run_table1_fig7 ?jobs:jobs_override scale;
+  if List.mem "table2" wanted then run_table2 ?jobs:jobs_override scale;
   if List.mem "tree" wanted then run_tree scale;
   if List.mem "ablation" wanted then run_ablation scale;
-  if List.mem "micro" wanted then run_micro ()
+  if List.mem "micro" wanted then run_micro ();
+  if List.mem "suite" wanted then begin
+    (* The acceptance ladder: sequential, then the parallel pool. *)
+    let top =
+      match jobs_override with Some j -> j | None -> Stdlib.max 8 (Engine.default_jobs ())
+    in
+    let ladder = if top <= 1 then [ 1 ] else [ 1; top ] in
+    run_suite_bench (if quick then quick_scale else scale) ladder
+  end

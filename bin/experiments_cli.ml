@@ -9,31 +9,36 @@ module Suite = Rip_workload.Suite
 
 let process = Rip_tech.Process.default_180nm
 
-let table1_run nets targets =
+let print_telemetry telemetry =
+  Printf.printf "(%s)\n" (Fmt.str "%a" Rip_engine.Telemetry.pp telemetry)
+
+let table1_run nets targets jobs =
   let nets = Suite.nets ~count:nets () in
-  let runs =
-    Experiments.run_suite ~granularities:[ 10.0; 20.0; 40.0 ] ~nets
-      ~targets_per_net:targets process
+  let runs, telemetry =
+    Experiments.run_suite_stats ?jobs ~granularities:[ 10.0; 20.0; 40.0 ]
+      ~nets ~targets_per_net:targets process
   in
   print_string (Experiments.render_table1 (Experiments.table1 runs));
+  print_telemetry telemetry;
   0
 
-let fig7_run nets targets granularity =
+let fig7_run nets targets granularity jobs =
   let nets = Suite.nets ~count:nets () in
-  let runs =
-    Experiments.run_suite ~granularities:[ granularity ] ~nets
+  let runs, telemetry =
+    Experiments.run_suite_stats ?jobs ~granularities:[ granularity ] ~nets
       ~targets_per_net:targets process
   in
   print_string
     (Experiments.render_fig7 ~granularity
        (Experiments.fig7 ~granularity runs));
+  print_telemetry telemetry;
   0
 
-let table2_run nets targets =
+let table2_run nets targets jobs =
   let nets = Suite.nets ~count:nets () in
   print_string
     (Experiments.render_table2
-       (Experiments.table2 ~nets ~targets_per_net:targets process));
+       (Experiments.table2 ?jobs ~nets ~targets_per_net:targets process));
   0
 
 open Cmdliner
@@ -54,17 +59,25 @@ let granularity =
     & info [ "granularity"; "g" ] ~docv:"G"
         ~doc:"Baseline width granularity in u (Figure 7 uses 10 and 40).")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the sweep (default: the machine's \
+              recommended domain count).")
+
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1")
-    Term.(const table1_run $ nets $ targets)
+    Term.(const table1_run $ nets $ targets $ jobs)
 
 let fig7_cmd =
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce one Figure 7 series")
-    Term.(const fig7_run $ nets $ targets $ granularity)
+    Term.(const fig7_run $ nets $ targets $ granularity $ jobs)
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (runtime-sensitive)")
-    Term.(const table2_run $ nets $ targets)
+    Term.(const table2_run $ nets $ targets $ jobs)
 
 let main =
   Cmd.group

@@ -1,13 +1,19 @@
-(* rip: solve low-power repeater insertion (Problem LPRI) for a net file.
+(* rip: solve low-power repeater insertion (Problem LPRI) for net files.
 
      rip_cli solve NET_FILE --slack 1.3
      rip_cli solve NET_FILE --budget-ps 850 --trace
-     rip_cli tau-min NET_FILE *)
+     rip_cli solve a.net b.net c.net --jobs 8
+     rip_cli tau-min NET_FILE
+
+   Several net files form one batch executed on the rip_engine domain
+   pool; results print in argument order whatever the completion order. *)
 
 module Geometry = Rip_net.Geometry
 module Solution = Rip_elmore.Solution
 module Rip = Rip_core.Rip
 module Config = Rip_core.Config
+module Engine = Rip_engine.Engine
+module Job = Rip_engine.Job
 
 let process = Rip_tech.Process.default_180nm
 
@@ -61,31 +67,58 @@ let print_trace (report : Rip.report) =
       printf "rescue pass: width %.1f u\n" r.Rip_dp.Power_dp.total_width
   | None -> ()
 
-let solve_command path budget_ps slack trace =
-  match load path with
-  | Error e ->
+let solve_command paths budget_ps slack trace jobs =
+  let loaded = List.map load paths in
+  match
+    List.find_map (function Error e -> Some e | Ok _ -> None) loaded
+  with
+  | Some e ->
       prerr_endline e;
       1
-  | Ok net -> (
-      let geometry = Geometry.of_net net in
-      let budget =
-        match budget_ps with
-        | Some ps -> ps *. 1e-12
-        | None -> slack *. Rip.tau_min process geometry
+  | None ->
+      let nets = List.filter_map Result.to_option loaded in
+      (* Budgets are resolved before batching: the per-net tau_min anchor
+         is part of stating the problem, not of solving it. *)
+      let jobs_array =
+        Array.of_list
+          (List.map
+             (fun net ->
+               let geometry = Geometry.of_net net in
+               let budget =
+                 match budget_ps with
+                 | Some ps -> ps *. 1e-12
+                 | None -> slack *. Rip.tau_min process geometry
+               in
+               Job.make ~geometry process net ~budget)
+             nets)
       in
-      Printf.printf "net %s: %.0f um, %d segments; budget %.2f ps\n"
-        net.Rip_net.Net.name
-        (Rip_net.Net.total_length net)
-        (Rip_net.Net.segment_count net)
-        (budget *. 1e12);
-      match Rip.solve_geometry process geometry ~budget with
-      | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          1
-      | Ok report ->
-          print_solution report;
-          if trace then print_trace report;
-          0)
+      let outcomes, telemetry = Engine.run_stats ?jobs jobs_array in
+      let failures = ref 0 in
+      Array.iteri
+        (fun i (outcome : Job.outcome) ->
+          let job = jobs_array.(i) in
+          let net = job.Job.net in
+          if i > 0 then print_newline ();
+          Printf.printf "net %s: %.0f um, %d segments; budget %.2f ps\n"
+            net.Rip_net.Net.name
+            (Rip_net.Net.total_length net)
+            (Rip_net.Net.segment_count net)
+            (job.Job.budget *. 1e12);
+          match outcome.Job.result with
+          | Error e ->
+              incr failures;
+              Printf.eprintf "error: %s\n" (Rip.error_to_string e)
+          | Ok (Job.Dp_result _) ->
+              incr failures;
+              Printf.eprintf "error: unexpected baseline result\n"
+          | Ok (Job.Rip_report report) ->
+              print_solution report;
+              if trace then print_trace report)
+        outcomes;
+      if Array.length jobs_array > 1 then
+        Printf.printf "\nbatch: %s\n"
+          (Fmt.str "%a" Rip_engine.Telemetry.pp telemetry);
+      if !failures > 0 then 1 else 0
 
 let tau_min_command path =
   match load path with
@@ -99,6 +132,14 @@ let tau_min_command path =
       0
 
 open Cmdliner
+
+let net_files =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"NET_FILE"
+        ~doc:"Net description files (see Rip_net.Net_io); several files \
+              form one parallel batch.")
 
 let net_file =
   Arg.(
@@ -122,7 +163,16 @@ let slack =
 let trace =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-phase RIP trace.")
 
-let solve_term = Term.(const solve_command $ net_file $ budget_ps $ slack $ trace)
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for batch solving (default: the machine's \
+              recommended domain count).")
+
+let solve_term =
+  Term.(const solve_command $ net_files $ budget_ps $ slack $ trace $ jobs)
 
 let solve_cmd =
   Cmd.v

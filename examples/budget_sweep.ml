@@ -29,7 +29,7 @@ let () =
   List.iteri
     (fun k budget ->
       let multiple = Suite.target_multiple k in
-      let rip = Rip.solve_geometry process geometry ~budget in
+      let rip = Rip.solve (Rip.problem ~geometry process net ~budget) in
       let base =
         Baseline.solve (Baseline.fixed_size ~granularity:40.0) process
           geometry ~budget
@@ -54,5 +54,6 @@ let () =
           Printf.printf "%-11.2f %-9.0f %-12.4f DP infeasible (zone I)\n"
             multiple r.Rip.total_width
             (power r.Rip.total_width *. 1e3)
-      | Error e, _ -> Printf.printf "%-11.2f RIP: %s\n" multiple e)
+      | Error e, _ ->
+          Printf.printf "%-11.2f RIP: %s\n" multiple (Rip.error_to_string e))
     (Suite.timing_targets ~tau_min ())

@@ -26,8 +26,8 @@ let () =
   List.iter
     (fun slack ->
       let budget = slack *. tau_min in
-      match Rip.solve_geometry process geometry ~budget with
-      | Error e -> Printf.printf "%-10.2f %s\n" slack e
+      match Rip.solve (Rip.problem ~geometry process net ~budget) with
+      | Error e -> Printf.printf "%-10.2f %s\n" slack (Rip.error_to_string e)
       | Ok r ->
           let elmore = Delay.total repeater geometry r.Rip.solution in
           let d2m = Two_moment.total repeater geometry r.Rip.solution in

@@ -46,8 +46,8 @@ let () =
                   (Repeater_library.size library) ms)
     [ 80.0; 40.0; 20.0; 10.0 ];
   print_newline ();
-  match Rip.solve_geometry process geometry ~budget with
-  | Error e -> Printf.printf "RIP failed: %s\n" e
+  match Rip.solve (Rip.problem ~geometry process net ~budget) with
+  | Error e -> Printf.printf "RIP failed: %s\n" (Rip.error_to_string e)
   | Ok r ->
       Printf.printf "RIP: result %.0fu in %.1f ms\n" r.Rip.total_width
         (r.Rip.runtime_seconds *. 1e3);

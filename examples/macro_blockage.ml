@@ -31,8 +31,8 @@ let build name zones =
 
 let solve net ~budget =
   let geometry = Geometry.of_net net in
-  match Rip.solve_geometry process geometry ~budget with
-  | Error e -> failwith e
+  match Rip.solve (Rip.problem ~geometry process net ~budget) with
+  | Error e -> failwith (Rip.error_to_string e)
   | Ok report ->
       Printf.printf "%-12s width %.0fu, %.4f mW, delay %.1f ps\n"
         net.Net.name report.Rip.total_width

@@ -33,8 +33,8 @@ let () =
     net.Net.name (Net.total_length net) (tau_min *. 1e12) (budget *. 1e12);
 
   (* 3. Solve and inspect. *)
-  match Rip.solve_geometry process geometry ~budget with
-  | Error e -> Printf.printf "infeasible: %s\n" e
+  match Rip.solve (Rip.problem ~geometry process net ~budget) with
+  | Error e -> Printf.printf "%s\n" (Rip.error_to_string e)
   | Ok report ->
       Printf.printf "RIP inserted %d repeaters:\n"
         (Solution.count report.Rip.solution);

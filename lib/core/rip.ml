@@ -79,7 +79,38 @@ let make_report process geometry ~runtime_seconds ~trace
     trace;
   }
 
-let solve_geometry ?(config = Config.default) process geometry ~budget =
+type error =
+  | Infeasible_budget of { budget : float; tau_min_hint : float option }
+  | Invalid_net of Validate.violation list
+  | Internal of string
+
+let pp_error ppf = function
+  | Infeasible_budget { budget; tau_min_hint } -> (
+      Fmt.pf ppf "infeasible: no legal insertion meets %.4g ps"
+        (budget *. 1e12);
+      match tau_min_hint with
+      | Some tau ->
+          Fmt.pf ppf " (the net's minimum achievable delay is %.4g ps)"
+            (tau *. 1e12)
+      | None -> ())
+  | Invalid_net violations ->
+      Fmt.pf ppf "invalid problem: %a"
+        (Fmt.list ~sep:(Fmt.any "; ") Validate.pp_violation)
+        violations
+  | Internal message -> Fmt.pf ppf "internal error: %s" message
+
+let error_to_string error = Fmt.str "%a" pp_error error
+
+type problem = {
+  process : Process.t;
+  net : Net.t;
+  geometry : Geometry.t option;
+  budget : float;
+}
+
+let problem ?geometry process net ~budget = { process; net; geometry; budget }
+
+let solve_prepared ?(config = Config.default) process geometry ~budget =
   let started = Unix.gettimeofday () in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
@@ -122,10 +153,8 @@ let solve_geometry ?(config = Config.default) process geometry ~budget =
   match coarse with
   | None ->
       Error
-        (Printf.sprintf
-           "infeasible: no insertion meets %.4g ps even with the fallback \
-            library"
-           (budget *. 1e12))
+        (Infeasible_budget
+           { budget; tau_min_hint = Some (tau_min process geometry) })
   | Some coarse_result ->
       (* Lines 2-4, optionally iterated (config.refine_passes): each round
          seeds REFINE with the previous round's discrete solution. *)
@@ -242,11 +271,23 @@ let solve_geometry ?(config = Config.default) process geometry ~budget =
       (match best with
       | None ->
           Error
-            (Printf.sprintf
-               "infeasible: the refined design space cannot meet %.4g ps"
-               (budget *. 1e12))
+            (Infeasible_budget
+               { budget; tau_min_hint = Some (tau_min process geometry) })
       | Some best ->
           Ok (make_report process geometry ~runtime_seconds ~trace best))
 
-let solve ?config process net ~budget =
-  solve_geometry ?config process (Geometry.of_net net) ~budget
+let solve ?config { process; net; geometry; budget } =
+  match Validate.check_problem ?geometry net ~budget with
+  | _ :: _ as violations -> Error (Invalid_net violations)
+  | [] ->
+      let geometry =
+        match geometry with Some g -> g | None -> Geometry.of_net net
+      in
+      solve_prepared ?config process geometry ~budget
+
+let solve_net ?config process net ~budget =
+  solve ?config { process; net; geometry = None; budget }
+
+let solve_geometry ?config process geometry ~budget =
+  solve ?config
+    { process; net = Geometry.net geometry; geometry = Some geometry; budget }

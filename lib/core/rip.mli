@@ -41,16 +41,61 @@ type report = {
   trace : phase_trace;
 }
 
-val solve :
+(** {1 Typed failures}
+
+    Solving can only fail in three ways, each carrying what a caller
+    needs to react programmatically — no string matching. *)
+
+type error =
+  | Infeasible_budget of { budget : float; tau_min_hint : float option }
+      (** no legal insertion meets [budget]; [tau_min_hint] is the net's
+          minimum achievable delay when the solver computed one (the
+          smallest budget worth retrying with) *)
+  | Invalid_net of Validate.violation list
+      (** the problem statement is malformed (see
+          {!Validate.check_problem}); never empty *)
+  | Internal of string
+      (** an invariant of the pipeline broke — a bug, not a property of
+          the input *)
+
+val pp_error : error Fmt.t
+
+val error_to_string : error -> string
+(** [Fmt.str "%a" pp_error]; always non-empty. *)
+
+(** {1 Problem statement and the single solve entry point} *)
+
+type problem = {
+  process : Rip_tech.Process.t;
+  net : Rip_net.Net.t;
+  geometry : Rip_net.Geometry.t option;
+      (** a prebuilt prefix-sum geometry of [net], to be reused across
+          many budgets of the same net; [None] builds one internally *)
+  budget : float;  (** delay budget, seconds *)
+}
+
+val problem :
+  ?geometry:Rip_net.Geometry.t -> Rip_tech.Process.t -> Rip_net.Net.t ->
+  budget:float -> problem
+(** Convenience constructor for {!type-problem}. *)
+
+val solve : ?config:Config.t -> problem -> (report, error) result
+(** Solve Problem LPRI.  The only entry point: batch callers build one
+    {!Rip_net.Geometry.t} per net and stamp out problems per budget. *)
+
+(** {1 Deprecated wrappers (one release)} *)
+
+val solve_net :
   ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Net.t -> budget:float ->
-  (report, string) result
-(** Solve Problem LPRI for the net under the given delay budget. *)
+  (report, error) result
+[@@ocaml.deprecated "Use Rip.solve with a Rip.problem record."]
+(** The pre-engine [solve] shape; forwards to {!solve}. *)
 
 val solve_geometry :
   ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Geometry.t ->
-  budget:float -> (report, string) result
-(** As {!solve} with a pre-built geometry (the experiment harness reuses
-    one geometry across the 20 timing targets of a net). *)
+  budget:float -> (report, error) result
+[@@ocaml.deprecated "Use Rip.solve with a Rip.problem record."]
+(** The pre-engine geometry-reusing shape; forwards to {!solve}. *)
 
 val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
 (** The timing-target anchor, "the minimum delay of the net": the better

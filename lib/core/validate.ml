@@ -9,6 +9,8 @@ type violation =
   | In_forbidden_zone of float
   | Width_out_of_range of float
   | Over_budget of { delay : float; budget : float }
+  | Nonpositive_budget of float
+  | Geometry_mismatch
 
 let pp_violation ppf = function
   | Outside_net x -> Fmt.pf ppf "repeater at %gum is outside the net" x
@@ -18,6 +20,21 @@ let pp_violation ppf = function
   | Over_budget { delay; budget } ->
       Fmt.pf ppf "delay %.4gps exceeds budget %.4gps" (delay *. 1e12)
         (budget *. 1e12)
+  | Nonpositive_budget b ->
+      Fmt.pf ppf "delay budget %.4gps is not a positive finite number"
+        (b *. 1e12)
+  | Geometry_mismatch ->
+      Fmt.pf ppf "the prebuilt geometry belongs to a different net"
+
+let check_problem ?geometry net ~budget =
+  let budget_ok = Float.is_finite budget && budget > 0.0 in
+  let geometry_ok =
+    match geometry with
+    | Some g -> Net.equal (Geometry.net g) net
+    | None -> true
+  in
+  (if budget_ok then [] else [ Nonpositive_budget budget ])
+  @ if geometry_ok then [] else [ Geometry_mismatch ]
 
 let check ?(min_width = 0.0) ?(max_width = Float.infinity)
     (process : Rip_tech.Process.t) net ~budget solution =

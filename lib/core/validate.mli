@@ -5,8 +5,22 @@ type violation =
   | In_forbidden_zone of float
   | Width_out_of_range of float  (** outside the configured [min, max] *)
   | Over_budget of { delay : float; budget : float }
+  | Nonpositive_budget of float
+      (** the problem statement itself is malformed: a delay budget must
+          be a finite positive number *)
+  | Geometry_mismatch
+      (** a {!Rip.problem} carried a prebuilt geometry derived from a
+          different net than the one being solved *)
 
 val pp_violation : violation Fmt.t
+
+val check_problem :
+  ?geometry:Rip_net.Geometry.t -> Rip_net.Net.t -> budget:float ->
+  violation list
+(** Problem-statement checks run before any solving: the budget must be
+    finite and positive, and a prebuilt geometry (if supplied) must belong
+    to the net.  [Net.t] is already valid by construction, so these are
+    the only ways to hand the solver a malformed problem. *)
 
 val check :
   ?min_width:float -> ?max_width:float -> Rip_tech.Process.t ->

@@ -1,0 +1,107 @@
+let default_jobs = Pool.default_jobs
+
+(* Run one batch on an existing pool: submit every element as a task that
+   writes its slot, wait on a batch-local condvar until all slots are in,
+   then re-raise the earliest failure if any.  Slots make the reduction
+   order equal to the submission order by construction. *)
+let map_on_pool pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let remaining = ref n in
+    let mutex = Mutex.create () in
+    let finished = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        Pool.submit pool (fun () ->
+            (match f x with
+            | result -> results.(i) <- Some result
+            | exception exn ->
+                failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
+            Mutex.lock mutex;
+            decr remaining;
+            if !remaining = 0 then Condition.signal finished;
+            Mutex.unlock mutex))
+      input;
+    Mutex.lock mutex;
+    while !remaining > 0 do
+      Condition.wait finished mutex
+    done;
+    Mutex.unlock mutex;
+    Array.iter
+      (function
+        | Some (exn, backtrace) -> Printexc.raise_with_backtrace exn backtrace
+        | None -> ())
+      failures;
+    Array.map
+      (function Some result -> result | None -> assert false)
+      results
+  end
+
+let timed_map_on_pool pool f input =
+  let started = Unix.gettimeofday () in
+  let timed =
+    map_on_pool pool
+      (fun x ->
+        let t0 = Unix.gettimeofday () in
+        let result = f x in
+        (result, Unix.gettimeofday () -. t0))
+      input
+  in
+  let wall_seconds = Unix.gettimeofday () -. started in
+  let cpu_seconds =
+    Array.fold_left (fun acc (_, seconds) -> acc +. seconds) 0.0 timed
+  in
+  ( timed,
+    Telemetry.make ~workers:(Pool.size pool) ~tasks:(Array.length input)
+      ~wall_seconds ~cpu_seconds )
+
+let map ?jobs f input =
+  Pool.with_pool ?jobs (fun pool -> map_on_pool pool f input)
+
+let timed_map ?jobs f input =
+  Pool.with_pool ?jobs (fun pool -> timed_map_on_pool pool f input)
+
+let run_stats ?jobs batch =
+  let timed, telemetry = timed_map ?jobs Job.execute batch in
+  ( Array.map
+      (fun (result, cpu_seconds) -> { Job.result; cpu_seconds })
+      timed,
+    telemetry )
+
+let run ?jobs batch = fst (run_stats ?jobs batch)
+
+let map_suite ?jobs ~prepare ~targets ~cell inputs =
+  Pool.with_pool ?jobs (fun pool ->
+      let input = Array.of_list inputs in
+      let prepared, prepare_telemetry =
+        timed_map_on_pool pool prepare input
+      in
+      let contexts = Array.map fst prepared in
+      let keys = Array.map (fun ctx -> Array.of_list (targets ctx)) contexts in
+      let flattened =
+        Array.concat
+          (Array.to_list
+             (Array.mapi
+                (fun i ks -> Array.map (fun k -> (i, k)) ks)
+                keys))
+      in
+      let cells, cell_telemetry =
+        timed_map_on_pool pool
+          (fun (i, k) -> cell contexts.(i) k)
+          flattened
+      in
+      (* Regroup the flat cell array per input, preserving target order. *)
+      let grouped = Array.map (fun _ -> ref []) contexts in
+      Array.iteri
+        (fun flat_index (input_index, _) ->
+          let cell_result, _seconds = cells.(flat_index) in
+          grouped.(input_index) := cell_result :: !(grouped.(input_index)))
+        flattened;
+      ( Array.to_list
+          (Array.mapi
+             (fun i ctx -> (ctx, List.rev !(grouped.(i))))
+             contexts),
+        Telemetry.merge prepare_telemetry cell_telemetry ))

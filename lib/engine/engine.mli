@@ -1,0 +1,55 @@
+(** The parallel batch-solve engine.
+
+    Every (net, budget) cell of a sweep is independent, so batches run on
+    a {!Pool} of OCaml 5 domains; results are reduced back in submission
+    order regardless of completion order, making every entry point
+    deterministic: [run ~jobs:1] and [run ~jobs:8] return equal arrays
+    (see {!Job.outcome_equal}).  The solvers keep all mutable state
+    call-local, and the SplitMix64 streams used to *generate* workloads
+    are consumed before jobs are built, so workers share nothing stateful.
+
+    Timing is reported on two axes (see {!Telemetry}): per-job CPU
+    seconds, comparable with the paper's per-cell runtime columns even
+    under parallel execution, and batch wall seconds, the operator-facing
+    cost. *)
+
+val default_jobs : unit -> int
+(** [Pool.default_jobs ()], i.e. [Domain.recommended_domain_count ()]. *)
+
+(** {1 Typed solve batches} *)
+
+val run : ?jobs:int -> Job.t array -> Job.outcome array
+(** Execute every job on a fresh [jobs]-domain pool; [outcomes.(i)]
+    belongs to [jobs.(i)].  Default [jobs] is {!default_jobs}. *)
+
+val run_stats : ?jobs:int -> Job.t array -> Job.outcome array * Telemetry.t
+(** As {!run}, also returning the pool-level batch summary. *)
+
+(** {1 Generic parallel mapping} *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  If [f] raises on any element, the
+    batch still drains and the first exception (by submission order) is
+    re-raised with its backtrace. *)
+
+val timed_map :
+  ?jobs:int -> ('a -> 'b) -> 'a array -> ('b * float) array * Telemetry.t
+(** As {!map}, with each element's execution time in seconds and the
+    batch summary. *)
+
+(** {1 Suite-shaped batches} *)
+
+val map_suite :
+  ?jobs:int ->
+  prepare:('a -> 'ctx) ->
+  targets:('ctx -> 'k list) ->
+  cell:('ctx -> 'k -> 'cell) ->
+  'a list ->
+  ('ctx * 'cell list) list * Telemetry.t
+(** The shape of every sweep in the paper's evaluation: an expensive
+    per-net preparation ([prepare], e.g. geometry plus the tau_min
+    anchor), a list of per-net targets derived from it, and one [cell]
+    per (net, target).  Both layers are parallelised — all preparations
+    first, then every cell of every net flattened into one batch for
+    load balance — and results come back grouped per input, in input
+    order.  The telemetry merges both phases. *)

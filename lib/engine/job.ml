@@ -1,0 +1,89 @@
+module Geometry = Rip_net.Geometry
+module Solution = Rip_elmore.Solution
+module Candidates = Rip_dp.Candidates
+module Power_dp = Rip_dp.Power_dp
+module Rip = Rip_core.Rip
+
+type algo =
+  | Rip
+  | Baseline_dp of { library : Rip_dp.Repeater_library.t; pitch : float }
+
+type t = {
+  process : Rip_tech.Process.t;
+  net : Rip_net.Net.t;
+  geometry : Rip_net.Geometry.t option;
+  budget : float;
+  config : Rip_core.Config.t option;
+  algo : algo;
+}
+
+let make ?geometry ?config ?(algo = Rip) process net ~budget =
+  { process; net; geometry; budget; config; algo }
+
+type solution =
+  | Rip_report of Rip_core.Rip.report
+  | Dp_result of Rip_dp.Power_dp.result
+
+type outcome = {
+  result : (solution, Rip_core.Rip.error) result;
+  cpu_seconds : float;
+}
+
+let execute job =
+  try
+    match job.algo with
+    | Rip ->
+        Result.map
+          (fun report -> Rip_report report)
+          (Rip.solve ?config:job.config
+             {
+               Rip.process = job.process;
+               net = job.net;
+               geometry = job.geometry;
+               budget = job.budget;
+             })
+    | Baseline_dp { library; pitch } -> (
+        let geometry =
+          match job.geometry with
+          | Some g -> g
+          | None -> Geometry.of_net job.net
+        in
+        let candidates = Candidates.uniform job.net ~pitch in
+        match
+          Power_dp.solve geometry job.process.Rip_tech.Process.repeater
+            ~library ~candidates ~budget:job.budget
+        with
+        | Some result -> Ok (Dp_result result)
+        | None ->
+            Error
+              (Rip.Infeasible_budget
+                 { budget = job.budget; tau_min_hint = None }))
+  with exn -> Error (Rip.Internal (Printexc.to_string exn))
+
+let solution_equal a b =
+  match (a, b) with
+  | Rip_report a, Rip_report b ->
+      Solution.equal a.Rip.solution b.Rip.solution
+      && a.Rip.total_width = b.Rip.total_width
+      && a.Rip.delay = b.Rip.delay
+  | Dp_result a, Dp_result b ->
+      Solution.equal a.Power_dp.solution b.Power_dp.solution
+      && a.Power_dp.total_width = b.Power_dp.total_width
+  | (Rip_report _ | Dp_result _), _ -> false
+
+let outcome_equal a b =
+  match (a.result, b.result) with
+  | Ok a, Ok b -> solution_equal a b
+  | Error a, Error b -> a = b
+  | (Ok _ | Error _), _ -> false
+
+let pp_outcome ppf outcome =
+  match outcome.result with
+  | Ok (Rip_report r) ->
+      Fmt.pf ppf "rip: width %.1fu, delay %.4gps (%.1fms)" r.Rip.total_width
+        (r.Rip.delay *. 1e12)
+        (outcome.cpu_seconds *. 1e3)
+  | Ok (Dp_result r) ->
+      Fmt.pf ppf "dp: width %.1fu (%.1fms)" r.Power_dp.total_width
+        (outcome.cpu_seconds *. 1e3)
+  | Error e -> Rip.pp_error ppf e

@@ -1,0 +1,57 @@
+(** One solve job for the batch engine: a (net, budget) cell of the
+    paper's evaluation sweep, tagged with the algorithm to run.
+
+    Jobs are self-contained and immutable, so any worker domain can
+    execute any job: the solvers keep all mutable state call-local and
+    the prebuilt {!Rip_net.Geometry.t} is read-only, which is what makes
+    result arrays independent of scheduling order. *)
+
+type algo =
+  | Rip  (** Algorithm RIP (Fig. 6) via {!Rip_core.Rip.solve} *)
+  | Baseline_dp of { library : Rip_dp.Repeater_library.t; pitch : float }
+      (** the conventional DP of ref. [14] over a fixed library, with
+          uniform candidate sites at [pitch] um — the comparison baseline
+          of every experiment *)
+
+type t = {
+  process : Rip_tech.Process.t;
+  net : Rip_net.Net.t;
+  geometry : Rip_net.Geometry.t option;
+      (** prebuilt geometry of [net] to reuse across budgets *)
+  budget : float;  (** delay budget, seconds *)
+  config : Rip_core.Config.t option;
+      (** [None] means {!Rip_core.Config.default}; only read by {!Rip} *)
+  algo : algo;
+}
+
+val make :
+  ?geometry:Rip_net.Geometry.t -> ?config:Rip_core.Config.t -> ?algo:algo ->
+  Rip_tech.Process.t -> Rip_net.Net.t -> budget:float -> t
+(** Convenience constructor; [algo] defaults to {!constructor-Rip}. *)
+
+type solution =
+  | Rip_report of Rip_core.Rip.report  (** from an {!constructor-Rip} job *)
+  | Dp_result of Rip_dp.Power_dp.result
+      (** from a feasible {!Baseline_dp} job *)
+
+type outcome = {
+  result : (solution, Rip_core.Rip.error) result;
+  cpu_seconds : float;
+      (** this job's own solver time — per-cell CPU cost, comparable with
+          Table 2's runtime columns; batch wall time lives in
+          {!Telemetry.t} *)
+}
+
+val execute : t -> (solution, Rip_core.Rip.error) result
+(** Run the job's algorithm.  Never raises: a stray exception is returned
+    as {!Rip_core.Rip.Internal}. *)
+
+val solution_equal : solution -> solution -> bool
+(** Same inserted repeaters (positions and widths) and total width; the
+    machine-dependent runtime and trace fields are ignored. *)
+
+val outcome_equal : outcome -> outcome -> bool
+(** {!solution_equal} on successes, structural equality on errors;
+    [cpu_seconds] is ignored (it is never deterministic). *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,85 @@
+type state = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+}
+
+type t = {
+  state : state;
+  workers : unit Domain.t array;
+  mutable joined : bool;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Worker loop: sleep on the condvar until a task or the stop flag shows
+   up; only exit once the queue is fully drained so shutdown never drops
+   accepted work. *)
+let worker state () =
+  let rec take () =
+    match Queue.take_opt state.queue with
+    | Some task -> Some task
+    | None ->
+        if state.stopping then None
+        else begin
+          Condition.wait state.work_available state.mutex;
+          take ()
+        end
+  in
+  let rec loop () =
+    Mutex.lock state.mutex;
+    let task = take () in
+    Mutex.unlock state.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        (try task () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> Stdlib.max 1 j
+    | None -> default_jobs ()
+  in
+  let state =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+    }
+  in
+  let workers = Array.init jobs (fun _ -> Domain.spawn (worker state)) in
+  { state; workers; joined = false }
+
+let size t = Array.length t.workers
+
+let submit t task =
+  Mutex.lock t.state.mutex;
+  if t.state.stopping then begin
+    Mutex.unlock t.state.mutex;
+    invalid_arg "Rip_engine.Pool.submit: pool is shut down"
+  end;
+  Queue.add task t.state.queue;
+  Condition.signal t.state.work_available;
+  Mutex.unlock t.state.mutex
+
+let shutdown t =
+  Mutex.lock t.state.mutex;
+  if not t.state.stopping then begin
+    t.state.stopping <- true;
+    Condition.broadcast t.state.work_available
+  end;
+  Mutex.unlock t.state.mutex;
+  if not t.joined then begin
+    t.joined <- true;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,32 @@
+(** A fixed-size OCaml 5 domain pool draining a mutex/condvar work queue.
+
+    Workers are spawned once at {!create} and block on the condition
+    variable until tasks arrive; {!shutdown} drains the queue and joins
+    every worker.  Tasks are opaque thunks — result plumbing (order,
+    timing, error capture) lives in {!Engine}, which wraps every task so
+    that an exception can never kill a worker domain. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism the machine can
+    actually use. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn [jobs] worker domains (default {!default_jobs}, floored at 1). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task; some idle worker will pick it up.  Tasks should not
+    raise — a stray exception is swallowed to keep the worker alive.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let the workers finish every queued task, and
+    join them.  Idempotent from the owning domain. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ?jobs f] runs [f] over a fresh pool and shuts it down
+    afterwards, also on exceptions. *)

@@ -3,11 +3,13 @@ module Net = Rip_net.Net
 module Power_dp = Rip_dp.Power_dp
 module Rip = Rip_core.Rip
 module Stats = Rip_numerics.Stats
+module Engine = Rip_engine.Engine
+module Telemetry = Rip_engine.Telemetry
 
 type cell = {
   target_index : int;
   budget : float;
-  rip : (Rip.report, string) result;
+  rip : (Rip.report, Rip.error) result;
   baselines : (float * Baseline.run) list;
 }
 
@@ -26,29 +28,51 @@ let saving_percent ~(baseline : Power_dp.result) ~(rip : Rip.report) =
   else if rip.Rip.total_width = 0.0 then Some 0.0
   else None
 
-let run_suite ?(granularities = [ 10.0; 20.0; 40.0 ]) ?(fixed_range = false)
-    ?nets ?(targets_per_net = 20) process =
+(* The whole sweep goes through the batch engine: per-net preparation
+   (geometry + the tau_min anchor) in one parallel phase, then every
+   (net, budget) cell of every net flattened into a second one.  Per-cell
+   work is untouched, so the result is identical to the old sequential
+   sweep for any job count. *)
+let run_suite_stats ?jobs ?(granularities = [ 10.0; 20.0; 40.0 ])
+    ?(fixed_range = false) ?nets ?(targets_per_net = 20) process =
   let nets = match nets with Some nets -> nets | None -> Suite.nets () in
   let baseline_of granularity =
     if fixed_range then Baseline.fixed_range ~granularity
     else Baseline.fixed_size ~granularity
   in
-  let run_net net =
-    let geometry = Geometry.of_net net in
-    let tau_min = Rip.tau_min process geometry in
-    let budgets = Suite.timing_targets ~count:targets_per_net ~tau_min () in
-    let cell target_index budget =
-      let rip = Rip.solve_geometry process geometry ~budget in
-      let baselines =
-        List.map
-          (fun g -> (g, Baseline.solve (baseline_of g) process geometry ~budget))
-          granularities
-      in
-      { target_index; budget; rip; baselines }
-    in
-    { net; tau_min; cells = List.mapi cell budgets }
+  let grouped, telemetry =
+    Engine.map_suite ?jobs
+      ~prepare:(fun net ->
+        let geometry = Geometry.of_net net in
+        let tau_min = Rip.tau_min process geometry in
+        (net, geometry, tau_min))
+      ~targets:(fun (_, _, tau_min) ->
+        List.mapi
+          (fun target_index budget -> (target_index, budget))
+          (Suite.timing_targets ~count:targets_per_net ~tau_min ()))
+      ~cell:(fun (net, geometry, _) (target_index, budget) ->
+        let rip =
+          Rip.solve { Rip.process; net; geometry = Some geometry; budget }
+        in
+        let baselines =
+          List.map
+            (fun g ->
+              (g, Baseline.solve (baseline_of g) process geometry ~budget))
+            granularities
+        in
+        { target_index; budget; rip; baselines })
+      nets
   in
-  List.map run_net nets
+  ( List.map
+      (fun ((net, _, tau_min), cells) -> { net; tau_min; cells })
+      grouped,
+    telemetry )
+
+let run_suite ?jobs ?granularities ?fixed_range ?nets ?targets_per_net
+    process =
+  fst
+    (run_suite_stats ?jobs ?granularities ?fixed_range ?nets ?targets_per_net
+       process)
 
 (* Savings of RIP over the g-granularity baseline across a net's cells. *)
 let net_savings ~granularity run =
@@ -225,10 +249,11 @@ type table2_row = {
   baseline_infeasible : int;
 }
 
-let table2 ?(granularities = [ 40.0; 30.0; 20.0; 10.0 ]) ?nets
+let table2 ?jobs ?(granularities = [ 40.0; 30.0; 20.0; 10.0 ]) ?nets
     ?(targets_per_net = 20) process =
   let runs =
-    run_suite ~granularities ~fixed_range:true ?nets ~targets_per_net process
+    run_suite ?jobs ~granularities ~fixed_range:true ?nets ~targets_per_net
+      process
   in
   let cells = List.concat_map (fun run -> run.cells) runs in
   let rip_times =

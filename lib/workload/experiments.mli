@@ -10,7 +10,7 @@
 type cell = {
   target_index : int;  (** 0-based k; budget is [(1.05 + 0.05 k) tau_min] *)
   budget : float;
-  rip : (Rip_core.Rip.report, string) result;
+  rip : (Rip_core.Rip.report, Rip_core.Rip.error) result;
   baselines : (float * Baseline.run) list;
       (** baseline outcome per width granularity [g] *)
 }
@@ -22,6 +22,7 @@ type net_run = {
 }
 
 val run_suite :
+  ?jobs:int ->
   ?granularities:float list ->
   ?fixed_range:bool ->
   ?nets:Rip_net.Net.t list ->
@@ -31,7 +32,25 @@ val run_suite :
 (** Sweep every net and timing target, solving RIP once per cell and the
     baseline once per granularity.  Defaults: the 20-net suite, 20 targets,
     granularities [10; 20; 40] with the paper's fixed-size-10 baseline
-    libraries ([fixed_range = false]). *)
+    libraries ([fixed_range = false]).
+
+    The sweep runs on the {!Rip_engine.Engine} domain pool ([jobs]
+    workers, default {!Rip_engine.Engine.default_jobs}); results are
+    independent of [jobs] — cells are reduced in submission order and
+    every solver is deterministic. *)
+
+val run_suite_stats :
+  ?jobs:int ->
+  ?granularities:float list ->
+  ?fixed_range:bool ->
+  ?nets:Rip_net.Net.t list ->
+  ?targets_per_net:int ->
+  Rip_tech.Process.t ->
+  net_run list * Rip_engine.Telemetry.t
+(** As {!run_suite}, also returning the engine's batch summary (batch
+    wall seconds vs summed per-cell CPU seconds and pool utilization) —
+    the numbers that keep Table 2's runtime columns meaningful under
+    parallel execution. *)
 
 (** {1 Table 1 — power reduction for two-pin nets} *)
 
@@ -81,7 +100,7 @@ type table2_row = {
 }
 
 val table2 :
-  ?granularities:float list -> ?nets:Rip_net.Net.t list ->
+  ?jobs:int -> ?granularities:float list -> ?nets:Rip_net.Net.t list ->
   ?targets_per_net:int -> Rip_tech.Process.t -> table2_row list
 (** Fixed-range (10u, 400u) baselines per the paper; defaults to
     granularities [40; 30; 20; 10] over the full suite. *)

@@ -106,7 +106,7 @@ let prop_rip_output_valid =
       let geometry = Geometry.of_net net in
       let tau_min = Rip.tau_min process geometry in
       let budget = slack *. tau_min in
-      match Rip.solve_geometry process geometry ~budget with
+      match Rip.solve (Rip.problem ~geometry process net ~budget) with
       | Error _ -> false
       | Ok r ->
           Validate.is_valid ~min_width:Config.default.Config.min_width
@@ -123,7 +123,9 @@ let prop_rip_beats_its_own_seed =
       let net = List.nth suite_nets net_index in
       let geometry = Geometry.of_net net in
       let tau_min = Rip.tau_min process geometry in
-      match Rip.solve_geometry process geometry ~budget:(slack *. tau_min) with
+      match
+        Rip.solve (Rip.problem ~geometry process net ~budget:(slack *. tau_min))
+      with
       | Error _ -> false
       | Ok r -> (
           match r.Rip.trace.Rip.coarse with
@@ -137,16 +139,36 @@ let prop_rip_beats_its_own_seed =
 
 let test_rip_impossible_budget () =
   let net = List.nth suite_nets 0 in
-  match Rip.solve process net ~budget:1e-15 with
-  | Error _ -> ()
+  match Rip.solve (Rip.problem process net ~budget:1e-15) with
+  | Error (Rip.Infeasible_budget { budget; tau_min_hint }) ->
+      Alcotest.(check (float 1e-30)) "budget echoed" 1e-15 budget;
+      (match tau_min_hint with
+      | Some tau -> Alcotest.(check bool) "hint above budget" true (tau > 1e-15)
+      | None -> Alcotest.fail "expected a tau_min hint")
+  | Error e -> Alcotest.failf "wrong error: %s" (Rip.error_to_string e)
   | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_rip_invalid_problem () =
+  let net = List.nth suite_nets 0 in
+  (match Rip.solve (Rip.problem process net ~budget:(-1.0)) with
+  | Error (Rip.Invalid_net [ Validate.Nonpositive_budget b ]) ->
+      Alcotest.(check (float 0.0)) "budget echoed" (-1.0) b
+  | Error e -> Alcotest.failf "wrong error: %s" (Rip.error_to_string e)
+  | Ok _ -> Alcotest.fail "negative budget accepted");
+  let other = Geometry.of_net (List.nth suite_nets 1) in
+  match Rip.solve (Rip.problem ~geometry:other process net ~budget:1e-9) with
+  | Error (Rip.Invalid_net violations) ->
+      Alcotest.(check bool) "geometry mismatch flagged" true
+        (List.mem Validate.Geometry_mismatch violations)
+  | Error e -> Alcotest.failf "wrong error: %s" (Rip.error_to_string e)
+  | Ok _ -> Alcotest.fail "mismatched geometry accepted"
 
 let test_rip_power_consistency () =
   let net = List.nth suite_nets 1 in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
-  match Rip.solve_geometry process geometry ~budget:(1.3 *. tau_min) with
-  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  match Rip.solve (Rip.problem ~geometry process net ~budget:(1.3 *. tau_min)) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Rip.error_to_string e)
   | Ok r ->
       let expected =
         Rip_tech.Power_model.repeater_power process.Rip_tech.Process.power
@@ -160,8 +182,8 @@ let test_rip_trace_populated () =
   let net = List.nth suite_nets 2 in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
-  match Rip.solve_geometry process geometry ~budget:(1.4 *. tau_min) with
-  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  match Rip.solve (Rip.problem ~geometry process net ~budget:(1.4 *. tau_min)) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Rip.error_to_string e)
   | Ok r ->
       Alcotest.(check bool) "coarse present" true (r.Rip.trace.Rip.coarse <> None);
       Alcotest.(check bool) "refine present" true
@@ -169,25 +191,33 @@ let test_rip_trace_populated () =
       Alcotest.(check bool) "final present" true (r.Rip.trace.Rip.final <> None);
       Alcotest.(check bool) "runtime measured" true (r.Rip.runtime_seconds > 0.0)
 
-let test_rip_solve_matches_solve_geometry () =
+let test_rip_solve_matches_deprecated_wrappers () =
+  (* The one-release compatibility wrappers must agree with the problem
+     API bit for bit. *)
   let net = List.nth suite_nets 3 in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
   let budget = 1.5 *. tau_min in
-  match (Rip.solve process net ~budget, Rip.solve_geometry process geometry ~budget)
-  with
-  | Ok a, Ok b ->
-      Alcotest.(check bool) "same solution" true
-        (Solution.equal a.Rip.solution b.Rip.solution)
-  | _, _ -> Alcotest.fail "both should succeed"
+  let via_problem = Rip.solve (Rip.problem ~geometry process net ~budget) in
+  let via_net = (Rip.solve_net [@alert "-deprecated"]) process net ~budget in
+  let via_geometry =
+    (Rip.solve_geometry [@alert "-deprecated"]) process geometry ~budget
+  in
+  match (via_problem, via_net, via_geometry) with
+  | Ok a, Ok b, Ok c ->
+      Alcotest.(check bool) "solve_net agrees" true
+        (Solution.equal a.Rip.solution b.Rip.solution);
+      Alcotest.(check bool) "solve_geometry agrees" true
+        (Solution.equal a.Rip.solution c.Rip.solution)
+  | _, _, _ -> Alcotest.fail "all three should succeed"
 
 let test_rip_loose_budget_drops_repeaters () =
   (* A budget safely above the bare-wire delay needs no repeaters at all. *)
   let net = List.nth suite_nets 0 in
   let geometry = Geometry.of_net net in
   let bare = Delay.total repeater geometry Solution.empty in
-  match Rip.solve_geometry process geometry ~budget:(1.5 *. bare) with
-  | Error e -> Alcotest.failf "unexpected failure: %s" e
+  match Rip.solve (Rip.problem ~geometry process net ~budget:(1.5 *. bare)) with
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Rip.error_to_string e)
   | Ok r -> Alcotest.(check int) "no repeaters" 0 (Solution.count r.Rip.solution)
 
 let test_rip_multi_pass_never_worse () =
@@ -198,8 +228,8 @@ let test_rip_multi_pass_never_worse () =
       let tau_min = Rip.tau_min process geometry in
       let budget = 1.3 *. tau_min in
       match
-        ( Rip.solve_geometry process geometry ~budget,
-          Rip.solve_geometry ~config process geometry ~budget )
+        ( Rip.solve (Rip.problem ~geometry process net ~budget),
+          Rip.solve ~config (Rip.problem ~geometry process net ~budget) )
       with
       | Ok one, Ok three ->
           Alcotest.(check bool) "extra passes never cost width" true
@@ -216,9 +246,12 @@ let test_rip_tau_min_is_reachable () =
     (fun net ->
       let geometry = Geometry.of_net net in
       let tau_min = Rip.tau_min process geometry in
-      match Rip.solve_geometry process geometry ~budget:(1.05 *. tau_min) with
+      match
+        Rip.solve (Rip.problem ~geometry process net ~budget:(1.05 *. tau_min))
+      with
       | Ok _ -> ()
-      | Error e -> Alcotest.failf "%s: %s" net.Net.name e)
+      | Error e ->
+          Alcotest.failf "%s: %s" net.Net.name (Rip.error_to_string e))
     suite_nets
 
 let suite =
@@ -240,8 +273,10 @@ let suite =
         Alcotest.test_case "power consistency" `Quick
           test_rip_power_consistency;
         Alcotest.test_case "trace populated" `Quick test_rip_trace_populated;
-        Alcotest.test_case "solve = solve_geometry" `Quick
-          test_rip_solve_matches_solve_geometry;
+        Alcotest.test_case "solve = deprecated wrappers" `Quick
+          test_rip_solve_matches_deprecated_wrappers;
+        Alcotest.test_case "invalid problems are typed" `Quick
+          test_rip_invalid_problem;
         Alcotest.test_case "loose budgets drop repeaters" `Quick
           test_rip_loose_budget_drops_repeaters;
         Alcotest.test_case "1.05 tau_min reachable" `Slow

@@ -1,0 +1,241 @@
+(* Tests for Rip_engine: the domain pool, the generic parallel maps, and
+   the determinism contract of typed solve batches. *)
+
+module Geometry = Rip_net.Geometry
+module Repeater_library = Rip_dp.Repeater_library
+module Validate = Rip_core.Validate
+module Rip = Rip_core.Rip
+module Pool = Rip_engine.Pool
+module Telemetry = Rip_engine.Telemetry
+module Job = Rip_engine.Job
+module Engine = Rip_engine.Engine
+module Suite = Rip_workload.Suite
+
+let qcheck = QCheck_alcotest.to_alcotest
+let process = Helpers.process
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let test_pool_runs_every_task () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 100 in
+      let hits = Array.make n 0 in
+      let mutex = Mutex.create () in
+      let remaining = ref n in
+      let done_ = Condition.create () in
+      for i = 0 to n - 1 do
+        Pool.submit pool (fun () ->
+            Mutex.lock mutex;
+            hits.(i) <- hits.(i) + 1;
+            decr remaining;
+            if !remaining = 0 then Condition.signal done_;
+            Mutex.unlock mutex)
+      done;
+      Mutex.lock mutex;
+      while !remaining > 0 do
+        Condition.wait done_ mutex
+      done;
+      Mutex.unlock mutex;
+      Alcotest.(check bool) "each task ran exactly once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  match Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_size_floor () =
+  Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "floored at one worker" 1 (Pool.size pool))
+
+(* --- Engine.map ----------------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  let input = Array.init 257 (fun i -> i) in
+  let doubled = Engine.map ~jobs:4 (fun i -> 2 * i) input in
+  Alcotest.(check (array int)) "order preserved"
+    (Array.map (fun i -> 2 * i) input)
+    doubled
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty batch" [||]
+    (Engine.map ~jobs:4 (fun i -> i) [||])
+
+let test_map_propagates_first_failure () =
+  let input = Array.init 16 (fun i -> i) in
+  match
+    Engine.map ~jobs:4
+      (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+      input
+  with
+  | _ -> Alcotest.fail "expected the exception to re-raise"
+  | exception Failure msg ->
+      (* first by submission order, not completion order *)
+      Alcotest.(check string) "first failing element" "3" msg
+
+let test_timed_map_telemetry () =
+  let input = Array.init 20 (fun i -> i) in
+  let results, telemetry = Engine.timed_map ~jobs:3 (fun i -> i + 1) input in
+  Alcotest.(check (array int)) "values" (Array.map (fun i -> i + 1) input)
+    (Array.map fst results);
+  Array.iter
+    (fun (_, seconds) ->
+      Alcotest.(check bool) "per-element time non-negative" true (seconds >= 0.0))
+    results;
+  Alcotest.(check int) "workers" 3 telemetry.Telemetry.workers;
+  Alcotest.(check int) "tasks" 20 telemetry.Telemetry.tasks;
+  Alcotest.(check bool) "wall covers the batch" true
+    (telemetry.Telemetry.wall_seconds >= 0.0);
+  Alcotest.(check bool) "utilization sane" true
+    (telemetry.Telemetry.utilization >= 0.0)
+
+let test_map_suite_groups_in_order () =
+  let inputs = [ 1; 2; 3 ] in
+  let grouped, telemetry =
+    Engine.map_suite ~jobs:4
+      ~prepare:(fun i -> 10 * i)
+      ~targets:(fun ctx -> [ ctx; ctx + 1 ])
+      ~cell:(fun ctx k -> ctx + k)
+      inputs
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "contexts and cells in input order"
+    [ (10, [ 20; 21 ]); (20, [ 40; 41 ]); (30, [ 60; 61 ]) ]
+    grouped;
+  Alcotest.(check int) "prep + cell tasks" 9 telemetry.Telemetry.tasks
+
+(* --- Determinism of solve batches ----------------------------------------- *)
+
+let quick_suite_jobs () =
+  (* 6 nets x 3 budgets, RIP plus a coarse-library baseline on a subset —
+     a miniature of the paper's sweep. *)
+  let nets = Suite.nets ~count:6 () in
+  let jobs =
+    List.concat_map
+      (fun net ->
+        let geometry = Geometry.of_net net in
+        let tau_min = Rip.tau_min process geometry in
+        List.concat_map
+          (fun slack ->
+            let budget = slack *. tau_min in
+            let rip = Job.make ~geometry process net ~budget in
+            let dp =
+              Job.make ~geometry process net ~budget
+                ~algo:
+                  (Job.Baseline_dp
+                     {
+                       library =
+                         Repeater_library.range ~min_width:40.0
+                           ~max_width:400.0 ~step:90.0;
+                       pitch = 400.0;
+                     })
+            in
+            [ rip; dp ])
+          [ 1.05; 1.3; 1.8 ])
+      nets
+  in
+  Array.of_list jobs
+
+let test_run_deterministic_across_pool_sizes () =
+  let jobs = quick_suite_jobs () in
+  let sequential = Engine.run ~jobs:1 jobs in
+  let parallel = Engine.run ~jobs:8 jobs in
+  Alcotest.(check int) "same length" (Array.length sequential)
+    (Array.length parallel);
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome %d identical" i)
+        true
+        (Job.outcome_equal a parallel.(i)))
+    sequential
+
+let test_run_stats_counts_jobs () =
+  let jobs = quick_suite_jobs () in
+  let outcomes, telemetry = Engine.run_stats ~jobs:2 jobs in
+  Alcotest.(check int) "one outcome per job" (Array.length jobs)
+    (Array.length outcomes);
+  Alcotest.(check int) "telemetry counts the batch" (Array.length jobs)
+    telemetry.Telemetry.tasks;
+  Array.iter
+    (fun o ->
+      Alcotest.(check bool) "cpu time measured" true (o.Job.cpu_seconds >= 0.0))
+    outcomes
+
+let test_job_execute_never_raises () =
+  (* An unsolvable budget comes back as a typed error, not an exception. *)
+  let net = List.hd (Suite.nets ~count:1 ()) in
+  match Job.execute (Job.make process net ~budget:1e-15) with
+  | Error (Rip.Infeasible_budget _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rip.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+(* --- Typed error round-trips ---------------------------------------------- *)
+
+let violation_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun x -> Validate.Outside_net x) (float_bound_exclusive 1e4);
+        map (fun x -> Validate.In_forbidden_zone x) (float_bound_exclusive 1e4);
+        map (fun x -> Validate.Width_out_of_range x) (float_bound_exclusive 1e3);
+        map2
+          (fun delay budget -> Validate.Over_budget { delay; budget })
+          (float_bound_exclusive 1e-9) (float_bound_exclusive 1e-9);
+        map (fun x -> Validate.Nonpositive_budget (-.x)) (float_bound_exclusive 1.0);
+        return Validate.Geometry_mismatch;
+      ])
+
+let error_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun budget hint ->
+            Rip.Infeasible_budget { budget; tau_min_hint = hint })
+          (float_bound_exclusive 1e-9)
+          (opt (float_bound_exclusive 1e-9));
+        map
+          (fun vs -> Rip.Invalid_net vs)
+          (list_size (int_range 0 4) violation_gen);
+        map (fun s -> Rip.Internal s) string_printable;
+      ])
+
+let error_arbitrary =
+  QCheck.make ~print:Rip.error_to_string error_gen
+
+let prop_error_to_string_matches_pp =
+  QCheck.Test.make ~name:"error_to_string agrees with pp and is non-empty"
+    ~count:200 error_arbitrary (fun e ->
+      let s = Rip.error_to_string e in
+      String.length s > 0 && String.equal s (Fmt.str "%a" Rip.pp_error e))
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "pool runs every task once" `Quick
+          test_pool_runs_every_task;
+        Alcotest.test_case "submit after shutdown raises" `Quick
+          test_pool_submit_after_shutdown;
+        Alcotest.test_case "pool size floored at 1" `Quick test_pool_size_floor;
+        Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "map on empty batch" `Quick test_map_empty;
+        Alcotest.test_case "map re-raises first failure" `Quick
+          test_map_propagates_first_failure;
+        Alcotest.test_case "timed_map telemetry" `Quick test_timed_map_telemetry;
+        Alcotest.test_case "map_suite groups per input" `Quick
+          test_map_suite_groups_in_order;
+        Alcotest.test_case "run jobs:1 = run jobs:8" `Slow
+          test_run_deterministic_across_pool_sizes;
+        Alcotest.test_case "run_stats counts the batch" `Slow
+          test_run_stats_counts_jobs;
+        Alcotest.test_case "execute never raises" `Quick
+          test_job_execute_never_raises;
+        qcheck prop_error_to_string_matches_pp;
+      ] );
+  ]

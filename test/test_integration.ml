@@ -38,8 +38,9 @@ let test_full_pipeline_on_macro_net () =
   List.iter
     (fun slack ->
       let budget = slack *. tau_min in
-      match Rip.solve_geometry process geometry ~budget with
-      | Error e -> Alcotest.failf "x%.2f failed: %s" slack e
+      match Rip.solve (Rip.problem ~geometry process net ~budget) with
+      | Error e ->
+          Alcotest.failf "x%.2f failed: %s" slack (Rip.error_to_string e)
       | Ok r ->
           Alcotest.(check bool)
             (Printf.sprintf "valid at x%.2f" slack)
@@ -60,7 +61,10 @@ let test_pipeline_through_file_round_trip () =
   in
   Sys.remove path;
   let budget = 1.4 *. Rip.tau_min process (Geometry.of_net net) in
-  match (Rip.solve process net ~budget, Rip.solve process parsed ~budget) with
+  match
+    ( Rip.solve (Rip.problem process net ~budget),
+      Rip.solve (Rip.problem process parsed ~budget) )
+  with
   | Ok a, Ok b ->
       Alcotest.(check bool) "same result through the file" true
         (Solution.equal a.Rip.solution b.Rip.solution)
@@ -72,8 +76,10 @@ let test_refine_improves_coarse_seed () =
   let net = macro_net () in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
-  match Rip.solve_geometry process geometry ~budget:(1.35 *. tau_min) with
-  | Error e -> Alcotest.failf "failed: %s" e
+  match
+    Rip.solve (Rip.problem ~geometry process net ~budget:(1.35 *. tau_min))
+  with
+  | Error e -> Alcotest.failf "failed: %s" (Rip.error_to_string e)
   | Ok r -> (
       match (r.Rip.trace.Rip.coarse, r.Rip.trace.Rip.refined) with
       | Some coarse, Some refined ->
@@ -102,12 +108,13 @@ let test_rip_never_violates_where_baseline_does () =
           in
           if base.Baseline.result = None then begin
             found_zone1 := true;
-            match Rip.solve_geometry process geometry ~budget with
+            match Rip.solve (Rip.problem ~geometry process net ~budget) with
             | Ok r ->
                 Alcotest.(check bool) "RIP feasible in zone I" true
                   (Validate.is_valid process net ~budget r.Rip.solution)
             | Error e ->
-                Alcotest.failf "RIP must not violate (%s): %s" net.Net.name e
+                Alcotest.failf "RIP must not violate (%s): %s" net.Net.name
+                  (Rip.error_to_string e)
           end)
         [ 1.05; 1.10; 1.15 ])
     nets;
@@ -129,7 +136,9 @@ let test_rip_beats_coarse_baseline_on_average () =
             Baseline.solve (Baseline.fixed_size ~granularity:40.0) process
               geometry ~budget
           in
-          match (base.Baseline.result, Rip.solve_geometry process geometry ~budget)
+          match
+            ( base.Baseline.result,
+              Rip.solve (Rip.problem ~geometry process net ~budget) )
           with
           | Some b, Ok r when b.Rip_dp.Power_dp.total_width > 0.0 ->
               savings :=
@@ -156,7 +165,10 @@ let test_rip_runtime_beats_fine_baseline () =
     Baseline.solve (Baseline.fixed_range ~granularity:10.0) process geometry
       ~budget
   in
-  match (base.Baseline.result, Rip.solve_geometry process geometry ~budget) with
+  match
+    ( base.Baseline.result,
+      Rip.solve (Rip.problem ~geometry process net ~budget) )
+  with
   | Some _, Ok r ->
       Alcotest.(check bool)
         (Printf.sprintf "speedup %.0fx >= 5x"
@@ -170,8 +182,10 @@ let test_stage_delay_additivity_across_pipeline () =
   let net = macro_net () in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
-  match Rip.solve_geometry process geometry ~budget:(1.5 *. tau_min) with
-  | Error e -> Alcotest.failf "failed: %s" e
+  match
+    Rip.solve (Rip.problem ~geometry process net ~budget:(1.5 *. tau_min))
+  with
+  | Error e -> Alcotest.failf "failed: %s" (Rip.error_to_string e)
   | Ok r ->
       Alcotest.(check bool) "delay re-evaluates" true
         (Helpers.close ~rel:1e-12 r.Rip.delay

@@ -10,6 +10,7 @@ let () =
          Test_dp.suite;
          Test_refine.suite;
          Test_core.suite;
+         Test_engine.suite;
          Test_workload.suite;
          Test_tree.suite;
          Test_integration.suite;
