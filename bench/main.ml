@@ -10,7 +10,8 @@
    Experiments: table1, table2, fig7, tree, ablation, micro, suite.
    The suite experiment runs the quick sweep through the rip_engine
    domain pool at jobs=1 and jobs=N, checks the outcome arrays are
-   identical, and appends machine-readable rows to BENCH_suite.json. *)
+   identical, and writes machine-readable rows to BENCH_suite.json in
+   the working directory (a generated artifact, not tracked in git). *)
 
 module Experiments = Rip_workload.Experiments
 module Suite = Rip_workload.Suite
@@ -334,7 +335,15 @@ let () =
   let args = List.filter (fun a -> a <> "--") args in
   (* --jobs N caps the scaling ladder and sizes the sweeps' domain pool. *)
   let rec extract_jobs acc = function
-    | "--jobs" :: n :: rest -> (int_of_string_opt n, List.rev acc @ rest)
+    | [ "--jobs" ] ->
+        prerr_endline "--jobs expects a value";
+        exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some jobs when jobs >= 1 -> (Some jobs, List.rev acc @ rest)
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2)
     | a :: rest -> extract_jobs (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
@@ -365,9 +374,14 @@ let () =
   if List.mem "ablation" wanted then run_ablation scale;
   if List.mem "micro" wanted then run_micro ();
   if List.mem "suite" wanted then begin
-    (* The acceptance ladder: sequential, then the parallel pool. *)
+    (* The scaling ladder: sequential, then the machine's own pool size.
+       Never force more domains than the machine recommends — an
+       oversubscribed pool serialises on minor-GC synchronisation and
+       benchmarks slower than jobs=1 (use --jobs to override). *)
     let top =
-      match jobs_override with Some j -> j | None -> Stdlib.max 8 (Engine.default_jobs ())
+      match jobs_override with
+      | Some jobs -> jobs
+      | None -> Engine.default_jobs ()
     in
     let ladder = if top <= 1 then [ 1 ] else [ 1; top ] in
     run_suite_bench (if quick then quick_scale else scale) ladder

@@ -65,7 +65,8 @@ let jobs =
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:"Worker domains for the sweep (default: the machine's \
-              recommended domain count).")
+              recommended domain count, except table2 which runs \
+              sequentially for trustworthy runtime columns).")
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1")

@@ -169,7 +169,8 @@ let jobs =
     & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:"Worker domains for batch solving (default: the machine's \
-              recommended domain count).")
+              recommended domain count, capped at the number of net \
+              files; a single net solves inline with no worker domain).")
 
 let solve_term =
   Term.(const solve_command $ net_files $ budget_ps $ slack $ trace $ jobs)

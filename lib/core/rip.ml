@@ -111,7 +111,7 @@ type problem = {
 let problem ?geometry process net ~budget = { process; net; geometry; budget }
 
 let solve_prepared ?(config = Config.default) process geometry ~budget =
-  let started = Unix.gettimeofday () in
+  let started = Rip_numerics.Cpu_clock.thread_seconds () in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
   let coarse_candidates =
@@ -267,7 +267,9 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
                 else acc)
           None feasible
       in
-      let runtime_seconds = Unix.gettimeofday () -. started in
+      let runtime_seconds =
+        Rip_numerics.Cpu_clock.thread_seconds () -. started
+      in
       (match best with
       | None ->
           Error

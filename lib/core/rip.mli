@@ -37,7 +37,9 @@ type report = {
   total_width : float;  (** power proxy p = sum w_i, u *)
   delay : float;  (** seconds, <= budget *)
   power_watts : float;  (** via the process power model, Eq. (3) *)
-  runtime_seconds : float;  (** wall clock of the whole pipeline *)
+  runtime_seconds : float;
+      (** thread-CPU time of the whole pipeline
+          ({!Rip_numerics.Cpu_clock}), valid under parallel sweeps *)
   trace : phase_trace;
 }
 

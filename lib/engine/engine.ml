@@ -1,3 +1,5 @@
+module Cpu_clock = Rip_numerics.Cpu_clock
+
 let default_jobs = Pool.default_jobs
 
 (* Run one batch on an existing pool: submit every element as a task that
@@ -40,14 +42,50 @@ let map_on_pool pool f input =
       results
   end
 
-let timed_map_on_pool pool f input =
+(* Inline path for one effective worker: same drain-everything semantics
+   as the pool (every element runs, then the earliest failure re-raises),
+   without paying domain startup/teardown for no parallelism. *)
+let map_inline f input =
+  let n = Array.length input in
+  let results = Array.make n None in
+  let failures = Array.make n None in
+  Array.iteri
+    (fun i x ->
+      match f x with
+      | result -> results.(i) <- Some result
+      | exception exn ->
+          failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()))
+    input;
+  Array.iter
+    (function
+      | Some (exn, backtrace) -> Printexc.raise_with_backtrace exn backtrace
+      | None -> ())
+    failures;
+  Array.map
+    (function Some result -> result | None -> assert false)
+    results
+
+type runner = Inline | Pooled of Pool.t
+
+let runner_size = function Inline -> 1 | Pooled pool -> Pool.size pool
+
+let map_on runner f input =
+  match runner with
+  | Inline -> map_inline f input
+  | Pooled pool -> map_on_pool pool f input
+
+(* Per-element times come from the worker's own CPU clock
+   (CLOCK_THREAD_CPUTIME_ID), so they stay comparable whatever the pool
+   size: time a domain spends descheduled behind its siblings is not
+   charged to the job it happens to be holding. *)
+let timed_map_on runner f input =
   let started = Unix.gettimeofday () in
   let timed =
-    map_on_pool pool
+    map_on runner
       (fun x ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Cpu_clock.thread_seconds () in
         let result = f x in
-        (result, Unix.gettimeofday () -. t0))
+        (result, Cpu_clock.thread_seconds () -. t0))
       input
   in
   let wall_seconds = Unix.gettimeofday () -. started in
@@ -55,14 +93,33 @@ let timed_map_on_pool pool f input =
     Array.fold_left (fun acc (_, seconds) -> acc +. seconds) 0.0 timed
   in
   ( timed,
-    Telemetry.make ~workers:(Pool.size pool) ~tasks:(Array.length input)
+    Telemetry.make ~workers:(runner_size runner) ~tasks:(Array.length input)
       ~wall_seconds ~cpu_seconds )
 
+(* Effective pool size: the request (or the machine default), floored at
+   one and capped at [cap] tasks — a batch never spawns more domains than
+   it has work for. *)
+let resolve_jobs ?cap jobs =
+  let requested =
+    match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs ()
+  in
+  match cap with
+  | Some cap -> Stdlib.min requested (Stdlib.max 1 cap)
+  | None -> requested
+
+let with_runner jobs f =
+  if jobs <= 1 then f Inline
+  else Pool.with_pool ~jobs (fun pool -> f (Pooled pool))
+
 let map ?jobs f input =
-  Pool.with_pool ?jobs (fun pool -> map_on_pool pool f input)
+  with_runner
+    (resolve_jobs ~cap:(Array.length input) jobs)
+    (fun runner -> map_on runner f input)
 
 let timed_map ?jobs f input =
-  Pool.with_pool ?jobs (fun pool -> timed_map_on_pool pool f input)
+  with_runner
+    (resolve_jobs ~cap:(Array.length input) jobs)
+    (fun runner -> timed_map_on runner f input)
 
 let run_stats ?jobs batch =
   let timed, telemetry = timed_map ?jobs Job.execute batch in
@@ -74,10 +131,12 @@ let run_stats ?jobs batch =
 let run ?jobs batch = fst (run_stats ?jobs batch)
 
 let map_suite ?jobs ~prepare ~targets ~cell inputs =
-  Pool.with_pool ?jobs (fun pool ->
+  (* No cap here: the cell phase usually holds far more tasks than there
+     are inputs, so the requested size is sized for it. *)
+  with_runner (resolve_jobs jobs) (fun runner ->
       let input = Array.of_list inputs in
       let prepared, prepare_telemetry =
-        timed_map_on_pool pool prepare input
+        timed_map_on runner prepare input
       in
       let contexts = Array.map fst prepared in
       let keys = Array.map (fun ctx -> Array.of_list (targets ctx)) contexts in
@@ -89,7 +148,7 @@ let map_suite ?jobs ~prepare ~targets ~cell inputs =
                 keys))
       in
       let cells, cell_telemetry =
-        timed_map_on_pool pool
+        timed_map_on runner
           (fun (i, k) -> cell contexts.(i) k)
           flattened
       in

@@ -8,10 +8,19 @@
     call-local, and the SplitMix64 streams used to *generate* workloads
     are consumed before jobs are built, so workers share nothing stateful.
 
+    The pool is sized [min jobs tasks] — a batch never spawns more
+    domains than it has work for — and one effective worker runs the
+    batch inline in the calling domain, with no domain startup at all.
+
     Timing is reported on two axes (see {!Telemetry}): per-job CPU
-    seconds, comparable with the paper's per-cell runtime columns even
-    under parallel execution, and batch wall seconds, the operator-facing
-    cost. *)
+    seconds read from each worker's own thread-CPU clock
+    ({!Rip_numerics.Cpu_clock}), which stay comparable with the paper's
+    per-cell runtime columns because descheduled time is never charged to
+    a job, and batch wall seconds, the operator-facing cost.  Caveat: an
+    oversubscribed pool (more domains than cores) still pays minor-GC
+    synchronisation inside each job's CPU time, so runtime-{e sensitive}
+    sweeps (Table 2) should run with [jobs = 1] — see
+    {!Rip_workload.Experiments.table2}, which defaults to that. *)
 
 val default_jobs : unit -> int
 (** [Pool.default_jobs ()], i.e. [Domain.recommended_domain_count ()]. *)
@@ -19,8 +28,9 @@ val default_jobs : unit -> int
 (** {1 Typed solve batches} *)
 
 val run : ?jobs:int -> Job.t array -> Job.outcome array
-(** Execute every job on a fresh [jobs]-domain pool; [outcomes.(i)]
-    belongs to [jobs.(i)].  Default [jobs] is {!default_jobs}. *)
+(** Execute every job on a fresh pool of [min jobs (Array.length batch)]
+    domains (inline when that is 1); [outcomes.(i)] belongs to
+    [jobs.(i)].  Default [jobs] is {!default_jobs}. *)
 
 val run_stats : ?jobs:int -> Job.t array -> Job.outcome array * Telemetry.t
 (** As {!run}, also returning the pool-level batch summary. *)
@@ -34,8 +44,8 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val timed_map :
   ?jobs:int -> ('a -> 'b) -> 'a array -> ('b * float) array * Telemetry.t
-(** As {!map}, with each element's execution time in seconds and the
-    batch summary. *)
+(** As {!map}, with each element's thread-CPU execution time in seconds
+    and the batch summary. *)
 
 (** {1 Suite-shaped batches} *)
 
@@ -52,4 +62,5 @@ val map_suite :
     per (net, target).  Both layers are parallelised — all preparations
     first, then every cell of every net flattened into one batch for
     load balance — and results come back grouped per input, in input
-    order.  The telemetry merges both phases. *)
+    order.  The telemetry merges both phases.  The pool is sized for the
+    cell phase, i.e. [jobs] is not capped at the input count. *)

@@ -9,7 +9,8 @@ type t = {
   workers : int;  (** pool size the batch ran on *)
   tasks : int;  (** jobs executed *)
   wall_seconds : float;  (** submission-to-last-completion wall clock *)
-  cpu_seconds : float;  (** sum of per-job execution times *)
+  cpu_seconds : float;
+      (** sum of per-job thread-CPU times ({!Rip_numerics.Cpu_clock}) *)
   utilization : float;
       (** [cpu / (wall * workers)]: 1.0 means every worker was busy for
           the whole batch; 0.0 for an empty batch *)

@@ -1,0 +1,6 @@
+external thread_seconds_raw : unit -> float = "rip_cpu_clock_thread_seconds"
+
+let available = thread_seconds_raw () >= 0.0
+
+let thread_seconds () =
+  if available then thread_seconds_raw () else Sys.time ()

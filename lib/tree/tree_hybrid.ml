@@ -44,7 +44,7 @@ let tau_min (process : Process.t) tree =
     ~sites
 
 let solve ?(config = default_config) (process : Process.t) tree ~budget =
-  let started = Unix.gettimeofday () in
+  let started = Rip_numerics.Cpu_clock.thread_seconds () in
   let repeater = process.Process.repeater in
   let coarse_sites = Tree_dp.uniform_sites tree ~pitch:config.coarse_pitch in
   (* Stage 1: coarse DP (fallback library when the 80u grid cannot meet a
@@ -102,7 +102,8 @@ let solve ?(config = default_config) (process : Process.t) tree ~budget =
           solution = best.Tree_dp.solution;
           total_width = best.Tree_dp.total_width;
           max_delay = best.Tree_dp.max_delay;
-          runtime_seconds = Unix.gettimeofday () -. started;
+          runtime_seconds =
+            Rip_numerics.Cpu_clock.thread_seconds () -. started;
           coarse = Some coarse_result;
           sizing;
           final;

@@ -34,9 +34,12 @@ type run = {
 let solve t (process : Rip_tech.Process.t) geometry ~budget =
   let net = Geometry.net geometry in
   let candidates = Candidates.uniform net ~pitch:t.pitch in
-  let started = Unix.gettimeofday () in
+  let started = Rip_numerics.Cpu_clock.thread_seconds () in
   let result =
     Power_dp.solve geometry process.Rip_tech.Process.repeater
       ~library:t.library ~candidates ~budget
   in
-  { result; runtime_seconds = Unix.gettimeofday () -. started }
+  {
+    result;
+    runtime_seconds = Rip_numerics.Cpu_clock.thread_seconds () -. started;
+  }

@@ -21,7 +21,7 @@ val fixed_range : granularity:float -> t
 
 type run = {
   result : Rip_dp.Power_dp.result option;  (** [None]: timing violation *)
-  runtime_seconds : float;
+  runtime_seconds : float;  (** thread-CPU time of the DP call *)
 }
 
 val solve :

@@ -249,10 +249,13 @@ type table2_row = {
   baseline_infeasible : int;
 }
 
-let table2 ?jobs ?(granularities = [ 40.0; 30.0; 20.0; 10.0 ]) ?nets
+(* Sequential by default: the T_DP / T_RIP columns are the product here,
+   and even with thread-CPU timing an oversubscribed pool charges each
+   cell its share of minor-GC synchronisation.  Parallelism is opt-in. *)
+let table2 ?(jobs = 1) ?(granularities = [ 40.0; 30.0; 20.0; 10.0 ]) ?nets
     ?(targets_per_net = 20) process =
   let runs =
-    run_suite ?jobs ~granularities ~fixed_range:true ?nets ~targets_per_net
+    run_suite ~jobs ~granularities ~fixed_range:true ?nets ~targets_per_net
       process
   in
   let cells = List.concat_map (fun run -> run.cells) runs in

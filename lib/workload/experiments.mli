@@ -103,7 +103,14 @@ val table2 :
   ?jobs:int -> ?granularities:float list -> ?nets:Rip_net.Net.t list ->
   ?targets_per_net:int -> Rip_tech.Process.t -> table2_row list
 (** Fixed-range (10u, 400u) baselines per the paper; defaults to
-    granularities [40; 30; 20; 10] over the full suite. *)
+    granularities [40; 30; 20; 10] over the full suite.
+
+    Unlike {!run_suite}, [jobs] defaults to [1]: this sweep exists for
+    its runtime columns, and per-cell times are only fully trustworthy
+    when cells do not compete for cores (thread-CPU timing removes
+    descheduling from the measurement but not each domain's share of GC
+    synchronisation on an oversubscribed pool).  Pass [jobs] explicitly
+    to trade timing fidelity for wall-clock speed. *)
 
 val render_table2 : table2_row list -> string
 

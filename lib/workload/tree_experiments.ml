@@ -45,13 +45,14 @@ let run ?trees ?(targets_per_tree = 6) (process : Rip_tech.Process.t) =
               | Some c -> coarse_w := c.Tree_dp.total_width :: !coarse_w
               | None -> ())
           | Error _ -> incr violations);
-          let t0 = Unix.gettimeofday () in
+          let t0 = Rip_numerics.Cpu_clock.thread_seconds () in
           (match
              Tree_dp.solve repeater tree ~library:fine_library ~sites ~budget
            with
           | Some f -> fine_w := f.Tree_dp.total_width :: !fine_w
           | None -> ());
-          fine_t := (Unix.gettimeofday () -. t0) :: !fine_t)
+          fine_t :=
+            (Rip_numerics.Cpu_clock.thread_seconds () -. t0) :: !fine_t)
         (List.init targets_per_tree (fun k -> k));
       let hybrid_mean = Stats.mean !hybrid_w in
       let coarse_mean = Stats.mean !coarse_w in

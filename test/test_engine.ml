@@ -93,6 +93,35 @@ let test_timed_map_telemetry () =
   Alcotest.(check bool) "utilization sane" true
     (telemetry.Telemetry.utilization >= 0.0)
 
+let test_jobs_capped_at_batch_size () =
+  (* Asking for more workers than tasks must not spawn idle domains. *)
+  let input = Array.init 2 (fun i -> i) in
+  let _, telemetry = Engine.timed_map ~jobs:64 (fun i -> i) input in
+  Alcotest.(check int) "pool capped at batch size" 2
+    telemetry.Telemetry.workers
+
+let test_single_job_runs_inline () =
+  (* jobs:1 (and a 1-element batch at any jobs) executes in the calling
+     domain: same results, one reported worker, first failure semantics
+     preserved. *)
+  let caller = Domain.self () in
+  let ran_on = ref None in
+  let _, telemetry =
+    Engine.timed_map ~jobs:1 (fun i -> ran_on := Some (Domain.self ()); i)
+      (Array.init 5 (fun i -> i))
+  in
+  Alcotest.(check int) "one worker reported" 1 telemetry.Telemetry.workers;
+  Alcotest.(check bool) "ran in the calling domain" true
+    (!ran_on = Some caller);
+  match
+    Engine.map ~jobs:1
+      (fun i -> if i >= 3 then failwith (string_of_int i) else i)
+      (Array.init 16 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected the exception to re-raise"
+  | exception Failure msg ->
+      Alcotest.(check string) "first failing element" "3" msg
+
 let test_map_suite_groups_in_order () =
   let inputs = [ 1; 2; 3 ] in
   let grouped, telemetry =
@@ -228,6 +257,10 @@ let suite =
         Alcotest.test_case "map re-raises first failure" `Quick
           test_map_propagates_first_failure;
         Alcotest.test_case "timed_map telemetry" `Quick test_timed_map_telemetry;
+        Alcotest.test_case "jobs capped at batch size" `Quick
+          test_jobs_capped_at_batch_size;
+        Alcotest.test_case "one worker runs inline" `Quick
+          test_single_job_runs_inline;
         Alcotest.test_case "map_suite groups per input" `Quick
           test_map_suite_groups_in_order;
         Alcotest.test_case "run jobs:1 = run jobs:8" `Slow

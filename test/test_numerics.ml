@@ -285,6 +285,34 @@ let prop_int_range =
       done;
       Array.for_all (fun x -> x) seen)
 
+(* --- Cpu_clock -------------------------------------------------------- *)
+
+let test_cpu_clock_monotone () =
+  let module Cpu_clock = Rip_numerics.Cpu_clock in
+  let t0 = Cpu_clock.thread_seconds () in
+  (* Burn a little CPU so the clock has something to count. *)
+  let acc = ref 0.0 in
+  for i = 1 to 2_000_000 do
+    acc := !acc +. sqrt (float_of_int i)
+  done;
+  ignore (Sys.opaque_identity !acc);
+  let t1 = Cpu_clock.thread_seconds () in
+  Alcotest.(check bool) "non-negative origin" true (t0 >= 0.0);
+  Alcotest.(check bool) "advances under CPU work" true (t1 > t0)
+
+let test_cpu_clock_ignores_sleep () =
+  let module Cpu_clock = Rip_numerics.Cpu_clock in
+  (* Only meaningful when the per-thread clock exists: sleeping burns
+     wall time but (almost) no CPU time. *)
+  if Cpu_clock.available then begin
+    let t0 = Cpu_clock.thread_seconds () in
+    Unix.sleepf 0.05;
+    let elapsed = Cpu_clock.thread_seconds () -. t0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "sleep not charged as CPU (%.4fs)" elapsed)
+      true (elapsed < 0.04)
+  end
+
 let suite =
   [
     ( "numerics.matrix",
@@ -340,5 +368,12 @@ let suite =
         Alcotest.test_case "bool varies" `Quick test_prng_bool_varies;
         qcheck prop_float_range;
         qcheck prop_int_range;
+      ] );
+    ( "numerics.cpu_clock",
+      [
+        Alcotest.test_case "monotone under work" `Quick
+          test_cpu_clock_monotone;
+        Alcotest.test_case "sleep is not CPU time" `Quick
+          test_cpu_clock_ignores_sleep;
       ] );
   ]
