@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --quick all   -- reduced suite (CI-sized)
      dune exec bench/main.exe -- --jobs 8 suite -- engine scaling run
 
-   Experiments: table1, table2, fig7, tree, ablation, micro, suite.
+   Experiments: table1, table2, fig7, tree, ablation, micro, service,
+   suite.
    The suite experiment runs the quick sweep through the rip_engine
    domain pool at jobs=1 and jobs=N, checks the outcome arrays are
    identical, and writes machine-readable rows to BENCH_suite.json in
@@ -257,6 +258,52 @@ let run_micro () =
   in
   print_string (Table.render ~header:[ "kernel"; "time/run" ] ~rows)
 
+(* --- Service: daemon + loadgen round trip ------------------------------- *)
+
+(* The acceptance loop of the service subsystem: an in-process daemon on
+   a Unix socket, a cold pass that fills the solve cache, then a warm
+   pass replaying the same workload.  The warm pass must be cache-served
+   and strictly faster. *)
+let run_service scale =
+  section "Service: cold vs warm solve cache (Unix socket)";
+  let module Server = Rip_service.Server in
+  let module Client = Rip_service.Client in
+  let module Loadgen = Rip_service.Loadgen in
+  let module Protocol = Rip_service.Protocol in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rip-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.create process in
+  let listener = Server.listen_unix path in
+  let acceptor = Thread.create (fun () -> Server.run server listener) () in
+  let requests = scale.nets * scale.targets in
+  let workload =
+    Loadgen.workload ~distinct_nets:(Stdlib.min scale.nets 8) ~requests
+      process
+  in
+  let connect () = Client.connect_unix path in
+  let pass label =
+    let r = Loadgen.run ~connect ~connections:4 workload in
+    Printf.printf "%s pass (%d requests):\n%s%!" label requests
+      (Loadgen.render r);
+    r
+  in
+  let cold = pass "cold" in
+  let warm = pass "warm" in
+  if cold.Loadgen.throughput > 0.0 then
+    Printf.printf "warm/cold throughput: %.1fx\n"
+      (warm.Loadgen.throughput /. cold.Loadgen.throughput);
+  print_string
+    (Protocol.print_response (Protocol.Stats_frame (Server.stats server)));
+  let closer = Client.connect_unix path in
+  (match Client.request closer Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok _ | Error _ -> Server.request_shutdown server);
+  Client.close closer;
+  Thread.join acceptor;
+  try Sys.remove path with Sys_error _ -> ()
+
 (* --- Engine batch-solve scaling (BENCH_suite.json) ---------------------- *)
 
 (* Per-cell results modulo runtime: the determinism contract is that the
@@ -352,11 +399,12 @@ let () =
   let scale = if quick then quick_scale else full_scale in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let wanted = if wanted = [] || List.mem "all" wanted then
-      [ "table1"; "table2"; "tree"; "ablation"; "micro"; "suite" ]
+      [ "table1"; "table2"; "tree"; "ablation"; "micro"; "service"; "suite" ]
     else wanted
   in
   let known =
-    [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro"; "suite" ]
+    [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro"; "service";
+      "suite" ]
   in
   List.iter
     (fun w ->
@@ -373,6 +421,7 @@ let () =
   if List.mem "tree" wanted then run_tree scale;
   if List.mem "ablation" wanted then run_ablation scale;
   if List.mem "micro" wanted then run_micro ();
+  if List.mem "service" wanted then run_service scale;
   if List.mem "suite" wanted then begin
     (* The scaling ladder: sequential, then the machine's own pool size.
        Never force more domains than the machine recommends — an

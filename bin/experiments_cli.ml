@@ -6,11 +6,37 @@
 
 module Experiments = Rip_workload.Experiments
 module Suite = Rip_workload.Suite
+module Rip = Rip_core.Rip
 
 let process = Rip_tech.Process.default_180nm
 
 let print_telemetry telemetry =
   Printf.printf "(%s)\n" (Fmt.str "%a" Rip_engine.Telemetry.pp telemetry)
+
+(* A sweep whose cells failed must not exit 0: print every typed error and
+   report failure, same contract as rip_cli solve. *)
+let exit_status_of_runs runs =
+  let failures =
+    List.concat_map
+      (fun (run : Experiments.net_run) ->
+        List.filter_map
+          (fun (cell : Experiments.cell) ->
+            match cell.Experiments.rip with
+            | Error e ->
+                Some
+                  ( run.Experiments.net.Rip_net.Net.name,
+                    cell.Experiments.budget,
+                    e )
+            | Ok _ -> None)
+          run.Experiments.cells)
+      runs
+  in
+  List.iter
+    (fun (net, budget, e) ->
+      Fmt.epr "error: %s (budget %.2f ps): %a@." net (budget *. 1e12)
+        Rip.pp_error e)
+    failures;
+  if failures = [] then 0 else 1
 
 let table1_run nets targets jobs =
   let nets = Suite.nets ~count:nets () in
@@ -20,7 +46,7 @@ let table1_run nets targets jobs =
   in
   print_string (Experiments.render_table1 (Experiments.table1 runs));
   print_telemetry telemetry;
-  0
+  exit_status_of_runs runs
 
 let fig7_run nets targets granularity jobs =
   let nets = Suite.nets ~count:nets () in
@@ -32,7 +58,7 @@ let fig7_run nets targets granularity jobs =
     (Experiments.render_fig7 ~granularity
        (Experiments.fig7 ~granularity runs));
   print_telemetry telemetry;
-  0
+  exit_status_of_runs runs
 
 let table2_run nets targets jobs =
   let nets = Suite.nets ~count:nets () in

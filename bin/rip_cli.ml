@@ -107,10 +107,10 @@ let solve_command paths budget_ps slack trace jobs =
           match outcome.Job.result with
           | Error e ->
               incr failures;
-              Printf.eprintf "error: %s\n" (Rip.error_to_string e)
+              Fmt.epr "error: %a@." Rip.pp_error e
           | Ok (Job.Dp_result _) ->
               incr failures;
-              Printf.eprintf "error: unexpected baseline result\n"
+              Fmt.epr "error: unexpected baseline result@."
           | Ok (Job.Rip_report report) ->
               print_solution report;
               if trace then print_trace report)

@@ -1,0 +1,199 @@
+(* rip_loadgen: closed-loop load generator for rip_serviced.
+
+     rip_loadgen --socket /tmp/rip.sock --requests 400 --connections 4
+     rip_loadgen --port 7177 --passes 2 --distinct-nets 6
+
+   Replays a deterministic Netgen workload (a few distinct nets repeated
+   many times, as a router re-querying global nets would) against a
+   running daemon and reports throughput, latency percentiles and the
+   server's STATS counter deltas next to its own counts.  With
+   --passes 2 the second pass replays the identical workload against the
+   now-warm cache — the cold-vs-warm throughput comparison. *)
+
+module Protocol = Rip_service.Protocol
+module Client = Rip_service.Client
+module Loadgen = Rip_service.Loadgen
+
+let process = Rip_tech.Process.default_180nm
+
+let fetch_stats connect =
+  match
+    let client = connect () in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () -> Client.request client Protocol.Stats)
+  with
+  | Ok (Protocol.Stats_frame stats) -> Ok stats
+  | Ok _ -> Error "unexpected response to STATS"
+  | Error e -> Error e
+  | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
+
+let print_consistency ~before ~after totals =
+  let ( sent,
+        solved_fresh,
+        solved_cached,
+        errors,
+        busy ) =
+    totals
+  in
+  let delta field = field after - field before in
+  let requests_delta = delta (fun s -> s.Protocol.requests) in
+  let hits_delta = delta (fun s -> s.Protocol.cache_hits) in
+  let misses_delta = delta (fun s -> s.Protocol.cache_misses) in
+  let errors_delta = delta (fun s -> s.Protocol.errors) in
+  let busy_delta = delta (fun s -> s.Protocol.rejected_busy) in
+  let solved_delta = delta (fun s -> s.Protocol.solved) in
+  Printf.printf
+    "server STATS deltas: requests %d, solved %d, hits %d, misses %d, \
+     errors %d, busy %d, evictions %d\n"
+    requests_delta solved_delta hits_delta misses_delta errors_delta
+    busy_delta
+    (delta (fun s -> s.Protocol.cache_evictions));
+  Printf.printf
+    "loadgen counts     : requests %d, solved %d, hits %d, errors %d, busy %d\n"
+    sent
+    (solved_fresh + solved_cached)
+    solved_cached errors busy;
+  (* Misses include solves that later errored or were rejected before
+     caching; the airtight identities are the ones below. *)
+  let consistent =
+    requests_delta = sent
+    && solved_delta = solved_fresh + solved_cached
+    && hits_delta = solved_cached
+    && errors_delta = errors
+    && busy_delta = busy
+    && misses_delta = sent - solved_cached
+  in
+  Printf.printf "counters consistent: %s\n"
+    (if consistent then "yes"
+     else "NO (another client talking to the same daemon?)");
+  consistent
+
+let run_load socket_path port host requests connections distinct_nets seed
+    slack passes =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let connect () =
+    match port with
+    | Some port -> Client.connect_tcp ~host ~port
+    | None -> Client.connect_unix socket_path
+  in
+  let workload =
+    Loadgen.workload ~seed:(Int64.of_int seed) ~distinct_nets ~slack
+      ~requests process
+  in
+  match fetch_stats connect with
+  | Error e ->
+      Printf.eprintf "rip_loadgen: cannot reach the daemon: %s\n" e;
+      1
+  | Ok before ->
+      let results =
+        List.init passes (fun pass ->
+            let label =
+              if passes = 1 then "pass"
+              else if pass = 0 then "pass 1 (cold)"
+              else Printf.sprintf "pass %d (warm)" (pass + 1)
+            in
+            let result = Loadgen.run ~connect ~connections workload in
+            Printf.printf "--- %s ---\n%s" label (Loadgen.render result);
+            result)
+      in
+      (match results with
+      | cold :: (_ :: _ as rest) ->
+          let warm = List.nth rest (List.length rest - 1) in
+          Printf.printf
+            "cold -> warm throughput: %.1f -> %.1f req/s (%.1fx)\n"
+            cold.Loadgen.throughput warm.Loadgen.throughput
+            (if cold.Loadgen.throughput > 0.0 then
+               warm.Loadgen.throughput /. cold.Loadgen.throughput
+             else 0.0)
+      | _ -> ());
+      let totals =
+        List.fold_left
+          (fun (sent, fresh, cached, errors, busy) (r : Loadgen.result) ->
+            ( sent + r.sent,
+              fresh + r.solved_fresh,
+              cached + r.solved_cached,
+              errors + r.errors,
+              busy + r.busy ))
+          (0, 0, 0, 0, 0) results
+      in
+      let failures =
+        List.exists
+          (fun (r : Loadgen.result) ->
+            r.transport_failures > 0 || r.errors > 0)
+          results
+      in
+      let consistent =
+        match fetch_stats connect with
+        | Error e ->
+            Printf.eprintf "rip_loadgen: cannot fetch closing STATS: %s\n" e;
+            false
+        | Ok after -> print_consistency ~before ~after totals
+      in
+      if failures || not consistent then 1 else 0
+
+open Cmdliner
+
+let socket_path =
+  Arg.(
+    value
+    & opt string "rip_serviced.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket of the daemon (ignored with --port).")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Connect over TCP instead.")
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Daemon host for --port.")
+
+let requests =
+  Arg.(
+    value & opt int 200
+    & info [ "requests"; "n" ] ~docv:"N" ~doc:"SOLVE requests per pass.")
+
+let connections =
+  Arg.(
+    value & opt int 4
+    & info [ "connections"; "c" ] ~docv:"C"
+        ~doc:"Concurrent closed-loop connections.")
+
+let distinct_nets =
+  Arg.(
+    value & opt int 8
+    & info [ "distinct-nets" ] ~docv:"K"
+        ~doc:"Distinct nets in the workload; requests repeat over them \
+              round-robin, so K far below N exercises the solve cache.")
+
+let seed =
+  Arg.(
+    value & opt int 20050307
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+
+let slack =
+  Arg.(
+    value & opt float 1.3
+    & info [ "slack" ] ~docv:"MULT"
+        ~doc:"Delay budget as a multiple of each net's minimum delay.")
+
+let passes =
+  Arg.(
+    value & opt int 1
+    & info [ "passes" ] ~docv:"P"
+        ~doc:"Replays of the identical workload; 2 gives a cold-vs-warm \
+              cache comparison.")
+
+let main =
+  Cmd.v
+    (Cmd.info "rip_loadgen" ~version:"1.0.0"
+       ~doc:"Closed-loop load generator and latency reporter for rip_serviced")
+    Term.(
+      const run_load $ socket_path $ port $ host $ requests $ connections
+      $ distinct_nets $ seed $ slack $ passes)
+
+let () = exit (Cmd.eval' main)

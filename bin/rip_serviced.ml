@@ -1,0 +1,105 @@
+(* rip_serviced: the persistent solve daemon.
+
+     rip_serviced --socket /tmp/rip.sock --jobs 4
+     rip_serviced --port 7177 --cache-capacity 1024
+
+   Speaks the Rip_service.Protocol line protocol (SOLVE/STATS/PING/
+   SHUTDOWN) over a Unix-domain or TCP socket; see the README's "Running
+   the service" section for the grammar and a socat session.  Runs until
+   a SHUTDOWN frame or SIGINT/SIGTERM. *)
+
+module Server = Rip_service.Server
+
+let process = Rip_tech.Process.default_180nm
+
+let serve socket_path port host jobs cache_capacity queue_depth =
+  if queue_depth < 1 then begin
+    prerr_endline "rip_serviced: --queue-depth must be at least 1";
+    2
+  end
+  else if cache_capacity < 0 then begin
+    prerr_endline "rip_serviced: --cache-capacity must not be negative";
+    2
+  end
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let config =
+      { Server.default_config with jobs; queue_depth; cache_capacity }
+    in
+    let server = Server.create ~config process in
+    let stop _ = Server.request_shutdown server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    let listen_fd, endpoint =
+      match port with
+      | Some port ->
+          (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port)
+      | None -> (Server.listen_unix socket_path, socket_path)
+    in
+    Printf.printf
+      "rip_serviced: listening on %s (jobs %s, cache %d entries, queue \
+       depth %d)\n\
+       %!"
+      endpoint
+      (match jobs with Some j -> string_of_int j | None -> "auto")
+      cache_capacity queue_depth;
+    Server.run server listen_fd;
+    (* Leave no stale socket file behind on a clean shutdown. *)
+    (if port = None && Sys.file_exists socket_path then
+       try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    Printf.printf "rip_serviced: shut down\n%!";
+    0
+  end
+
+open Cmdliner
+
+let socket_path =
+  Arg.(
+    value
+    & opt string "rip_serviced.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on (ignored with --port).")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP instead of a Unix socket.")
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for --port.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains of the solve pool (default: the machine's \
+              recommended domain count; 1 solves inline in the connection \
+              thread).")
+
+let cache_capacity =
+  Arg.(
+    value & opt int Rip_service.Server.default_config.cache_capacity
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Solve-cache capacity in entries (0 disables caching).")
+
+let queue_depth =
+  Arg.(
+    value & opt int Rip_service.Server.default_config.queue_depth
+    & info [ "queue-depth" ] ~docv:"N"
+        ~doc:"Maximum in-flight solves before new requests are rejected \
+              with BUSY.")
+
+let main =
+  Cmd.v
+    (Cmd.info "rip_serviced" ~version:"1.0.0"
+       ~doc:"Persistent repeater-insertion solve service with a canonical-form \
+             result cache")
+    Term.(
+      const serve $ socket_path $ port $ host $ jobs $ cache_capacity
+      $ queue_depth)
+
+let () = exit (Cmd.eval' main)

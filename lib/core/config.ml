@@ -11,6 +11,7 @@ type t = {
   max_width : float;
   refine : Rip_refine.Refine.config;
   refine_passes : int;
+  dp_frontier_cap : int;
 }
 
 let reference_library =
@@ -33,6 +34,7 @@ let default =
     max_width = 400.0;
     refine = Rip_refine.Refine.default_config;
     refine_passes = 1;
+    dp_frontier_cap = 128;
   }
 
 let pp ppf t =
@@ -40,6 +42,7 @@ let pp ppf t =
     "@[<v>rip config:@,\
      coarse library %a at %gum pitch@,\
      refined grid %gu, +/-%d slots at %gum@,\
-     width range [%gu, %gu]@]"
+     width range [%gu, %gu]@,\
+     dp frontier cap %d@]"
     Repeater_library.pp t.coarse_library t.coarse_pitch t.refined_granularity
-    t.refined_radius t.refined_pitch t.min_width t.max_width
+    t.refined_radius t.refined_pitch t.min_width t.max_width t.dp_frontier_cap

@@ -22,6 +22,11 @@ type t = {
           the previous round's discrete solution; default 1 as in the
           paper, whose conclusion notes that "REFINE may be performed
           several times for further power reduction" *)
+  dp_frontier_cap : int;
+      (** per-state label cap handed to every {!Rip_dp.Power_dp} pass:
+          bounds the pseudo-polynomial DP on tall nets with tight
+          budgets, at worst trading a little power optimality; default
+          128, far above what healthy nets produce *)
 }
 
 val default : t

@@ -114,6 +114,7 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
   let started = Rip_numerics.Cpu_clock.thread_seconds () in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
+  let frontier_cap = config.Config.dp_frontier_cap in
   let coarse_candidates =
     Candidates.uniform net ~pitch:config.Config.coarse_pitch
   in
@@ -123,13 +124,14 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
      the fine-pitch final DP can still land under the budget. *)
   let coarse, used_fallback_library =
     match
-      Power_dp.solve geometry repeater ~library:config.Config.coarse_library
-        ~candidates:coarse_candidates ~budget
+      Power_dp.solve ~frontier_cap geometry repeater
+        ~library:config.Config.coarse_library ~candidates:coarse_candidates
+        ~budget
     with
     | Some r -> (Some r, false)
     | None -> (
         match
-          Power_dp.solve geometry repeater
+          Power_dp.solve ~frontier_cap geometry repeater
             ~library:config.Config.fallback_library
             ~candidates:coarse_candidates ~budget
         with
@@ -179,8 +181,8 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
                         { Power_dp.sites = 2; transitions = 0; labels = 0 };
                     }
               | Some library ->
-                  Power_dp.solve geometry repeater ~library ~candidates
-                    ~budget
+                  Power_dp.solve ~frontier_cap geometry repeater ~library
+                    ~candidates ~budget
             in
             (Some outcome, library, candidates, final)
       in
@@ -232,8 +234,23 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
               ~radius:config.Config.refined_radius
               ~pitch:config.Config.refined_pitch
           in
-          Power_dp.solve geometry repeater
-            ~library:config.Config.fallback_library ~candidates ~budget
+          (* Same trick as line 3: a tiny library synthesised from the
+             analytical widths.  The full reference library here would
+             reintroduce the pseudo-polynomial blow-up the hybrid scheme
+             exists to avoid. *)
+          let library =
+            match
+              Solution.widths fastest.Rip_refine.Min_delay_analytic.solution
+            with
+            | [] -> config.Config.fallback_library
+            | widths ->
+                Repeater_library.round_to_grid
+                  ~granularity:config.Config.refined_granularity
+                  ~min_width:config.Config.min_width
+                  ~max_width:config.Config.max_width widths
+          in
+          Power_dp.solve ~frontier_cap geometry repeater ~library ~candidates
+            ~budget
       in
       let trace =
         { coarse = Some coarse_result; used_fallback_library; refined;
@@ -286,10 +303,3 @@ let solve ?config { process; net; geometry; budget } =
         match geometry with Some g -> g | None -> Geometry.of_net net
       in
       solve_prepared ?config process geometry ~budget
-
-let solve_net ?config process net ~budget =
-  solve ?config { process; net; geometry = None; budget }
-
-let solve_geometry ?config process geometry ~budget =
-  solve ?config
-    { process; net = Geometry.net geometry; geometry = Some geometry; budget }

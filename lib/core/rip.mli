@@ -85,20 +85,6 @@ val solve : ?config:Config.t -> problem -> (report, error) result
 (** Solve Problem LPRI.  The only entry point: batch callers build one
     {!Rip_net.Geometry.t} per net and stamp out problems per budget. *)
 
-(** {1 Deprecated wrappers (one release)} *)
-
-val solve_net :
-  ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Net.t -> budget:float ->
-  (report, error) result
-[@@ocaml.deprecated "Use Rip.solve with a Rip.problem record."]
-(** The pre-engine [solve] shape; forwards to {!solve}. *)
-
-val solve_geometry :
-  ?config:Config.t -> Rip_tech.Process.t -> Rip_net.Geometry.t ->
-  budget:float -> (report, error) result
-[@@ocaml.deprecated "Use Rip.solve with a Rip.problem record."]
-(** The pre-engine geometry-reusing shape; forwards to {!solve}. *)
-
 val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
 (** The timing-target anchor, "the minimum delay of the net": the better
     of the analytical continuous minimum

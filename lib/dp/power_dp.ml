@@ -25,6 +25,16 @@ type label = {
 let units_per_u = 1000.0
 let width_units w = int_of_float (Float.round (w *. units_per_u))
 
+(* Bound a frontier to [cap] labels by sampling it evenly along the width
+   axis.  The frontier is width-ascending with strictly decreasing delay,
+   so index 0 (the cheapest label) and the last index (the fastest) are
+   always kept; dropping interior labels can only cost power optimality,
+   never feasibility. *)
+let thin_frontier cap frontier =
+  let n = Array.length frontier in
+  if n <= cap then frontier
+  else Array.init cap (fun i -> frontier.(i * (n - 1) / (cap - 1)))
+
 (* Pareto prune: ascending width, then keep strictly decreasing delay. *)
 let freeze_frontier labels =
   let arr = Array.of_list labels in
@@ -45,7 +55,11 @@ let freeze_frontier labels =
     arr;
   Array.of_list (List.rev !kept)
 
-let solve geometry repeater ~library ~candidates ~budget =
+let solve ?frontier_cap geometry repeater ~library ~candidates ~budget =
+  (match frontier_cap with
+  | Some cap when cap < 2 ->
+      invalid_arg "Power_dp.solve: frontier_cap must be at least 2"
+  | Some _ | None -> ());
   let chain = Chain.create geometry repeater ~candidates in
   let n_sites = Chain.site_count chain in
   let last = n_sites - 1 in
@@ -54,6 +68,12 @@ let solve geometry repeater ~library ~candidates ~budget =
     if site = 0 then [| chain.Chain.driver_width |]
     else if site = last then [| chain.Chain.receiver_width |]
     else lib
+  in
+  (* Thickest driver any predecessor can offer: stage delay is strictly
+     decreasing in the driving width, so this width gives a lower bound
+     on every stage over a given span. *)
+  let widest_driver =
+    Float.max chain.Chain.driver_width (Repeater_library.max_width library)
   in
   (* frontiers.(site).(width_index) — filled strictly left to right. *)
   let frontiers =
@@ -76,36 +96,56 @@ let solve geometry repeater ~library ~candidates ~budget =
     for wj = 0 to Array.length site_widths - 1 do
       Hashtbl.reset collected;
       let to_width = site_widths.(wj) in
-      for src = 0 to site - 1 do
-        let src_widths = widths_at src in
-        for wi = 0 to Array.length src_widths - 1 do
-          let frontier = frontiers.(src).(wi) in
-          if Array.length frontier > 0 then begin
-            incr transitions;
-            let stage =
-              Chain.stage_delay chain ~from_site:src
-                ~from_width:src_widths.(wi) ~to_site:site ~to_width
-            in
-            Array.iteri
-              (fun li l ->
-                let delay = l.delay +. stage in
-                if delay <= budget then begin
-                  let width_units = l.width_units + added_units.(wj) in
-                  let candidate =
-                    { delay; width_units; pred_site = src; pred_width = wi;
-                      pred_label = li }
-                  in
-                  match Hashtbl.find_opt collected width_units with
-                  | Some best when best.delay <= delay -> ()
-                  | Some _ | None ->
-                      Hashtbl.replace collected width_units candidate
-                end)
-              frontier
-          end
-        done
+      (* Scan predecessors right to left.  Once even the best case — the
+         thickest driver with a zero arrival — overshoots the budget, so
+         does every farther predecessor: stage delay only grows with
+         span.  Cuts the quadratic site scan to the feasible window. *)
+      let src = ref (site - 1) in
+      let scanning = ref true in
+      while !scanning && !src >= 0 do
+        let s = !src in
+        if
+          Chain.stage_delay chain ~from_site:s ~from_width:widest_driver
+            ~to_site:site ~to_width
+          > budget
+        then scanning := false
+        else begin
+          let src_widths = widths_at s in
+          for wi = 0 to Array.length src_widths - 1 do
+            let frontier = frontiers.(s).(wi) in
+            if Array.length frontier > 0 then begin
+              incr transitions;
+              let stage =
+                Chain.stage_delay chain ~from_site:s
+                  ~from_width:src_widths.(wi) ~to_site:site ~to_width
+              in
+              Array.iteri
+                (fun li l ->
+                  let delay = l.delay +. stage in
+                  if delay <= budget then begin
+                    let width_units = l.width_units + added_units.(wj) in
+                    let candidate =
+                      { delay; width_units; pred_site = s; pred_width = wi;
+                        pred_label = li }
+                    in
+                    match Hashtbl.find_opt collected width_units with
+                    | Some best when best.delay <= delay -> ()
+                    | Some _ | None ->
+                        Hashtbl.replace collected width_units candidate
+                  end)
+                frontier
+            end
+          done
+        end;
+        decr src
       done;
       let frontier =
         freeze_frontier (Hashtbl.fold (fun _ l acc -> l :: acc) collected [])
+      in
+      let frontier =
+        match frontier_cap with
+        | Some cap -> thin_frontier cap frontier
+        | None -> frontier
       in
       labels := !labels + Array.length frontier;
       frontiers.(site).(wj) <- frontier

@@ -24,9 +24,19 @@ type result = {
 }
 
 val solve :
+  ?frontier_cap:int ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   library:Repeater_library.t -> candidates:float list -> budget:float ->
   result option
 (** [None] when no repeater assignment over the given sites and library
     meets the budget.  The returned solution's delay is recomputed through
-    {!Rip_elmore.Delay.total} and always satisfies [delay <= budget]. *)
+    {!Rip_elmore.Delay.total} and always satisfies [delay <= budget].
+
+    [frontier_cap] bounds every per-state frontier to that many labels
+    (evenly sampled along the width axis, keeping the cheapest and the
+    fastest).  Without it the DP is exact but pseudo-polynomial: on tall
+    nets with tight budgets the number of distinct quantised total widths
+    — and with it the run time — can explode.  With it the DP is an
+    anytime approximation that still never returns a budget-violating
+    solution.  Must be at least 2.
+    @raise Invalid_argument when [frontier_cap < 2]. *)

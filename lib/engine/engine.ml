@@ -121,6 +121,44 @@ let timed_map ?jobs f input =
     (resolve_jobs ~cap:(Array.length input) jobs)
     (fun runner -> timed_map_on runner f input)
 
+(* --- Long-lived pool handles -------------------------------------------- *)
+
+(* A handle keeps one runner alive across many batches: a service that
+   solves requests as they arrive must not pay domain spawn/join per
+   request the way the one-shot entry points above do per batch. *)
+type handle = { runner : runner; mutable closed : bool }
+
+let create_handle ?jobs () =
+  let jobs = resolve_jobs jobs in
+  let runner = if jobs <= 1 then Inline else Pooled (Pool.create ~jobs ()) in
+  { runner; closed = false }
+
+let handle_jobs handle = runner_size handle.runner
+
+let check_open handle =
+  if handle.closed then
+    invalid_arg "Rip_engine.Engine: handle is shut down"
+
+let map_on_handle handle f input =
+  check_open handle;
+  map_on handle.runner f input
+
+let timed_map_on_handle handle f input =
+  check_open handle;
+  timed_map_on handle.runner f input
+
+let shutdown_handle handle =
+  if not handle.closed then begin
+    handle.closed <- true;
+    match handle.runner with
+    | Inline -> ()
+    | Pooled pool -> Pool.shutdown pool
+  end
+
+let with_handle ?jobs f =
+  let handle = create_handle ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown_handle handle) (fun () -> f handle)
+
 let run_stats ?jobs batch =
   let timed, telemetry = timed_map ?jobs Job.execute batch in
   ( Array.map

@@ -35,6 +35,40 @@ val run : ?jobs:int -> Job.t array -> Job.outcome array
 val run_stats : ?jobs:int -> Job.t array -> Job.outcome array * Telemetry.t
 (** As {!run}, also returning the pool-level batch summary. *)
 
+(** {1 Long-lived pool handles}
+
+    The entry points below spin a pool up per batch, which is right for
+    sweeps but wrong for a long-lived service: a daemon solving requests
+    as they arrive must not pay domain spawn/join per request.  A handle
+    owns one pool (or the inline runner when [jobs <= 1]) and runs any
+    number of batches on it until {!shutdown_handle}. *)
+
+type handle
+
+val create_handle : ?jobs:int -> unit -> handle
+(** Spawn a reusable runner of [jobs] workers (default {!default_jobs};
+    [jobs <= 1] runs batches inline in the calling thread, with no worker
+    domain). *)
+
+val handle_jobs : handle -> int
+(** Effective worker count (1 for the inline runner). *)
+
+val map_on_handle : handle -> ('a -> 'b) -> 'a array -> 'b array
+(** As {!map}, on the handle's existing pool.  Safe to call from several
+    threads at once — batches interleave on the shared workers.
+    @raise Invalid_argument after {!shutdown_handle}. *)
+
+val timed_map_on_handle :
+  handle -> ('a -> 'b) -> 'a array -> ('b * float) array * Telemetry.t
+(** As {!timed_map}, on the handle's existing pool. *)
+
+val shutdown_handle : handle -> unit
+(** Drain queued work, join the workers; idempotent. *)
+
+val with_handle : ?jobs:int -> (handle -> 'a) -> 'a
+(** [with_handle ?jobs f] runs [f] over a fresh handle and shuts it down
+    afterwards, also on exceptions. *)
+
 (** {1 Generic parallel mapping} *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

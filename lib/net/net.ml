@@ -57,6 +57,27 @@ let equal a b =
   && a.driver_width = b.driver_width
   && a.receiver_width = b.receiver_width
 
+(* The digest covers exactly the fields the solvers read — pin widths,
+   per-segment (length, r, c) and normalized zones — rendered at %.17g so
+   electrically identical nets collide and any float difference does not.
+   The cosmetic [name] and per-segment layer names are excluded. *)
+let canonical_digest net =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "pins %.17g %.17g\n" net.driver_width net.receiver_width);
+  Array.iter
+    (fun (s : Segment.t) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "seg %.17g %.17g %.17g\n" s.length s.resistance_per_um
+           s.capacitance_per_um))
+    net.segments;
+  List.iter
+    (fun (z : Zone.t) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "zone %.17g %.17g\n" z.z_start z.z_end))
+    net.zones;
+  Digest.to_hex (Digest.string (Buffer.contents buffer))
+
 let pp ppf net =
   Fmt.pf ppf "@[<v>net %s: %d segments, %g um, wd=%gu, wr=%gu@,zones: %a@]"
     net.name (segment_count net) (total_length net) net.driver_width

@@ -38,5 +38,13 @@ val uniform : ?name:string -> Rip_tech.Layer.t -> length:float ->
   segment_count:int -> driver_width:float -> receiver_width:float -> t
 (** Convenience: a zone-free uniform net split into equal segments. *)
 
+val canonical_digest : t -> string
+(** A hex digest of the net's electrical content: pin widths, per-segment
+    (length, unit R, unit C) and normalized zones, each rendered at
+    [%.17g].  Two nets share a digest iff they state the same insertion
+    problem — the cosmetic net name and segment layer names are excluded.
+    This is the net part of a solve-cache key
+    ({!Rip_service.Solve_cache}). *)
+
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -1,0 +1,64 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  reader : Protocol.reader;
+  mutable closed : bool;
+}
+
+let of_fd fd =
+  let ic = Unix.in_channel_of_descr fd in
+  { fd; ic; reader = Protocol.reader_of_channel ic; closed = false }
+
+let connect_unix path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  of_fd fd
+
+let connect_tcp ~host ~port =
+  let address =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (address, port))
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  of_fd fd
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let written = Unix.write_substring fd s off len in
+    write_all fd s (off + written) (len - written)
+  end
+
+let request t frame =
+  if t.closed then Error "client is closed"
+  else
+    match
+      let s = Protocol.print_request frame in
+      write_all t.fd s 0 (String.length s);
+      Protocol.input_response t.reader
+    with
+    | Ok (Some response) -> Ok response
+    | Ok None -> Error "connection closed by server"
+    | Error e -> Error e
+    | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
+    | exception (Sys_error message | Failure message) -> Error message
+    | exception End_of_file -> Error "connection closed by server"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Closes the shared fd exactly once; writes go through the raw fd. *)
+    close_in_noerr t.ic
+  end

@@ -1,0 +1,23 @@
+(** A blocking [rip_serviced] client: one connection, one request in
+    flight at a time.  Shared by [rip_loadgen], the service bench and the
+    end-to-end tests. *)
+
+type t
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an established socket (e.g. one end of a socketpair). *)
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket path.
+    @raise Unix.Unix_error when the daemon is not there. *)
+
+val connect_tcp : host:string -> port:int -> t
+(** Connect over TCP. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and read its response.  [Error] carries a transport
+    or framing diagnostic (connection reset, truncated frame, garbage);
+    the connection should be abandoned after an [Error]. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,152 @@
+module Suite = Rip_workload.Suite
+module Netgen = Rip_workload.Netgen
+module Geometry = Rip_net.Geometry
+module Rip = Rip_core.Rip
+module Stats = Rip_numerics.Stats
+
+let workload ?(seed = Suite.default_seed) ?(distinct_nets = 8) ?(slack = 1.3)
+    ~requests process =
+  if distinct_nets < 1 then invalid_arg "Loadgen.workload: distinct_nets < 1";
+  if requests < 0 then invalid_arg "Loadgen.workload: negative requests";
+  let rng = Rip_numerics.Prng.create seed in
+  let frames =
+    Array.init distinct_nets (fun i ->
+        let net = Netgen.generate rng ~index:(i + 1) in
+        let geometry = Geometry.of_net net in
+        let budget = slack *. Rip.tau_min process geometry in
+        Protocol.Solve { budget; net })
+  in
+  Array.init requests (fun i -> frames.(i mod distinct_nets))
+
+type result = {
+  sent : int;
+  solved_fresh : int;
+  solved_cached : int;
+  errors : int;
+  busy : int;
+  transport_failures : int;
+  wall_seconds : float;
+  throughput : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* One worker: take the next undrained request, send it, time the round
+   trip, classify the response; stop on workload exhaustion or the first
+   transport error. *)
+type shared = {
+  requests : Protocol.request array;
+  mutex : Mutex.t;
+  mutable cursor : int;
+  mutable sent : int;
+  mutable solved_fresh : int;
+  mutable solved_cached : int;
+  mutable errors : int;
+  mutable busy : int;
+  mutable transport_failures : int;
+  mutable latencies : float list;
+}
+
+let next_request shared =
+  Mutex.lock shared.mutex;
+  let index = shared.cursor in
+  let frame =
+    if index < Array.length shared.requests then begin
+      shared.cursor <- index + 1;
+      shared.sent <- shared.sent + 1;
+      Some shared.requests.(index)
+    end
+    else None
+  in
+  Mutex.unlock shared.mutex;
+  frame
+
+let record shared latency outcome =
+  Mutex.lock shared.mutex;
+  shared.latencies <- latency :: shared.latencies;
+  (match outcome with
+  | Ok (Protocol.Result { served = Protocol.Fresh; _ }) ->
+      shared.solved_fresh <- shared.solved_fresh + 1
+  | Ok (Protocol.Result { served = Protocol.Cached; _ }) ->
+      shared.solved_cached <- shared.solved_cached + 1
+  | Ok Protocol.Busy -> shared.busy <- shared.busy + 1
+  | Ok (Protocol.Error_frame _) -> shared.errors <- shared.errors + 1
+  | Ok (Protocol.Pong | Protocol.Bye | Protocol.Stats_frame _) ->
+      (* Not a SOLVE answer; treat an off-protocol reply as an error. *)
+      shared.errors <- shared.errors + 1
+  | Error _ -> shared.transport_failures <- shared.transport_failures + 1);
+  Mutex.unlock shared.mutex
+
+let worker connect shared () =
+  match connect () with
+  | exception _ ->
+      Mutex.lock shared.mutex;
+      shared.transport_failures <- shared.transport_failures + 1;
+      Mutex.unlock shared.mutex
+  | client ->
+      let rec loop () =
+        match next_request shared with
+        | None -> ()
+        | Some frame ->
+            let started = Unix.gettimeofday () in
+            let outcome = Client.request client frame in
+            record shared (Unix.gettimeofday () -. started) outcome;
+            (match outcome with Error _ -> () | Ok _ -> loop ())
+      in
+      Fun.protect ~finally:(fun () -> Client.close client) loop
+
+let run ~connect ?(connections = 4) requests =
+  let connections =
+    Stdlib.max 1 (Stdlib.min connections (Array.length requests))
+  in
+  let shared =
+    {
+      requests;
+      mutex = Mutex.create ();
+      cursor = 0;
+      sent = 0;
+      solved_fresh = 0;
+      solved_cached = 0;
+      errors = 0;
+      busy = 0;
+      transport_failures = 0;
+      latencies = [];
+    }
+  in
+  let started = Unix.gettimeofday () in
+  let threads =
+    List.init connections (fun _ -> Thread.create (worker connect shared) ())
+  in
+  List.iter Thread.join threads;
+  let wall_seconds = Unix.gettimeofday () -. started in
+  let completed = List.length shared.latencies in
+  let percentile p =
+    if shared.latencies = [] then 0.0 else Stats.percentile p shared.latencies
+  in
+  {
+    sent = shared.sent;
+    solved_fresh = shared.solved_fresh;
+    solved_cached = shared.solved_cached;
+    errors = shared.errors;
+    busy = shared.busy;
+    transport_failures = shared.transport_failures;
+    wall_seconds;
+    throughput =
+      (if wall_seconds > 0.0 then float_of_int completed /. wall_seconds
+       else 0.0);
+    p50 = percentile 0.5;
+    p95 = percentile 0.95;
+    p99 = percentile 0.99;
+  }
+
+let render (r : result) =
+  Printf.sprintf
+    "requests    : %d (fresh %d, cached %d, error %d, busy %d, transport %d)\n\
+     wall        : %.3f s\n\
+     throughput  : %.1f req/s\n\
+     latency p50 : %.3f ms\n\
+     latency p95 : %.3f ms\n\
+     latency p99 : %.3f ms\n"
+    r.sent r.solved_fresh r.solved_cached r.errors r.busy r.transport_failures
+    r.wall_seconds r.throughput (r.p50 *. 1e3) (r.p95 *. 1e3) (r.p99 *. 1e3)

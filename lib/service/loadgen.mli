@@ -1,0 +1,48 @@
+(** Closed-loop load generation against a {!Server} (in-process or over a
+    socket): [connections] worker threads each hold one connection and
+    issue requests back to back from a shared workload until it is
+    drained.  Used by the [rip_loadgen] binary and the [service] bench. *)
+
+val workload :
+  ?seed:int64 ->
+  ?distinct_nets:int ->
+  ?slack:float ->
+  requests:int ->
+  Rip_tech.Process.t ->
+  Protocol.request array
+(** A deterministic SOLVE workload: [distinct_nets] Section-6 nets
+    (default 8) generated from [seed] (default the suite seed), each
+    given the budget [slack * tau_min] (default 1.3), repeated
+    round-robin to [requests] frames.  Repetition is the point — a
+    distinct-net count far below [requests] is what exercises the solve
+    cache, mimicking a router re-querying the same global nets during
+    timing closure. *)
+
+type result = {
+  sent : int;  (** requests issued *)
+  solved_fresh : int;  (** RESULT fresh responses *)
+  solved_cached : int;  (** RESULT cached responses *)
+  errors : int;  (** typed ERROR responses *)
+  busy : int;  (** BUSY rejections *)
+  transport_failures : int;
+      (** connections abandoned on a transport/framing error *)
+  wall_seconds : float;
+  throughput : float;  (** responses per wall second *)
+  p50 : float;  (** response-latency percentiles, seconds *)
+  p95 : float;
+  p99 : float;
+}
+
+val run :
+  connect:(unit -> Client.t) ->
+  ?connections:int ->
+  Protocol.request array ->
+  result
+(** Drain the workload through [connections] threads (default 4, capped
+    at the workload size).  Each thread measures per-request wall
+    latency; percentiles are over all completed requests.  A thread that
+    hits a transport error stops (its remaining share is picked up by the
+    others). *)
+
+val render : result -> string
+(** A human-readable multi-line summary. *)

@@ -1,0 +1,55 @@
+type t = {
+  started : float;  (* Unix.gettimeofday at creation *)
+  mutex : Mutex.t;
+  mutable requests : int;
+  mutable solved : int;
+  mutable errors : int;
+  mutable rejected_busy : int;
+  mutable queue_wait_seconds : float;
+  mutable solve_cpu_seconds : float;
+}
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    mutex = Mutex.create ();
+    requests = 0;
+    solved = 0;
+    errors = 0;
+    rejected_busy = 0;
+    queue_wait_seconds = 0.0;
+    solve_cpu_seconds = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let result = f () in
+  Mutex.unlock t.mutex;
+  result
+
+let incr_requests t = locked t (fun () -> t.requests <- t.requests + 1)
+let incr_solved t = locked t (fun () -> t.solved <- t.solved + 1)
+let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
+let incr_busy t = locked t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
+
+let add_solve_times t ~queue_seconds ~cpu_seconds =
+  locked t (fun () ->
+      t.queue_wait_seconds <- t.queue_wait_seconds +. queue_seconds;
+      t.solve_cpu_seconds <- t.solve_cpu_seconds +. cpu_seconds)
+
+let snapshot t ~cache =
+  locked t (fun () ->
+      {
+        Protocol.uptime_seconds = Unix.gettimeofday () -. t.started;
+        requests = t.requests;
+        solved = t.solved;
+        errors = t.errors;
+        rejected_busy = t.rejected_busy;
+        cache_hits = cache.Solve_cache.hits;
+        cache_misses = cache.Solve_cache.misses;
+        cache_evictions = cache.Solve_cache.evictions;
+        cache_size = cache.Solve_cache.size;
+        cache_capacity = cache.Solve_cache.capacity;
+        queue_wait_seconds = t.queue_wait_seconds;
+        solve_cpu_seconds = t.solve_cpu_seconds;
+      })

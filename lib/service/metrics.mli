@@ -1,0 +1,30 @@
+(** Request counters and cumulative timing for one server instance.
+
+    Counters are mutated from connection threads and read from any
+    thread; a single mutex keeps the snapshot consistent (a STATS frame
+    never shows, say, a solved count ahead of its requests count). *)
+
+type t
+
+val create : unit -> t
+(** Fresh counters; uptime starts now. *)
+
+val incr_requests : t -> unit
+(** One SOLVE request received (before it is classified). *)
+
+val incr_solved : t -> unit
+(** One SOLVE answered with RESULT (fresh or cached). *)
+
+val incr_errors : t -> unit
+(** One SOLVE answered with a solver ERROR. *)
+
+val incr_busy : t -> unit
+(** One SOLVE rejected with BUSY (queue full). *)
+
+val add_solve_times : t -> queue_seconds:float -> cpu_seconds:float -> unit
+(** Account one fresh solve: time spent queued behind the worker pool and
+    thread-CPU time inside the solver. *)
+
+val snapshot : t -> cache:Solve_cache.stats -> Protocol.stats
+(** A consistent point-in-time STATS payload, merging the cache's own
+    counters. *)

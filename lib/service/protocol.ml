@@ -1,0 +1,333 @@
+type error_kind =
+  | Protocol_error
+  | Infeasible_budget
+  | Invalid_net
+  | Internal_error
+
+type solution = {
+  repeaters : (float * float) list;
+  total_width : float;
+  delay : float;
+  power_watts : float;
+}
+
+type served = Fresh | Cached
+
+type stats = {
+  uptime_seconds : float;
+  requests : int;
+  solved : int;
+  errors : int;
+  rejected_busy : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_size : int;
+  cache_capacity : int;
+  queue_wait_seconds : float;
+  solve_cpu_seconds : float;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Solve of { budget : float; net : Rip_net.Net.t }
+
+type response =
+  | Pong
+  | Bye
+  | Busy
+  | Error_frame of { kind : error_kind; message : string }
+  | Result of { served : served; solution : solution }
+  | Stats_frame of stats
+
+(* --- Printing ------------------------------------------------------------ *)
+
+let error_kind_to_string = function
+  | Protocol_error -> "protocol"
+  | Infeasible_budget -> "infeasible_budget"
+  | Invalid_net -> "invalid_net"
+  | Internal_error -> "internal"
+
+let error_kind_of_string = function
+  | "protocol" -> Some Protocol_error
+  | "infeasible_budget" -> Some Infeasible_budget
+  | "invalid_net" -> Some Invalid_net
+  | "internal" -> Some Internal_error
+  | _ -> None
+
+let one_line message =
+  String.concat "; "
+    (List.filter
+       (fun s -> s <> "")
+       (String.split_on_char '\n' (String.map (function '\r' -> '\n' | c -> c) message)))
+
+let served_to_string = function Fresh -> "fresh" | Cached -> "cached"
+
+let print_request = function
+  | Ping -> "PING\n"
+  | Stats -> "STATS\n"
+  | Shutdown -> "SHUTDOWN\n"
+  | Solve { budget; net } ->
+      Printf.sprintf "SOLVE %.17g\n%sEND\n" budget (Rip_net.Net_io.to_string net)
+
+let solution_body solution =
+  let buffer = Buffer.create 128 in
+  List.iter
+    (fun (position, width) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "repeater %.17g %.17g\n" position width))
+    solution.repeaters;
+  Buffer.add_string buffer (Printf.sprintf "width %.17g\n" solution.total_width);
+  Buffer.add_string buffer (Printf.sprintf "delay %.17g\n" solution.delay);
+  Buffer.add_string buffer (Printf.sprintf "power %.17g\n" solution.power_watts);
+  Buffer.contents buffer
+
+(* Field order is the wire order of a STATS frame; the parser accepts any
+   order but the printer is canonical so STATS frames round-trip bytewise. *)
+let stats_fields stats =
+  [
+    ("uptime_seconds", Printf.sprintf "%.17g" stats.uptime_seconds);
+    ("requests", string_of_int stats.requests);
+    ("solved", string_of_int stats.solved);
+    ("errors", string_of_int stats.errors);
+    ("rejected_busy", string_of_int stats.rejected_busy);
+    ("cache_hits", string_of_int stats.cache_hits);
+    ("cache_misses", string_of_int stats.cache_misses);
+    ("cache_evictions", string_of_int stats.cache_evictions);
+    ("cache_size", string_of_int stats.cache_size);
+    ("cache_capacity", string_of_int stats.cache_capacity);
+    ("queue_wait_seconds", Printf.sprintf "%.17g" stats.queue_wait_seconds);
+    ("solve_cpu_seconds", Printf.sprintf "%.17g" stats.solve_cpu_seconds);
+  ]
+
+let print_response = function
+  | Pong -> "PONG\n"
+  | Bye -> "BYE\n"
+  | Busy -> "BUSY\n"
+  | Error_frame { kind; message } ->
+      Printf.sprintf "ERROR %s %s\n" (error_kind_to_string kind)
+        (one_line message)
+  | Result { served; solution } ->
+      Printf.sprintf "RESULT %s\n%sEND\n" (served_to_string served)
+        (solution_body solution)
+  | Stats_frame stats ->
+      let body =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s %s\n" k v)
+             (stats_fields stats))
+      in
+      Printf.sprintf "STATS\n%sEND\n" body
+
+(* --- Parsing ------------------------------------------------------------- *)
+
+type reader = unit -> string option
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let reader_of_channel ic () =
+  match input_line ic with
+  | line -> Some (strip_cr line)
+  | exception End_of_file -> None
+
+let reader_of_lines lines =
+  let remaining = ref lines in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | line :: rest ->
+        remaining := rest;
+        Some (strip_cr line)
+
+let ( let* ) = Result.bind
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+(* Collect raw lines until the END marker; [Error] when the stream ends
+   first (a truncated frame). *)
+let body_until_end read =
+  let rec loop acc =
+    match read () with
+    | None -> Error "unexpected end of stream inside a frame (missing END)"
+    | Some "END" -> Ok (List.rev acc)
+    | Some line -> loop (line :: acc)
+  in
+  loop []
+
+let split_words line =
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let input_request read =
+  match read () with
+  | None -> Ok None
+  | Some line -> (
+      match split_words line with
+      | [ "PING" ] -> Ok (Some Ping)
+      | [ "STATS" ] -> Ok (Some Stats)
+      | [ "SHUTDOWN" ] -> Ok (Some Shutdown)
+      | [ "SOLVE"; budget ] ->
+          let* budget = parse_float "budget" budget in
+          let* body = body_until_end read in
+          let* net =
+            Result.map_error
+              (fun e -> Printf.sprintf "bad net body: %s" e)
+              (Rip_net.Net_io.parse_string (String.concat "\n" body))
+          in
+          Ok (Some (Solve { budget; net }))
+      | [] -> Error "empty request line"
+      | word :: _ -> Error (Printf.sprintf "unknown request %S" word))
+
+let parse_solution_body lines =
+  let rec loop repeaters_rev = function
+    | [] -> Error "truncated RESULT body"
+    | line :: rest -> (
+        match split_words line with
+        | [ "repeater"; position; width ] ->
+            let* position = parse_float "repeater position" position in
+            let* width = parse_float "repeater width" width in
+            loop ((position, width) :: repeaters_rev) rest
+        | [ "width"; total ] -> (
+            let* total_width = parse_float "total width" total in
+            match rest with
+            | [ delay_line; power_line ] -> (
+                match (split_words delay_line, split_words power_line) with
+                | [ "delay"; d ], [ "power"; p ] ->
+                    let* delay = parse_float "delay" d in
+                    let* power_watts = parse_float "power" p in
+                    Ok
+                      {
+                        repeaters = List.rev repeaters_rev;
+                        total_width;
+                        delay;
+                        power_watts;
+                      }
+                | _, _ -> Error "malformed RESULT body tail")
+            | _ -> Error "malformed RESULT body tail")
+        | _ -> Error (Printf.sprintf "bad RESULT body line %S" line))
+  in
+  loop [] lines
+
+let parse_stats_body lines =
+  let* fields =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        match split_words line with
+        | [ key; value ] -> Ok ((key, value) :: acc)
+        | _ -> Error (Printf.sprintf "bad STATS body line %S" line))
+      (Ok []) lines
+  in
+  let lookup key =
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "STATS frame missing field %S" key)
+  in
+  let geti key =
+    let* v = lookup key in
+    parse_int key v
+  in
+  let getf key =
+    let* v = lookup key in
+    parse_float key v
+  in
+  let* uptime_seconds = getf "uptime_seconds" in
+  let* requests = geti "requests" in
+  let* solved = geti "solved" in
+  let* errors = geti "errors" in
+  let* rejected_busy = geti "rejected_busy" in
+  let* cache_hits = geti "cache_hits" in
+  let* cache_misses = geti "cache_misses" in
+  let* cache_evictions = geti "cache_evictions" in
+  let* cache_size = geti "cache_size" in
+  let* cache_capacity = geti "cache_capacity" in
+  let* queue_wait_seconds = getf "queue_wait_seconds" in
+  let* solve_cpu_seconds = getf "solve_cpu_seconds" in
+  Ok
+    {
+      uptime_seconds;
+      requests;
+      solved;
+      errors;
+      rejected_busy;
+      cache_hits;
+      cache_misses;
+      cache_evictions;
+      cache_size;
+      cache_capacity;
+      queue_wait_seconds;
+      solve_cpu_seconds;
+    }
+
+let input_response read =
+  match read () with
+  | None -> Ok None
+  | Some line -> (
+      match split_words line with
+      | [ "PONG" ] -> Ok (Some Pong)
+      | [ "BYE" ] -> Ok (Some Bye)
+      | [ "BUSY" ] -> Ok (Some Busy)
+      | "ERROR" :: kind :: _ -> (
+          match error_kind_of_string kind with
+          | None -> Error (Printf.sprintf "unknown error kind %S" kind)
+          | Some kind ->
+              (* The message is the rest of the raw line, spaces intact. *)
+              let prefix = "ERROR " ^ error_kind_to_string kind in
+              let message =
+                if String.length line > String.length prefix + 1 then
+                  String.sub line
+                    (String.length prefix + 1)
+                    (String.length line - String.length prefix - 1)
+                else ""
+              in
+              Ok (Some (Error_frame { kind; message })))
+      | [ "RESULT"; served ] ->
+          let* served =
+            match served with
+            | "fresh" -> Ok Fresh
+            | "cached" -> Ok Cached
+            | other -> Error (Printf.sprintf "unknown RESULT tag %S" other)
+          in
+          let* body = body_until_end read in
+          let* solution = parse_solution_body body in
+          Ok (Some (Result { served; solution }))
+      | [ "STATS" ] ->
+          let* body = body_until_end read in
+          let* stats = parse_stats_body body in
+          Ok (Some (Stats_frame stats))
+      | [] -> Error "empty response line"
+      | word :: _ -> Error (Printf.sprintf "unknown response %S" word))
+
+(* --- Equality ------------------------------------------------------------ *)
+
+let request_equal a b =
+  match (a, b) with
+  | Ping, Ping | Stats, Stats | Shutdown, Shutdown -> true
+  | Solve a, Solve b -> a.budget = b.budget && Rip_net.Net.equal a.net b.net
+  | (Ping | Stats | Shutdown | Solve _), _ -> false
+
+let solution_equal a b =
+  List.equal
+    (fun (p, w) (p', w') -> p = p' && w = w')
+    a.repeaters b.repeaters
+  && a.total_width = b.total_width && a.delay = b.delay
+  && a.power_watts = b.power_watts
+
+let response_equal a b =
+  match (a, b) with
+  | Pong, Pong | Bye, Bye | Busy, Busy -> true
+  | Error_frame a, Error_frame b -> a.kind = b.kind && a.message = b.message
+  | Result a, Result b ->
+      a.served = b.served && solution_equal a.solution b.solution
+  | Stats_frame a, Stats_frame b -> a = b
+  | (Pong | Bye | Busy | Error_frame _ | Result _ | Stats_frame _), _ -> false

@@ -1,0 +1,132 @@
+(** The line-oriented wire protocol of [rip_serviced].
+
+    Frames are newline-terminated ASCII lines; multi-line frames end with
+    a line that is exactly [END].  Floats are rendered with [%.17g], so a
+    parse/print round trip is exact.  A trailing [\r] on any line is
+    stripped, which keeps interactive [socat]/[telnet] sessions usable.
+
+    Requests:
+    {v
+    PING
+    STATS
+    SHUTDOWN
+    SOLVE <budget-seconds>
+    <net body in the Rip_net.Net_io file format>
+    END
+    v}
+
+    The net body must not contain a line equal to [END] (bodies produced
+    by {!Rip_net.Net_io.to_string} never do).
+
+    Responses:
+    {v
+    PONG
+    BYE
+    BUSY
+    ERROR <kind> <one-line message>
+    RESULT <fresh|cached>
+    repeater <position-um> <width-u>     (zero or more)
+    width <total-width-u>
+    delay <seconds>
+    power <watts>
+    END
+    STATS
+    <field> <value>                      (one line per stats field)
+    END
+    v}
+
+    The body of a [RESULT] frame is deterministic — it carries no
+    timestamps or runtimes — so a cache hit replays the cached solve
+    byte for byte, except for the [fresh]/[cached] marker on the header
+    line.  Per-request timing is aggregated server-side and surfaced
+    through [STATS]. *)
+
+(** {1 Frame types} *)
+
+type error_kind =
+  | Protocol_error  (** the request could not be parsed *)
+  | Infeasible_budget  (** {!Rip_core.Rip.Infeasible_budget} *)
+  | Invalid_net  (** {!Rip_core.Rip.Invalid_net} *)
+  | Internal_error  (** {!Rip_core.Rip.Internal} or a server bug *)
+
+type solution = {
+  repeaters : (float * float) list;  (** (position um, width u), ordered *)
+  total_width : float;  (** u *)
+  delay : float;  (** seconds *)
+  power_watts : float;
+}
+
+type served = Fresh | Cached
+
+type stats = {
+  uptime_seconds : float;
+  requests : int;  (** SOLVE requests received (PING/STATS not counted) *)
+  solved : int;  (** SOLVE requests answered with RESULT, hits included *)
+  errors : int;  (** SOLVE requests answered with a solver ERROR *)
+  rejected_busy : int;  (** SOLVE requests answered with BUSY *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_size : int;
+  cache_capacity : int;
+  queue_wait_seconds : float;
+      (** cumulative seconds solves spent queued behind the worker pool *)
+  solve_cpu_seconds : float;
+      (** cumulative thread-CPU seconds spent inside the solver *)
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Solve of { budget : float; net : Rip_net.Net.t }
+
+type response =
+  | Pong
+  | Bye
+  | Busy
+  | Error_frame of { kind : error_kind; message : string }
+  | Result of { served : served; solution : solution }
+  | Stats_frame of stats
+
+(** {1 Printing} *)
+
+val print_request : request -> string
+(** The frame's wire form, newline-terminated. *)
+
+val print_response : response -> string
+(** The frame's wire form, newline-terminated.  The message of an
+    [Error_frame] is flattened to one line. *)
+
+val solution_body : solution -> string
+(** The deterministic body of a [RESULT] frame (the lines between the
+    header and [END]) — what "byte-identical cached replay" promises. *)
+
+(** {1 Parsing} *)
+
+type reader = unit -> string option
+(** Yields the next line (without its terminator) or [None] at end of
+    stream. *)
+
+val reader_of_channel : in_channel -> reader
+(** Lines via [input_line], stripping one trailing [\r]. *)
+
+val reader_of_lines : string list -> reader
+(** An in-memory reader, for tests. *)
+
+val input_request : reader -> (request option, string) result
+(** Read one request frame; [Ok None] on a clean end of stream before any
+    line of a frame, [Error] on garbage or a truncated frame. *)
+
+val input_response : reader -> (response option, string) result
+(** Read one response frame, same conventions. *)
+
+(** {1 Equality (tests)} *)
+
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+
+val error_kind_to_string : error_kind -> string
+val one_line : string -> string
+(** Newlines collapsed to ["; "] — error messages must fit one frame
+    line. *)

@@ -1,0 +1,275 @@
+module Engine = Rip_engine.Engine
+module Cpu_clock = Rip_numerics.Cpu_clock
+module Rip = Rip_core.Rip
+
+type config = {
+  jobs : int option;
+  queue_depth : int;
+  cache_capacity : int;
+  solver : Rip_core.Config.t option;
+}
+
+let default_config =
+  { jobs = None; queue_depth = 64; cache_capacity = 512; solver = None }
+
+type t = {
+  process : Rip_tech.Process.t;
+  config : config;
+  handle : Engine.handle;
+  cache : Protocol.solution Solve_cache.t;
+  metrics : Metrics.t;
+  mutex : Mutex.t;  (* guards in_flight, stopping, listener, threads *)
+  mutable in_flight : int;
+  mutable stopping : bool;
+  mutable listener : Unix.file_descr option;
+  mutable connection_threads : Thread.t list;
+}
+
+let create ?(config = default_config) process =
+  if config.queue_depth < 1 then
+    invalid_arg "Server.create: queue_depth must be at least 1";
+  {
+    process;
+    config;
+    handle = Engine.create_handle ?jobs:config.jobs ();
+    cache = Solve_cache.create ~capacity:config.cache_capacity;
+    metrics = Metrics.create ();
+    mutex = Mutex.create ();
+    in_flight = 0;
+    stopping = false;
+    listener = None;
+    connection_threads = [];
+  }
+
+let stats t = Metrics.snapshot t.metrics ~cache:(Solve_cache.stats t.cache)
+
+let stopping t =
+  Mutex.lock t.mutex;
+  let s = t.stopping in
+  Mutex.unlock t.mutex;
+  s
+
+let request_shutdown t =
+  Mutex.lock t.mutex;
+  let listener = t.listener in
+  t.stopping <- true;
+  t.listener <- None;
+  Mutex.unlock t.mutex;
+  (* [shutdown], not [close]: closing an fd another thread is blocked in
+     [accept] on does not wake it (the in-kernel wait holds a reference),
+     whereas shutting the socket down forces the accept to return.  The
+     accept loop still owns the fd and closes it once it exits. *)
+  match listener with
+  | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let shutdown t =
+  request_shutdown t;
+  Engine.shutdown_handle t.handle
+
+(* --- Connection handling ------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let written = Unix.write_substring fd s off len in
+    write_all fd s (off + written) (len - written)
+  end
+
+(* Admission control: a solve slot is held from submission to response.
+   BUSY when [queue_depth] solves are already in flight (or the server is
+   draining for shutdown) — the bounded queue that keeps a request storm
+   from growing the heap without limit. *)
+let try_acquire_slot t =
+  Mutex.lock t.mutex;
+  let admitted = (not t.stopping) && t.in_flight < t.config.queue_depth in
+  if admitted then t.in_flight <- t.in_flight + 1;
+  Mutex.unlock t.mutex;
+  admitted
+
+let release_slot t =
+  Mutex.lock t.mutex;
+  t.in_flight <- t.in_flight - 1;
+  Mutex.unlock t.mutex
+
+let solution_of_report (report : Rip.report) =
+  {
+    Protocol.repeaters =
+      List.map
+        (fun (r : Rip_elmore.Solution.repeater) -> (r.position, r.width))
+        (Rip_elmore.Solution.repeaters report.solution);
+    total_width = report.total_width;
+    delay = report.delay;
+    power_watts = report.power_watts;
+  }
+
+let error_response error =
+  let kind =
+    match error with
+    | Rip.Infeasible_budget _ -> Protocol.Infeasible_budget
+    | Rip.Invalid_net _ -> Protocol.Invalid_net
+    | Rip.Internal _ -> Protocol.Internal_error
+  in
+  Protocol.Error_frame
+    { kind; message = Protocol.one_line (Rip.error_to_string error) }
+
+let serve_solve t ~budget ~net =
+  Metrics.incr_requests t.metrics;
+  let key = Solve_cache.key ~process:t.process ~net ~budget in
+  match Solve_cache.find t.cache key with
+  | Some solution ->
+      Metrics.incr_solved t.metrics;
+      Protocol.Result { served = Cached; solution }
+  | None ->
+      if not (try_acquire_slot t) then begin
+        Metrics.incr_busy t.metrics;
+        Protocol.Busy
+      end
+      else
+        Fun.protect
+          ~finally:(fun () -> release_slot t)
+          (fun () ->
+            let enqueued = Unix.gettimeofday () in
+            let outcomes =
+              Engine.map_on_handle t.handle
+                (fun () ->
+                  let queue_seconds = Unix.gettimeofday () -. enqueued in
+                  let cpu_started = Cpu_clock.thread_seconds () in
+                  let result =
+                    try
+                      Rip.solve ?config:t.config.solver
+                        {
+                          Rip.process = t.process;
+                          net;
+                          geometry = None;
+                          budget;
+                        }
+                    with exn -> Error (Rip.Internal (Printexc.to_string exn))
+                  in
+                  ( result,
+                    queue_seconds,
+                    Cpu_clock.thread_seconds () -. cpu_started ))
+                [| () |]
+            in
+            let result, queue_seconds, cpu_seconds = outcomes.(0) in
+            Metrics.add_solve_times t.metrics ~queue_seconds ~cpu_seconds;
+            match result with
+            | Ok report ->
+                let solution = solution_of_report report in
+                Solve_cache.add t.cache key solution;
+                Metrics.incr_solved t.metrics;
+                Protocol.Result { served = Fresh; solution }
+            | Error error ->
+                Metrics.incr_errors t.metrics;
+                error_response error)
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let reader = Protocol.reader_of_channel ic in
+  let send response =
+    let s = Protocol.print_response response in
+    write_all fd s 0 (String.length s)
+  in
+  let rec serve () =
+    match Protocol.input_request reader with
+    | Ok None -> ()
+    | Error message ->
+        (* Framing is lost after a malformed request; answer and hang up. *)
+        send (Protocol.Error_frame { kind = Protocol.Protocol_error; message })
+    | Ok (Some Protocol.Ping) ->
+        send Protocol.Pong;
+        serve ()
+    | Ok (Some Protocol.Stats) ->
+        send (Protocol.Stats_frame (stats t));
+        serve ()
+    | Ok (Some Protocol.Shutdown) ->
+        send Protocol.Bye;
+        request_shutdown t
+    | Ok (Some (Protocol.Solve { budget; net })) ->
+        let response =
+          try serve_solve t ~budget ~net
+          with exn ->
+            Protocol.Error_frame
+              {
+                kind = Protocol.Internal_error;
+                message = Protocol.one_line (Printexc.to_string exn);
+              }
+        in
+        send response;
+        serve ()
+  in
+  (* Peer-induced I/O failures (reset, early close) end the connection,
+     never the server.  [close_in_noerr] closes the shared fd exactly
+     once — the out direction writes through the raw fd. *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try serve () with Unix.Unix_error _ | Sys_error _ | End_of_file -> ())
+
+(* --- Accept loop ---------------------------------------------------------- *)
+
+let run t listen_fd =
+  Mutex.lock t.mutex;
+  let refused = t.stopping in
+  if not refused then t.listener <- Some listen_fd;
+  Mutex.unlock t.mutex;
+  if refused then (try Unix.close listen_fd with Unix.Unix_error _ -> ())
+  else begin
+    let rec accept_loop () =
+      match Unix.accept ~cloexec:true listen_fd with
+      | client_fd, _ ->
+          let thread = Thread.create (fun () -> handle_connection t client_fd) () in
+          Mutex.lock t.mutex;
+          t.connection_threads <- thread :: t.connection_threads;
+          Mutex.unlock t.mutex;
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ ->
+          (* The listener was shut down under us: either
+             [request_shutdown] (expected) or a fatal socket error — stop
+             accepting both ways. *)
+          ()
+    in
+    accept_loop ();
+    request_shutdown t;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.mutex;
+    let threads = t.connection_threads in
+    t.connection_threads <- [];
+    Mutex.unlock t.mutex;
+    List.iter Thread.join threads;
+    Engine.shutdown_handle t.handle
+  end
+
+(* --- Listening sockets ---------------------------------------------------- *)
+
+let listen_unix path =
+  if Sys.file_exists path then Unix.unlink path;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~host ~port =
+  let address =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (address, port))
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  Unix.listen fd 64;
+  fd

@@ -1,0 +1,71 @@
+(** The [rip_serviced] daemon core, embeddable in-process.
+
+    One server owns a long-lived {!Rip_engine.Engine.handle} (the worker
+    pool), a {!Solve_cache} in front of it, and {!Metrics}.  Connections
+    are served by one thread each, speaking {!Protocol}:
+
+    - a SOLVE request is first looked up in the cache — a hit is answered
+      immediately, without touching the pool;
+    - a miss is admitted only while fewer than [queue_depth] solves are in
+      flight across all connections, otherwise the request is rejected
+      with a typed BUSY frame (backpressure, not an unbounded queue);
+    - admitted solves run on the shared pool; queue wait (wall) and
+      solver time (thread-CPU, {!Rip_numerics.Cpu_clock}) are accumulated
+      into the metrics and surfaced through STATS.
+
+    Solver errors are answered as typed ERROR frames and are not cached;
+    only successful solutions enter the cache. *)
+
+type config = {
+  jobs : int option;
+      (** worker domains for the pool; [None] is the machine default,
+          [Some 1] solves inline in the connection thread *)
+  queue_depth : int;  (** max in-flight solves before BUSY *)
+  cache_capacity : int;  (** {!Solve_cache} capacity, entries *)
+  solver : Rip_core.Config.t option;  (** [None] means the default *)
+}
+
+val default_config : config
+(** [jobs = None], [queue_depth = 64], [cache_capacity = 512],
+    [solver = None]. *)
+
+type t
+
+val create : ?config:config -> Rip_tech.Process.t -> t
+(** Spawn the worker pool; the server is ready to serve connections. *)
+
+val stats : t -> Protocol.stats
+(** The STATS payload a client would receive now. *)
+
+val stopping : t -> bool
+
+val handle_connection : t -> Unix.file_descr -> unit
+(** Serve one established connection (e.g. one end of a socketpair)
+    until the peer disconnects, a protocol error occurs, or a SHUTDOWN
+    request arrives.  Closes [fd] before returning.  Never raises on
+    peer-induced failures (resets, early close). *)
+
+val run : t -> Unix.file_descr -> unit
+(** Accept loop over a listening socket: one thread per connection.
+    Returns once shutdown is requested (SHUTDOWN frame, or
+    {!request_shutdown} from a signal handler) and every connection
+    thread has finished; the worker pool is then shut down too.  Closes
+    the listening socket. *)
+
+val request_shutdown : t -> unit
+(** Stop accepting connections and reject further solves; idempotent and
+    async-signal-usable.  In-flight requests complete. *)
+
+val shutdown : t -> unit
+(** {!request_shutdown} plus releasing the worker pool.  Embedders that
+    drive {!handle_connection} directly (no {!run} loop) must call this;
+    after {!run} returns it is a no-op. *)
+
+(** {1 Listening-socket helpers} *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path, unlinking a stale
+    socket file first. *)
+
+val listen_tcp : host:string -> port:int -> Unix.file_descr
+(** Bind and listen on [host:port] with [SO_REUSEADDR]. *)

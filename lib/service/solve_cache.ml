@@ -1,0 +1,135 @@
+(* A classic intrusive doubly-linked LRU list over a hashtable: [head] is
+   the most recently used entry, [tail] the eviction candidate.  All
+   operations run under [mutex]; list surgery is O(1). *)
+
+type 'a node = {
+  node_key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cache_capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Solve_cache.create: negative capacity";
+  {
+    cache_capacity = capacity;
+    table = Hashtbl.create (Stdlib.max 16 capacity);
+    mutex = Mutex.create ();
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cache_capacity
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let key ~process ~net ~budget =
+  let repeater = process.Rip_tech.Process.repeater in
+  let power = process.Rip_tech.Process.power in
+  Printf.sprintf "%s|%.17g,%.17g,%.17g|%.17g,%.17g,%.17g,%.17g|%s|%.17g"
+    process.Rip_tech.Process.name repeater.Rip_tech.Repeater_model.rs
+    repeater.Rip_tech.Repeater_model.co repeater.Rip_tech.Repeater_model.cp
+    power.Rip_tech.Power_model.vdd power.Rip_tech.Power_model.frequency
+    power.Rip_tech.Power_model.activity
+    power.Rip_tech.Power_model.leakage_per_unit_width
+    (Rip_net.Net.canonical_digest net)
+    budget
+
+(* Callers hold the mutex for everything below. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some prev -> prev.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some next -> next.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with
+  | Some head -> head.prev <- Some node
+  | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.node_key;
+      t.evictions <- t.evictions + 1
+
+let find t k =
+  Mutex.lock t.mutex;
+  let result =
+    match Hashtbl.find_opt t.table k with
+    | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let add t k value =
+  if t.cache_capacity > 0 then begin
+    Mutex.lock t.mutex;
+    (match Hashtbl.find_opt t.table k with
+    | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+    | None ->
+        if Hashtbl.length t.table >= t.cache_capacity then evict_lru t;
+        let node = { node_key = k; value; prev = None; next = None } in
+        Hashtbl.replace t.table k node;
+        push_front t node);
+    Mutex.unlock t.mutex
+  end
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let snapshot =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      size = Hashtbl.length t.table;
+      capacity = t.cache_capacity;
+    }
+  in
+  Mutex.unlock t.mutex;
+  snapshot

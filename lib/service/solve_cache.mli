@@ -1,0 +1,48 @@
+(** The canonical-form result cache in front of the solver.
+
+    Keys are strings built by {!key} from the exact triple the solver
+    reads: the process constants, the net's electrical content
+    ({!Rip_net.Net.canonical_digest} — cosmetic names excluded) and the
+    budget, all floats rendered at [%.17g].  Budgets are exact-matched:
+    a router re-querying the same net under a nearby-but-different budget
+    is a miss by design, because RIP's answer is not continuous in the
+    budget and serving a neighbour's solution could violate timing.
+
+    Eviction is LRU with a fixed capacity; {!find} and {!add} are
+    O(1) and thread-safe (one internal mutex), so worker domains and
+    connection threads share one cache.  Values are immutable snapshots —
+    callers must not mutate what {!find} returns. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** A cache holding at most [capacity] entries; [capacity = 0] disables
+    caching (every lookup misses, every insert is dropped).
+    @raise Invalid_argument on a negative capacity. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+
+val key :
+  process:Rip_tech.Process.t -> net:Rip_net.Net.t -> budget:float -> string
+(** The canonical cache key of a solve request.  Process identity is the
+    process name plus its repeater RC and power-model constants, so two
+    processes differing in any solver-visible float never share keys. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency.  Counts into
+    {!stats}' hits/misses. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or overwrite, refreshing recency); evicts the least recently
+    used entry when full. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : 'a t -> stats

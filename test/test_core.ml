@@ -191,25 +191,22 @@ let test_rip_trace_populated () =
       Alcotest.(check bool) "final present" true (r.Rip.trace.Rip.final <> None);
       Alcotest.(check bool) "runtime measured" true (r.Rip.runtime_seconds > 0.0)
 
-let test_rip_solve_matches_deprecated_wrappers () =
-  (* The one-release compatibility wrappers must agree with the problem
-     API bit for bit. *)
+let test_rip_problem_constructor_agrees () =
+  (* The convenience constructor and a literal record state the same
+     problem bit for bit. *)
   let net = List.nth suite_nets 3 in
   let geometry = Geometry.of_net net in
   let tau_min = Rip.tau_min process geometry in
   let budget = 1.5 *. tau_min in
-  let via_problem = Rip.solve (Rip.problem ~geometry process net ~budget) in
-  let via_net = (Rip.solve_net [@alert "-deprecated"]) process net ~budget in
-  let via_geometry =
-    (Rip.solve_geometry [@alert "-deprecated"]) process geometry ~budget
+  let via_constructor = Rip.solve (Rip.problem ~geometry process net ~budget) in
+  let via_record =
+    Rip.solve { Rip.process; net; geometry = Some geometry; budget }
   in
-  match (via_problem, via_net, via_geometry) with
-  | Ok a, Ok b, Ok c ->
-      Alcotest.(check bool) "solve_net agrees" true
-        (Solution.equal a.Rip.solution b.Rip.solution);
-      Alcotest.(check bool) "solve_geometry agrees" true
-        (Solution.equal a.Rip.solution c.Rip.solution)
-  | _, _, _ -> Alcotest.fail "all three should succeed"
+  match (via_constructor, via_record) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "identical solution" true
+        (Solution.equal a.Rip.solution b.Rip.solution)
+  | _, _ -> Alcotest.fail "both should succeed"
 
 let test_rip_loose_budget_drops_repeaters () =
   (* A budget safely above the bare-wire delay needs no repeaters at all. *)
@@ -273,8 +270,8 @@ let suite =
         Alcotest.test_case "power consistency" `Quick
           test_rip_power_consistency;
         Alcotest.test_case "trace populated" `Quick test_rip_trace_populated;
-        Alcotest.test_case "solve = deprecated wrappers" `Quick
-          test_rip_solve_matches_deprecated_wrappers;
+        Alcotest.test_case "problem constructor = record" `Quick
+          test_rip_problem_constructor_agrees;
         Alcotest.test_case "invalid problems are typed" `Quick
           test_rip_invalid_problem;
         Alcotest.test_case "loose budgets drop repeaters" `Quick

@@ -137,6 +137,58 @@ let test_map_suite_groups_in_order () =
     grouped;
   Alcotest.(check int) "prep + cell tasks" 9 telemetry.Telemetry.tasks
 
+(* --- Long-lived handles ---------------------------------------------------- *)
+
+let test_handle_reuse_across_batches () =
+  Engine.with_handle ~jobs:3 (fun handle ->
+      Alcotest.(check int) "jobs resolved" 3 (Engine.handle_jobs handle);
+      (* Several batches on the same workers, no respawn between them. *)
+      for round = 1 to 3 do
+        let input = Array.init 41 (fun i -> (round * 100) + i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d order preserved" round)
+          (Array.map (fun i -> i + 1) input)
+          (Engine.map_on_handle handle (fun i -> i + 1) input)
+      done;
+      let _, telemetry =
+        Engine.timed_map_on_handle handle (fun i -> i) (Array.init 7 Fun.id)
+      in
+      Alcotest.(check int) "telemetry reports the handle's workers" 3
+        telemetry.Telemetry.workers)
+
+let test_handle_concurrent_batches () =
+  (* The serviced worker-pool contract: connection threads share one
+     handle and submit batches concurrently. *)
+  Engine.with_handle ~jobs:2 (fun handle ->
+      let results = Array.make 4 [||] in
+      let threads =
+        Array.init 4 (fun t ->
+            Thread.create
+              (fun () ->
+                results.(t) <-
+                  Engine.map_on_handle handle
+                    (fun i -> (t * 1000) + (2 * i))
+                    (Array.init 50 Fun.id))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun t got ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "thread %d batch intact" t)
+            (Array.init 50 (fun i -> (t * 1000) + (2 * i)))
+            got)
+        results)
+
+let test_handle_shutdown_semantics () =
+  let handle = Engine.create_handle ~jobs:2 () in
+  Engine.shutdown_handle handle;
+  Engine.shutdown_handle handle;
+  (* idempotent *)
+  match Engine.map_on_handle handle Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "map on a shut-down handle should raise"
+  | exception Invalid_argument _ -> ()
+
 (* --- Determinism of solve batches ----------------------------------------- *)
 
 let quick_suite_jobs () =
@@ -263,6 +315,12 @@ let suite =
           test_single_job_runs_inline;
         Alcotest.test_case "map_suite groups per input" `Quick
           test_map_suite_groups_in_order;
+        Alcotest.test_case "handle reused across batches" `Quick
+          test_handle_reuse_across_batches;
+        Alcotest.test_case "handle shared by threads" `Quick
+          test_handle_concurrent_batches;
+        Alcotest.test_case "handle shutdown semantics" `Quick
+          test_handle_shutdown_semantics;
         Alcotest.test_case "run jobs:1 = run jobs:8" `Slow
           test_run_deterministic_across_pool_sizes;
         Alcotest.test_case "run_stats counts the batch" `Slow

@@ -362,6 +362,41 @@ let prop_io_round_trip =
       | Ok parsed -> Net.equal net parsed
       | Error _ -> false)
 
+(* Stronger than value equality: re-rendering the parse reproduces the
+   file byte for byte, so a net can shuttle through the service protocol
+   (SOLVE bodies reuse this format) any number of times without drift. *)
+let prop_io_reprint_identical =
+  QCheck.Test.make ~name:"net file reprint is byte-identical" ~count:100
+    (Helpers.net_arb ())
+    (fun net ->
+      let body = Net_io.to_string net in
+      match Net_io.parse_string body with
+      | Ok parsed -> String.equal body (Net_io.to_string parsed)
+      | Error _ -> false)
+
+let rename net name =
+  Net.create ~name
+    ~segments:(Array.to_list net.Net.segments)
+    ~zones:net.Net.zones ~driver_width:net.Net.driver_width
+    ~receiver_width:net.Net.receiver_width ()
+
+let prop_digest_ignores_names =
+  QCheck.Test.make ~name:"canonical digest ignores cosmetic names" ~count:100
+    (Helpers.net_arb ())
+    (fun net ->
+      String.equal (Net.canonical_digest net)
+        (Net.canonical_digest (rename net "renamed")))
+
+let prop_digest_survives_io =
+  QCheck.Test.make ~name:"canonical digest survives a file round trip"
+    ~count:100 (Helpers.net_arb ())
+    (fun net ->
+      match Net_io.parse_string (Net_io.to_string net) with
+      | Ok parsed ->
+          String.equal (Net.canonical_digest net)
+            (Net.canonical_digest parsed)
+      | Error _ -> false)
+
 let suite =
   [
     ( "net.segment",
@@ -410,5 +445,8 @@ let suite =
         Alcotest.test_case "missing file" `Quick test_io_missing_file;
         Alcotest.test_case "file round trip" `Quick test_io_file_round_trip;
         qcheck prop_io_round_trip;
+        qcheck prop_io_reprint_identical;
+        qcheck prop_digest_ignores_names;
+        qcheck prop_digest_survives_io;
       ] );
   ]

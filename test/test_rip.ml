@@ -11,6 +11,7 @@ let () =
          Test_refine.suite;
          Test_core.suite;
          Test_engine.suite;
+         Test_service.suite;
          Test_workload.suite;
          Test_tree.suite;
          Test_integration.suite;

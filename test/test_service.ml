@@ -1,0 +1,383 @@
+(* The service subsystem: wire protocol round trips, solve-cache LRU
+   semantics and key canonicalization, and an end-to-end in-process
+   server over a socketpair. *)
+
+module Protocol = Rip_service.Protocol
+module Solve_cache = Rip_service.Solve_cache
+module Server = Rip_service.Server
+module Client = Rip_service.Client
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+module Zone = Rip_net.Zone
+module Geometry = Rip_net.Geometry
+module Rip = Rip_core.Rip
+
+let process = Helpers.process
+
+let sample_net ?(name = "proto") () =
+  Net.create ~name
+    ~segments:
+      [
+        Segment.of_layer Rip_tech.Layer.metal4 ~length:1800.0;
+        Segment.of_layer Rip_tech.Layer.metal5 ~length:2200.0;
+      ]
+    ~zones:[ Zone.create ~z_start:1500.0 ~z_end:2600.0 ]
+    ~driver_width:20.0 ~receiver_width:40.0 ()
+
+let sample_solution =
+  {
+    Protocol.repeaters = [ (812.5, 40.0); (2437.5, 81.25) ];
+    total_width = 121.25;
+    delay = 3.25e-10;
+    power_watts = 1.75e-3;
+  }
+
+let sample_stats =
+  {
+    Protocol.uptime_seconds = 12.5;
+    requests = 9;
+    solved = 7;
+    errors = 1;
+    rejected_busy = 1;
+    cache_hits = 3;
+    cache_misses = 4;
+    cache_evictions = 2;
+    cache_size = 2;
+    cache_capacity = 4;
+    queue_wait_seconds = 0.75;
+    solve_cpu_seconds = 1.5;
+  }
+
+(* --- Protocol ----------------------------------------------------------- *)
+
+let frame_lines s =
+  let lines = String.split_on_char '\n' s in
+  match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+
+let check_request_round_trip request =
+  let wire = Protocol.print_request request in
+  match Protocol.input_request (Protocol.reader_of_lines (frame_lines wire)) with
+  | Ok (Some parsed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request round trip %S" wire)
+        true
+        (Protocol.request_equal request parsed)
+  | Ok None -> Alcotest.failf "round trip of %S hit end of stream" wire
+  | Error e -> Alcotest.failf "round trip of %S failed: %s" wire e
+
+let check_response_round_trip response =
+  let wire = Protocol.print_response response in
+  match
+    Protocol.input_response (Protocol.reader_of_lines (frame_lines wire))
+  with
+  | Ok (Some parsed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response round trip %S" wire)
+        true
+        (Protocol.response_equal response parsed)
+  | Ok None -> Alcotest.failf "round trip of %S hit end of stream" wire
+  | Error e -> Alcotest.failf "round trip of %S failed: %s" wire e
+
+let test_protocol_request_round_trips () =
+  check_request_round_trip Protocol.Ping;
+  check_request_round_trip Protocol.Stats;
+  check_request_round_trip Protocol.Shutdown;
+  check_request_round_trip
+    (Protocol.Solve { budget = 6.25e-10; net = sample_net () });
+  (* A budget that needs all 17 significant digits must survive. *)
+  check_request_round_trip
+    (Protocol.Solve
+       { budget = 1.0 /. 3.0 *. 1e-9; net = Helpers.Net.uniform ~name:"u"
+           Rip_tech.Layer.metal4 ~length:5000.0 ~segment_count:3
+           ~driver_width:30.0 ~receiver_width:60.0 })
+
+let test_protocol_response_round_trips () =
+  check_response_round_trip Protocol.Pong;
+  check_response_round_trip Protocol.Bye;
+  check_response_round_trip Protocol.Busy;
+  List.iter
+    (fun kind ->
+      check_response_round_trip
+        (Protocol.Error_frame { kind; message = "something went wrong" }))
+    [
+      Protocol.Protocol_error; Protocol.Infeasible_budget;
+      Protocol.Invalid_net; Protocol.Internal_error;
+    ];
+  check_response_round_trip
+    (Protocol.Result { served = Fresh; solution = sample_solution });
+  check_response_round_trip
+    (Protocol.Result { served = Cached; solution = sample_solution });
+  (* The bare-wire answer: zero repeaters is a legal solution. *)
+  check_response_round_trip
+    (Protocol.Result
+       {
+         served = Fresh;
+         solution =
+           { Protocol.repeaters = []; total_width = 0.0; delay = 4.5e-10;
+             power_watts = 0.0 };
+       });
+  check_response_round_trip (Protocol.Stats_frame sample_stats)
+
+let test_protocol_errors () =
+  let request_of lines =
+    Protocol.input_request (Protocol.reader_of_lines lines)
+  in
+  let response_of lines =
+    Protocol.input_response (Protocol.reader_of_lines lines)
+  in
+  (match request_of [] with
+  | Ok None -> ()
+  | Ok (Some _) | Error _ -> Alcotest.fail "empty stream should be Ok None");
+  (match request_of [ "FROBNICATE" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage verb should not parse");
+  (match request_of [ "SOLVE not-a-float" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric budget should not parse");
+  (* Truncated frames: the stream ends before END. *)
+  (match request_of [ "SOLVE 1e-10"; "driver 20" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated SOLVE should not parse");
+  (match response_of [ "RESULT fresh"; "width 10" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated RESULT should not parse");
+  (match response_of [ "RESULT stale" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown served marker should not parse");
+  (* Carriage returns from interactive socat/telnet sessions are fine. *)
+  match request_of [ "PING\r" ] with
+  | Ok (Some Protocol.Ping) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "trailing \\r should be stripped"
+
+let test_protocol_cached_body_identical () =
+  let body served =
+    Protocol.print_response (Protocol.Result { served; solution = sample_solution })
+  in
+  let strip_header s =
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  Alcotest.(check string)
+    "cached replay is byte-identical below the header"
+    (strip_header (body Protocol.Fresh))
+    (strip_header (body Protocol.Cached));
+  Alcotest.(check string)
+    "the body is solution_body plus END"
+    (Protocol.solution_body sample_solution ^ "END\n")
+    (strip_header (body Protocol.Fresh))
+
+(* --- Solve_cache -------------------------------------------------------- *)
+
+let test_cache_hit_after_insert () =
+  let cache = Solve_cache.create ~capacity:4 in
+  let key = Solve_cache.key ~process ~net:(sample_net ()) ~budget:1e-10 in
+  Alcotest.(check (option int)) "cold" None (Solve_cache.find cache key);
+  Solve_cache.add cache key 42;
+  Alcotest.(check (option int)) "hit" (Some 42) (Solve_cache.find cache key);
+  let stats = Solve_cache.stats cache in
+  Alcotest.(check int) "hits" 1 stats.Solve_cache.hits;
+  Alcotest.(check int) "misses" 1 stats.Solve_cache.misses;
+  Alcotest.(check int) "evictions" 0 stats.Solve_cache.evictions;
+  Alcotest.(check int) "size" 1 stats.Solve_cache.size
+
+let test_cache_capacity_one_evicts () =
+  let cache = Solve_cache.create ~capacity:1 in
+  Solve_cache.add cache "a" 1;
+  Solve_cache.add cache "b" 2;
+  Alcotest.(check (option int)) "a evicted" None (Solve_cache.find cache "a");
+  Alcotest.(check (option int)) "b kept" (Some 2) (Solve_cache.find cache "b");
+  let stats = Solve_cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 stats.Solve_cache.evictions;
+  Alcotest.(check int) "size stays 1" 1 stats.Solve_cache.size
+
+let test_cache_lru_order () =
+  let cache = Solve_cache.create ~capacity:2 in
+  Solve_cache.add cache "a" 1;
+  Solve_cache.add cache "b" 2;
+  (* Touch a: b becomes the least recently used and must go first. *)
+  ignore (Solve_cache.find cache "a");
+  Solve_cache.add cache "c" 3;
+  Alcotest.(check (option int)) "a kept" (Some 1) (Solve_cache.find cache "a");
+  Alcotest.(check (option int)) "b evicted" None (Solve_cache.find cache "b");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Solve_cache.find cache "c")
+
+let test_cache_overwrite_refreshes () =
+  let cache = Solve_cache.create ~capacity:2 in
+  Solve_cache.add cache "a" 1;
+  Solve_cache.add cache "b" 2;
+  Solve_cache.add cache "a" 10;
+  Solve_cache.add cache "c" 3;
+  Alcotest.(check (option int))
+    "overwritten entry survives with the new value" (Some 10)
+    (Solve_cache.find cache "a");
+  Alcotest.(check (option int)) "b evicted" None (Solve_cache.find cache "b");
+  Alcotest.(check int) "size" 2 (Solve_cache.size cache)
+
+let test_cache_capacity_zero_disables () =
+  let cache = Solve_cache.create ~capacity:0 in
+  Solve_cache.add cache "a" 1;
+  Alcotest.(check (option int)) "never stored" None (Solve_cache.find cache "a");
+  Alcotest.(check int) "size 0" 0 (Solve_cache.size cache);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Solve_cache.create: negative capacity") (fun () ->
+      ignore (Solve_cache.create ~capacity:(-1)))
+
+let test_cache_key_canonicalization () =
+  let net = sample_net () in
+  let renamed =
+    Net.create ~name:"proto_alias"
+      ~segments:(Array.to_list net.Net.segments)
+      ~zones:net.Net.zones ~driver_width:net.Net.driver_width
+      ~receiver_width:net.Net.receiver_width ()
+  in
+  let key n = Solve_cache.key ~process ~net:n ~budget:6.25e-10 in
+  Alcotest.(check string)
+    "cosmetic rename shares the key" (key net) (key renamed);
+  (* Distinct electrical content must get distinct keys even when the
+     name collides. *)
+  let other =
+    Net.create ~name:"proto"
+      ~segments:[ Segment.of_layer Rip_tech.Layer.metal4 ~length:4000.0 ]
+      ~zones:[] ~driver_width:20.0 ~receiver_width:40.0 ()
+  in
+  Alcotest.(check bool) "different net, different key" false
+    (String.equal (key net) (key other));
+  Alcotest.(check bool) "different budget, different key" false
+    (String.equal (key net)
+       (Solve_cache.key ~process ~net ~budget:6.26e-10));
+  let r = process.Rip_tech.Process.repeater in
+  let perturbed =
+    {
+      process with
+      Rip_tech.Process.repeater =
+        Rip_tech.Repeater_model.create ~rs:(1.01 *. r.Rip_tech.Repeater_model.rs)
+          ~co:r.Rip_tech.Repeater_model.co ~cp:r.Rip_tech.Repeater_model.cp;
+    }
+  in
+  Alcotest.(check bool) "different process, different key" false
+    (String.equal (key net)
+       (Solve_cache.key ~process:perturbed ~net ~budget:6.25e-10))
+
+(* --- End to end over a socketpair --------------------------------------- *)
+
+let expect_result = function
+  | Ok (Protocol.Result { served; solution }) -> (served, solution)
+  | Ok other ->
+      Alcotest.failf "expected RESULT, got %S"
+        (Protocol.print_response other)
+  | Error e -> Alcotest.failf "transport failure: %s" e
+
+let test_server_end_to_end () =
+  let server =
+    Server.create
+      ~config:
+        { Server.default_config with jobs = Some 1; cache_capacity = 8 }
+      process
+  in
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  let client = Client.of_fd client_fd in
+  (match Client.request client Protocol.Ping with
+  | Ok Protocol.Pong -> ()
+  | Ok other ->
+      Alcotest.failf "PING answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "PING failed: %s" e);
+  let net = sample_net () in
+  let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
+  let solve = Protocol.Solve { budget; net } in
+  let served1, solution1 = expect_result (Client.request client solve) in
+  Alcotest.(check bool) "first solve is fresh" true (served1 = Protocol.Fresh);
+  Alcotest.(check bool) "some repeaters inserted" true
+    (List.length solution1.Protocol.repeaters > 0);
+  let served2, solution2 = expect_result (Client.request client solve) in
+  Alcotest.(check bool) "second solve is cached" true
+    (served2 = Protocol.Cached);
+  Alcotest.(check string) "cached replay is byte-identical"
+    (Protocol.solution_body solution1)
+    (Protocol.solution_body solution2);
+  (* An infeasible budget comes back as a typed ERROR, uncached. *)
+  (match Client.request client (Protocol.Solve { budget = 1e-15; net }) with
+  | Ok (Protocol.Error_frame { kind = Protocol.Infeasible_budget; _ }) -> ()
+  | Ok other ->
+      Alcotest.failf "infeasible solve answered %S"
+        (Protocol.print_response other)
+  | Error e -> Alcotest.failf "infeasible solve failed: %s" e);
+  (match Client.request client Protocol.Stats with
+  | Ok (Protocol.Stats_frame stats) ->
+      Alcotest.(check int) "requests" 3 stats.Protocol.requests;
+      Alcotest.(check int) "solved" 2 stats.Protocol.solved;
+      Alcotest.(check int) "errors" 1 stats.Protocol.errors;
+      Alcotest.(check int) "cache hits" 1 stats.Protocol.cache_hits;
+      Alcotest.(check int) "cache misses" 2 stats.Protocol.cache_misses;
+      Alcotest.(check int) "cache size" 1 stats.Protocol.cache_size;
+      Alcotest.(check bool) "solver cpu accounted" true
+        (stats.Protocol.solve_cpu_seconds > 0.0)
+  | Ok other ->
+      Alcotest.failf "STATS answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "STATS failed: %s" e);
+  (match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok other ->
+      Alcotest.failf "SHUTDOWN answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "SHUTDOWN failed: %s" e);
+  Thread.join worker;
+  Client.close client;
+  Server.shutdown server
+
+let test_server_rejects_garbage () =
+  let server =
+    Server.create
+      ~config:{ Server.default_config with jobs = Some 1 }
+      process
+  in
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  let _ = Unix.write_substring client_fd "FROBNICATE\n" 0 11 in
+  let buffer = Bytes.create 256 in
+  let n = Unix.read client_fd buffer 0 256 in
+  let answer = Bytes.sub_string buffer 0 n in
+  Alcotest.(check bool) "typed protocol error" true
+    (Helpers.contains answer "ERROR protocol");
+  (* The server hangs up after a protocol error. *)
+  Thread.join worker;
+  Unix.close client_fd;
+  Server.shutdown server
+
+let suite =
+  [
+    ( "service.protocol",
+      [
+        Alcotest.test_case "request round trips" `Quick
+          test_protocol_request_round_trips;
+        Alcotest.test_case "response round trips" `Quick
+          test_protocol_response_round_trips;
+        Alcotest.test_case "parse errors" `Quick test_protocol_errors;
+        Alcotest.test_case "cached body identical" `Quick
+          test_protocol_cached_body_identical;
+      ] );
+    ( "service.cache",
+      [
+        Alcotest.test_case "hit after insert" `Quick
+          test_cache_hit_after_insert;
+        Alcotest.test_case "capacity 1 evicts" `Quick
+          test_cache_capacity_one_evicts;
+        Alcotest.test_case "lru order" `Quick test_cache_lru_order;
+        Alcotest.test_case "overwrite refreshes" `Quick
+          test_cache_overwrite_refreshes;
+        Alcotest.test_case "capacity 0 disables" `Quick
+          test_cache_capacity_zero_disables;
+        Alcotest.test_case "key canonicalization" `Quick
+          test_cache_key_canonicalization;
+      ] );
+    ( "service.server",
+      [
+        Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+        Alcotest.test_case "rejects garbage" `Quick
+          test_server_rejects_garbage;
+      ] );
+  ]
