@@ -1,0 +1,57 @@
+(* rip_lint: determinism and domain-safety checks over the typed trees
+   (.cmt files) dune already produces.  Exit code 1 on any finding. *)
+
+open Cmdliner
+
+let lib =
+  let doc =
+    "Dune library name the units belong to; selects the default rule set."
+  in
+  Arg.(value & opt string "default" & info [ "lib" ] ~docv:"NAME" ~doc)
+
+let rules =
+  let doc =
+    "Comma-separated rule ids to run, overriding the per-library default. \
+     Known rules: no-poly-compare, no-hashtbl-order, no-wall-clock, \
+     guarded-mutation, float-format-precision."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let cmts =
+  let doc = "Compiled typed trees (.cmt) to lint." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"CMT" ~doc)
+
+let main lib rules cmts =
+  let rules =
+    match rules with
+    | Some spec -> (
+        try Rip_lint.Lint_config.parse_rules spec
+        with Invalid_argument msg ->
+          prerr_endline ("rip_lint: " ^ msg);
+          exit 2)
+    | None -> Rip_lint.Lint_config.rules_for_library lib
+  in
+  let findings = Rip_lint.Driver.run ~library:lib ~rules cmts in
+  List.iter
+    (fun f -> print_endline (Rip_lint.Finding.to_string f))
+    findings;
+  if findings <> [] then exit 1
+
+let cmd =
+  let doc = "static determinism and domain-safety checks for rip" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads the .cmt typed trees produced by dune and reports rule \
+         violations as $(b,file:line:col [rule-id] message). A finding can \
+         be suppressed at the offending expression with \
+         [@lint.allow \"rule-id\"] together with a comment justifying why \
+         the invariant still holds.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rip_lint" ~doc ~man)
+    Term.(const main $ lib $ rules $ cmts)
+
+let () = exit (Cmd.eval cmd)

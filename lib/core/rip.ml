@@ -49,8 +49,9 @@ let tau_min (process : Process.t) geometry =
 let refined_space (config : Config.t) net (outcome : Refine.outcome) =
   let widths = Solution.widths outcome.Refine.solution in
   let library =
-    if widths = [] then None
-    else
+    match widths with
+    | [] -> None
+    | _ :: _ ->
       Some
         (Repeater_library.round_to_grid
            ~granularity:config.Config.refined_granularity

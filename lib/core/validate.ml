@@ -82,4 +82,6 @@ let check ?(min_width = 0.0) ?(max_width = Float.infinity)
   placement_violations @ timing
 
 let is_valid ?min_width ?max_width process net ~budget solution =
-  check ?min_width ?max_width process net ~budget solution = []
+  match check ?min_width ?max_width process net ~budget solution with
+  | [] -> true
+  | _ :: _ -> false

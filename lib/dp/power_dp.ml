@@ -35,15 +35,28 @@ let thin_frontier cap frontier =
   if n <= cap then frontier
   else Array.init cap (fun i -> frontier.(i * (n - 1) / (cap - 1)))
 
+(* Total order on labels.  (width_units, delay) alone is what the DP
+   cares about, but the backtracking indices break any remaining tie so
+   lists collected from a Hashtbl can be canonicalised independently of
+   hash iteration order. *)
+let label_order a b =
+  match Int.compare a.width_units b.width_units with
+  | 0 -> (
+      match Float.compare a.delay b.delay with
+      | 0 -> (
+          match Int.compare a.pred_site b.pred_site with
+          | 0 -> (
+              match Int.compare a.pred_width b.pred_width with
+              | 0 -> Int.compare a.pred_label b.pred_label
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
 (* Pareto prune: ascending width, then keep strictly decreasing delay. *)
 let freeze_frontier labels =
   let arr = Array.of_list labels in
-  Array.sort
-    (fun a b ->
-      match compare a.width_units b.width_units with
-      | 0 -> Float.compare a.delay b.delay
-      | c -> c)
-    arr;
+  Array.sort label_order arr;
   let kept = ref [] in
   let best_delay = ref Float.infinity in
   Array.iter
@@ -140,7 +153,9 @@ let solve ?frontier_cap geometry repeater ~library ~candidates ~budget =
         decr src
       done;
       let frontier =
-        freeze_frontier (Hashtbl.fold (fun _ l acc -> l :: acc) collected [])
+        freeze_frontier
+          (List.sort label_order
+             (Hashtbl.fold (fun _ l acc -> l :: acc) collected []))
       in
       let frontier =
         match frontier_cap with

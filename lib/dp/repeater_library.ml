@@ -3,7 +3,9 @@ type t = float array
 let equal_tolerance = 1e-9
 
 let create widths =
-  if widths = [] then invalid_arg "Repeater_library.create: empty library";
+  (match widths with
+  | [] -> invalid_arg "Repeater_library.create: empty library"
+  | _ :: _ -> ());
   List.iter
     (fun w ->
       if w <= 0.0 then
@@ -41,10 +43,9 @@ let round_to_grid ~granularity ~min_width ~max_width widths =
         [ clamp s; clamp (s -. granularity); clamp (s +. granularity) ])
       widths
   in
-  let candidates = List.filter (fun w -> w > 0.0) candidates in
-  if candidates = [] then
-    invalid_arg "Repeater_library.round_to_grid: no positive widths";
-  create candidates
+  match List.filter (fun w -> w > 0.0) candidates with
+  | [] -> invalid_arg "Repeater_library.round_to_grid: no positive widths"
+  | candidates -> create candidates
 
 let widths t = Array.to_list t
 let to_array t = t

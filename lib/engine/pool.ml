@@ -17,7 +17,11 @@ let default_jobs () = Domain.recommended_domain_count ()
    up; only exit once the queue is fully drained so shutdown never drops
    accepted work. *)
 let worker state () =
-  let rec take () =
+  (* [take] only ever runs between the [Mutex.lock]/[unlock] pair in
+     [loop] below, so [state.stopping] and the queue are mutex-guarded;
+     the lint's lock-region check is intraprocedural and cannot see the
+     lock across the function boundary. *)
+  let[@lint.allow "guarded-mutation"] rec take () =
     match Queue.take_opt state.queue with
     | Some task -> Some task
     | None ->

@@ -1,0 +1,197 @@
+(* Loads .cmt files, runs the configured rules over each unit, applies
+   inline [@lint.allow "rule-id"] suppressions, and returns the sorted
+   findings. *)
+
+type unit_info = {
+  modname : string;
+  structure : Typedtree.structure;
+  source : string option;
+}
+
+(* dune compiles with paths relative to the build-context root, so a
+   cmt's recorded source file ("lib/net/net_io.ml") resolves against
+   the recorded build dir when linting on the machine that built it,
+   and against an ancestor of the cwd when running sandboxed (the
+   action's cwd is the build dir of the dune file that declared it). *)
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Some contents
+  | exception Sys_error _ -> None
+
+let find_source ~builddir fname =
+  let candidates =
+    fname
+    :: Filename.concat builddir fname
+    :: List.init 6 (fun depth ->
+           let rec up n acc = if n = 0 then acc else up (n - 1) ("../" ^ acc) in
+           up (depth + 1) fname)
+  in
+  List.find_map
+    (fun p -> if Sys.file_exists p then read_file p else None)
+    candidates
+
+let load_cmt path =
+  let cmt = Cmt_format.read_cmt path in
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation structure ->
+      let source =
+        match cmt.Cmt_format.cmt_sourcefile with
+        | Some f -> find_source ~builddir:cmt.Cmt_format.cmt_builddir f
+        | None -> None
+      in
+      Some { modname = cmt.Cmt_format.cmt_modname; structure; source }
+  | _ -> None
+
+(* --- Suppressions --------------------------------------------------------- *)
+
+(* [@lint.allow "rule-id ..."] on an expression or a let-binding
+   suppresses the named rules (all rules when the payload is empty)
+   within the attributed node's span; a floating [@@@lint.allow ...]
+   suppresses them for the whole unit. *)
+
+type suppression = {
+  sup_rules : string list option;  (* None = every rule *)
+  sup_start : int;
+  sup_stop : int;
+}
+
+let allow_payload (attr : Parsetree.attribute) =
+  if attr.Parsetree.attr_name.Asttypes.txt <> "lint.allow" then None
+  else
+    match attr.Parsetree.attr_payload with
+    | Parsetree.PStr
+        [
+          {
+            Parsetree.pstr_desc =
+              Parsetree.Pstr_eval
+                ( {
+                    Parsetree.pexp_desc =
+                      Parsetree.Pexp_constant
+                        (Parsetree.Pconst_string (ids, _, _));
+                    _;
+                  },
+                  _ );
+            _;
+          };
+        ] ->
+        let rules =
+          String.split_on_char ',' ids
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun r -> r <> "")
+        in
+        Some (if rules = [] then None else Some rules)
+    | Parsetree.PStr [] -> Some None
+    | _ -> Some None
+
+let collect_suppressions structure =
+  let acc = ref [] in
+  let add attrs (loc : Location.t) =
+    List.iter
+      (fun attr ->
+        match allow_payload attr with
+        | Some sup_rules ->
+            acc :=
+              {
+                sup_rules;
+                sup_start = loc.Location.loc_start.Lexing.pos_cnum;
+                sup_stop = loc.Location.loc_end.Lexing.pos_cnum;
+              }
+              :: !acc
+        | None -> ())
+      attrs
+  in
+  let open Tast_iterator in
+  let expr sub e =
+    add e.Typedtree.exp_attributes e.Typedtree.exp_loc;
+    default_iterator.expr sub e
+  in
+  let value_binding sub vb =
+    add vb.Typedtree.vb_attributes vb.Typedtree.vb_loc;
+    default_iterator.value_binding sub vb
+  in
+  let structure_item sub item =
+    (match item.Typedtree.str_desc with
+    | Typedtree.Tstr_attribute attr -> (
+        match allow_payload attr with
+        | Some sup_rules ->
+            acc := { sup_rules; sup_start = 0; sup_stop = max_int } :: !acc
+        | None -> ())
+    | _ -> ());
+    default_iterator.structure_item sub item
+  in
+  let it = { default_iterator with expr; value_binding; structure_item } in
+  it.structure it structure;
+  !acc
+
+let suppressed suppressions (f : Finding.t) =
+  List.exists
+    (fun s ->
+      s.sup_start <= f.Finding.offset
+      && f.Finding.offset < s.sup_stop
+      && match s.sup_rules with
+         | None -> true
+         | Some rules -> List.mem f.Finding.rule rules)
+    suppressions
+
+(* --- Entry point ---------------------------------------------------------- *)
+
+let dedup findings =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (f : Finding.t) ->
+      let key = (f.file, f.line, f.col, f.rule, f.message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    findings
+
+let run ~library ~rules paths =
+  let units = List.filter_map load_cmt paths in
+  let float_types =
+    Rules.harvest_float_types
+      (List.map (fun u -> (u.modname, u.structure)) units)
+  in
+  units
+  |> List.concat_map (fun u ->
+         let findings = ref [] in
+         let ctx =
+           {
+             Rules.library;
+             modname = u.modname;
+             float_types;
+             source = u.source;
+             emit =
+               (fun rule loc message ->
+                 findings :=
+                   Finding.of_loc ~rule:(Lint_config.id rule) ~message loc
+                   :: !findings);
+           }
+         in
+         let unit_name =
+           (* "Rip_net__Net_io" -> "Net_io": split at the rightmost "__" *)
+           let n = String.length u.modname in
+           let rec last_sep i =
+             if i < 0 then None
+             else if u.modname.[i] = '_' && u.modname.[i + 1] = '_' then Some i
+             else last_sep (i - 1)
+           in
+           match last_sep (n - 2) with
+           | Some i when i + 2 < n -> String.sub u.modname (i + 2) (n - i - 2)
+           | _ -> u.modname
+         in
+         let rules =
+           List.filter
+             (fun rule ->
+               match rule with
+               | Lint_config.Float_format_precision ->
+                   Lint_config.format_rule_applies ~library ~unit_name
+               | _ -> true)
+             rules
+         in
+         List.iter (fun rule -> Rules.run rule ctx u.structure) rules;
+         let sups = collect_suppressions u.structure in
+         List.filter (fun f -> not (suppressed sups f)) !findings)
+  |> dedup
+  |> List.sort Finding.order

@@ -1,0 +1,11 @@
+(** Loads [.cmt] typed trees and runs the rule engine over them. *)
+
+val run :
+  library:string ->
+  rules:Lint_config.rule_id list ->
+  string list ->
+  Finding.t list
+(** [run ~library ~rules cmt_paths] lints every implementation unit
+    among [cmt_paths] with [rules], applies inline
+    [\[@lint.allow "rule-id"\]] suppressions, and returns findings
+    sorted by position.  Interface-only and partial cmts are skipped. *)

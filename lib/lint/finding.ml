@@ -1,0 +1,38 @@
+(* A single lint finding, anchored to a source location.  [offset] keeps
+   the absolute character position of the anchor so suppression ranges
+   (which are collected as character spans) can be matched without
+   re-reading the source. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  offset : int;
+  rule : string;
+  message : string;
+}
+
+let of_loc ~rule ~message (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    offset = p.Lexing.pos_cnum;
+    rule;
+    message;
+  }
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c

@@ -1,0 +1,18 @@
+(** A lint finding anchored at [file:line:col]. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;  (** 0-based, compiler convention *)
+  offset : int;  (** absolute character offset of the anchor *)
+  rule : string;
+  message : string;
+}
+
+val of_loc : rule:string -> message:string -> Location.t -> t
+
+val to_string : t -> string
+(** Renders as [file:line:col [rule-id] message]. *)
+
+val order : t -> t -> int
+(** Total order by (file, line, col, rule) for stable reports. *)

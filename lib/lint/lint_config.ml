@@ -1,0 +1,79 @@
+(* Rule identifiers and the per-library rule sets.
+
+   The library names here are the dune library names ([rip_dp], ...).
+   The split encodes the repo's determinism contract:
+
+   - the solver pipeline (core, dp, tree, net, numerics, elmore, refine,
+     tech, workload) must be bit-reproducible, so it gets the
+     determinism rules and the wall-clock ban;
+   - engine and service are the only libraries allowed to read wall
+     clocks (batch/queue telemetry), and the only ones that spawn, so
+     they get the race-detector rule instead;
+   - net and service own the wire formats whose float rendering feeds
+     the byte-identical cached-replay guarantee. *)
+
+type rule_id =
+  | No_poly_compare
+  | No_hashtbl_order
+  | No_wall_clock
+  | Guarded_mutation
+  | Float_format_precision
+
+let id = function
+  | No_poly_compare -> "no-poly-compare"
+  | No_hashtbl_order -> "no-hashtbl-order"
+  | No_wall_clock -> "no-wall-clock"
+  | Guarded_mutation -> "guarded-mutation"
+  | Float_format_precision -> "float-format-precision"
+
+let of_id = function
+  | "no-poly-compare" -> Some No_poly_compare
+  | "no-hashtbl-order" -> Some No_hashtbl_order
+  | "no-wall-clock" -> Some No_wall_clock
+  | "guarded-mutation" -> Some Guarded_mutation
+  | "float-format-precision" -> Some Float_format_precision
+  | _ -> None
+
+let all =
+  [
+    No_poly_compare;
+    No_hashtbl_order;
+    No_wall_clock;
+    Guarded_mutation;
+    Float_format_precision;
+  ]
+
+let rules_for_library = function
+  | "rip_core" | "rip_elmore" | "rip_refine" | "rip_tech" | "rip_workload" ->
+      [ No_poly_compare; No_wall_clock ]
+  | "rip_dp" | "rip_tree" | "rip_numerics" ->
+      [ No_poly_compare; No_hashtbl_order; No_wall_clock ]
+  | "rip_net" ->
+      [ No_poly_compare; No_hashtbl_order; No_wall_clock;
+        Float_format_precision ]
+  | "rip_engine" -> [ No_poly_compare; Guarded_mutation ]
+  | "rip_service" ->
+      [ No_poly_compare; No_hashtbl_order; Guarded_mutation;
+        Float_format_precision ]
+  | _ -> all
+
+(* The float-format rule protects wire formats (cache keys, protocol
+   frames, canonical net text), not human-readable reports.  Inside the
+   two wire libraries it therefore applies only to the modules that
+   render bytes a cache or client may compare; everywhere else (e.g.
+   test fixtures linted with an explicit --rules) it applies to the
+   whole unit. *)
+let format_rule_applies ~library ~unit_name =
+  match library with
+  | "rip_net" -> List.mem unit_name [ "Net"; "Net_io" ]
+  | "rip_service" -> List.mem unit_name [ "Protocol"; "Solve_cache" ]
+  | _ -> true
+
+let parse_rules s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun r -> r <> "")
+  |> List.map (fun r ->
+         match of_id r with
+         | Some rule -> rule
+         | None -> invalid_arg (Printf.sprintf "unknown lint rule %S" r))

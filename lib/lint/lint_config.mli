@@ -1,0 +1,38 @@
+(** Rule identifiers and per-library rule enablement. *)
+
+type rule_id =
+  | No_poly_compare
+      (** Polymorphic [compare]/[=]/[min]-style calls at types carrying
+          [float]: NaN-unsafe and dependent on the runtime value layout. *)
+  | No_hashtbl_order
+      (** [Hashtbl.fold]/[iter]/[to_seq] whose result is not immediately
+          re-sorted: iteration order depends on hashing. *)
+  | No_wall_clock
+      (** [Unix.gettimeofday]/[Unix.time]/[Sys.time] outside the
+          engine/service telemetry layers; solver timing must use
+          [Rip_numerics.Cpu_clock]. *)
+  | Guarded_mutation
+      (** A mutable record field or [ref] captured by a
+          [Domain.spawn]/[Thread.create] closure must only be accessed
+          between [Mutex.lock]/[unlock] on the owning structure's mutex
+          (or be an [Atomic.t]). *)
+  | Float_format_precision
+      (** Float conversions in the wire-format libraries must be exactly
+          [%.17g] so cached replay stays byte-identical. *)
+
+val id : rule_id -> string
+val of_id : string -> rule_id option
+val all : rule_id list
+
+val rules_for_library : string -> rule_id list
+(** Default rule set for a dune library name; unknown names get [all]. *)
+
+val format_rule_applies : library:string -> unit_name:string -> bool
+(** Whether [Float_format_precision] applies to a unit: inside the wire
+    libraries it is scoped to the byte-rendering modules; elsewhere it
+    applies to every unit. [unit_name] is the unprefixed module name
+    ("Net_io"). *)
+
+val parse_rules : string -> rule_id list
+(** Parses a comma/space-separated rule list.
+    @raise Invalid_argument on an unknown rule id. *)

@@ -1,0 +1,665 @@
+(* The five rule passes, each a Tast_iterator walk over one unit's typed
+   tree.  Rules never look at the parse tree: every check is driven by
+   resolved paths ([Path.t]) and inferred types, so aliases, opens and
+   operator re-exports cannot dodge them. *)
+
+open Typedtree
+module S = Set.Make (String)
+
+type ctx = {
+  library : string;
+  modname : string;  (* compilation unit name, e.g. "Rip_net__Net" *)
+  float_types : (string, bool) Hashtbl.t;
+      (* type name -> declared representation carries a float *)
+  source : string option;  (* full source text of the unit, when found *)
+  emit : Lint_config.rule_id -> Location.t -> string -> unit;
+}
+
+(* --- Path naming ---------------------------------------------------------- *)
+
+(* Resolved stdlib paths render as "Stdlib.compare" or, for sub-modules,
+   "Stdlib__Hashtbl.fold" / "Stdlib.Hashtbl.fold" depending on how the
+   alias was reached.  Normalise all three spellings to the short form
+   rules match on ("compare", "Hashtbl.fold"). *)
+let drop_prefix ~prefix s =
+  if String.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let normalized_name path =
+  let s = Path.name path in
+  match drop_prefix ~prefix:"Stdlib__" s with
+  | Some rest -> rest
+  | None -> (
+      match drop_prefix ~prefix:"Stdlib." s with Some rest -> rest | None -> s)
+
+let ident_name e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (normalized_name p)
+  | _ -> None
+
+(* --- Float-carrying types ------------------------------------------------- *)
+
+(* [float] reaches the cmt either as the predef path or through the
+   [Float.t] alias. *)
+let is_float_path p =
+  Path.last p = "float"
+  ||
+  match normalized_name p with
+  | "Float.t" -> true
+  | _ -> false
+
+(* Structural check, backed by a table of type declarations harvested
+   from every unit under lint (see [harvest_float_types]).  Abstract
+   types we know nothing about are treated as float-free: a lint must
+   not drown real findings in unknown-type noise.  Unqualified (Pident)
+   references resolve against the current unit first, then against the
+   sticky bare-name pool; qualified references resolve only against
+   their full name, so a foreign [X.t] is never confused with a local
+   [t]. *)
+let rec contains_float tbl ~modname ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      is_float_path p
+      || (match lookup tbl ~modname p with Some b -> b | None -> false)
+      || List.exists (contains_float tbl ~modname) args
+  | Types.Ttuple l -> List.exists (contains_float tbl ~modname) l
+  | Types.Tpoly (t, _) -> contains_float tbl ~modname t
+  | _ -> false
+
+and lookup tbl ~modname p =
+  match p with
+  | Path.Pident id -> (
+      let name = Ident.name id in
+      match Hashtbl.find_opt tbl (modname ^ "." ^ name) with
+      | Some _ as r -> r
+      | None -> Hashtbl.find_opt tbl ("#" ^ name))
+  | _ -> Hashtbl.find_opt tbl (Path.name p)
+
+type float_kind = Bare | Composite | Clean
+
+let classify tbl ~modname ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) when is_float_path p -> Bare
+  | _ -> if contains_float tbl ~modname ty then Composite else Clean
+
+let decl_contains_float tbl ~modname (td : Types.type_declaration) =
+  let cf = contains_float tbl ~modname in
+  let manifest =
+    match td.Types.type_manifest with Some ty -> cf ty | None -> false
+  in
+  manifest
+  ||
+  match td.Types.type_kind with
+  | Types.Type_record (labels, _) ->
+      List.exists (fun l -> cf l.Types.ld_type) labels
+  | Types.Type_variant (cstrs, _) ->
+      List.exists
+        (fun c ->
+          match c.Types.cd_args with
+          | Types.Cstr_tuple tys -> List.exists cf tys
+          | Types.Cstr_record labels ->
+              List.exists (fun l -> cf l.Types.ld_type) labels)
+        cstrs
+  | Types.Type_abstract | Types.Type_open -> false
+
+(* Harvest declarations from every unit, then iterate to a fixpoint so a
+   record of records of floats is still recognised.  Each declaration is
+   stored under its unit-qualified names ("Rip_net__Net.t" and
+   "Rip_net.Net.t") and, sticky-true, under its bare name: a bare-name
+   collision can only make the lint stricter, never blinder. *)
+let harvest_float_types units =
+  let tbl : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let decls = ref [] in
+  List.iter
+    (fun (modname, str) ->
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          type_declaration =
+            (fun sub td ->
+              decls := (modname, Ident.name td.typ_id, td.typ_type) :: !decls;
+              Tast_iterator.default_iterator.type_declaration sub td);
+        }
+      in
+      it.structure it str)
+    units;
+  let aliased modname =
+    (* Rip_net__Net -> Rip_net.Net *)
+    let b = Buffer.create (String.length modname) in
+    let n = String.length modname in
+    let i = ref 0 in
+    while !i < n do
+      if !i + 1 < n && modname.[!i] = '_' && modname.[!i + 1] = '_' then begin
+        Buffer.add_char b '.';
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char b modname.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 6 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (modname, name, td) ->
+        let flag = decl_contains_float tbl ~modname td in
+        let set key sticky =
+          let prev = Hashtbl.find_opt tbl key in
+          let next =
+            if sticky then flag || Option.value prev ~default:false else flag
+          in
+          if prev <> Some next then begin
+            Hashtbl.replace tbl key next;
+            changed := true
+          end
+        in
+        set (modname ^ "." ^ name) false;
+        set (aliased modname ^ "." ^ name) false;
+        (* Bare-name pool ("#zone"): fallback for unqualified references
+           the unit-qualified key missed; sticky-true so a collision can
+           only make the lint stricter. *)
+        set ("#" ^ name) true)
+      !decls
+  done;
+  tbl
+
+(* --- Rule: no-poly-compare ------------------------------------------------ *)
+
+(* Three-way comparisons are flagged even at bare [float] (polymorphic
+   [compare] boxes and runs the generic walker; [Stdlib.min]/[max]
+   disagree with [Float.min]/[max] on NaN).  Equality/ordering operators
+   at bare float are IEEE-idiomatic and compile to float primitives, so
+   only composite (tuple/record/variant/container) float-carrying types
+   are flagged for them. *)
+let three_way = [ "compare"; "min"; "max" ]
+let operators = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+let membership =
+  [ "List.mem"; "List.assoc"; "List.assoc_opt"; "List.mem_assoc";
+    "List.remove_assoc"; "Array.mem" ]
+
+let first_arg_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | Types.Tpoly (t, _) -> (
+      match Types.get_desc t with
+      | Types.Tarrow (_, a, _, _) -> Some a
+      | _ -> None)
+  | _ -> None
+
+let no_poly_compare ctx str =
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        let name = normalized_name p in
+        let is3 = List.mem name three_way in
+        let isop = List.mem name operators in
+        let ismem = List.mem name membership in
+        if is3 || isop || ismem then
+          match first_arg_type e.exp_type with
+          | None -> ()
+          | Some arg -> (
+              match classify ctx.float_types ~modname:ctx.modname arg with
+              | Bare when is3 ->
+                  ctx.emit Lint_config.No_poly_compare e.exp_loc
+                    (Printf.sprintf
+                       "polymorphic %s on float is NaN-unsafe; use Float.%s"
+                       name name)
+              | Composite ->
+                  ctx.emit Lint_config.No_poly_compare e.exp_loc
+                    (Printf.sprintf
+                       "polymorphic %s at a float-carrying type; use an \
+                        explicit comparator built from Float.compare"
+                       name)
+              | Bare | Clean -> ()))
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+(* --- Rule: no-hashtbl-order ----------------------------------------------- *)
+
+let hashtbl_sources =
+  [ "Hashtbl.fold"; "Hashtbl.iter"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values" ]
+
+let sorters =
+  [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq";
+    "Array.sort"; "Array.stable_sort"; "Array.fast_sort" ]
+
+let span_of_loc (loc : Location.t) =
+  ( loc.Location.loc_start.Lexing.pos_cnum,
+    loc.Location.loc_end.Lexing.pos_cnum )
+
+let no_hashtbl_order ctx str =
+  (* Pass 1: character spans of every argument to a recognised sort —
+     a Hashtbl traversal inside one of these is explicitly re-ordered
+     and therefore canonical. *)
+  let sorted_spans = ref [] in
+  let collect sub e =
+    (match e.exp_desc with
+    | Texp_apply (f, args) when
+        (match ident_name f with
+        | Some n -> List.mem n sorters
+        | None -> false) ->
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | Some a -> sorted_spans := span_of_loc a.exp_loc :: !sorted_spans
+            | None -> ())
+          args
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr = collect } in
+  it.structure it str;
+  let sanctioned (loc : Location.t) =
+    let pos = loc.Location.loc_start.Lexing.pos_cnum in
+    List.exists (fun (s, e) -> s <= pos && pos < e) !sorted_spans
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+        let name = normalized_name p in
+        if List.mem name hashtbl_sources && not (sanctioned e.exp_loc) then
+          ctx.emit Lint_config.No_hashtbl_order e.exp_loc
+            (Printf.sprintf
+               "%s iterates in hash order; sort the result explicitly (e.g. \
+                List.sort) before it feeds a deterministic path"
+               name)
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+(* --- Rule: no-wall-clock -------------------------------------------------- *)
+
+let wall_clocks = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let no_wall_clock ctx str =
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+        let name = normalized_name p in
+        if List.mem name wall_clocks then
+          ctx.emit Lint_config.No_wall_clock e.exp_loc
+            (Printf.sprintf
+               "%s reads a process clock; solver code must be \
+                clock-free (timing belongs to engine/service telemetry or \
+                Rip_numerics.Cpu_clock)"
+               name)
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+(* --- Rule: guarded-mutation ----------------------------------------------- *)
+
+(* Intraprocedural race check.  For every closure handed to
+   [Domain.spawn]/[Thread.create] (literal, named function, or partial
+   application — one resolution hop through this unit's bindings), walk
+   its body tracking the set of mutexes held along each path
+   ([Mutex.lock m; ...; Mutex.unlock m] sequences, [Mutex.protect], and
+   closures passed to [Fun.protect]).  A read or write of a mutable
+   record field or [ref] that the thread did not create locally is a
+   finding unless a lock on the same base structure is held.  [Atomic.t]
+   operations are ordinary function calls and are naturally exempt.
+
+   Approximations, by design: lock ownership is matched on the base
+   identifier of the access path (a lock on [t.mutex] sanctions accesses
+   to [t.*]); bodies of locally-defined helper closures are analysed
+   with an empty lock set (their call sites are not tracked), so a
+   helper whose callers all hold the lock needs a [@lint.allow]
+   annotation with a justification. *)
+
+let spawners = [ "Domain.spawn"; "Thread.create" ]
+
+let rec render_path e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (Path.last p)
+  | Texp_field (b, _, ld) ->
+      Option.map (fun s -> s ^ "." ^ ld.Types.lbl_name) (render_path b)
+  | _ -> None
+
+let base_of path =
+  match String.index_opt path '.' with
+  | Some i -> String.sub path 0 i
+  | None -> path
+
+let pat_names pat =
+  List.fold_left
+    (fun acc id -> S.add (Ident.name id) acc)
+    S.empty (pat_bound_idents pat)
+
+let guarded_mutation ctx str =
+  (* Unit-local value bindings, for resolving [Domain.spawn (worker st)]
+     to [worker]'s body. *)
+  let bindings : (string, expression) Hashtbl.t = Hashtbl.create 64 in
+  let record_bindings sub vb =
+    (match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> Hashtbl.replace bindings (Ident.name id) vb.vb_expr
+    | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it =
+    { Tast_iterator.default_iterator with value_binding = record_bindings }
+  in
+  it.structure it str;
+
+  let lock_op e =
+    match e.exp_desc with
+    | Texp_apply (f, [ (_, Some m) ]) -> (
+        match ident_name f with
+        | Some "Mutex.lock" ->
+            Some (`Lock, Option.value (render_path m) ~default:"?")
+        | Some "Mutex.unlock" ->
+            Some (`Unlock, Option.value (render_path m) ~default:"?")
+        | _ -> None)
+    | _ -> None
+  in
+  let report kind what loc =
+    let verb = match kind with `Read -> "read" | `Write -> "written" in
+    ctx.emit Lint_config.Guarded_mutation loc
+      (Printf.sprintf
+         "%s is %s by a spawned thread outside a lock on its structure; \
+          guard it with the owning mutex or make it Atomic.t"
+         what verb)
+  in
+  let access bound held kind base_expr what loc =
+    match render_path base_expr with
+    | Some path ->
+        let base = base_of path in
+        if not (S.mem base bound) then
+          let sanctioned =
+            S.mem "?" held || S.exists (fun k -> base_of k = base) held
+          in
+          if not sanctioned then report kind (what path) loc
+    | None -> if S.is_empty held then report kind (what "<expr>") loc
+  in
+  let rec walk bound held e =
+    match e.exp_desc with
+    | Texp_ident _ | Texp_constant _ -> ()
+    | Texp_sequence (a, b) -> (
+        match lock_op a with
+        | Some (`Lock, key) -> walk bound (S.add key held) b
+        | Some (`Unlock, key) -> walk bound (S.remove key held) b
+        | None ->
+            walk bound held a;
+            walk bound held b)
+    | Texp_let (_, vbs, body) ->
+        let bound' =
+          List.fold_left
+            (fun acc vb -> S.union acc (pat_names vb.vb_pat))
+            bound vbs
+        in
+        List.iter (fun vb -> walk bound' held vb.vb_expr) vbs;
+        walk bound' held body
+    | Texp_function { cases; _ } ->
+        (* A helper closure defined inside the thread: its call sites are
+           unknown, so analyse its body with no locks assumed held. *)
+        List.iter
+          (fun c ->
+            let bound' = S.union bound (pat_names c.c_lhs) in
+            Option.iter (walk bound' S.empty) c.c_guard;
+            walk bound' S.empty c.c_rhs)
+          cases
+    | Texp_setfield (b, _, ld, v) ->
+        access bound held `Write b
+          (fun p -> Printf.sprintf "mutable field %s.%s" p ld.Types.lbl_name)
+          e.exp_loc;
+        walk bound held b;
+        walk bound held v
+    | Texp_field (b, _, ld) ->
+        if ld.Types.lbl_mut = Asttypes.Mutable then
+          access bound held `Read b
+            (fun p -> Printf.sprintf "mutable field %s.%s" p ld.Types.lbl_name)
+            e.exp_loc;
+        walk bound held b
+    | Texp_apply (f, args) -> (
+        let walk_fun_arg_with_held a =
+          (* Closure argument whose body runs with the current locks:
+             Fun.protect's thunk/finally and Mutex.protect's body. *)
+          match a.exp_desc with
+          | Texp_function { cases; _ } ->
+              List.iter
+                (fun c ->
+                  let bound' = S.union bound (pat_names c.c_lhs) in
+                  Option.iter (walk bound' held) c.c_guard;
+                  walk bound' held c.c_rhs)
+                cases
+          | _ -> walk bound held a
+        in
+        match ident_name f with
+        | Some "Mutex.protect" -> (
+            match args with
+            | (_, Some m) :: rest ->
+                let key = Option.value (render_path m) ~default:"?" in
+                let held' = S.add key held in
+                List.iter
+                  (fun (_, arg) ->
+                    match arg with
+                    | Some a -> (
+                        match a.exp_desc with
+                        | Texp_function { cases; _ } ->
+                            List.iter
+                              (fun c ->
+                                let bound' =
+                                  S.union bound (pat_names c.c_lhs)
+                                in
+                                walk bound' held' c.c_rhs)
+                              cases
+                        | _ -> walk bound held' a)
+                    | None -> ())
+                  rest
+            | _ -> ())
+        | Some "Fun.protect" ->
+            List.iter
+              (fun (_, arg) -> Option.iter walk_fun_arg_with_held arg)
+              args
+        | Some "!" -> (
+            match args with
+            | [ (_, Some r) ] ->
+                access bound held `Read r
+                  (fun p -> Printf.sprintf "ref %s" p)
+                  e.exp_loc
+            | _ -> List.iter (fun (_, a) -> Option.iter (walk bound held) a) args)
+        | Some (":=" | "incr" | "decr") -> (
+            match args with
+            | (_, Some r) :: rest ->
+                access bound held `Write r
+                  (fun p -> Printf.sprintf "ref %s" p)
+                  e.exp_loc;
+                List.iter (fun (_, a) -> Option.iter (walk bound held) a) rest
+            | _ -> ())
+        | _ ->
+            walk bound held f;
+            List.iter (fun (_, a) -> Option.iter (walk bound held) a) args)
+    | Texp_match (scrut, cases, _) ->
+        walk bound held scrut;
+        List.iter
+          (fun c ->
+            let bound' = S.union bound (pat_names c.c_lhs) in
+            Option.iter (walk bound' held) c.c_guard;
+            walk bound' held c.c_rhs)
+          cases
+    | Texp_try (body, cases) ->
+        walk bound held body;
+        List.iter
+          (fun c ->
+            let bound' = S.union bound (pat_names c.c_lhs) in
+            Option.iter (walk bound' held) c.c_guard;
+            walk bound' held c.c_rhs)
+          cases
+    | Texp_ifthenelse (c, t, f) ->
+        walk bound held c;
+        walk bound held t;
+        Option.iter (walk bound held) f
+    | Texp_while (c, b) ->
+        walk bound held c;
+        walk bound held b
+    | Texp_for (id, _, lo, hi, _, body) ->
+        walk bound held lo;
+        walk bound held hi;
+        walk (S.add (Ident.name id) bound) held body
+    | _ ->
+        (* Generic fallback: visit children with the same lock state. *)
+        let sub =
+          {
+            Tast_iterator.default_iterator with
+            expr = (fun _ child -> walk bound held child);
+          }
+        in
+        Tast_iterator.default_iterator.expr sub e
+  in
+  (* Spawn-target function: every parameter receives a value computed by
+     the spawning thread, so parameters are shared, not thread-local. *)
+  let rec analyze_fn_body e =
+    match e.exp_desc with
+    | Texp_function { cases; _ } ->
+        List.iter
+          (fun c ->
+            Option.iter (walk S.empty S.empty) c.c_guard;
+            analyze_fn_body c.c_rhs)
+          cases
+    | _ -> walk S.empty S.empty e
+  in
+  let resolved = Hashtbl.create 8 in
+  let resolve name =
+    if not (Hashtbl.mem resolved name) then begin
+      Hashtbl.add resolved name ();
+      match Hashtbl.find_opt bindings name with
+      | Some fn -> analyze_fn_body fn
+      | None -> ()
+    end
+  in
+  let analyze_spawn_arg a =
+    match a.exp_desc with
+    | Texp_ident (p, _, _) -> resolve (Path.last p)
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+        resolve (Path.last p)
+    | Texp_function _ -> (
+        analyze_fn_body a;
+        (* One resolution hop: [fun () -> run shared] is analysed as
+           [run] itself. *)
+        let rec body e =
+          match e.exp_desc with
+          | Texp_function { cases = [ c ]; _ } -> body c.c_rhs
+          | _ -> e
+        in
+        match (body a).exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+            resolve (Path.last p)
+        | Texp_ident (p, _, _) -> resolve (Path.last p)
+        | _ -> ())
+    | _ -> analyze_fn_body a
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_apply (f, args) when
+        (match ident_name f with
+        | Some n -> List.mem n spawners
+        | None -> false) -> (
+        match
+          List.find_opt
+            (fun (lbl, arg) -> lbl = Asttypes.Nolabel && arg <> None)
+            args
+        with
+        | Some (_, Some a) -> analyze_spawn_arg a
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+(* --- Rule: float-format-precision ----------------------------------------- *)
+
+let format_type_names = [ "format"; "format4"; "format6" ]
+
+let is_format_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> List.mem (Path.last p) format_type_names
+  | _ -> false
+
+(* Scan a format-literal source slice for float conversions.  Returns
+   the offending conversion specs (anything float-typed that is not
+   exactly "%.17g"). *)
+let bad_float_conversions text =
+  let n = String.length text in
+  let bad = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '%' then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match text.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | '#' | '*' | 'l' | 'L' | 'n'
+             ->
+               true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j < n then begin
+        let spec = String.sub text !i (!j - !i + 1) in
+        (match text.[!j] with
+        | 'f' | 'F' | 'e' | 'E' | 'g' | 'G' | 'h' | 'H' ->
+            if spec <> "%.17g" then bad := spec :: !bad
+        | _ -> ());
+        i := !j + 1
+      end
+      else i := n
+    end
+    else incr i
+  done;
+  List.rev !bad
+
+let float_format_precision ctx str =
+  match ctx.source with
+  | None -> ()  (* no source text: literal conversions cannot be checked *)
+  | Some source ->
+      let seen = Hashtbl.create 16 in
+      let expr sub e =
+        (if is_format_type e.exp_type then
+           let s, fin = span_of_loc e.exp_loc in
+           if
+             (not (Hashtbl.mem seen (s, fin)))
+             && s >= 0
+             && fin <= String.length source
+             && fin > s
+             && source.[s] = '"'
+           then begin
+             Hashtbl.add seen (s, fin) ();
+             List.iter
+               (fun spec ->
+                 ctx.emit Lint_config.Float_format_precision e.exp_loc
+                   (Printf.sprintf
+                      "float conversion %S must be \"%%.17g\" so rendered \
+                       floats round-trip byte-identically"
+                      spec))
+               (bad_float_conversions (String.sub source s (fin - s)))
+           end);
+        Tast_iterator.default_iterator.expr sub e
+      in
+      let it = { Tast_iterator.default_iterator with expr } in
+      it.structure it str
+
+(* --- Dispatch ------------------------------------------------------------- *)
+
+let run rule ctx str =
+  match rule with
+  | Lint_config.No_poly_compare -> no_poly_compare ctx str
+  | Lint_config.No_hashtbl_order -> no_hashtbl_order ctx str
+  | Lint_config.No_wall_clock -> no_wall_clock ctx str
+  | Lint_config.Guarded_mutation -> guarded_mutation ctx str
+  | Lint_config.Float_format_precision -> float_format_precision ctx str

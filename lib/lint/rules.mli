@@ -1,0 +1,24 @@
+(** The five rule passes over one compilation unit's typed tree. *)
+
+type ctx = {
+  library : string;  (** dune library name the unit belongs to *)
+  modname : string;  (** compilation unit name, e.g. "Rip_net__Net" *)
+  float_types : (string, bool) Hashtbl.t;
+      (** type name -> declared representation carries a float *)
+  source : string option;  (** full source text of the unit, when found *)
+  emit : Lint_config.rule_id -> Location.t -> string -> unit;
+}
+
+val harvest_float_types :
+  (string * Typedtree.structure) list -> (string, bool) Hashtbl.t
+(** Builds the float-carrying-type table from the type declarations of
+    every unit under lint ([(modname, structure)] pairs), iterated to a
+    fixpoint so nesting is recognised. *)
+
+val run : Lint_config.rule_id -> ctx -> Typedtree.structure -> unit
+(** Runs one rule, reporting through [ctx.emit]. *)
+
+(**/**)
+
+val bad_float_conversions : string -> string list
+(* exposed for unit tests *)

@@ -10,7 +10,9 @@ let total_length net =
   Array.fold_left (fun acc s -> acc +. s.Segment.length) 0.0 net.segments
 
 let create ?(name = "net") ~segments ~zones ~driver_width ~receiver_width () =
-  if segments = [] then invalid_arg "Net.create: a net needs segments";
+  (match segments with
+  | [] -> invalid_arg "Net.create: a net needs segments"
+  | _ :: _ -> ());
   if driver_width <= 0.0 || receiver_width <= 0.0 then
     invalid_arg "Net.create: pin widths must be positive";
   let segments = Array.of_list segments in
@@ -78,7 +80,10 @@ let canonical_digest net =
     net.zones;
   Digest.to_hex (Digest.string (Buffer.contents buffer))
 
-let pp ppf net =
+(* [pp] renders a human-readable report, not wire bytes: nothing caches
+   or compares its output, so full %.17g precision would only hurt
+   readability. *)
+let[@lint.allow "float-format-precision"] pp ppf net =
   Fmt.pf ppf "@[<v>net %s: %d segments, %g um, wd=%gu, wr=%gu@,zones: %a@]"
     net.name (segment_count net) (total_length net) net.driver_width
     net.receiver_width

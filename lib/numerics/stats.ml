@@ -16,7 +16,7 @@ let stddev xs =
       sqrt (sum_sq /. float_of_int (List.length xs))
 
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  (match xs with [] -> invalid_arg "Stats.percentile: empty list" | _ -> ());
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
   let sorted = List.sort Float.compare xs in
   let arr = Array.of_list sorted in

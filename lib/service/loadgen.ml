@@ -122,7 +122,9 @@ let run ~connect ?(connections = 4) requests =
   let wall_seconds = Unix.gettimeofday () -. started in
   let completed = List.length shared.latencies in
   let percentile p =
-    if shared.latencies = [] then 0.0 else Stats.percentile p shared.latencies
+    match shared.latencies with
+    | [] -> 0.0
+    | latencies -> Stats.percentile p latencies
   in
   {
     sent = shared.sent;

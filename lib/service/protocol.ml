@@ -329,5 +329,16 @@ let response_equal a b =
   | Error_frame a, Error_frame b -> a.kind = b.kind && a.message = b.message
   | Result a, Result b ->
       a.served = b.served && solution_equal a.solution b.solution
-  | Stats_frame a, Stats_frame b -> a = b
+  | Stats_frame a, Stats_frame b ->
+      Float.equal a.uptime_seconds b.uptime_seconds
+      && a.requests = b.requests && a.solved = b.solved
+      && a.errors = b.errors
+      && a.rejected_busy = b.rejected_busy
+      && a.cache_hits = b.cache_hits
+      && a.cache_misses = b.cache_misses
+      && a.cache_evictions = b.cache_evictions
+      && a.cache_size = b.cache_size
+      && a.cache_capacity = b.cache_capacity
+      && Float.equal a.queue_wait_seconds b.queue_wait_seconds
+      && Float.equal a.solve_cpu_seconds b.solve_cpu_seconds
   | (Pong | Bye | Busy | Error_frame _ | Result _ | Stats_frame _), _ -> false

@@ -6,7 +6,9 @@ type t = {
 }
 
 let create ~name ~repeater ~layers ~power =
-  if layers = [] then invalid_arg "Process.create: no routing layers";
+  (match layers with
+  | [] -> invalid_arg "Process.create: no routing layers"
+  | _ :: _ -> ());
   { name; repeater; layers; power }
 
 let default_180nm =

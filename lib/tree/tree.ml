@@ -40,7 +40,12 @@ let normalize_zones length zones =
       if lo < 0.0 || hi > length || hi <= lo then
         invalid_arg "Tree.add_edge: zone outside the edge")
     zones;
-  List.sort compare zones
+  List.sort
+    (fun (a_lo, a_hi) (b_lo, b_hi) ->
+      match Float.compare a_lo b_lo with
+      | 0 -> Float.compare a_hi b_hi
+      | c -> c)
+    zones
 
 let add_edge b ~parent ?(zones = []) ~length ~resistance_per_um
     ~capacitance_per_um () =

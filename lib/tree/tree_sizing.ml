@@ -29,7 +29,7 @@ let make_workspace repeater tree placements =
   let order =
     Array.init (Array.length gate_point) (fun i -> i)
   in
-  Array.sort (fun a b -> compare gate_point.(a) gate_point.(b)) order;
+  Array.sort (fun a b -> Int.compare gate_point.(a) gate_point.(b)) order;
   {
     layout;
     repeater;

@@ -1,0 +1,196 @@
+(* Tests for the rip_lint pass: exact expected findings for each
+   fixture unit, the lock-region analysis, the format-string scanner,
+   and the CLI end to end.  Fixture sources live in
+   ../lint_fixtures/; their cmts are declared as dune deps. *)
+
+module Driver = Rip_lint.Driver
+module Rules = Rip_lint.Rules
+module Lint_config = Rip_lint.Lint_config
+module Finding = Rip_lint.Finding
+
+let fixture_cmt unit_ =
+  Filename.concat "../lint_fixtures/.lint_fixtures.objs/byte"
+    ("lint_fixtures__" ^ unit_ ^ ".cmt")
+
+(* Render with the path reduced to its basename so expectations do not
+   depend on where dune anchors the build context. *)
+let render (f : Finding.t) =
+  Printf.sprintf "%s:%d:%d [%s] %s"
+    (Filename.basename f.Finding.file)
+    f.Finding.line f.Finding.col f.Finding.rule f.Finding.message
+
+let run_fixture ?(rules = Lint_config.all) unit_ =
+  Driver.run ~library:"lint_fixtures" ~rules [ fixture_cmt unit_ ]
+  |> List.map render
+
+let check_findings expected unit_ () =
+  Alcotest.(check (list string)) unit_ expected (run_fixture unit_)
+
+(* --- Expected findings, one list per fixture ------------------------------- *)
+
+let poly_msg = "; use an explicit comparator built from Float.compare"
+
+let bad_poly_expected =
+  [
+    "bad_poly.ml:7:36 [no-poly-compare] polymorphic compare at a \
+     float-carrying type" ^ poly_msg;
+    "bad_poly.ml:8:37 [no-poly-compare] polymorphic = at a float-carrying \
+     type" ^ poly_msg;
+    "bad_poly.ml:9:36 [no-poly-compare] polymorphic max at a float-carrying \
+     type" ^ poly_msg;
+    "bad_poly.ml:10:28 [no-poly-compare] polymorphic List.mem at a \
+     float-carrying type" ^ poly_msg;
+    "bad_poly.ml:12:43 [no-poly-compare] polymorphic compare on float is \
+     NaN-unsafe; use Float.compare";
+  ]
+
+let hashtbl_msg =
+  " iterates in hash order; sort the result explicitly (e.g. List.sort) \
+   before it feeds a deterministic path"
+
+let bad_hashtbl_expected =
+  [
+    "bad_hashtbl.ml:5:15 [no-hashtbl-order] Hashtbl.fold" ^ hashtbl_msg;
+    "bad_hashtbl.ml:7:15 [no-hashtbl-order] Hashtbl.iter" ^ hashtbl_msg;
+  ]
+
+let clock_msg =
+  " reads a process clock; solver code must be clock-free (timing belongs \
+   to engine/service telemetry or Rip_numerics.Cpu_clock)"
+
+let bad_clock_expected =
+  [
+    "bad_clock.ml:3:15 [no-wall-clock] Unix.gettimeofday" ^ clock_msg;
+    "bad_clock.ml:4:17 [no-wall-clock] Unix.time" ^ clock_msg;
+    "bad_clock.ml:5:13 [no-wall-clock] Sys.time" ^ clock_msg;
+  ]
+
+let mutation_msg what verb =
+  Printf.sprintf
+    "%s is %s by a spawned thread outside a lock on its structure; guard it \
+     with the owning mutex or make it Atomic.t"
+    what verb
+
+(* The three [_unguarded] accesses, and nothing from the locked,
+   Mutex.protect or Atomic variants: this is the lock-region analysis's
+   expected sanction behaviour. *)
+let bad_mutation_expected =
+  [
+    "bad_mutation.ml:7:60 [guarded-mutation] "
+    ^ mutation_msg "mutable field c.count" "written";
+    "bad_mutation.ml:10:41 [guarded-mutation] "
+    ^ mutation_msg "mutable field c.count" "read";
+    "bad_mutation.ml:13:27 [guarded-mutation] "
+    ^ mutation_msg "ref flag" "written";
+  ]
+
+let format_msg spec =
+  Printf.sprintf
+    "float conversion %S must be \"%%.17g\" so rendered floats round-trip \
+     byte-identically"
+    spec
+
+let bad_format_expected =
+  [
+    "bad_format.ml:3:29 [float-format-precision] " ^ format_msg "%g";
+    "bad_format.ml:4:31 [float-format-precision] " ^ format_msg "%.6f";
+  ]
+
+let test_rule_filter () =
+  Alcotest.(check (list string))
+    "wall-clock rule alone sees nothing in bad_poly" []
+    (run_fixture ~rules:[ Lint_config.No_wall_clock ] "Bad_poly")
+
+(* --- Format-string scanner ------------------------------------------------- *)
+
+let test_scanner () =
+  let check = Alcotest.(check (list string)) in
+  check "lone %g" [ "%g" ] (Rules.bad_float_conversions "%g");
+  check "exact is fine" [] (Rules.bad_float_conversions "sum %.17g\n");
+  check "non-float specs skipped" [ "%e" ]
+    (Rules.bad_float_conversions "%d %s %e");
+  check "width and precision kept in the spec" [ "%8.3f" ]
+    (Rules.bad_float_conversions "%8.3f");
+  check "literal %% is not a conversion" []
+    (Rules.bad_float_conversions "100%% %.17g");
+  check "flags and uppercase" [ "%-12.5E" ]
+    (Rules.bad_float_conversions "load %-12.5E end");
+  check "hex floats too" [ "%h" ] (Rules.bad_float_conversions "%h");
+  check "several offenders, in order" [ "%g"; "%f" ]
+    (Rules.bad_float_conversions "%g then %f")
+
+(* --- CLI end to end -------------------------------------------------------- *)
+
+let read_process cmd =
+  let ic = Unix.open_process_in cmd in
+  let rec lines acc =
+    match In_channel.input_line ic with
+    | Some l -> lines (l :: acc)
+    | None -> List.rev acc
+  in
+  let out = lines [] in
+  (out, Unix.close_process_in ic)
+
+let exe = Filename.concat ".." (Filename.concat ".." "bin/rip_lint.exe")
+
+let test_cli_flags_violation () =
+  let out, status =
+    read_process
+      (Printf.sprintf "%s --lib lint_fixtures %s 2>/dev/null" exe
+         (fixture_cmt "Bad_poly"))
+  in
+  Alcotest.(check bool) "exit code 1" true (status = Unix.WEXITED 1);
+  match out with
+  | first :: _ ->
+      Alcotest.(check string)
+        "first finding, with location"
+        ("test/lint_fixtures/bad_poly.ml:7:36 [no-poly-compare] polymorphic \
+          compare at a float-carrying type" ^ poly_msg)
+        first
+  | [] -> Alcotest.fail "no output from rip_lint"
+
+let test_cli_clean () =
+  let out, status =
+    read_process
+      (Printf.sprintf "%s --lib lint_fixtures %s %s 2>/dev/null" exe
+         (fixture_cmt "Clean") (fixture_cmt "Suppressed"))
+  in
+  Alcotest.(check bool) "exit code 0" true (status = Unix.WEXITED 0);
+  Alcotest.(check (list string)) "no output" [] out
+
+let () =
+  Alcotest.run "rip_lint"
+    [
+      ( "lint.findings",
+        [
+          Alcotest.test_case "bad_poly: exact findings" `Quick
+            (check_findings bad_poly_expected "Bad_poly");
+          Alcotest.test_case "bad_hashtbl: exact findings" `Quick
+            (check_findings bad_hashtbl_expected "Bad_hashtbl");
+          Alcotest.test_case "bad_clock: exact findings" `Quick
+            (check_findings bad_clock_expected "Bad_clock");
+          Alcotest.test_case "bad_format: exact findings" `Quick
+            (check_findings bad_format_expected "Bad_format");
+          Alcotest.test_case "clean file: no findings" `Quick
+            (check_findings [] "Clean");
+          Alcotest.test_case "lint.allow suppresses everything" `Quick
+            (check_findings [] "Suppressed");
+          Alcotest.test_case "rule filter" `Quick test_rule_filter;
+        ] );
+      ( "lint.lock_region",
+        [
+          Alcotest.test_case
+            "unguarded accesses flagged; lock/protect/atomic sanctioned"
+            `Quick
+            (check_findings bad_mutation_expected "Bad_mutation");
+        ] );
+      ( "lint.format_scanner",
+        [ Alcotest.test_case "conversion scanner" `Quick test_scanner ] );
+      ( "lint.cli",
+        [
+          Alcotest.test_case "violation: exit 1 and located finding" `Quick
+            test_cli_flags_violation;
+          Alcotest.test_case "clean and suppressed: exit 0, silent" `Quick
+            test_cli_clean;
+        ] );
+    ]

@@ -1,0 +1,5 @@
+(* Lint fixture: wall-clock reads, banned outside engine/service. *)
+
+let stamp () = Unix.gettimeofday ()
+let seconds () = Unix.time ()
+let cpu () = Sys.time ()

@@ -1,0 +1,6 @@
+(* Lint fixture: float conversions in formats must be exactly %.17g. *)
+
+let lossy x = Printf.sprintf "%g" x
+let rounded x = Printf.sprintf "%.6f" x
+let exact x = Printf.sprintf "%.17g" x
+let integral n = Printf.sprintf "%d" n

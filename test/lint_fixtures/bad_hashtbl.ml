@@ -1,0 +1,10 @@
+(* Lint fixture: Hashtbl traversals.  [keys] and [dump] leak hash
+   iteration order; [sorted_keys] flows into an explicit sort and is
+   sanctioned. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %s\n" k v) tbl
+
+let sorted_keys tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

@@ -1,0 +1,25 @@
+(* Lint fixture: shared mutable state captured by spawned threads.  The
+   three [_unguarded] functions are violations; the locked, protected
+   and atomic variants exercise every sanction the analysis knows. *)
+
+type counter = { lock : Mutex.t; mutable count : int }
+
+let write_unguarded (c : counter) = Domain.spawn (fun () -> c.count <- 1)
+
+let read_unguarded (c : counter) =
+  Thread.create (fun () -> Stdlib.ignore c.count) ()
+
+let set_flag_unguarded (flag : bool ref) =
+  Thread.create (fun () -> flag := true) ()
+
+let write_locked (c : counter) =
+  Domain.spawn (fun () ->
+      Mutex.lock c.lock;
+      c.count <- c.count + 1;
+      Mutex.unlock c.lock)
+
+let write_protected (c : counter) =
+  Domain.spawn (fun () ->
+      Mutex.protect c.lock (fun () -> c.count <- c.count + 1))
+
+let bump_atomic (a : int Atomic.t) = Domain.spawn (fun () -> Atomic.incr a)

@@ -1,0 +1,12 @@
+(* Lint fixture: polymorphic comparisons at float-carrying types.  The
+   bare-float [<] below is idiomatic IEEE and must NOT be flagged; the
+   bare-float [compare] must (it orders NaN). *)
+
+type point = { x : float; y : float }
+
+let order (a : point) (b : point) = compare a b
+let same (a : point) (b : point) = a = b
+let upper (a : point) (b : point) = max a b
+let member (p : point) ps = List.mem p ps
+let bare_less (a : float) (b : float) = a < b
+let bare_compare (a : float) (b : float) = compare a b

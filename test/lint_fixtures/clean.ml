@@ -1,0 +1,13 @@
+(* Lint fixture: determinism-conscious code no rule should flag. *)
+
+type sample = { value : float; weight : float }
+
+let order (a : sample) (b : sample) =
+  match Float.compare a.value b.value with
+  | 0 -> Float.compare a.weight b.weight
+  | c -> c
+
+let sorted_keys tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let render (s : sample) = Printf.sprintf "%.17g %.17g" s.value s.weight

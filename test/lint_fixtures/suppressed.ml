@@ -1,0 +1,12 @@
+(* Lint fixture: the same violations as the bad_* files, silenced with
+   expression-level, binding-level and file-wide [@lint.allow]. *)
+
+[@@@lint.allow "no-hashtbl-order"]
+
+type point = { x : float; y : float }
+
+let same (a : point) (b : point) = (a = b) [@lint.allow "no-poly-compare"]
+
+let[@lint.allow "no-wall-clock"] stamp () = Unix.gettimeofday ()
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -319,6 +319,33 @@ let test_enumeration_guard () =
         (Exhaustive.min_delay geometry repeater ~library
            ~candidates:(List.init 12 (fun i -> 100.0 +. float_of_int i))))
 
+(* Regression for the frontier collection order: labels are gathered
+   from a Hashtbl, so without the canonical pre-sort the result could
+   depend on hash iteration order.  Two solves must agree bit-for-bit. *)
+let prop_power_dp_deterministic =
+  QCheck.Test.make
+    ~name:"two solves of the same net return identical solutions" ~count:40
+    small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      let budget = bare *. slack in
+      let solve () =
+        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+      in
+      let identical (a : Power_dp.result) (b : Power_dp.result) =
+        let eq = List.for_all2 Float.equal in
+        eq (Solution.positions a.solution) (Solution.positions b.solution)
+        && eq (Solution.widths a.solution) (Solution.widths b.solution)
+        && Float.equal a.delay b.delay
+        && Float.equal a.total_width b.total_width
+      in
+      match (solve (), solve ()) with
+      | None, None -> true
+      | Some a, Some b -> identical a b
+      | Some _, None | None, Some _ -> false)
+
 let suite =
   [
     ( "dp.repeater_library",
@@ -353,6 +380,7 @@ let suite =
         qcheck prop_power_dp_optimal;
         qcheck prop_power_dp_valid;
         qcheck prop_power_dp_monotone_in_budget;
+        qcheck prop_power_dp_deterministic;
       ] );
     ( "dp.min_delay",
       [
