@@ -2,13 +2,15 @@
 
      rip_loadgen --socket /tmp/rip.sock --requests 400 --connections 4
      rip_loadgen --port 7177 --passes 2 --distinct-nets 6
+     rip_loadgen --deadline-ms 50 --retries 3 --attempt-timeout-ms 500
 
    Replays a deterministic Netgen workload (a few distinct nets repeated
    many times, as a router re-querying global nets would) against a
-   running daemon and reports throughput, latency percentiles and the
-   server's STATS counter deltas next to its own counts.  With
-   --passes 2 the second pass replays the identical workload against the
-   now-warm cache — the cold-vs-warm throughput comparison. *)
+   running daemon and reports throughput, latency percentiles, retry and
+   degradation counts, and the server's STATS counter deltas next to its
+   own counts.  With --passes 2 the second pass replays the identical
+   workload against the now-warm cache — the cold-vs-warm throughput
+   comparison. *)
 
 module Protocol = Rip_service.Protocol
 module Client = Rip_service.Client
@@ -28,14 +30,21 @@ let fetch_stats connect =
   | Error e -> Error e
   | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
 
-let print_consistency ~before ~after totals =
-  let ( sent,
-        solved_fresh,
-        solved_cached,
-        errors,
-        busy ) =
-    totals
-  in
+type totals = {
+  sent : int;
+  fresh : int;
+  cached : int;
+  degraded : int;
+  timeouts : int;
+  errors : int;
+  busy : int;
+  transport : int;
+  retried_transport : int;
+  retried_busy : int;
+  retried_timeout : int;
+}
+
+let print_consistency ~before ~after (t : totals) =
   let delta field = field after - field before in
   let requests_delta = delta (fun s -> s.Protocol.requests) in
   let hits_delta = delta (fun s -> s.Protocol.cache_hits) in
@@ -43,94 +52,153 @@ let print_consistency ~before ~after totals =
   let errors_delta = delta (fun s -> s.Protocol.errors) in
   let busy_delta = delta (fun s -> s.Protocol.rejected_busy) in
   let solved_delta = delta (fun s -> s.Protocol.solved) in
+  let timeouts_delta = delta (fun s -> s.Protocol.timeouts) in
+  let degraded_delta = delta (fun s -> s.Protocol.degraded) in
   Printf.printf
     "server STATS deltas: requests %d, solved %d, hits %d, misses %d, \
-     errors %d, busy %d, evictions %d\n"
+     errors %d, busy %d, timeouts %d, degraded %d, evictions %d, \
+     self-heals %d\n"
     requests_delta solved_delta hits_delta misses_delta errors_delta
-    busy_delta
-    (delta (fun s -> s.Protocol.cache_evictions));
+    busy_delta timeouts_delta degraded_delta
+    (delta (fun s -> s.Protocol.cache_evictions))
+    (delta (fun s -> s.Protocol.cache_self_heals));
   Printf.printf
-    "loadgen counts     : requests %d, solved %d, hits %d, errors %d, busy %d\n"
-    sent
-    (solved_fresh + solved_cached)
-    solved_cached errors busy;
-  (* Misses include solves that later errored or were rejected before
-     caching; the airtight identities are the ones below. *)
-  let consistent =
-    requests_delta = sent
-    && solved_delta = solved_fresh + solved_cached
-    && hits_delta = solved_cached
-    && errors_delta = errors
-    && busy_delta = busy
-    && misses_delta = sent - solved_cached
-  in
-  Printf.printf "counters consistent: %s\n"
-    (if consistent then "yes"
-     else "NO (another client talking to the same daemon?)");
-  consistent
+    "loadgen counts     : requests %d, solved %d, hits %d, degraded %d, \
+     timeouts %d, errors %d, busy %d (retries: busy %d, timeout %d, \
+     transport %d)\n"
+    t.sent (t.fresh + t.cached) t.cached t.degraded t.timeouts t.errors
+    t.busy t.retried_busy t.retried_timeout t.retried_transport;
+  (* Every retried BUSY/TIMEOUT attempt also reached the server, so its
+     counters see [sent] plus those retries.  A transport retry may or
+     may not have reached the server (the failure can hit before or
+     after processing), so the airtight identities below are only
+     checkable when no transport trouble occurred. *)
+  if t.retried_transport > 0 || t.transport > 0 then begin
+    Printf.printf
+      "counters consistent: skipped (transport retries/failures make \
+       server-side attempt counts ambiguous)\n";
+    true
+  end
+  else begin
+    let attempts = t.sent + t.retried_busy + t.retried_timeout in
+    let consistent =
+      requests_delta = attempts
+      && solved_delta = t.fresh + t.cached
+      && hits_delta = t.cached
+      && errors_delta = t.errors
+      && busy_delta = t.busy + t.retried_busy
+      && timeouts_delta = t.timeouts + t.retried_timeout
+      && degraded_delta = t.degraded
+      && misses_delta = requests_delta - hits_delta
+    in
+    Printf.printf "counters consistent: %s\n"
+      (if consistent then "yes"
+       else "NO (another client talking to the same daemon?)");
+    consistent
+  end
 
 let run_load socket_path port host requests connections distinct_nets seed
-    slack passes =
+    slack passes deadline_ms retries attempt_timeout_ms backoff_ms =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let connect () =
-    match port with
-    | Some port -> Client.connect_tcp ~host ~port
-    | None -> Client.connect_unix socket_path
-  in
-  let workload =
-    Loadgen.workload ~seed:(Int64.of_int seed) ~distinct_nets ~slack
-      ~requests process
-  in
-  match fetch_stats connect with
-  | Error e ->
-      Printf.eprintf "rip_loadgen: cannot reach the daemon: %s\n" e;
-      1
-  | Ok before ->
-      let results =
-        List.init passes (fun pass ->
-            let label =
-              if passes = 1 then "pass"
-              else if pass = 0 then "pass 1 (cold)"
-              else Printf.sprintf "pass %d (warm)" (pass + 1)
-            in
-            let result = Loadgen.run ~connect ~connections workload in
-            Printf.printf "--- %s ---\n%s" label (Loadgen.render result);
-            result)
-      in
-      (match results with
-      | cold :: (_ :: _ as rest) ->
-          let warm = List.nth rest (List.length rest - 1) in
-          Printf.printf
-            "cold -> warm throughput: %.1f -> %.1f req/s (%.1fx)\n"
-            cold.Loadgen.throughput warm.Loadgen.throughput
-            (if cold.Loadgen.throughput > 0.0 then
-               warm.Loadgen.throughput /. cold.Loadgen.throughput
-             else 0.0)
-      | _ -> ());
-      let totals =
-        List.fold_left
-          (fun (sent, fresh, cached, errors, busy) (r : Loadgen.result) ->
-            ( sent + r.sent,
-              fresh + r.solved_fresh,
-              cached + r.solved_cached,
-              errors + r.errors,
-              busy + r.busy ))
-          (0, 0, 0, 0, 0) results
-      in
-      let failures =
-        List.exists
-          (fun (r : Loadgen.result) ->
-            r.transport_failures > 0 || r.errors > 0)
-          results
-      in
-      let consistent =
-        match fetch_stats connect with
-        | Error e ->
-            Printf.eprintf "rip_loadgen: cannot fetch closing STATS: %s\n" e;
-            false
-        | Ok after -> print_consistency ~before ~after totals
-      in
-      if failures || not consistent then 1 else 0
+  if retries < 1 then begin
+    prerr_endline "rip_loadgen: --retries must be at least 1";
+    2
+  end
+  else begin
+    let connect () =
+      match port with
+      | Some port -> Client.connect_tcp ~host ~port ()
+      | None -> Client.connect_unix socket_path
+    in
+    let policy =
+      {
+        Client.default_retry_policy with
+        attempts = retries;
+        backoff_seconds = backoff_ms /. 1000.0;
+        attempt_timeout =
+          Option.map (fun ms -> ms /. 1000.0) attempt_timeout_ms;
+      }
+    in
+    let workload =
+      Loadgen.workload ~seed:(Int64.of_int seed) ~distinct_nets ~slack
+        ?deadline_ms ~requests process
+    in
+    match fetch_stats connect with
+    | Error e ->
+        Printf.eprintf "rip_loadgen: cannot reach the daemon: %s\n" e;
+        1
+    | Ok before ->
+        let results =
+          List.init passes (fun pass ->
+              let label =
+                if passes = 1 then "pass"
+                else if pass = 0 then "pass 1 (cold)"
+                else Printf.sprintf "pass %d (warm)" (pass + 1)
+              in
+              let result =
+                Loadgen.run ~connect ~connections ~policy
+                  ~seed:(Int64.of_int (seed + pass))
+                  workload
+              in
+              Printf.printf "--- %s ---\n%s" label (Loadgen.render result);
+              result)
+        in
+        (match results with
+        | cold :: (_ :: _ as rest) ->
+            let warm = List.nth rest (List.length rest - 1) in
+            Printf.printf
+              "cold -> warm throughput: %.1f -> %.1f req/s (%.1fx)\n"
+              cold.Loadgen.throughput warm.Loadgen.throughput
+              (if cold.Loadgen.throughput > 0.0 then
+                 warm.Loadgen.throughput /. cold.Loadgen.throughput
+               else 0.0)
+        | _ -> ());
+        let totals =
+          List.fold_left
+            (fun t (r : Loadgen.result) ->
+              {
+                sent = t.sent + r.sent;
+                fresh = t.fresh + r.solved_fresh;
+                cached = t.cached + r.solved_cached;
+                degraded = t.degraded + r.degraded;
+                timeouts = t.timeouts + r.timeouts;
+                errors = t.errors + r.errors;
+                busy = t.busy + r.busy;
+                transport = t.transport + r.transport_failures;
+                retried_transport = t.retried_transport + r.retried_transport;
+                retried_busy = t.retried_busy + r.retried_busy;
+                retried_timeout = t.retried_timeout + r.retried_timeout;
+              })
+            {
+              sent = 0;
+              fresh = 0;
+              cached = 0;
+              degraded = 0;
+              timeouts = 0;
+              errors = 0;
+              busy = 0;
+              transport = 0;
+              retried_transport = 0;
+              retried_busy = 0;
+              retried_timeout = 0;
+            }
+            results
+        in
+        let failures =
+          List.exists
+            (fun (r : Loadgen.result) ->
+              r.transport_failures > 0 || r.errors > 0)
+            results
+        in
+        let consistent =
+          match fetch_stats connect with
+          | Error e ->
+              Printf.eprintf "rip_loadgen: cannot fetch closing STATS: %s\n" e;
+              false
+          | Ok after -> print_consistency ~before ~after totals
+        in
+        if failures || not consistent then 1 else 0
+  end
 
 open Cmdliner
 
@@ -173,7 +241,8 @@ let distinct_nets =
 let seed =
   Arg.(
     value & opt int 20050307
-    & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Workload generator and retry-jitter seed.")
 
 let slack =
   Arg.(
@@ -188,12 +257,43 @@ let passes =
         ~doc:"Replays of the identical workload; 2 gives a cold-vs-warm \
               cache comparison.")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Stamp every SOLVE with a DEADLINE header: past it the server \
+              answers TIMEOUT or degrades to its analytic fallback tier.")
+
+let retries =
+  Arg.(
+    value & opt int Client.default_retry_policy.attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Total attempts per request (>= 1); only transport failures, \
+              BUSY and TIMEOUT are retried.")
+
+let attempt_timeout_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "attempt-timeout-ms" ] ~docv:"MS"
+        ~doc:"Per-attempt socket timeout; a stalled attempt counts as a \
+              transport failure and is retried on a fresh connection.")
+
+let backoff_ms =
+  Arg.(
+    value
+    & opt float (Client.default_retry_policy.backoff_seconds *. 1000.0)
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:"Base of the full-jitter exponential backoff between retries.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_loadgen" ~version:"1.0.0"
        ~doc:"Closed-loop load generator and latency reporter for rip_serviced")
     Term.(
       const run_load $ socket_path $ port $ host $ requests $ connections
-      $ distinct_nets $ seed $ slack $ passes)
+      $ distinct_nets $ seed $ slack $ passes $ deadline_ms $ retries
+      $ attempt_timeout_ms $ backoff_ms)
 
 let () = exit (Cmd.eval' main)

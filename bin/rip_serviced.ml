@@ -2,53 +2,86 @@
 
      rip_serviced --socket /tmp/rip.sock --jobs 4
      rip_serviced --port 7177 --cache-capacity 1024
+     rip_serviced --faults 'seed=7,delay:p=0.3:ms=20,kill:p=0.1'   # chaos
 
    Speaks the Rip_service.Protocol line protocol (SOLVE/STATS/PING/
    SHUTDOWN) over a Unix-domain or TCP socket; see the README's "Running
    the service" section for the grammar and a socat session.  Runs until
-   a SHUTDOWN frame or SIGINT/SIGTERM. *)
+   a SHUTDOWN frame or SIGINT/SIGTERM.
+
+   Fault injection (--faults, or the RIP_FAULTS environment variable;
+   the flag wins) is for chaos testing only and is off by default. *)
 
 module Server = Rip_service.Server
+module Faults = Rip_service.Faults
 
 let process = Rip_tech.Process.default_180nm
 
-let serve socket_path port host jobs cache_capacity queue_depth =
+let resolve_faults = function
+  | Some spec -> Result.map Option.some (Faults.parse_spec spec)
+  | None -> Faults.of_env ()
+
+let serve socket_path port host jobs cache_capacity queue_depth high_water
+    max_frame_bytes faults_spec =
   if queue_depth < 1 then begin
     prerr_endline "rip_serviced: --queue-depth must be at least 1";
+    2
+  end
+  else if high_water < 1 || high_water > queue_depth then begin
+    prerr_endline
+      "rip_serviced: --high-water must be between 1 and --queue-depth";
     2
   end
   else if cache_capacity < 0 then begin
     prerr_endline "rip_serviced: --cache-capacity must not be negative";
     2
   end
+  else if max_frame_bytes < 1 then begin
+    prerr_endline "rip_serviced: --max-frame-bytes must be positive";
+    2
+  end
   else begin
-    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let config =
-      { Server.default_config with jobs; queue_depth; cache_capacity }
-    in
-    let server = Server.create ~config process in
-    let stop _ = Server.request_shutdown server in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    let listen_fd, endpoint =
-      match port with
-      | Some port ->
-          (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port)
-      | None -> (Server.listen_unix socket_path, socket_path)
-    in
-    Printf.printf
-      "rip_serviced: listening on %s (jobs %s, cache %d entries, queue \
-       depth %d)\n\
-       %!"
-      endpoint
-      (match jobs with Some j -> string_of_int j | None -> "auto")
-      cache_capacity queue_depth;
-    Server.run server listen_fd;
-    (* Leave no stale socket file behind on a clean shutdown. *)
-    (if port = None && Sys.file_exists socket_path then
-       try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-    Printf.printf "rip_serviced: shut down\n%!";
-    0
+    match resolve_faults faults_spec with
+    | Error e ->
+        Printf.eprintf "rip_serviced: %s\n" e;
+        2
+    | Ok faults ->
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let config =
+          {
+            Server.default_config with
+            jobs;
+            queue_depth;
+            high_water;
+            cache_capacity;
+            max_frame_bytes;
+            faults;
+          }
+        in
+        let server = Server.create ~config process in
+        let stop _ = Server.request_shutdown server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        let listen_fd, endpoint =
+          match port with
+          | Some port ->
+              (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port)
+          | None -> (Server.listen_unix socket_path, socket_path)
+        in
+        Printf.printf
+          "rip_serviced: listening on %s (jobs %s, cache %d entries, queue \
+           depth %d, high water %d%s)\n\
+           %!"
+          endpoint
+          (match jobs with Some j -> string_of_int j | None -> "auto")
+          cache_capacity queue_depth high_water
+          (if Option.is_some faults then ", FAULT INJECTION ON" else "");
+        Server.run server listen_fd;
+        (* Leave no stale socket file behind on a clean shutdown. *)
+        (if port = None && Sys.file_exists socket_path then
+           try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+        Printf.printf "rip_serviced: shut down\n%!";
+        0
   end
 
 open Cmdliner
@@ -93,13 +126,38 @@ let queue_depth =
         ~doc:"Maximum in-flight solves before new requests are rejected \
               with BUSY.")
 
+let high_water =
+  Arg.(
+    value & opt int Rip_service.Server.default_config.high_water
+    & info [ "high-water" ] ~docv:"N"
+        ~doc:"In-flight solves beyond which new requests are answered from \
+              the analytic fallback tier (DEGRADED overload) instead of \
+              queueing a full solve.  Must not exceed --queue-depth.")
+
+let max_frame_bytes =
+  Arg.(
+    value & opt int Rip_service.Server.default_config.max_frame_bytes
+    & info [ "max-frame-bytes" ] ~docv:"BYTES"
+        ~doc:"Request frames larger than this are rejected with TOOBIG and \
+              the connection closed.")
+
+let faults_spec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Deterministic fault injection for chaos testing, e.g. \
+              'seed=7,delay:p=0.5:ms=20,kill:p=0.1,drop:p=0.2:bytes=64,\
+              corrupt:p=1'.  Also read from \\$RIP_FAULTS; this flag wins. \
+              Off by default.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_serviced" ~version:"1.0.0"
        ~doc:"Persistent repeater-insertion solve service with a canonical-form \
-             result cache")
+             result cache, deadlines and graceful degradation")
     Term.(
       const serve $ socket_path $ port $ host $ jobs $ cache_capacity
-      $ queue_depth)
+      $ queue_depth $ high_water $ max_frame_bytes $ faults_spec)
 
 let () = exit (Cmd.eval' main)

@@ -111,7 +111,8 @@ type problem = {
 
 let problem ?geometry process net ~budget = { process; net; geometry; budget }
 
-let solve_prepared ?(config = Config.default) process geometry ~budget =
+let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
+    geometry ~budget =
   let started = Rip_numerics.Cpu_clock.thread_seconds () in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
@@ -125,14 +126,14 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
      the fine-pitch final DP can still land under the budget. *)
   let coarse, used_fallback_library =
     match
-      Power_dp.solve ~frontier_cap geometry repeater
+      Power_dp.solve ~frontier_cap ~cancel geometry repeater
         ~library:config.Config.coarse_library ~candidates:coarse_candidates
         ~budget
     with
     | Some r -> (Some r, false)
     | None -> (
         match
-          Power_dp.solve ~frontier_cap geometry repeater
+          Power_dp.solve ~frontier_cap ~cancel geometry repeater
             ~library:config.Config.fallback_library
             ~candidates:coarse_candidates ~budget
         with
@@ -163,8 +164,8 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
          seeds REFINE with the previous round's discrete solution. *)
       let run_round seed =
         match
-          Refine.run ~config:config.Config.refine geometry repeater ~budget
-            ~initial:seed
+          Refine.run ~config:config.Config.refine ~cancel geometry repeater
+            ~budget ~initial:seed
         with
         | None -> (None, None, [], None)
         | Some outcome ->
@@ -182,8 +183,8 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
                         { Power_dp.sites = 2; transitions = 0; labels = 0 };
                     }
               | Some library ->
-                  Power_dp.solve ~frontier_cap geometry repeater ~library
-                    ~candidates ~budget
+                  Power_dp.solve ~frontier_cap ~cancel geometry repeater
+                    ~library ~candidates ~budget
             in
             (Some outcome, library, candidates, final)
       in
@@ -250,8 +251,8 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
                   ~min_width:config.Config.min_width
                   ~max_width:config.Config.max_width widths
           in
-          Power_dp.solve ~frontier_cap geometry repeater ~library ~candidates
-            ~budget
+          Power_dp.solve ~frontier_cap ~cancel geometry repeater ~library
+            ~candidates ~budget
       in
       let trace =
         { coarse = Some coarse_result; used_fallback_library; refined;
@@ -296,11 +297,11 @@ let solve_prepared ?(config = Config.default) process geometry ~budget =
       | Some best ->
           Ok (make_report process geometry ~runtime_seconds ~trace best))
 
-let solve ?config { process; net; geometry; budget } =
+let solve ?config ?cancel { process; net; geometry; budget } =
   match Validate.check_problem ?geometry net ~budget with
   | _ :: _ as violations -> Error (Invalid_net violations)
   | [] ->
       let geometry =
         match geometry with Some g -> g | None -> Geometry.of_net net
       in
-      solve_prepared ?config process geometry ~budget
+      solve_prepared ?config ?cancel process geometry ~budget

@@ -81,9 +81,18 @@ val problem :
   budget:float -> problem
 (** Convenience constructor for {!type-problem}. *)
 
-val solve : ?config:Config.t -> problem -> (report, error) result
+val solve :
+  ?config:Config.t -> ?cancel:(unit -> unit) -> problem ->
+  (report, error) result
 (** Solve Problem LPRI.  The only entry point: batch callers build one
-    {!Rip_net.Geometry.t} per net and stamp out problems per budget. *)
+    {!Rip_net.Geometry.t} per net and stamp out problems per budget.
+
+    [cancel] is a cooperative-cancellation poll threaded through every DP
+    pass (candidate-column granularity) and REFINE run (iteration
+    granularity).  Returning unit leaves the solve bit-identical to one
+    without the hook; raising aborts the pipeline with that exception —
+    {!Rip_engine.Cancel.hook} raises [Cancelled], which the solve service
+    maps to its deadline/degradation ladder. *)
 
 val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
 (** The timing-target anchor, "the minimum delay of the net": the better

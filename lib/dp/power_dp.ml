@@ -68,7 +68,8 @@ let freeze_frontier labels =
     arr;
   Array.of_list (List.rev !kept)
 
-let solve ?frontier_cap geometry repeater ~library ~candidates ~budget =
+let solve ?frontier_cap ?(cancel = ignore) geometry repeater ~library
+    ~candidates ~budget =
   (match frontier_cap with
   | Some cap when cap < 2 ->
       invalid_arg "Power_dp.solve: frontier_cap must be at least 2"
@@ -100,6 +101,9 @@ let solve ?frontier_cap geometry repeater ~library ~candidates ~budget =
   let labels = ref 0 in
   let collected : (int, label) Hashtbl.t = Hashtbl.create 256 in
   for site = 1 to last do
+    (* Candidate-column cancellation poll: a fired token stops the solve
+       before the next column's transition scan. *)
+    cancel ();
     let site_widths = widths_at site in
     let added_units =
       if Chain.is_interior chain site then

@@ -25,6 +25,7 @@ type result = {
 
 val solve :
   ?frontier_cap:int ->
+  ?cancel:(unit -> unit) ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   library:Repeater_library.t -> candidates:float list -> budget:float ->
   result option
@@ -39,4 +40,11 @@ val solve :
     — and with it the run time — can explode.  With it the DP is an
     anytime approximation that still never returns a budget-violating
     solution.  Must be at least 2.
+
+    [cancel] is a cooperative-cancellation poll called once per candidate
+    column (before its transition scan).  It must either return unit —
+    in which case the solve is bit-identical to one without the hook — or
+    raise, which aborts the DP with that exception
+    ({!Rip_engine.Cancel.hook} raises [Cancelled]).  Default: never
+    raises.
     @raise Invalid_argument when [frontier_cap < 2]. *)

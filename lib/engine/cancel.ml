@@ -1,0 +1,20 @@
+(* Cooperative cancellation tokens.
+
+   The solver pipeline stays dependency-free: Power_dp/Refine/Rip take a
+   plain [?cancel:(unit -> unit)] poll hook and never name this module.
+   The hook built by {!hook} raises {!Cancelled} once the token fires;
+   the exception unwinds the solve through the polling points (DP
+   candidate columns, REFINE iterations) and is caught by whoever armed
+   the token — typically the service's deadline watchdog path. *)
+
+exception Cancelled
+
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+let hook t () = if Atomic.get t then raise Cancelled
+
+let protect f = match f () with v -> Some v | exception Cancelled -> None

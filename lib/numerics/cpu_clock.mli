@@ -17,3 +17,13 @@ val thread_seconds : unit -> float
 (** Seconds of CPU consumed by the calling thread.  Arbitrary origin:
     only differences between two reads on the {e same} thread are
     meaningful. *)
+
+val monotonic_available : bool
+(** Whether POSIX [CLOCK_MONOTONIC] is usable on this platform.  When
+    [false], {!monotonic_seconds} falls back to the wall clock. *)
+
+val monotonic_seconds : unit -> float
+(** Seconds on a monotonic clock that keeps ticking while the caller
+    sleeps — the timebase for request deadlines and watchdogs, immune to
+    wall-clock steps.  Arbitrary origin: only differences between two
+    reads are meaningful (any thread). *)

@@ -96,7 +96,8 @@ type state = {
   mutable best : Width_solver.result;
 }
 
-let run ?(config = default_config) geometry repeater ~budget ~initial =
+let run ?(config = default_config) ?(cancel = ignore) geometry repeater
+    ~budget ~initial =
   let net = Geometry.net geometry in
   let length = Geometry.total_length geometry in
   let positions = Array.of_list (Solution.positions initial) in
@@ -117,6 +118,8 @@ let run ?(config = default_config) geometry repeater ~budget ~initial =
       let finished = ref (Array.length positions = 0) in
       let converged = ref !finished in
       while not !finished do
+        (* Iteration-granularity cancellation poll. *)
+        cancel ();
         if st.iterations >= config.max_iterations then finished := true
         else begin
           st.iterations <- st.iterations + 1;

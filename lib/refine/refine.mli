@@ -48,8 +48,13 @@ type outcome = {
 }
 
 val run :
-  ?config:config -> Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  ?config:config -> ?cancel:(unit -> unit) ->
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   budget:float -> initial:Rip_elmore.Solution.t -> outcome option
 (** [None] when even the fastest continuous sizing at the initial locations
     misses the budget.  The initial solution's widths are ignored (Line 1
-    recomputes them); its locations seed the iteration. *)
+    recomputes them); its locations seed the iteration.
+
+    [cancel] is polled once per iteration of the move loop; returning
+    unit leaves the run bit-identical to one without the hook, raising
+    aborts it with that exception (see {!Rip_engine.Cancel}). *)

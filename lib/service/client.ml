@@ -1,23 +1,30 @@
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
   reader : Protocol.reader;
   mutable closed : bool;
 }
 
-let of_fd fd =
-  let ic = Unix.in_channel_of_descr fd in
-  { fd; ic; reader = Protocol.reader_of_channel ic; closed = false }
+(* A per-attempt timeout is enforced by the kernel through the socket's
+   receive/send timeouts: a stalled server surfaces as [EAGAIN] from
+   [read]/[write], which [request] reports as a transport [Error] — the
+   retry layer's signal to reconnect. *)
+let set_timeout fd seconds =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
 
-let connect_unix path =
+let of_fd ?timeout fd =
+  Option.iter (set_timeout fd) timeout;
+  { fd; reader = Wire.reader (Wire.create fd); closed = false }
+
+let connect_unix ?timeout path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with exn ->
      Unix.close fd;
      raise exn);
-  of_fd fd
+  of_fd ?timeout fd
 
-let connect_tcp ~host ~port =
+let connect_tcp ?timeout ~host ~port () =
   let address =
     try Unix.inet_addr_of_string host
     with Failure _ -> (
@@ -33,20 +40,13 @@ let connect_tcp ~host ~port =
    with exn ->
      Unix.close fd;
      raise exn);
-  of_fd fd
-
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let written = Unix.write_substring fd s off len in
-    write_all fd s (off + written) (len - written)
-  end
+  of_fd ?timeout fd
 
 let request t frame =
   if t.closed then Error "client is closed"
   else
     match
-      let s = Protocol.print_request frame in
-      write_all t.fd s 0 (String.length s);
+      Wire.send t.fd (Protocol.print_request frame);
       Protocol.input_response t.reader
     with
     | Ok (Some response) -> Ok response
@@ -55,10 +55,119 @@ let request t frame =
     | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
     | exception (Sys_error message | Failure message) -> Error message
     | exception End_of_file -> Error "connection closed by server"
+    | exception Wire.Frame_too_big -> Error "oversized response frame"
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (* Closes the shared fd exactly once; writes go through the raw fd. *)
-    close_in_noerr t.ic
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* --- Retrying sessions ----------------------------------------------------
+
+   Retries are restricted to outcomes that are safe to repeat: transport
+   failures (connect refused, reset, per-attempt timeout — a SOLVE is a
+   pure computation, so re-sending cannot double-apply anything) and the
+   server's explicit backpressure answers BUSY and TIMEOUT.  Any other
+   typed response is final.  Backoff is full-jitter exponential from a
+   deterministic SplitMix64 stream, so a load test replays exactly given
+   the same seed while a thundering herd still spreads out. *)
+
+type retry_policy = {
+  attempts : int;
+  backoff_seconds : float;
+  backoff_cap_seconds : float;
+  attempt_timeout : float option;
+}
+
+let default_retry_policy =
+  {
+    attempts = 3;
+    backoff_seconds = 0.010;
+    backoff_cap_seconds = 0.250;
+    attempt_timeout = None;
+  }
+
+type session = {
+  policy : retry_policy;
+  connect : unit -> t;
+  rng : Rip_numerics.Prng.t;
+  mutable conn : t option;
+}
+
+let session ?(policy = default_retry_policy) ~seed connect =
+  if policy.attempts < 1 then
+    invalid_arg "Client.session: attempts must be at least 1";
+  { policy; connect; rng = Rip_numerics.Prng.create seed; conn = None }
+
+let close_session s =
+  Option.iter close s.conn;
+  s.conn <- None
+
+type outcome = {
+  response : (Protocol.response, string) result;
+  attempts : int;
+  retried_transport : int;
+  retried_busy : int;
+  retried_timeout : int;
+}
+
+(* Full jitter: uniform in [0, min(cap, base * 2^k)). *)
+let backoff_delay s ~retry_index =
+  let base =
+    s.policy.backoff_seconds *. Float.pow 2.0 (float_of_int retry_index)
+  in
+  let cap = Float.min base s.policy.backoff_cap_seconds in
+  if cap <= 0.0 then 0.0 else Rip_numerics.Prng.float_range s.rng 0.0 cap
+
+type retry_class = Transport | Busy_response | Timeout_response
+
+let classify = function
+  | Error _ -> Some Transport
+  | Ok Protocol.Busy -> Some Busy_response
+  | Ok Protocol.Timeout -> Some Timeout_response
+  | Ok _ -> None
+
+let attempt_once s frame =
+  match s.conn with
+  | Some conn -> request conn frame
+  | None -> (
+      match s.connect () with
+      | conn ->
+          Option.iter (set_timeout conn.fd) s.policy.attempt_timeout;
+          s.conn <- Some conn;
+          request conn frame
+      | exception Unix.Unix_error (code, _, _) ->
+          Error (Unix.error_message code)
+      | exception (Sys_error message | Failure message) -> Error message)
+
+let request_with_retry s frame =
+  let retried_transport = ref 0 in
+  let retried_busy = ref 0 in
+  let retried_timeout = ref 0 in
+  let rec go attempt =
+    let response = attempt_once s frame in
+    (* A transport failure poisons the connection (framing may be mid-
+       frame); drop it so the next attempt reconnects. *)
+    (match response with
+    | Error _ -> close_session s
+    | Ok _ -> ());
+    match classify response with
+    | Some cls when attempt < s.policy.attempts ->
+        (match cls with
+        | Transport -> incr retried_transport
+        | Busy_response -> incr retried_busy
+        | Timeout_response -> incr retried_timeout);
+        let delay = backoff_delay s ~retry_index:(attempt - 1) in
+        if delay > 0.0 then Thread.delay delay;
+        go (attempt + 1)
+    | _ ->
+        {
+          response;
+          attempts = attempt;
+          retried_transport = !retried_transport;
+          retried_busy = !retried_busy;
+          retried_timeout = !retried_timeout;
+        }
+  in
+  go 1

@@ -1,0 +1,173 @@
+(* Deterministic fault-injection plane for the solve service.
+
+   Everything is off by default ({!disabled}); when enabled, every draw
+   comes from SplitMix64 streams derived from one seed, one independent
+   stream per fault site, so a chaos run replays byte-for-byte from
+   [--faults seed=N,...].  Draws are serialised by a mutex because the
+   server consults the plan from worker and connection threads. *)
+
+exception Worker_killed
+
+type spec = {
+  seed : int64;
+  delay_p : float;
+  delay_seconds : float;
+  kill_p : float;
+  drop_p : float;
+  drop_bytes : int;
+  corrupt_p : float;
+}
+
+let disabled_spec =
+  {
+    seed = 1L;
+    delay_p = 0.0;
+    delay_seconds = 0.0;
+    kill_p = 0.0;
+    drop_p = 0.0;
+    drop_bytes = 0;
+    corrupt_p = 0.0;
+  }
+
+type t = {
+  spec : spec;
+  mutex : Mutex.t;
+  delay_rng : Rip_numerics.Prng.t;
+  kill_rng : Rip_numerics.Prng.t;
+  drop_rng : Rip_numerics.Prng.t;
+  corrupt_rng : Rip_numerics.Prng.t;
+}
+
+let check_p name p =
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Faults: %s must be in [0, 1]" name)
+
+let create spec =
+  check_p "delay probability" spec.delay_p;
+  check_p "kill probability" spec.kill_p;
+  check_p "drop probability" spec.drop_p;
+  check_p "corrupt probability" spec.corrupt_p;
+  if spec.delay_seconds < 0.0 then
+    invalid_arg "Faults: delay must be non-negative";
+  if spec.drop_bytes < 0 then
+    invalid_arg "Faults: drop byte count must be non-negative";
+  let root = Rip_numerics.Prng.create spec.seed in
+  {
+    spec;
+    mutex = Mutex.create ();
+    delay_rng = Rip_numerics.Prng.derive root 1L;
+    kill_rng = Rip_numerics.Prng.derive root 2L;
+    drop_rng = Rip_numerics.Prng.derive root 3L;
+    corrupt_rng = Rip_numerics.Prng.derive root 4L;
+  }
+
+let disabled () = create disabled_spec
+
+let spec t = t.spec
+
+let draw t rng p =
+  if p <= 0.0 then false
+  else begin
+    Mutex.lock t.mutex;
+    let x = Rip_numerics.Prng.float_range rng 0.0 1.0 in
+    Mutex.unlock t.mutex;
+    x < p
+  end
+
+let solve_delay t =
+  if draw t t.delay_rng t.spec.delay_p then Some t.spec.delay_seconds
+  else None
+
+let kill_worker t = draw t t.kill_rng t.spec.kill_p
+
+let drop_after t =
+  if draw t t.drop_rng t.spec.drop_p then Some t.spec.drop_bytes else None
+
+let corrupt_cache t = draw t t.corrupt_rng t.spec.corrupt_p
+
+(* Spec syntax: comma-separated clauses, each [name:key=value:...], e.g.
+   "seed=7,delay:p=0.5:ms=20,kill:p=0.1,drop:p=0.2:bytes=64,corrupt:p=1". *)
+
+let parse_error fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v -> Ok v
+  | _ -> parse_error "faults: bad %s %S" what s
+
+let parse_clause spec clause =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' clause with
+  | [] | [ "" ] -> Ok spec
+  | head :: params -> (
+      let assoc =
+        List.map
+          (fun p ->
+            match String.index_opt p '=' with
+            | Some i ->
+                ( String.sub p 0 i,
+                  String.sub p (i + 1) (String.length p - i - 1) )
+            | None -> (p, ""))
+          params
+      in
+      let prob () =
+        match List.assoc_opt "p" assoc with
+        | None -> Ok 1.0
+        | Some s -> parse_float "probability" s
+      in
+      match head with
+      | _ when String.length head > 5 && String.sub head 0 5 = "seed=" -> (
+          let s = String.sub head 5 (String.length head - 5) in
+          match Int64.of_string_opt s with
+          | Some seed -> Ok { spec with seed }
+          | None -> parse_error "faults: bad seed %S" s)
+      | "delay" ->
+          let* p = prob () in
+          let* ms =
+            match List.assoc_opt "ms" assoc with
+            | None -> Ok 10.0
+            | Some s -> parse_float "delay ms" s
+          in
+          Ok { spec with delay_p = p; delay_seconds = ms /. 1000.0 }
+      | "kill" ->
+          let* p = prob () in
+          Ok { spec with kill_p = p }
+      | "drop" ->
+          let* p = prob () in
+          let* bytes =
+            match List.assoc_opt "bytes" assoc with
+            | None -> Ok 0
+            | Some s -> (
+                match int_of_string_opt s with
+                | Some v -> Ok v
+                | None -> parse_error "faults: bad drop bytes %S" s)
+          in
+          Ok { spec with drop_p = p; drop_bytes = bytes }
+      | "corrupt" ->
+          let* p = prob () in
+          Ok { spec with corrupt_p = p }
+      | other -> parse_error "faults: unknown clause %S" other)
+
+let parse_spec s =
+  let clauses =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let rec go spec = function
+    | [] -> (
+        match create spec with
+        | t -> Ok t
+        | exception Invalid_argument m -> Error m)
+    | clause :: rest -> (
+        match parse_clause spec clause with
+        | Ok spec -> go spec rest
+        | Error _ as e -> e)
+  in
+  go disabled_spec clauses
+
+let env_var = "RIP_FAULTS"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok None
+  | Some s -> Result.map Option.some (parse_spec s)

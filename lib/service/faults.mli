@@ -1,0 +1,62 @@
+(** Deterministic fault injection for the solve service.
+
+    A fault plan decides, per fault site, whether to inject: delay a
+    solve, kill a worker mid-solve, drop a connection after N response
+    bytes, or corrupt a cache entry's digest.  All decisions come from
+    SplitMix64 streams derived from one seed — a chaos run replays
+    exactly given the same spec — and everything is off by default.
+
+    The server consults the plan from worker and connection threads;
+    draws are serialised internally, so a [t] is thread-safe. *)
+
+exception Worker_killed
+(** Raised inside a worker when the kill fault fires; the server maps it
+    to a [DEGRADED worker-lost] response. *)
+
+type spec = {
+  seed : int64;
+  delay_p : float;  (** probability a solve is delayed *)
+  delay_seconds : float;
+  kill_p : float;  (** probability a worker dies mid-solve *)
+  drop_p : float;  (** probability a response is cut short *)
+  drop_bytes : int;  (** response bytes written before the cut *)
+  corrupt_p : float;  (** probability a cache insert is corrupted *)
+}
+
+type t
+
+val disabled : unit -> t
+(** All probabilities zero: every query answers "no fault". *)
+
+val create : spec -> t
+(** @raise Invalid_argument on probabilities outside [0, 1], negative
+    delay, or negative byte count. *)
+
+val spec : t -> spec
+
+val solve_delay : t -> float option
+(** [Some seconds] when the delay fault fires for this solve. *)
+
+val kill_worker : t -> bool
+(** Whether to raise {!Worker_killed} in this solve's worker. *)
+
+val drop_after : t -> int option
+(** [Some n] when this response should be cut after [n] bytes and the
+    connection closed. *)
+
+val corrupt_cache : t -> bool
+(** Whether to corrupt the digest of the entry being inserted. *)
+
+val parse_spec : string -> (t, string) result
+(** Parse a comma-separated spec, e.g.
+    ["seed=7,delay:p=0.5:ms=20,kill:p=0.1,drop:p=0.2:bytes=64,corrupt:p=1"].
+    Clauses: [seed=<int64>], [delay[:p=<q>][:ms=<f>]] (default 10 ms),
+    [kill[:p=<q>]], [drop[:p=<q>][:bytes=<n>]], [corrupt[:p=<q>]];
+    omitted [p] defaults to 1.  The empty string yields a disabled
+    plan. *)
+
+val env_var : string
+(** ["RIP_FAULTS"] — the environment hook read by {!of_env}. *)
+
+val of_env : unit -> (t option, string) result
+(** [Ok None] when the variable is unset or empty. *)

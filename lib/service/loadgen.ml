@@ -5,7 +5,7 @@ module Rip = Rip_core.Rip
 module Stats = Rip_numerics.Stats
 
 let workload ?(seed = Suite.default_seed) ?(distinct_nets = 8) ?(slack = 1.3)
-    ~requests process =
+    ?deadline_ms ~requests process =
   if distinct_nets < 1 then invalid_arg "Loadgen.workload: distinct_nets < 1";
   if requests < 0 then invalid_arg "Loadgen.workload: negative requests";
   let rng = Rip_numerics.Prng.create seed in
@@ -14,7 +14,7 @@ let workload ?(seed = Suite.default_seed) ?(distinct_nets = 8) ?(slack = 1.3)
         let net = Netgen.generate rng ~index:(i + 1) in
         let geometry = Geometry.of_net net in
         let budget = slack *. Rip.tau_min process geometry in
-        Protocol.Solve { budget; net })
+        Protocol.Solve { budget; deadline_ms; net })
   in
   Array.init requests (fun i -> frames.(i mod distinct_nets))
 
@@ -22,9 +22,14 @@ type result = {
   sent : int;
   solved_fresh : int;
   solved_cached : int;
+  degraded : int;
+  timeouts : int;
   errors : int;
   busy : int;
   transport_failures : int;
+  retried_transport : int;
+  retried_busy : int;
+  retried_timeout : int;
   wall_seconds : float;
   throughput : float;
   p50 : float;
@@ -32,9 +37,10 @@ type result = {
   p99 : float;
 }
 
-(* One worker: take the next undrained request, send it, time the round
-   trip, classify the response; stop on workload exhaustion or the first
-   transport error. *)
+(* One worker: take the next undrained request, send it through its retry
+   session, time the full (retries included) round trip, classify the
+   final response; stop on workload exhaustion or a final transport
+   error. *)
 type shared = {
   requests : Protocol.request array;
   mutex : Mutex.t;
@@ -42,9 +48,14 @@ type shared = {
   mutable sent : int;
   mutable solved_fresh : int;
   mutable solved_cached : int;
+  mutable degraded : int;
+  mutable timeouts : int;
   mutable errors : int;
   mutable busy : int;
   mutable transport_failures : int;
+  mutable retried_transport : int;
+  mutable retried_busy : int;
+  mutable retried_timeout : int;
   mutable latencies : float list;
 }
 
@@ -62,41 +73,43 @@ let next_request shared =
   Mutex.unlock shared.mutex;
   frame
 
-let record shared latency outcome =
+let record shared latency (outcome : Client.outcome) =
   Mutex.lock shared.mutex;
   shared.latencies <- latency :: shared.latencies;
-  (match outcome with
+  shared.retried_transport <-
+    shared.retried_transport + outcome.retried_transport;
+  shared.retried_busy <- shared.retried_busy + outcome.retried_busy;
+  shared.retried_timeout <- shared.retried_timeout + outcome.retried_timeout;
+  (match outcome.response with
   | Ok (Protocol.Result { served = Protocol.Fresh; _ }) ->
       shared.solved_fresh <- shared.solved_fresh + 1
   | Ok (Protocol.Result { served = Protocol.Cached; _ }) ->
       shared.solved_cached <- shared.solved_cached + 1
+  | Ok (Protocol.Degraded _) -> shared.degraded <- shared.degraded + 1
+  | Ok Protocol.Timeout -> shared.timeouts <- shared.timeouts + 1
   | Ok Protocol.Busy -> shared.busy <- shared.busy + 1
   | Ok (Protocol.Error_frame _) -> shared.errors <- shared.errors + 1
-  | Ok (Protocol.Pong | Protocol.Bye | Protocol.Stats_frame _) ->
+  | Ok
+      ( Protocol.Pong | Protocol.Bye | Protocol.Toobig
+      | Protocol.Stats_frame _ ) ->
       (* Not a SOLVE answer; treat an off-protocol reply as an error. *)
       shared.errors <- shared.errors + 1
   | Error _ -> shared.transport_failures <- shared.transport_failures + 1);
   Mutex.unlock shared.mutex
 
-let worker connect shared () =
-  match connect () with
-  | exception _ ->
-      Mutex.lock shared.mutex;
-      shared.transport_failures <- shared.transport_failures + 1;
-      Mutex.unlock shared.mutex
-  | client ->
-      let rec loop () =
-        match next_request shared with
-        | None -> ()
-        | Some frame ->
-            let started = Unix.gettimeofday () in
-            let outcome = Client.request client frame in
-            record shared (Unix.gettimeofday () -. started) outcome;
-            (match outcome with Error _ -> () | Ok _ -> loop ())
-      in
-      Fun.protect ~finally:(fun () -> Client.close client) loop
+let worker session shared () =
+  let rec loop () =
+    match next_request shared with
+    | None -> ()
+    | Some frame ->
+        let started = Unix.gettimeofday () in
+        let outcome = Client.request_with_retry session frame in
+        record shared (Unix.gettimeofday () -. started) outcome;
+        (match outcome.Client.response with Error _ -> () | Ok _ -> loop ())
+  in
+  Fun.protect ~finally:(fun () -> Client.close_session session) loop
 
-let run ~connect ?(connections = 4) requests =
+let run ~connect ?(connections = 4) ?policy ?(seed = 1L) requests =
   let connections =
     Stdlib.max 1 (Stdlib.min connections (Array.length requests))
   in
@@ -108,15 +121,26 @@ let run ~connect ?(connections = 4) requests =
       sent = 0;
       solved_fresh = 0;
       solved_cached = 0;
+      degraded = 0;
+      timeouts = 0;
       errors = 0;
       busy = 0;
       transport_failures = 0;
+      retried_transport = 0;
+      retried_busy = 0;
+      retried_timeout = 0;
       latencies = [];
     }
   in
   let started = Unix.gettimeofday () in
   let threads =
-    List.init connections (fun _ -> Thread.create (worker connect shared) ())
+    List.init connections (fun i ->
+        (* One session per worker, each with its own jitter stream. *)
+        let session =
+          Client.session ?policy ~seed:(Int64.add seed (Int64.of_int i))
+            connect
+        in
+        Thread.create (worker session shared) ())
   in
   List.iter Thread.join threads;
   let wall_seconds = Unix.gettimeofday () -. started in
@@ -130,9 +154,14 @@ let run ~connect ?(connections = 4) requests =
     sent = shared.sent;
     solved_fresh = shared.solved_fresh;
     solved_cached = shared.solved_cached;
+    degraded = shared.degraded;
+    timeouts = shared.timeouts;
     errors = shared.errors;
     busy = shared.busy;
     transport_failures = shared.transport_failures;
+    retried_transport = shared.retried_transport;
+    retried_busy = shared.retried_busy;
+    retried_timeout = shared.retried_timeout;
     wall_seconds;
     throughput =
       (if wall_seconds > 0.0 then float_of_int completed /. wall_seconds
@@ -144,11 +173,16 @@ let run ~connect ?(connections = 4) requests =
 
 let render (r : result) =
   Printf.sprintf
-    "requests    : %d (fresh %d, cached %d, error %d, busy %d, transport %d)\n\
+    "requests    : %d (fresh %d, cached %d, degraded %d, timeout %d, error \
+     %d, busy %d, transport %d)\n\
+     retries     : %d (busy %d, timeout %d, transport %d)\n\
      wall        : %.3f s\n\
      throughput  : %.1f req/s\n\
      latency p50 : %.3f ms\n\
      latency p95 : %.3f ms\n\
      latency p99 : %.3f ms\n"
-    r.sent r.solved_fresh r.solved_cached r.errors r.busy r.transport_failures
-    r.wall_seconds r.throughput (r.p50 *. 1e3) (r.p95 *. 1e3) (r.p99 *. 1e3)
+    r.sent r.solved_fresh r.solved_cached r.degraded r.timeouts r.errors
+    r.busy r.transport_failures
+    (r.retried_busy + r.retried_timeout + r.retried_transport)
+    r.retried_busy r.retried_timeout r.retried_transport r.wall_seconds
+    r.throughput (r.p50 *. 1e3) (r.p95 *. 1e3) (r.p99 *. 1e3)

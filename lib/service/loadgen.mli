@@ -1,12 +1,14 @@
 (** Closed-loop load generation against a {!Server} (in-process or over a
-    socket): [connections] worker threads each hold one connection and
-    issue requests back to back from a shared workload until it is
-    drained.  Used by the [rip_loadgen] binary and the [service] bench. *)
+    socket): [connections] worker threads each hold one retrying
+    {!Client.session} and issue requests back to back from a shared
+    workload until it is drained.  Used by the [rip_loadgen] binary and
+    the [service] bench. *)
 
 val workload :
   ?seed:int64 ->
   ?distinct_nets:int ->
   ?slack:float ->
+  ?deadline_ms:float ->
   requests:int ->
   Rip_tech.Process.t ->
   Protocol.request array
@@ -16,16 +18,22 @@ val workload :
     round-robin to [requests] frames.  Repetition is the point — a
     distinct-net count far below [requests] is what exercises the solve
     cache, mimicking a router re-querying the same global nets during
-    timing closure. *)
+    timing closure.  [deadline_ms] stamps every frame with a DEADLINE
+    header (none by default). *)
 
 type result = {
   sent : int;  (** requests issued *)
   solved_fresh : int;  (** RESULT fresh responses *)
   solved_cached : int;  (** RESULT cached responses *)
+  degraded : int;  (** DEGRADED fallback responses *)
+  timeouts : int;  (** final TIMEOUT answers (retries exhausted) *)
   errors : int;  (** typed ERROR responses *)
-  busy : int;  (** BUSY rejections *)
+  busy : int;  (** final BUSY rejections (retries exhausted) *)
   transport_failures : int;
-      (** connections abandoned on a transport/framing error *)
+      (** requests abandoned on a final transport/framing error *)
+  retried_transport : int;  (** attempts retried after a transport error *)
+  retried_busy : int;  (** attempts retried after BUSY *)
+  retried_timeout : int;  (** attempts retried after TIMEOUT *)
   wall_seconds : float;
   throughput : float;  (** responses per wall second *)
   p50 : float;  (** response-latency percentiles, seconds *)
@@ -36,13 +44,18 @@ type result = {
 val run :
   connect:(unit -> Client.t) ->
   ?connections:int ->
+  ?policy:Client.retry_policy ->
+  ?seed:int64 ->
   Protocol.request array ->
   result
 (** Drain the workload through [connections] threads (default 4, capped
-    at the workload size).  Each thread measures per-request wall
-    latency; percentiles are over all completed requests.  A thread that
-    hits a transport error stops (its remaining share is picked up by the
-    others). *)
+    at the workload size), each holding one {!Client.session} built from
+    [policy] (default {!Client.default_retry_policy}) with a jitter
+    stream derived from [seed] (default 1) and the worker index.  Each
+    thread measures per-request wall latency including retries;
+    percentiles are over all completed requests.  A thread whose request
+    fails even after retries stops (its remaining share is picked up by
+    the others). *)
 
 val render : result -> string
 (** A human-readable multi-line summary. *)

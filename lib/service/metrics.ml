@@ -5,6 +5,9 @@ type t = {
   mutable solved : int;
   mutable errors : int;
   mutable rejected_busy : int;
+  mutable timeouts : int;
+  mutable degraded : int;
+  mutable toobig : int;
   mutable queue_wait_seconds : float;
   mutable solve_cpu_seconds : float;
 }
@@ -17,6 +20,9 @@ let create () =
     solved = 0;
     errors = 0;
     rejected_busy = 0;
+    timeouts = 0;
+    degraded = 0;
+    toobig = 0;
     queue_wait_seconds = 0.0;
     solve_cpu_seconds = 0.0;
   }
@@ -31,6 +37,9 @@ let incr_requests t = locked t (fun () -> t.requests <- t.requests + 1)
 let incr_solved t = locked t (fun () -> t.solved <- t.solved + 1)
 let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
 let incr_busy t = locked t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
+let incr_timeouts t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
+let incr_degraded t = locked t (fun () -> t.degraded <- t.degraded + 1)
+let incr_toobig t = locked t (fun () -> t.toobig <- t.toobig + 1)
 
 let add_solve_times t ~queue_seconds ~cpu_seconds =
   locked t (fun () ->
@@ -45,6 +54,10 @@ let snapshot t ~cache =
         solved = t.solved;
         errors = t.errors;
         rejected_busy = t.rejected_busy;
+        timeouts = t.timeouts;
+        degraded = t.degraded;
+        toobig = t.toobig;
+        cache_self_heals = cache.Solve_cache.self_heals;
         cache_hits = cache.Solve_cache.hits;
         cache_misses = cache.Solve_cache.misses;
         cache_evictions = cache.Solve_cache.evictions;

@@ -21,6 +21,17 @@ val incr_errors : t -> unit
 val incr_busy : t -> unit
 (** One SOLVE rejected with BUSY (queue full). *)
 
+val incr_timeouts : t -> unit
+(** One SOLVE answered with TIMEOUT (deadline expired before any usable
+    result, including expiry at admission). *)
+
+val incr_degraded : t -> unit
+(** One SOLVE answered with a DEGRADED analytic fallback (deadline,
+    overload or worker loss). *)
+
+val incr_toobig : t -> unit
+(** One request frame rejected with TOOBIG (frame byte budget). *)
+
 val add_solve_times : t -> queue_seconds:float -> cpu_seconds:float -> unit
 (** Account one fresh solve: time spent queued behind the worker pool and
     thread-CPU time inside the solver. *)

@@ -13,6 +13,8 @@ type solution = {
 
 type served = Fresh | Cached
 
+type degrade_reason = Deadline_exceeded | Overload | Worker_lost
+
 type stats = {
   uptime_seconds : float;
   requests : int;
@@ -26,20 +28,27 @@ type stats = {
   cache_capacity : int;
   queue_wait_seconds : float;
   solve_cpu_seconds : float;
+  timeouts : int;
+  degraded : int;
+  toobig : int;
+  cache_self_heals : int;
 }
 
 type request =
   | Ping
   | Stats
   | Shutdown
-  | Solve of { budget : float; net : Rip_net.Net.t }
+  | Solve of { budget : float; deadline_ms : float option; net : Rip_net.Net.t }
 
 type response =
   | Pong
   | Bye
   | Busy
+  | Timeout
+  | Toobig
   | Error_frame of { kind : error_kind; message : string }
   | Result of { served : served; solution : solution }
+  | Degraded of { reason : degrade_reason; solution : solution }
   | Stats_frame of stats
 
 (* --- Printing ------------------------------------------------------------ *)
@@ -65,12 +74,26 @@ let one_line message =
 
 let served_to_string = function Fresh -> "fresh" | Cached -> "cached"
 
+let degrade_reason_to_string = function
+  | Deadline_exceeded -> "deadline"
+  | Overload -> "overload"
+  | Worker_lost -> "worker-lost"
+
+let degrade_reason_of_string = function
+  | "deadline" -> Some Deadline_exceeded
+  | "overload" -> Some Overload
+  | "worker-lost" -> Some Worker_lost
+  | _ -> None
+
 let print_request = function
   | Ping -> "PING\n"
   | Stats -> "STATS\n"
   | Shutdown -> "SHUTDOWN\n"
-  | Solve { budget; net } ->
+  | Solve { budget; deadline_ms = None; net } ->
       Printf.sprintf "SOLVE %.17g\n%sEND\n" budget (Rip_net.Net_io.to_string net)
+  | Solve { budget; deadline_ms = Some ms; net } ->
+      Printf.sprintf "SOLVE %.17g DEADLINE %.17g\n%sEND\n" budget ms
+        (Rip_net.Net_io.to_string net)
 
 let solution_body solution =
   let buffer = Buffer.create 128 in
@@ -100,17 +123,27 @@ let stats_fields stats =
     ("cache_capacity", string_of_int stats.cache_capacity);
     ("queue_wait_seconds", Printf.sprintf "%.17g" stats.queue_wait_seconds);
     ("solve_cpu_seconds", Printf.sprintf "%.17g" stats.solve_cpu_seconds);
+    ("timeouts", string_of_int stats.timeouts);
+    ("degraded", string_of_int stats.degraded);
+    ("toobig", string_of_int stats.toobig);
+    ("cache_self_heals", string_of_int stats.cache_self_heals);
   ]
 
 let print_response = function
   | Pong -> "PONG\n"
   | Bye -> "BYE\n"
   | Busy -> "BUSY\n"
+  | Timeout -> "TIMEOUT\n"
+  | Toobig -> "TOOBIG\n"
   | Error_frame { kind; message } ->
       Printf.sprintf "ERROR %s %s\n" (error_kind_to_string kind)
         (one_line message)
   | Result { served; solution } ->
       Printf.sprintf "RESULT %s\n%sEND\n" (served_to_string served)
+        (solution_body solution)
+  | Degraded { reason; solution } ->
+      Printf.sprintf "DEGRADED %s\n%sEND\n"
+        (degrade_reason_to_string reason)
         (solution_body solution)
   | Stats_frame stats ->
       let body =
@@ -176,15 +209,24 @@ let input_request read =
       | [ "PING" ] -> Ok (Some Ping)
       | [ "STATS" ] -> Ok (Some Stats)
       | [ "SHUTDOWN" ] -> Ok (Some Shutdown)
-      | [ "SOLVE"; budget ] ->
+      | "SOLVE" :: budget :: header ->
           let* budget = parse_float "budget" budget in
+          let* deadline_ms =
+            match header with
+            | [] -> Ok None
+            | [ "DEADLINE"; ms ] ->
+                let* ms = parse_float "deadline" ms in
+                if ms < 0.0 then Error "negative deadline"
+                else Ok (Some ms)
+            | _ -> Error "malformed SOLVE header"
+          in
           let* body = body_until_end read in
           let* net =
             Result.map_error
               (fun e -> Printf.sprintf "bad net body: %s" e)
               (Rip_net.Net_io.parse_string (String.concat "\n" body))
           in
-          Ok (Some (Solve { budget; net }))
+          Ok (Some (Solve { budget; deadline_ms; net }))
       | [] -> Error "empty request line"
       | word :: _ -> Error (Printf.sprintf "unknown request %S" word))
 
@@ -253,6 +295,10 @@ let parse_stats_body lines =
   let* cache_capacity = geti "cache_capacity" in
   let* queue_wait_seconds = getf "queue_wait_seconds" in
   let* solve_cpu_seconds = getf "solve_cpu_seconds" in
+  let* timeouts = geti "timeouts" in
+  let* degraded = geti "degraded" in
+  let* toobig = geti "toobig" in
+  let* cache_self_heals = geti "cache_self_heals" in
   Ok
     {
       uptime_seconds;
@@ -267,6 +313,10 @@ let parse_stats_body lines =
       cache_capacity;
       queue_wait_seconds;
       solve_cpu_seconds;
+      timeouts;
+      degraded;
+      toobig;
+      cache_self_heals;
     }
 
 let input_response read =
@@ -277,6 +327,8 @@ let input_response read =
       | [ "PONG" ] -> Ok (Some Pong)
       | [ "BYE" ] -> Ok (Some Bye)
       | [ "BUSY" ] -> Ok (Some Busy)
+      | [ "TIMEOUT" ] -> Ok (Some Timeout)
+      | [ "TOOBIG" ] -> Ok (Some Toobig)
       | "ERROR" :: kind :: _ -> (
           match error_kind_of_string kind with
           | None -> Error (Printf.sprintf "unknown error kind %S" kind)
@@ -301,6 +353,15 @@ let input_response read =
           let* body = body_until_end read in
           let* solution = parse_solution_body body in
           Ok (Some (Result { served; solution }))
+      | [ "DEGRADED"; reason ] ->
+          let* reason =
+            match degrade_reason_of_string reason with
+            | Some r -> Ok r
+            | None -> Error (Printf.sprintf "unknown DEGRADED reason %S" reason)
+          in
+          let* body = body_until_end read in
+          let* solution = parse_solution_body body in
+          Ok (Some (Degraded { reason; solution }))
       | [ "STATS" ] ->
           let* body = body_until_end read in
           let* stats = parse_stats_body body in
@@ -313,7 +374,10 @@ let input_response read =
 let request_equal a b =
   match (a, b) with
   | Ping, Ping | Stats, Stats | Shutdown, Shutdown -> true
-  | Solve a, Solve b -> a.budget = b.budget && Rip_net.Net.equal a.net b.net
+  | Solve a, Solve b ->
+      a.budget = b.budget
+      && Option.equal Float.equal a.deadline_ms b.deadline_ms
+      && Rip_net.Net.equal a.net b.net
   | (Ping | Stats | Shutdown | Solve _), _ -> false
 
 let solution_equal a b =
@@ -325,10 +389,13 @@ let solution_equal a b =
 
 let response_equal a b =
   match (a, b) with
-  | Pong, Pong | Bye, Bye | Busy, Busy -> true
+  | Pong, Pong | Bye, Bye | Busy, Busy | Timeout, Timeout | Toobig, Toobig ->
+      true
   | Error_frame a, Error_frame b -> a.kind = b.kind && a.message = b.message
   | Result a, Result b ->
       a.served = b.served && solution_equal a.solution b.solution
+  | Degraded a, Degraded b ->
+      a.reason = b.reason && solution_equal a.solution b.solution
   | Stats_frame a, Stats_frame b ->
       Float.equal a.uptime_seconds b.uptime_seconds
       && a.requests = b.requests && a.solved = b.solved
@@ -341,4 +408,10 @@ let response_equal a b =
       && a.cache_capacity = b.cache_capacity
       && Float.equal a.queue_wait_seconds b.queue_wait_seconds
       && Float.equal a.solve_cpu_seconds b.solve_cpu_seconds
-  | (Pong | Bye | Busy | Error_frame _ | Result _ | Stats_frame _), _ -> false
+      && a.timeouts = b.timeouts && a.degraded = b.degraded
+      && a.toobig = b.toobig
+      && a.cache_self_heals = b.cache_self_heals
+  | ( ( Pong | Bye | Busy | Timeout | Toobig | Error_frame _ | Result _
+      | Degraded _ | Stats_frame _ ),
+      _ ) ->
+      false

@@ -10,10 +10,16 @@
     PING
     STATS
     SHUTDOWN
-    SOLVE <budget-seconds>
+    SOLVE <budget-seconds> [DEADLINE <milliseconds>]
     <net body in the Rip_net.Net_io file format>
     END
     v}
+
+    The optional [DEADLINE] header bounds how long the client is willing
+    to wait for this solve, measured from admission on the server's
+    monotonic clock.  Past the deadline the server answers [TIMEOUT]
+    (nothing started yet) or degrades to its analytic fallback tier and
+    answers [DEGRADED] (see below); it never keeps solving.
 
     The net body must not contain a line equal to [END] (bodies produced
     by {!Rip_net.Net_io.to_string} never do).
@@ -23,6 +29,8 @@
     PONG
     BYE
     BUSY
+    TIMEOUT
+    TOOBIG
     ERROR <kind> <one-line message>
     RESULT <fresh|cached>
     repeater <position-um> <width-u>     (zero or more)
@@ -30,10 +38,21 @@
     delay <seconds>
     power <watts>
     END
+    DEGRADED <deadline|overload|worker-lost>
+    <same solution body as RESULT>
+    END
     STATS
     <field> <value>                      (one line per stats field)
     END
     v}
+
+    [TIMEOUT] answers a SOLVE whose deadline had already expired at
+    admission.  [TOOBIG] answers a request frame exceeding the server's
+    frame-size bound; the connection is closed after it (framing is
+    lost).  [DEGRADED] carries a best-effort solution from the analytic
+    fallback tier with the reason the full solve was skipped or
+    abandoned; its delay may exceed the budget, but the solution is
+    always legal (forbidden zones, width range).
 
     The body of a [RESULT] frame is deterministic — it carries no
     timestamps or runtimes — so a cache hit replays the cached solve
@@ -58,6 +77,14 @@ type solution = {
 
 type served = Fresh | Cached
 
+type degrade_reason =
+  | Deadline_exceeded
+      (** the deadline fired mid-solve; the DP was cancelled *)
+  | Overload
+      (** the admission queue crossed its high-water mark; the full
+          solve was never attempted *)
+  | Worker_lost  (** the worker running the solve died mid-solve *)
+
 type stats = {
   uptime_seconds : float;
   requests : int;  (** SOLVE requests received (PING/STATS not counted) *)
@@ -73,20 +100,33 @@ type stats = {
       (** cumulative seconds solves spent queued behind the worker pool *)
   solve_cpu_seconds : float;
       (** cumulative thread-CPU seconds spent inside the solver *)
+  timeouts : int;  (** SOLVE requests answered with TIMEOUT *)
+  degraded : int;  (** SOLVE requests answered with DEGRADED *)
+  toobig : int;  (** request frames rejected with TOOBIG *)
+  cache_self_heals : int;
+      (** cache entries dropped on read because their digest no longer
+          matched their body (and re-solved) *)
 }
 
 type request =
   | Ping
   | Stats
   | Shutdown
-  | Solve of { budget : float; net : Rip_net.Net.t }
+  | Solve of {
+      budget : float;
+      deadline_ms : float option;  (** wall-time budget for the request *)
+      net : Rip_net.Net.t;
+    }
 
 type response =
   | Pong
   | Bye
   | Busy
+  | Timeout
+  | Toobig
   | Error_frame of { kind : error_kind; message : string }
   | Result of { served : served; solution : solution }
+  | Degraded of { reason : degrade_reason; solution : solution }
   | Stats_frame of stats
 
 (** {1 Printing} *)
@@ -127,6 +167,7 @@ val request_equal : request -> request -> bool
 val response_equal : response -> response -> bool
 
 val error_kind_to_string : error_kind -> string
+val degrade_reason_to_string : degrade_reason -> string
 val one_line : string -> string
 (** Newlines collapsed to ["; "] — error messages must fit one frame
     line. *)

@@ -1,16 +1,113 @@
 module Engine = Rip_engine.Engine
+module Cancel = Rip_engine.Cancel
 module Cpu_clock = Rip_numerics.Cpu_clock
 module Rip = Rip_core.Rip
+module Net = Rip_net.Net
+module Zone = Rip_net.Zone
+module Solution = Rip_elmore.Solution
 
 type config = {
   jobs : int option;
   queue_depth : int;
+  high_water : int;
   cache_capacity : int;
+  max_frame_bytes : int;
   solver : Rip_core.Config.t option;
+  faults : Faults.t option;
 }
 
 let default_config =
-  { jobs = None; queue_depth = 64; cache_capacity = 512; solver = None }
+  {
+    jobs = None;
+    queue_depth = 64;
+    high_water = 48;
+    cache_capacity = 512;
+    max_frame_bytes = Wire.default_max_frame_bytes;
+    solver = None;
+    faults = None;
+  }
+
+(* --- Deadline watchdog ----------------------------------------------------
+
+   One thread per server owns every armed deadline.  It sleeps on a
+   condition while nothing is armed and otherwise polls on a 2 ms tick
+   (OCaml's [Condition] has no timed wait), firing each entry's
+   cancellation token once the monotonic clock passes its deadline.  The
+   solve itself observes the token at DP-column / REFINE-iteration
+   granularity, so cancellation latency is tick + poll granularity, both
+   small against any meaningful deadline. *)
+
+module Watchdog = struct
+  type entry = { id : int; fires_at : float; token : Cancel.t }
+
+  type t = {
+    mutex : Mutex.t;
+    wake : Condition.t;
+    mutable armed : entry list;
+    mutable stopped : bool;
+    mutable next_id : int;
+    mutable thread : Thread.t option;
+  }
+
+  let tick_seconds = 0.002
+
+  let rec loop w =
+    Mutex.lock w.mutex;
+    while
+      (match w.armed with [] -> true | _ :: _ -> false) && not w.stopped
+    do
+      Condition.wait w.wake w.mutex
+    done;
+    let stop = w.stopped in
+    let now = Cpu_clock.monotonic_seconds () in
+    let expired, live =
+      List.partition (fun e -> e.fires_at <= now) w.armed
+    in
+    w.armed <- live;
+    Mutex.unlock w.mutex;
+    List.iter (fun e -> Cancel.cancel e.token) expired;
+    if not stop then begin
+      Thread.delay tick_seconds;
+      loop w
+    end
+
+  let create () =
+    let w =
+      {
+        mutex = Mutex.create ();
+        wake = Condition.create ();
+        armed = [];
+        stopped = false;
+        next_id = 0;
+        thread = None;
+      }
+    in
+    w.thread <- Some (Thread.create loop w);
+    w
+
+  let arm w ~fires_at token =
+    Mutex.lock w.mutex;
+    let id = w.next_id in
+    w.next_id <- id + 1;
+    w.armed <- { id; fires_at; token } :: w.armed;
+    Condition.signal w.wake;
+    Mutex.unlock w.mutex;
+    id
+
+  let disarm w id =
+    Mutex.lock w.mutex;
+    w.armed <- List.filter (fun e -> e.id <> id) w.armed;
+    Mutex.unlock w.mutex
+
+  let stop w =
+    Mutex.lock w.mutex;
+    w.stopped <- true;
+    let thread = w.thread in
+    w.thread <- None;
+    Condition.signal w.wake;
+    Mutex.unlock w.mutex;
+    Option.iter Thread.join thread
+end
 
 type t = {
   process : Rip_tech.Process.t;
@@ -18,6 +115,8 @@ type t = {
   handle : Engine.handle;
   cache : Protocol.solution Solve_cache.t;
   metrics : Metrics.t;
+  watchdog : Watchdog.t;
+  faults : Faults.t;
   mutex : Mutex.t;  (* guards in_flight, stopping, listener, threads *)
   mutable in_flight : int;
   mutable stopping : bool;
@@ -28,12 +127,21 @@ type t = {
 let create ?(config = default_config) process =
   if config.queue_depth < 1 then
     invalid_arg "Server.create: queue_depth must be at least 1";
+  if config.high_water < 1 || config.high_water > config.queue_depth then
+    invalid_arg "Server.create: high_water must be in [1, queue_depth]";
+  if config.max_frame_bytes < 1 then
+    invalid_arg "Server.create: max_frame_bytes must be positive";
   {
     process;
     config;
     handle = Engine.create_handle ?jobs:config.jobs ();
     cache = Solve_cache.create ~capacity:config.cache_capacity;
     metrics = Metrics.create ();
+    watchdog = Watchdog.create ();
+    faults =
+      (match config.faults with
+      | Some f -> f
+      | None -> Faults.disabled ());
     mutex = Mutex.create ();
     in_flight = 0;
     stopping = false;
@@ -42,6 +150,8 @@ let create ?(config = default_config) process =
   }
 
 let stats t = Metrics.snapshot t.metrics ~cache:(Solve_cache.stats t.cache)
+let cache_key t ~net ~budget = Solve_cache.key ~process:t.process ~net ~budget
+let corrupt_cache_entry t key = Solve_cache.corrupt t.cache key
 
 let stopping t =
   Mutex.lock t.mutex;
@@ -66,31 +176,36 @@ let request_shutdown t =
 
 let shutdown t =
   request_shutdown t;
-  Engine.shutdown_handle t.handle
+  Engine.shutdown_handle t.handle;
+  Watchdog.stop t.watchdog
 
-(* --- Connection handling ------------------------------------------------- *)
+(* --- Admission control ----------------------------------------------------
 
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let written = Unix.write_substring fd s off len in
-    write_all fd s (off + written) (len - written)
-  end
+   A solve slot is held from submission to response.  BUSY when
+   [queue_depth] solves are already in flight (or the server is draining
+   for shutdown) — the bounded queue that keeps a request storm from
+   growing the heap without limit.  Below BUSY sits the high-water mark:
+   an admitted solve that finds the queue already deeper than
+   [high_water] skips the full DP and answers from the analytic fallback
+   tier, shedding load gracefully instead of letting every queued
+   request wait behind the pool. *)
 
-(* Admission control: a solve slot is held from submission to response.
-   BUSY when [queue_depth] solves are already in flight (or the server is
-   draining for shutdown) — the bounded queue that keeps a request storm
-   from growing the heap without limit. *)
+type admission = Rejected | Admitted of int  (* in-flight after admission *)
+
 let try_acquire_slot t =
   Mutex.lock t.mutex;
   let admitted = (not t.stopping) && t.in_flight < t.config.queue_depth in
   if admitted then t.in_flight <- t.in_flight + 1;
+  let depth = t.in_flight in
   Mutex.unlock t.mutex;
-  admitted
+  if admitted then Admitted depth else Rejected
 
 let release_slot t =
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight - 1;
   Mutex.unlock t.mutex
+
+(* --- Solutions ------------------------------------------------------------ *)
 
 let solution_of_report (report : Rip.report) =
   {
@@ -113,64 +228,254 @@ let error_response error =
   Protocol.Error_frame
     { kind; message = Protocol.one_line (Rip.error_to_string error) }
 
-let serve_solve t ~budget ~net =
+let solution_digest solution = Digest.string (Protocol.solution_body solution)
+
+(* --- The analytic fallback tier -------------------------------------------
+
+   When the full solve is skipped (overload) or abandoned (deadline,
+   worker loss), the reply still carries a usable insertion: the
+   analytical minimum-delay solution, budget-improved by a short REFINE
+   run when it has slack, with widths rounded to the coarse library and
+   positions re-legalised against the forbidden zones.  Every step is
+   cheap (no DP) and total — the empty insertion is the last resort —
+   so a degraded answer is produced in microseconds-to-milliseconds
+   regardless of how hostile the request was. *)
+
+let nearest_library_width library w =
+  Array.fold_left
+    (fun best candidate ->
+      if Float.abs (candidate -. w) < Float.abs (best -. w) then candidate
+      else best)
+    library.(0) library
+
+let legalise_positions net length pairs =
+  let zones = net.Net.zones in
+  let shifted =
+    List.map
+      (fun (p, w) ->
+        if Net.position_legal net p then (p, w)
+        else
+          let after = Zone.first_allowed_at_or_after zones p in
+          let before = Zone.last_allowed_at_or_before zones p in
+          let q =
+            if after -. p <= p -. before && after < length then after
+            else before
+          in
+          (q, w))
+      pairs
+  in
+  (* Keep strictly increasing interior positions; drop offenders rather
+     than shuffling them (a dropped repeater only costs delay, never
+     legality). *)
+  let _, kept =
+    List.fold_left
+      (fun (last, acc) (p, w) ->
+        if p > last && p < length && Net.position_legal net p then
+          (p, (p, w) :: acc)
+        else (last, acc))
+      (0.0, []) shifted
+  in
+  List.rev kept
+
+let degraded_solution t ~budget ~net =
+  let repeater = t.process.Rip_tech.Process.repeater in
+  let power = t.process.Rip_tech.Process.power in
+  let solver_config =
+    Option.value t.config.solver ~default:Rip_core.Config.default
+  in
+  let geometry = Rip_net.Geometry.of_net net in
+  let length = Rip_net.Geometry.total_length geometry in
+  let continuous =
+    let analytic =
+      Rip_refine.Min_delay_analytic.solve
+        ~min_width:solver_config.Rip_core.Config.min_width
+        ~max_width:solver_config.Rip_core.Config.max_width geometry repeater
+    in
+    if analytic.Rip_refine.Min_delay_analytic.delay > budget then
+      analytic.Rip_refine.Min_delay_analytic.solution
+    else
+      (* Slack available: spend a short REFINE run trading it for width.
+         Capped iterations keep the fallback fast even on long nets. *)
+      let refine_config =
+        { solver_config.Rip_core.Config.refine with max_iterations = 16 }
+      in
+      match
+        Rip_refine.Refine.run ~config:refine_config geometry repeater ~budget
+          ~initial:analytic.Rip_refine.Min_delay_analytic.solution
+      with
+      | Some outcome -> outcome.Rip_refine.Refine.solution
+      | None -> analytic.Rip_refine.Min_delay_analytic.solution
+  in
+  let library =
+    Rip_dp.Repeater_library.to_array
+      solver_config.Rip_core.Config.coarse_library
+  in
+  let rounded =
+    List.map
+      (fun (r : Solution.repeater) ->
+        (r.position, nearest_library_width library r.width))
+      (Solution.repeaters continuous)
+  in
+  let solution =
+    match Solution.create (legalise_positions net length rounded) with
+    | s -> s
+    | exception Invalid_argument _ -> Solution.empty
+  in
+  let total_width = Solution.total_width solution in
+  {
+    Protocol.repeaters =
+      List.map
+        (fun (r : Solution.repeater) -> (r.position, r.width))
+        (Solution.repeaters solution);
+    total_width;
+    delay = Rip_elmore.Delay.total repeater geometry solution;
+    power_watts =
+      Rip_tech.Power_model.repeater_power power ~repeater ~total_width;
+  }
+
+let degraded_response t ~budget ~net reason =
+  Metrics.incr_degraded t.metrics;
+  Protocol.Degraded { reason; solution = degraded_solution t ~budget ~net }
+
+(* --- Solving -------------------------------------------------------------- *)
+
+(* A fault-injected solve delay that still honours the deadline: sleep in
+   watchdog-tick chunks, aborting the moment the token fires. *)
+let interruptible_delay token seconds =
+  let finish = Cpu_clock.monotonic_seconds () +. seconds in
+  let rec wait () =
+    if Cancel.cancelled token then raise Cancel.Cancelled;
+    let remaining = finish -. Cpu_clock.monotonic_seconds () in
+    if remaining > 0.0 then begin
+      Thread.delay (Float.min remaining Watchdog.tick_seconds);
+      wait ()
+    end
+  in
+  wait ()
+
+type solve_outcome =
+  | Solved of Rip.report
+  | Failed of Rip.error
+  | Cancelled_mid_solve
+  | Worker_lost_mid_solve
+
+let run_full_solve t ~budget ~net token =
+  let enqueued = Cpu_clock.monotonic_seconds () in
+  let outcomes =
+    Engine.map_on_handle t.handle
+      (fun () ->
+        let queue_seconds = Cpu_clock.monotonic_seconds () -. enqueued in
+        let cpu_started = Cpu_clock.thread_seconds () in
+        let outcome =
+          try
+            (match Faults.solve_delay t.faults with
+            | Some seconds -> interruptible_delay token seconds
+            | None -> ());
+            if Faults.kill_worker t.faults then raise Faults.Worker_killed;
+            match
+              Rip.solve ?config:t.config.solver ~cancel:(Cancel.hook token)
+                { Rip.process = t.process; net; geometry = None; budget }
+            with
+            | Ok report -> Solved report
+            | Error error -> Failed error
+          with
+          | Cancel.Cancelled -> Cancelled_mid_solve
+          | Faults.Worker_killed -> Worker_lost_mid_solve
+          | exn -> Failed (Rip.Internal (Printexc.to_string exn))
+        in
+        (outcome, queue_seconds, Cpu_clock.thread_seconds () -. cpu_started))
+      [| () |]
+  in
+  outcomes.(0)
+
+let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
+  let token = Cancel.create () in
+  let watchdog_id =
+    Option.map
+      (fun ms ->
+        Watchdog.arm t.watchdog
+          ~fires_at:(admitted_at +. (ms /. 1000.0))
+          token)
+      deadline_ms
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter (Watchdog.disarm t.watchdog) watchdog_id)
+    (fun () ->
+      let outcome, queue_seconds, cpu_seconds =
+        run_full_solve t ~budget ~net token
+      in
+      Metrics.add_solve_times t.metrics ~queue_seconds ~cpu_seconds;
+      match outcome with
+      | Solved report ->
+          (* A solve that completed before the watchdog's cancellation was
+             observed wins over the deadline: the work is already paid
+             for and the full answer strictly dominates the fallback. *)
+          let solution = solution_of_report report in
+          Solve_cache.add_verified t.cache key solution
+            ~digest:(solution_digest solution);
+          if Faults.corrupt_cache t.faults then
+            ignore (Solve_cache.corrupt t.cache key);
+          Metrics.incr_solved t.metrics;
+          Protocol.Result { served = Fresh; solution }
+      | Failed error ->
+          Metrics.incr_errors t.metrics;
+          error_response error
+      | Cancelled_mid_solve ->
+          degraded_response t ~budget ~net Protocol.Deadline_exceeded
+      | Worker_lost_mid_solve ->
+          degraded_response t ~budget ~net Protocol.Worker_lost)
+
+let serve_solve t ~budget ~deadline_ms ~net =
   Metrics.incr_requests t.metrics;
-  let key = Solve_cache.key ~process:t.process ~net ~budget in
-  match Solve_cache.find t.cache key with
+  let key = cache_key t ~net ~budget in
+  (* The cache is consulted before the deadline: replaying a cached
+     solution is effectively free, so a cached answer always beats a
+     TIMEOUT, even for a deadline that expired in transit. *)
+  match Solve_cache.find_verified t.cache key ~digest_of:solution_digest with
   | Some solution ->
       Metrics.incr_solved t.metrics;
       Protocol.Result { served = Cached; solution }
-  | None ->
-      if not (try_acquire_slot t) then begin
-        Metrics.incr_busy t.metrics;
-        Protocol.Busy
-      end
-      else
-        Fun.protect
-          ~finally:(fun () -> release_slot t)
-          (fun () ->
-            let enqueued = Unix.gettimeofday () in
-            let outcomes =
-              Engine.map_on_handle t.handle
+  | None -> (
+      match deadline_ms with
+      | Some ms when ms <= 0.0 ->
+          (* Expired at admission: answer immediately, dispatch nothing. *)
+          Metrics.incr_timeouts t.metrics;
+          Protocol.Timeout
+      | _ -> (
+          match try_acquire_slot t with
+          | Rejected ->
+              Metrics.incr_busy t.metrics;
+              Protocol.Busy
+          | Admitted depth ->
+              Fun.protect
+                ~finally:(fun () -> release_slot t)
                 (fun () ->
-                  let queue_seconds = Unix.gettimeofday () -. enqueued in
-                  let cpu_started = Cpu_clock.thread_seconds () in
-                  let result =
-                    try
-                      Rip.solve ?config:t.config.solver
-                        {
-                          Rip.process = t.process;
-                          net;
-                          geometry = None;
-                          budget;
-                        }
-                    with exn -> Error (Rip.Internal (Printexc.to_string exn))
-                  in
-                  ( result,
-                    queue_seconds,
-                    Cpu_clock.thread_seconds () -. cpu_started ))
-                [| () |]
-            in
-            let result, queue_seconds, cpu_seconds = outcomes.(0) in
-            Metrics.add_solve_times t.metrics ~queue_seconds ~cpu_seconds;
-            match result with
-            | Ok report ->
-                let solution = solution_of_report report in
-                Solve_cache.add t.cache key solution;
-                Metrics.incr_solved t.metrics;
-                Protocol.Result { served = Fresh; solution }
-            | Error error ->
-                Metrics.incr_errors t.metrics;
-                error_response error)
+                  if depth > t.config.high_water then
+                    degraded_response t ~budget ~net Protocol.Overload
+                  else
+                    let admitted_at = Cpu_clock.monotonic_seconds () in
+                    serve_admitted t ~budget ~deadline_ms ~net ~key
+                      ~admitted_at)))
+
+(* --- Connection handling -------------------------------------------------- *)
+
+exception Connection_dropped
 
 let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let reader = Protocol.reader_of_channel ic in
+  let wire = Wire.create ~max_frame_bytes:t.config.max_frame_bytes fd in
+  let reader = Wire.reader wire in
   let send response =
     let s = Protocol.print_response response in
-    write_all fd s 0 (String.length s)
+    match Faults.drop_after t.faults with
+    | Some n when n < String.length s ->
+        (* Injected transport fault: cut the response short and hang up,
+           leaving the client a partial frame to recover from. *)
+        Wire.write_all fd s 0 n;
+        raise Connection_dropped
+    | _ -> Wire.send fd s
   in
   let rec serve () =
+    Wire.new_frame wire;
     match Protocol.input_request reader with
     | Ok None -> ()
     | Error message ->
@@ -185,9 +490,9 @@ let handle_connection t fd =
     | Ok (Some Protocol.Shutdown) ->
         send Protocol.Bye;
         request_shutdown t
-    | Ok (Some (Protocol.Solve { budget; net })) ->
+    | Ok (Some (Protocol.Solve { budget; deadline_ms; net })) ->
         let response =
-          try serve_solve t ~budget ~net
+          try serve_solve t ~budget ~deadline_ms ~net
           with exn ->
             Protocol.Error_frame
               {
@@ -199,12 +504,18 @@ let handle_connection t fd =
         serve ()
   in
   (* Peer-induced I/O failures (reset, early close) end the connection,
-     never the server.  [close_in_noerr] closes the shared fd exactly
-     once — the out direction writes through the raw fd. *)
+     never the server.  An oversized frame gets the typed TOOBIG answer
+     before the hang-up — framing is unrecoverable after it. *)
   Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      try serve () with Unix.Unix_error _ | Sys_error _ | End_of_file -> ())
+      try serve () with
+      | Unix.Unix_error _ | Sys_error _ | End_of_file | Connection_dropped ->
+          ()
+      | Wire.Frame_too_big -> (
+          Metrics.incr_toobig t.metrics;
+          try Wire.send fd (Protocol.print_response Protocol.Toobig)
+          with Unix.Unix_error _ | Sys_error _ -> ()))
 
 (* --- Accept loop ---------------------------------------------------------- *)
 
@@ -238,7 +549,8 @@ let run t listen_fd =
     t.connection_threads <- [];
     Mutex.unlock t.mutex;
     List.iter Thread.join threads;
-    Engine.shutdown_handle t.handle
+    Engine.shutdown_handle t.handle;
+    Watchdog.stop t.watchdog
   end
 
 (* --- Listening sockets ---------------------------------------------------- *)

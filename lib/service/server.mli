@@ -1,65 +1,106 @@
 (** The [rip_serviced] daemon core, embeddable in-process.
 
     One server owns a long-lived {!Rip_engine.Engine.handle} (the worker
-    pool), a {!Solve_cache} in front of it, and {!Metrics}.  Connections
-    are served by one thread each, speaking {!Protocol}:
+    pool), a digest-verified {!Solve_cache} in front of it, {!Metrics}, a
+    deadline watchdog thread, and a {!Faults} plan (disabled unless
+    configured).  Connections are served by one thread each, speaking
+    {!Protocol} over a bounded {!Wire} reader.
 
-    - a SOLVE request is first looked up in the cache — a hit is answered
-      immediately, without touching the pool;
-    - a miss is admitted only while fewer than [queue_depth] solves are in
-      flight across all connections, otherwise the request is rejected
-      with a typed BUSY frame (backpressure, not an unbounded queue);
-    - admitted solves run on the shared pool; queue wait (wall) and
-      solver time (thread-CPU, {!Rip_numerics.Cpu_clock}) are accumulated
-      into the metrics and surfaced through STATS.
+    A SOLVE request walks a degradation ladder — every rung answers with
+    exactly one well-formed typed frame:
 
-    Solver errors are answered as typed ERROR frames and are not cached;
-    only successful solutions enter the cache. *)
+    + cache lookup (digest-verified; a corrupted entry self-heals and
+      counts as a miss) — a hit is answered immediately, even when the
+      request's deadline has already expired: the replay is free;
+    + a deadline that expired at admission is answered [TIMEOUT]
+      without dispatching any work;
+    + admission: [BUSY] when [queue_depth] solves are already in flight
+      (backpressure, not an unbounded queue);
+    + load shedding: an admitted solve finding the queue deeper than
+      [high_water] answers [DEGRADED overload] from the analytic
+      fallback tier without running the DP;
+    + the full solve runs on the pool under a cancellation token; the
+      watchdog fires the token at the deadline (monotonic clock), and a
+      cancelled or fault-killed solve answers [DEGRADED] with the
+      fallback solution ([deadline] / [worker-lost] reason) — unless
+      the solve completed first, in which case the full RESULT wins.
+
+    The analytic fallback tier ({!Rip_refine.Min_delay_analytic} plus a
+    short REFINE pass, widths rounded to the coarse library, positions
+    re-legalised against forbidden zones) is total and DP-free, so a
+    degraded answer costs microseconds-to-milliseconds.  Degraded
+    solutions are never cached.
+
+    Request frames larger than [max_frame_bytes] are answered [TOOBIG]
+    and the connection closed.  Solver errors are answered as typed
+    ERROR frames and are not cached; only full solutions enter the
+    cache. *)
 
 type config = {
   jobs : int option;
       (** worker domains for the pool; [None] is the machine default,
           [Some 1] solves inline in the connection thread *)
   queue_depth : int;  (** max in-flight solves before BUSY *)
+  high_water : int;
+      (** in-flight solves beyond which new admissions degrade to the
+          analytic tier instead of queueing a full solve; must be in
+          [1, queue_depth] *)
   cache_capacity : int;  (** {!Solve_cache} capacity, entries *)
+  max_frame_bytes : int;  (** request-frame byte bound before TOOBIG *)
   solver : Rip_core.Config.t option;  (** [None] means the default *)
+  faults : Faults.t option;  (** [None] means no injection *)
 }
 
 val default_config : config
-(** [jobs = None], [queue_depth = 64], [cache_capacity = 512],
-    [solver = None]. *)
+(** [jobs = None], [queue_depth = 64], [high_water = 48],
+    [cache_capacity = 512],
+    [max_frame_bytes = Wire.default_max_frame_bytes], [solver = None],
+    [faults = None]. *)
 
 type t
 
 val create : ?config:config -> Rip_tech.Process.t -> t
-(** Spawn the worker pool; the server is ready to serve connections. *)
+(** Spawn the worker pool and the watchdog; the server is ready to serve
+    connections.
+    @raise Invalid_argument on a non-positive [queue_depth] or
+    [max_frame_bytes], or [high_water] outside [1, queue_depth]. *)
 
 val stats : t -> Protocol.stats
 (** The STATS payload a client would receive now. *)
 
 val stopping : t -> bool
 
+val cache_key : t -> net:Rip_net.Net.t -> budget:float -> string
+(** The cache key this server would use for that request — for tests
+    and tools that need to poke the cache (see
+    {!corrupt_cache_entry}). *)
+
+val corrupt_cache_entry : t -> string -> bool
+(** Fault/test hook: tamper with a cached entry's digest so the next
+    lookup self-heals ({!Solve_cache.corrupt}). *)
+
 val handle_connection : t -> Unix.file_descr -> unit
 (** Serve one established connection (e.g. one end of a socketpair)
-    until the peer disconnects, a protocol error occurs, or a SHUTDOWN
-    request arrives.  Closes [fd] before returning.  Never raises on
-    peer-induced failures (resets, early close). *)
+    until the peer disconnects, a protocol error occurs, an oversized
+    frame arrives (answered TOOBIG), or a SHUTDOWN request arrives.
+    Closes [fd] before returning.  Never raises on peer-induced failures
+    (resets, early close). *)
 
 val run : t -> Unix.file_descr -> unit
 (** Accept loop over a listening socket: one thread per connection.
     Returns once shutdown is requested (SHUTDOWN frame, or
     {!request_shutdown} from a signal handler) and every connection
-    thread has finished; the worker pool is then shut down too.  Closes
-    the listening socket. *)
+    thread has finished; the worker pool and the watchdog are then shut
+    down too.  Closes the listening socket. *)
 
 val request_shutdown : t -> unit
 (** Stop accepting connections and reject further solves; idempotent and
     async-signal-usable.  In-flight requests complete. *)
 
 val shutdown : t -> unit
-(** {!request_shutdown} plus releasing the worker pool.  Embedders that
-    drive {!handle_connection} directly (no {!run} loop) must call this;
-    after {!run} returns it is a no-op. *)
+(** {!request_shutdown} plus releasing the worker pool and the watchdog.
+    Embedders that drive {!handle_connection} directly (no {!run} loop)
+    must call this; after {!run} returns it is a no-op. *)
 
 (** {1 Listening-socket helpers} *)
 

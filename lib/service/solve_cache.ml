@@ -5,6 +5,7 @@
 type 'a node = {
   node_key : string;
   mutable value : 'a;
+  mutable digest : string option;
   mutable prev : 'a node option;
   mutable next : 'a node option;
 }
@@ -18,6 +19,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable self_heals : int;
 }
 
 let create ~capacity =
@@ -31,6 +33,7 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    self_heals = 0;
   }
 
 let capacity t = t.cache_capacity
@@ -80,15 +83,31 @@ let evict_lru t =
       Hashtbl.remove t.table lru.node_key;
       t.evictions <- t.evictions + 1
 
-let find t k =
+(* Verification happens on *read*: a hit whose stored digest disagrees
+   with the digest recomputed from the stored value is treated as
+   corruption, dropped from the cache (self-heal) and reported as a
+   miss, so the caller re-solves and the bad bytes can never be served.
+   [digest_of] runs under the mutex; it is a cheap MD5 of the rendered
+   body, far below a solve. *)
+
+let find_verified t k ~digest_of =
   Mutex.lock t.mutex;
   let result =
     match Hashtbl.find_opt t.table k with
-    | Some node ->
-        t.hits <- t.hits + 1;
-        unlink t node;
-        push_front t node;
-        Some node.value
+    | Some node -> (
+        let fresh = digest_of node.value in
+        match node.digest with
+        | Some stored when not (String.equal stored fresh) ->
+            unlink t node;
+            Hashtbl.remove t.table k;
+            t.self_heals <- t.self_heals + 1;
+            t.misses <- t.misses + 1;
+            None
+        | _ ->
+            t.hits <- t.hits + 1;
+            unlink t node;
+            push_front t node;
+            Some node.value)
     | None ->
         t.misses <- t.misses + 1;
         None
@@ -96,26 +115,48 @@ let find t k =
   Mutex.unlock t.mutex;
   result
 
-let add t k value =
+let find t k = find_verified t k ~digest_of:(fun _ -> "")
+
+let add_digested t k value digest =
   if t.cache_capacity > 0 then begin
     Mutex.lock t.mutex;
     (match Hashtbl.find_opt t.table k with
     | Some node ->
         node.value <- value;
+        node.digest <- digest;
         unlink t node;
         push_front t node
     | None ->
         if Hashtbl.length t.table >= t.cache_capacity then evict_lru t;
-        let node = { node_key = k; value; prev = None; next = None } in
+        let node = { node_key = k; value; digest; prev = None; next = None } in
         Hashtbl.replace t.table k node;
         push_front t node);
     Mutex.unlock t.mutex
   end
 
+let add t k value = add_digested t k value None
+
+let add_verified t k value ~digest = add_digested t k value (Some digest)
+
+(* Test/fault hook: flip the stored digest of [k] (when present and
+   digest-carrying) so the next verified read detects corruption. *)
+let corrupt t k =
+  Mutex.lock t.mutex;
+  let did =
+    match Hashtbl.find_opt t.table k with
+    | Some ({ digest = Some d; _ } as node) ->
+        node.digest <- Some (d ^ "!corrupt");
+        true
+    | Some { digest = None; _ } | None -> false
+  in
+  Mutex.unlock t.mutex;
+  did
+
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  self_heals : int;
   size : int;
   capacity : int;
 }
@@ -127,6 +168,7 @@ let stats t =
       hits = t.hits;
       misses = t.misses;
       evictions = t.evictions;
+      self_heals = t.self_heals;
       size = Hashtbl.length t.table;
       capacity = t.cache_capacity;
     }

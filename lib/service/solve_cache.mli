@@ -31,16 +31,40 @@ val key :
 
 val find : 'a t -> string -> 'a option
 (** Lookup; a hit refreshes the entry's recency.  Counts into
-    {!stats}' hits/misses. *)
+    {!stats}' hits/misses.  Digest verification is skipped. *)
 
 val add : 'a t -> string -> 'a -> unit
 (** Insert (or overwrite, refreshing recency); evicts the least recently
-    used entry when full. *)
+    used entry when full.  The entry carries no digest, so verified
+    reads accept it unconditionally. *)
+
+(** {1 Digest-verified entries}
+
+    The service stores each solution together with a digest of its
+    rendered body.  Reads recompute the digest and compare: a mismatch
+    means the stored value was corrupted (bit rot, a fault-injection
+    run, a bug), so the entry is evicted on the spot — the cache
+    self-heals and the caller re-solves.  A corrupted entry is therefore
+    served zero times. *)
+
+val add_verified : 'a t -> string -> 'a -> digest:string -> unit
+(** Like {!add}, attaching the integrity digest. *)
+
+val find_verified : 'a t -> string -> digest_of:('a -> string) -> 'a option
+(** Like {!find}, but a hit first recomputes [digest_of value] and
+    compares it with the stored digest; on mismatch the entry is removed
+    and the lookup counts as a miss plus one [self_heals]. *)
+
+val corrupt : 'a t -> string -> bool
+(** Fault/test hook: tamper with the stored digest of an entry so the
+    next verified read detects corruption.  Returns [false] when the key
+    is absent or the entry carries no digest. *)
 
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  self_heals : int;  (** corrupted entries detected and evicted on read *)
   size : int;
   capacity : int;
 }

@@ -346,6 +346,38 @@ let prop_power_dp_deterministic =
       | Some a, Some b -> identical a b
       | Some _, None | None, Some _ -> false)
 
+(* The cancellation hook must be a pure observer: threading a token that
+   never fires through the DP has to leave the result bit-identical to a
+   solve without the hook. *)
+let prop_power_dp_cancel_identity =
+  QCheck.Test.make
+    ~name:"a never-firing cancel token leaves the solve bit-identical"
+    ~count:40 small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      let budget = bare *. slack in
+      let token = Rip_engine.Cancel.create () in
+      let plain =
+        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+      in
+      let hooked =
+        Power_dp.solve ~cancel:(Rip_engine.Cancel.hook token) geometry
+          repeater ~library ~candidates:sites ~budget
+      in
+      let identical (a : Power_dp.result) (b : Power_dp.result) =
+        let eq = List.for_all2 Float.equal in
+        eq (Solution.positions a.solution) (Solution.positions b.solution)
+        && eq (Solution.widths a.solution) (Solution.widths b.solution)
+        && Float.equal a.delay b.delay
+        && Float.equal a.total_width b.total_width
+      in
+      match (plain, hooked) with
+      | None, None -> true
+      | Some a, Some b -> identical a b
+      | Some _, None | None, Some _ -> false)
+
 let suite =
   [
     ( "dp.repeater_library",
@@ -381,6 +413,7 @@ let suite =
         qcheck prop_power_dp_valid;
         qcheck prop_power_dp_monotone_in_budget;
         qcheck prop_power_dp_deterministic;
+        qcheck prop_power_dp_cancel_identity;
       ] );
     ( "dp.min_delay",
       [

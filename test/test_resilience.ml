@@ -1,0 +1,647 @@
+(* Resilience and chaos suite: deadlines, fault injection, graceful
+   degradation, bounded frames, cache self-healing and client retries.
+
+   Every fault plan here is deterministic (fixed seed), so the suite is
+   reproducible; the @chaos dune alias runs exactly these tests. *)
+
+module Protocol = Rip_service.Protocol
+module Server = Rip_service.Server
+module Client = Rip_service.Client
+module Faults = Rip_service.Faults
+module Wire = Rip_service.Wire
+module Loadgen = Rip_service.Loadgen
+module Cancel = Rip_engine.Cancel
+module Net = Rip_net.Net
+module Segment = Rip_net.Segment
+module Zone = Rip_net.Zone
+module Geometry = Rip_net.Geometry
+module Rip = Rip_core.Rip
+module Validate = Rip_core.Validate
+module Solution = Rip_elmore.Solution
+
+let process = Helpers.process
+
+let sample_net ?(name = "chaos") () =
+  Net.create ~name
+    ~segments:
+      [
+        Segment.of_layer Rip_tech.Layer.metal4 ~length:1800.0;
+        Segment.of_layer Rip_tech.Layer.metal5 ~length:2200.0;
+      ]
+    ~zones:[ Zone.create ~z_start:1500.0 ~z_end:2600.0 ]
+    ~driver_width:20.0 ~receiver_width:40.0 ()
+
+let feasible_budget net = 1.3 *. Rip.tau_min process (Geometry.of_net net)
+
+let faults spec =
+  match Faults.parse_spec spec with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+(* One in-process connection over a socketpair. *)
+let connect_pair server =
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  (Client.of_fd client_fd, worker)
+
+let with_server ?config f =
+  let server = Server.create ?config process in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+let solution_of_wire (s : Protocol.solution) =
+  Solution.create s.Protocol.repeaters
+
+(* A degraded answer may miss the budget (that is the point) but must be
+   legal in every other respect. *)
+let check_degraded_legal net ~budget (s : Protocol.solution) =
+  let violations =
+    Validate.check process net ~budget (solution_of_wire s)
+    |> List.filter (function
+         | Validate.Over_budget _ -> false
+         | _ -> true)
+  in
+  Alcotest.(check int)
+    "degraded solution has no legality violations" 0 (List.length violations)
+
+(* --- Cancellation tokens ------------------------------------------------- *)
+
+let test_cancel_token () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh token not cancelled" false (Cancel.cancelled t);
+  Cancel.hook t ();
+  Cancel.cancel t;
+  Alcotest.(check bool) "cancelled after cancel" true (Cancel.cancelled t);
+  Alcotest.check_raises "hook raises once fired" Cancel.Cancelled
+    (Cancel.hook t);
+  Alcotest.(check (option int))
+    "protect maps Cancelled to None" None
+    (Cancel.protect (fun () -> Cancel.hook t (); 1));
+  Alcotest.(check (option int))
+    "protect passes values through" (Some 7)
+    (Cancel.protect (fun () -> 7))
+
+(* --- Deadline edge cases -------------------------------------------------- *)
+
+let test_timeout_at_admission () =
+  with_server ~config:{ Server.default_config with jobs = Some 1 }
+    (fun server ->
+      let client, worker = connect_pair server in
+      let net = sample_net () in
+      (match
+         Client.request client
+           (Protocol.Solve
+              { budget = feasible_budget net; deadline_ms = Some 0.0; net })
+       with
+      | Ok Protocol.Timeout -> ()
+      | Ok other ->
+          Alcotest.failf "expired deadline answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "transport failure: %s" e);
+      let stats = Server.stats server in
+      Alcotest.(check int) "one timeout" 1 stats.Protocol.timeouts;
+      Alcotest.(check int) "nothing solved" 0 stats.Protocol.solved;
+      Alcotest.(check int) "no solver time spent" 0
+        (compare stats.Protocol.solve_cpu_seconds 0.0);
+      Client.close client;
+      Thread.join worker)
+
+let test_cache_hit_beats_expired_deadline () =
+  with_server ~config:{ Server.default_config with jobs = Some 1 }
+    (fun server ->
+      let client, worker = connect_pair server in
+      let net = sample_net () in
+      let budget = feasible_budget net in
+      (match
+         Client.request client
+           (Protocol.Solve { budget; deadline_ms = None; net })
+       with
+      | Ok (Protocol.Result { served = Protocol.Fresh; _ }) -> ()
+      | Ok other ->
+          Alcotest.failf "warmup answered %S" (Protocol.print_response other)
+      | Error e -> Alcotest.failf "warmup failed: %s" e);
+      (* The replay is free, so a cached answer beats TIMEOUT even for a
+         deadline that was already dead on arrival. *)
+      (match
+         Client.request client
+           (Protocol.Solve { budget; deadline_ms = Some 0.0; net })
+       with
+      | Ok (Protocol.Result { served = Protocol.Cached; _ }) -> ()
+      | Ok other ->
+          Alcotest.failf "cache hit past deadline answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "cache hit failed: %s" e);
+      Alcotest.(check int) "no timeout counted" 0
+        (Server.stats server).Protocol.timeouts;
+      Client.close client;
+      Thread.join worker)
+
+let test_deadline_mid_solve_degrades () =
+  (* The injected 500 ms solve delay guarantees the 50 ms deadline fires
+     mid-solve; the interruptible delay observes the token, so the
+     request still answers promptly. *)
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        jobs = Some 1;
+        faults = Some (faults "seed=3,delay:p=1:ms=500");
+      }
+    (fun server ->
+      let client, worker = connect_pair server in
+      let net = sample_net () in
+      let budget = feasible_budget net in
+      (match
+         Client.request client
+           (Protocol.Solve { budget; deadline_ms = Some 50.0; net })
+       with
+      | Ok (Protocol.Degraded { reason = Protocol.Deadline_exceeded; solution })
+        ->
+          check_degraded_legal net ~budget solution
+      | Ok other ->
+          Alcotest.failf "deadline mid-solve answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "transport failure: %s" e);
+      let stats = Server.stats server in
+      Alcotest.(check int) "one degradation" 1 stats.Protocol.degraded;
+      Alcotest.(check int) "no TIMEOUT (work was attempted)" 0
+        stats.Protocol.timeouts;
+      Client.close client;
+      Thread.join worker)
+
+(* --- Fault injection ------------------------------------------------------ *)
+
+let test_worker_kill_degrades () =
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        jobs = Some 1;
+        faults = Some (faults "seed=5,kill:p=1");
+      }
+    (fun server ->
+      let client, worker = connect_pair server in
+      let net = sample_net () in
+      let budget = feasible_budget net in
+      let solve =
+        Protocol.Solve { budget; deadline_ms = None; net }
+      in
+      (match Client.request client solve with
+      | Ok (Protocol.Degraded { reason = Protocol.Worker_lost; solution }) ->
+          check_degraded_legal net ~budget solution
+      | Ok other ->
+          Alcotest.failf "killed worker answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "transport failure: %s" e);
+      (* The server survives its dead worker: the connection still
+         answers, both solves and pings. *)
+      (match Client.request client solve with
+      | Ok (Protocol.Degraded { reason = Protocol.Worker_lost; _ }) -> ()
+      | Ok other ->
+          Alcotest.failf "second kill answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "second solve failed: %s" e);
+      (match Client.request client Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | Ok other ->
+          Alcotest.failf "PING after kills answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "PING failed: %s" e);
+      Alcotest.(check int) "both requests degraded" 2
+        (Server.stats server).Protocol.degraded;
+      Client.close client;
+      Thread.join worker)
+
+let test_overload_sheds_to_degraded () =
+  (* high_water 1 under queue_depth 2: the first solve (held in its
+     injected 300 ms delay) occupies the only below-high-water slot, so
+     a concurrent second solve is answered from the analytic tier. *)
+  with_server
+    ~config:
+      {
+        Server.default_config with
+        jobs = Some 1;
+        queue_depth = 2;
+        high_water = 1;
+        faults = Some (faults "seed=9,delay:p=1:ms=300");
+      }
+    (fun server ->
+      let net = sample_net () in
+      let budget = feasible_budget net in
+      let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+      let responses = Array.make 2 (Error "not run") in
+      let one index () =
+        let client, worker = connect_pair server in
+        responses.(index) <- Client.request client solve;
+        Client.close client;
+        Thread.join worker
+      in
+      let first = Thread.create (one 0) () in
+      Thread.delay 0.08;  (* let the first solve enter its delay *)
+      let second = Thread.create (one 1) () in
+      Thread.join first;
+      Thread.join second;
+      let degraded, full =
+        Array.fold_left
+          (fun (d, f) r ->
+            match r with
+            | Ok (Protocol.Degraded { reason = Protocol.Overload; solution })
+              ->
+                check_degraded_legal net ~budget solution;
+                (d + 1, f)
+            | Ok (Protocol.Result _) -> (d, f + 1)
+            | Ok other ->
+                Alcotest.failf "unexpected answer %S"
+                  (Protocol.print_response other)
+            | Error e -> Alcotest.failf "transport failure: %s" e)
+          (0, 0) responses
+      in
+      Alcotest.(check int) "one request shed" 1 degraded;
+      Alcotest.(check int) "one full solve" 1 full)
+
+let test_cache_corruption_self_heals () =
+  with_server ~config:{ Server.default_config with jobs = Some 1 }
+    (fun server ->
+      let client, worker = connect_pair server in
+      let net = sample_net () in
+      let budget = feasible_budget net in
+      let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+      let served () =
+        match Client.request client solve with
+        | Ok (Protocol.Result { served; _ }) -> served
+        | Ok other ->
+            Alcotest.failf "solve answered %S" (Protocol.print_response other)
+        | Error e -> Alcotest.failf "solve failed: %s" e
+      in
+      Alcotest.(check bool) "warmup is fresh" true (served () = Protocol.Fresh);
+      Alcotest.(check bool) "replay is cached" true
+        (served () = Protocol.Cached);
+      (* Flip the stored digest: the next read must detect the mismatch,
+         evict the entry and re-solve rather than serve the bad bytes. *)
+      Alcotest.(check bool) "corruption hook found the entry" true
+        (Server.corrupt_cache_entry server (Server.cache_key server ~net ~budget));
+      Alcotest.(check bool) "corrupted entry is re-solved" true
+        (served () = Protocol.Fresh);
+      Alcotest.(check bool) "healed entry serves again" true
+        (served () = Protocol.Cached);
+      let stats = Server.stats server in
+      Alcotest.(check int) "one self-heal counted" 1
+        stats.Protocol.cache_self_heals;
+      Client.close client;
+      Thread.join worker)
+
+(* --- Frame bounds --------------------------------------------------------- *)
+
+let read_all fd =
+  let buffer = Bytes.create 4096 in
+  let out = Buffer.create 256 in
+  let rec go () =
+    match Unix.read fd buffer 0 (Bytes.length buffer) with
+    | 0 -> Buffer.contents out
+    | n ->
+        Buffer.add_subbytes out buffer 0 n;
+        go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Buffer.contents out
+  in
+  go ()
+
+let test_oversized_frame_rejected () =
+  with_server
+    ~config:
+      { Server.default_config with jobs = Some 1; max_frame_bytes = 256 }
+    (fun server ->
+      let server_fd, client_fd =
+        Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+      in
+      let worker =
+        Thread.create (Server.handle_connection server) server_fd
+      in
+      (* One endless header line: the frame budget must trip on buffered
+         bytes before any line is handed to the parser, however the reads
+         split. *)
+      let s = "SOLVE " ^ String.make 600 'x' ^ "\nEND\n" in
+      (try Wire.send client_fd s
+       with Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+      let answer = read_all client_fd in
+      Alcotest.(check string) "typed TOOBIG then hang up" "TOOBIG\n" answer;
+      Thread.join worker;
+      Unix.close client_fd;
+      Alcotest.(check int) "toobig counted" 1
+        (Server.stats server).Protocol.toobig)
+
+let test_wire_reader_bounds () =
+  (* Writes are interleaved with reads so each read sees exactly one
+     line's bytes: the budget is checked on buffer growth, so batching
+     both lines into one read would trip it before the first line. *)
+  let read_fd, write_fd = Unix.pipe ~cloexec:true () in
+  let reader = Wire.create ~max_frame_bytes:16 read_fd in
+  let next = Wire.reader reader in
+  Wire.send write_fd "0123456789\n";
+  Alcotest.(check (option string)) "first line fits" (Some "0123456789")
+    (next ());
+  (* The second line pushes the frame past 16 bytes... *)
+  Wire.send write_fd "0123456789\n";
+  Alcotest.check_raises "second line trips the frame budget"
+    Wire.Frame_too_big (fun () -> ignore (next ()));
+  (* ...but a new frame resets the budget; the buffered line that
+     tripped the bound is then readable again. *)
+  Wire.new_frame reader;
+  Alcotest.(check (option string)) "after new_frame" (Some "0123456789")
+    (next ());
+  Wire.send write_fd "ok\n";
+  Unix.close write_fd;
+  Alcotest.(check (option string)) "reads on" (Some "ok") (next ());
+  Alcotest.(check (option string)) "eof" None (next ());
+  Unix.close read_fd
+
+let test_wire_reader_lines () =
+  let read_fd, write_fd = Unix.pipe ~cloexec:true () in
+  let next = Wire.reader (Wire.create read_fd) in
+  Wire.send write_fd "alpha\r\nbeta\ntail-without-newline";
+  Unix.close write_fd;
+  Alcotest.(check (option string)) "crlf stripped" (Some "alpha") (next ());
+  Alcotest.(check (option string)) "plain line" (Some "beta") (next ());
+  Alcotest.(check (option string)) "final unterminated line"
+    (Some "tail-without-newline") (next ());
+  Alcotest.(check (option string)) "eof" None (next ());
+  Unix.close read_fd
+
+(* --- Fault plans ---------------------------------------------------------- *)
+
+let test_faults_spec_parsing () =
+  let plan =
+    faults "seed=7,delay:p=0.5:ms=20,kill:p=0.25,drop:p=0.75:bytes=64,corrupt"
+  in
+  let spec = Faults.spec plan in
+  Alcotest.(check int64) "seed" 7L spec.Faults.seed;
+  Alcotest.(check (float 0.0)) "delay p" 0.5 spec.Faults.delay_p;
+  Alcotest.(check (float 0.0)) "delay seconds" 0.020 spec.Faults.delay_seconds;
+  Alcotest.(check (float 0.0)) "kill p" 0.25 spec.Faults.kill_p;
+  Alcotest.(check int) "drop bytes" 64 spec.Faults.drop_bytes;
+  Alcotest.(check (float 0.0)) "bare clause means p=1" 1.0
+    spec.Faults.corrupt_p;
+  (match Faults.parse_spec "" with
+  | Ok plan ->
+      Alcotest.(check (float 0.0)) "empty spec is disabled" 0.0
+        (Faults.spec plan).Faults.kill_p
+  | Error e -> Alcotest.failf "empty spec rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match Faults.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S should not parse" bad)
+    [ "frobnicate"; "kill:p=nope"; "kill:p=1.5"; "seed=xyz"; "delay:ms=-3" ]
+
+let test_faults_deterministic () =
+  let draws spec =
+    let plan = faults spec in
+    List.init 32 (fun _ -> (Faults.kill_worker plan, Faults.solve_delay plan))
+  in
+  Alcotest.(check bool) "same seed, same schedule" true
+    (draws "seed=42,kill:p=0.3,delay:p=0.4:ms=5"
+    = draws "seed=42,kill:p=0.3,delay:p=0.4:ms=5");
+  Alcotest.(check bool) "different seed, different schedule" true
+    (draws "seed=42,kill:p=0.3,delay:p=0.4:ms=5"
+    <> draws "seed=43,kill:p=0.3,delay:p=0.4:ms=5");
+  let off = Faults.disabled () in
+  Alcotest.(check bool) "disabled never kills" false (Faults.kill_worker off);
+  Alcotest.(check bool) "disabled never delays" true
+    (Faults.solve_delay off = None);
+  Alcotest.(check bool) "disabled never drops" true
+    (Faults.drop_after off = None)
+
+(* --- Client retries over a real listener ---------------------------------- *)
+
+let temp_socket_path tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rip_%s_%d.sock" tag (Unix.getpid ()))
+
+let with_listening_server ~config ~tag f =
+  let path = temp_socket_path tag in
+  let server = Server.create ~config process in
+  let listen_fd = Server.listen_unix path in
+  let run_thread = Thread.create (Server.run server) listen_fd in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_shutdown server;
+      Thread.join run_thread;
+      Server.shutdown server;
+      if Sys.file_exists path then
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f server path)
+
+let test_dropped_connection_retries () =
+  (* Every response is cut after 5 bytes: the client must see a typed
+     transport error (never a half-parsed Ok), reconnect, retry, and
+     finally report the failure after exhausting its attempts. *)
+  with_listening_server ~tag:"drop"
+    ~config:
+      {
+        Server.default_config with
+        jobs = Some 1;
+        faults = Some (faults "seed=2,drop:p=1:bytes=5");
+      }
+    (fun server path ->
+      let policy =
+        {
+          Client.default_retry_policy with
+          attempts = 3;
+          backoff_seconds = 0.001;
+          backoff_cap_seconds = 0.002;
+        }
+      in
+      let session =
+        Client.session ~policy ~seed:77L (fun () -> Client.connect_unix path)
+      in
+      let net = sample_net () in
+      let outcome =
+        Client.request_with_retry session
+          (Protocol.Solve
+             { budget = feasible_budget net; deadline_ms = None; net })
+      in
+      Client.close_session session;
+      (match outcome.Client.response with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.failf "dropped responses produced an Ok %S"
+            (Protocol.print_response r));
+      Alcotest.(check int) "all attempts used" 3 outcome.Client.attempts;
+      Alcotest.(check int) "both retries were transport retries" 2
+        outcome.Client.retried_transport;
+      (* Every attempt reached the server and was fully served there. *)
+      let stats = Server.stats server in
+      Alcotest.(check int) "server saw every attempt" 3
+        stats.Protocol.requests;
+      Alcotest.(check int) "first attempt solved, replays hit the cache" 2
+        stats.Protocol.cache_hits)
+
+let test_busy_retries_counted () =
+  with_server ~config:{ Server.default_config with jobs = Some 1 }
+    (fun server ->
+      (* Draining servers reject solves with BUSY; the session must retry
+         the configured number of times and surface the final BUSY. *)
+      Server.request_shutdown server;
+      let client, worker = connect_pair server in
+      let connected = ref (Some client) in
+      let session =
+        Client.session
+          ~policy:
+            {
+              Client.default_retry_policy with
+              attempts = 3;
+              backoff_seconds = 0.001;
+              backoff_cap_seconds = 0.002;
+            }
+          ~seed:5L
+          (fun () ->
+            match !connected with
+            | Some c ->
+                connected := None;
+                c
+            | None -> Alcotest.fail "BUSY must not reconnect")
+      in
+      let net = sample_net () in
+      let outcome =
+        Client.request_with_retry session
+          (Protocol.Solve
+             { budget = feasible_budget net; deadline_ms = None; net })
+      in
+      (match outcome.Client.response with
+      | Ok Protocol.Busy -> ()
+      | Ok other ->
+          Alcotest.failf "draining server answered %S"
+            (Protocol.print_response other)
+      | Error e -> Alcotest.failf "transport failure: %s" e);
+      Alcotest.(check int) "two busy retries" 2 outcome.Client.retried_busy;
+      Alcotest.(check int) "server counted every attempt" 3
+        (Server.stats server).Protocol.rejected_busy;
+      Client.close_session session;
+      Thread.join worker)
+
+(* --- The chaos storm ------------------------------------------------------ *)
+
+(* The acceptance scenario: injected worker kills and solve delays under
+   a 50 ms deadline.  Every request must get exactly one well-formed
+   typed response — RESULT, DEGRADED, TIMEOUT or BUSY — with zero hangs,
+   and the load generator's counts must reconcile with the server's
+   STATS deltas. *)
+let test_chaos_storm_counts_reconcile () =
+  with_listening_server ~tag:"chaos"
+    ~config:
+      {
+        Server.default_config with
+        jobs = Some 2;
+        queue_depth = 8;
+        high_water = 8;
+        faults = Some (faults "seed=11,delay:p=0.4:ms=20,kill:p=0.3");
+      }
+    (fun server path ->
+      let requests = 24 in
+      let workload =
+        Loadgen.workload ~seed:20050307L ~distinct_nets:2 ~slack:1.3
+          ~deadline_ms:50.0 ~requests process
+      in
+      let policy =
+        {
+          Client.attempts = 2;
+          backoff_seconds = 0.001;
+          backoff_cap_seconds = 0.005;
+          attempt_timeout = Some 5.0;
+        }
+      in
+      let result =
+        Loadgen.run
+          ~connect:(fun () -> Client.connect_unix path)
+          ~connections:3 ~policy ~seed:5L workload
+      in
+      (* Exactly one typed response per request, no hangs, no errors. *)
+      Alcotest.(check int) "all requests issued" requests result.Loadgen.sent;
+      Alcotest.(check int) "no transport failures" 0
+        result.Loadgen.transport_failures;
+      Alcotest.(check int) "no transport retries" 0
+        result.Loadgen.retried_transport;
+      Alcotest.(check int) "no solver errors" 0 result.Loadgen.errors;
+      Alcotest.(check int) "every request answered with a typed frame"
+        requests
+        (result.Loadgen.solved_fresh + result.Loadgen.solved_cached
+        + result.Loadgen.degraded + result.Loadgen.timeouts
+        + result.Loadgen.busy);
+      (* The loadgen's view reconciles with the server's STATS: every
+         retried BUSY/TIMEOUT attempt also reached the server. *)
+      let stats = Server.stats server in
+      let attempts =
+        requests + result.Loadgen.retried_busy + result.Loadgen.retried_timeout
+      in
+      Alcotest.(check int) "server saw every attempt" attempts
+        stats.Protocol.requests;
+      Alcotest.(check int) "solved reconciles"
+        (result.Loadgen.solved_fresh + result.Loadgen.solved_cached)
+        stats.Protocol.solved;
+      Alcotest.(check int) "degraded reconciles" result.Loadgen.degraded
+        stats.Protocol.degraded;
+      Alcotest.(check int) "timeouts reconcile"
+        (result.Loadgen.timeouts + result.Loadgen.retried_timeout)
+        stats.Protocol.timeouts;
+      Alcotest.(check int) "busy reconciles"
+        (result.Loadgen.busy + result.Loadgen.retried_busy)
+        stats.Protocol.rejected_busy;
+      Alcotest.(check int) "cache hits reconcile" result.Loadgen.solved_cached
+        stats.Protocol.cache_hits;
+      Alcotest.(check int) "every attempt hit or missed the cache"
+        stats.Protocol.requests
+        (stats.Protocol.cache_hits + stats.Protocol.cache_misses);
+      (* Under kills and delays something must actually have degraded —
+         otherwise this storm is not testing what it claims to. *)
+      Alcotest.(check bool) "the storm injected real faults" true
+        (result.Loadgen.degraded > 0))
+
+let suite =
+  [
+    ( "resilience.cancel",
+      [ Alcotest.test_case "token semantics" `Quick test_cancel_token ] );
+    ( "resilience.deadline",
+      [
+        Alcotest.test_case "expired at admission" `Quick
+          test_timeout_at_admission;
+        Alcotest.test_case "cache hit beats deadline" `Quick
+          test_cache_hit_beats_expired_deadline;
+        Alcotest.test_case "fires mid-solve" `Quick
+          test_deadline_mid_solve_degrades;
+      ] );
+    ( "resilience.faults",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_faults_spec_parsing;
+        Alcotest.test_case "deterministic draws" `Quick
+          test_faults_deterministic;
+        Alcotest.test_case "worker kill degrades" `Quick
+          test_worker_kill_degrades;
+        Alcotest.test_case "overload sheds" `Quick
+          test_overload_sheds_to_degraded;
+        Alcotest.test_case "cache self-heals" `Quick
+          test_cache_corruption_self_heals;
+      ] );
+    ( "resilience.wire",
+      [
+        Alcotest.test_case "oversized frame rejected" `Quick
+          test_oversized_frame_rejected;
+        Alcotest.test_case "reader frame budget" `Quick
+          test_wire_reader_bounds;
+        Alcotest.test_case "reader line handling" `Quick
+          test_wire_reader_lines;
+      ] );
+    ( "resilience.retry",
+      [
+        Alcotest.test_case "dropped connection" `Quick
+          test_dropped_connection_retries;
+        Alcotest.test_case "busy retries counted" `Quick
+          test_busy_retries_counted;
+      ] );
+    ( "resilience.chaos",
+      [
+        Alcotest.test_case "storm counts reconcile" `Quick
+          test_chaos_storm_counts_reconcile;
+      ] );
+  ]

@@ -12,6 +12,7 @@ let () =
          Test_core.suite;
          Test_engine.suite;
          Test_service.suite;
+         Test_resilience.suite;
          Test_workload.suite;
          Test_tree.suite;
          Test_integration.suite;

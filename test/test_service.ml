@@ -46,6 +46,10 @@ let sample_stats =
     cache_capacity = 4;
     queue_wait_seconds = 0.75;
     solve_cpu_seconds = 1.5;
+    timeouts = 2;
+    degraded = 3;
+    toobig = 1;
+    cache_self_heals = 1;
   }
 
 (* --- Protocol ----------------------------------------------------------- *)
@@ -83,11 +87,16 @@ let test_protocol_request_round_trips () =
   check_request_round_trip Protocol.Stats;
   check_request_round_trip Protocol.Shutdown;
   check_request_round_trip
-    (Protocol.Solve { budget = 6.25e-10; net = sample_net () });
+    (Protocol.Solve
+       { budget = 6.25e-10; deadline_ms = None; net = sample_net () });
+  check_request_round_trip
+    (Protocol.Solve
+       { budget = 6.25e-10; deadline_ms = Some 50.0; net = sample_net () });
   (* A budget that needs all 17 significant digits must survive. *)
   check_request_round_trip
     (Protocol.Solve
-       { budget = 1.0 /. 3.0 *. 1e-9; net = Helpers.Net.uniform ~name:"u"
+       { budget = 1.0 /. 3.0 *. 1e-9; deadline_ms = Some (1.0 /. 3.0);
+         net = Helpers.Net.uniform ~name:"u"
            Rip_tech.Layer.metal4 ~length:5000.0 ~segment_count:3
            ~driver_width:30.0 ~receiver_width:60.0 })
 
@@ -95,6 +104,13 @@ let test_protocol_response_round_trips () =
   check_response_round_trip Protocol.Pong;
   check_response_round_trip Protocol.Bye;
   check_response_round_trip Protocol.Busy;
+  check_response_round_trip Protocol.Timeout;
+  check_response_round_trip Protocol.Toobig;
+  List.iter
+    (fun reason ->
+      check_response_round_trip
+        (Protocol.Degraded { reason; solution = sample_solution }))
+    [ Protocol.Deadline_exceeded; Protocol.Overload; Protocol.Worker_lost ];
   List.iter
     (fun kind ->
       check_response_round_trip
@@ -287,7 +303,7 @@ let test_server_end_to_end () =
   | Error e -> Alcotest.failf "PING failed: %s" e);
   let net = sample_net () in
   let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
-  let solve = Protocol.Solve { budget; net } in
+  let solve = Protocol.Solve { budget; deadline_ms = None; net } in
   let served1, solution1 = expect_result (Client.request client solve) in
   Alcotest.(check bool) "first solve is fresh" true (served1 = Protocol.Fresh);
   Alcotest.(check bool) "some repeaters inserted" true
@@ -299,7 +315,10 @@ let test_server_end_to_end () =
     (Protocol.solution_body solution1)
     (Protocol.solution_body solution2);
   (* An infeasible budget comes back as a typed ERROR, uncached. *)
-  (match Client.request client (Protocol.Solve { budget = 1e-15; net }) with
+  (match
+     Client.request client
+       (Protocol.Solve { budget = 1e-15; deadline_ms = None; net })
+   with
   | Ok (Protocol.Error_frame { kind = Protocol.Infeasible_budget; _ }) -> ()
   | Ok other ->
       Alcotest.failf "infeasible solve answered %S"
