@@ -25,6 +25,8 @@ module Geometry = Rip_net.Geometry
 module Solution = Rip_elmore.Solution
 module Engine = Rip_engine.Engine
 module Telemetry = Rip_engine.Telemetry
+module Trace = Rip_obs.Trace
+module Obs = Rip_obs.Metrics
 
 let process = Rip_tech.Process.default_180nm
 
@@ -325,15 +327,24 @@ let suite_fingerprint runs =
 
 let run_suite_bench scale jobs_list =
   section "Engine batch-solve scaling";
+  (* Engine telemetry feeds an observability registry: one recorder per
+     bench process, every ladder run observed into it, the exposition
+     printed at the end (histogram bucket lines elided for brevity). *)
+  let registry = Obs.create () in
+  let recorder = Telemetry.Recorder.create registry in
   let nets = Suite.nets ~count:scale.nets () in
   let cells = scale.nets * scale.targets in
   let one jobs =
+    Trace.span (Trace.global ()) ~cat:"bench"
+      (Printf.sprintf "suite jobs=%d" jobs)
+    @@ fun () ->
     let started = Unix.gettimeofday () in
     let runs, telemetry =
       Experiments.run_suite_stats ~jobs ~granularities:[] ~nets
         ~targets_per_net:scale.targets process
     in
     let wall = Unix.gettimeofday () -. started in
+    Telemetry.Recorder.observe recorder telemetry;
     Printf.printf
       "jobs=%-2d  wall %6.2fs  cpu %6.2fs  %5.1f cells/s  utilization %3.0f%%\n%!"
       jobs wall telemetry.Telemetry.cpu_seconds
@@ -373,7 +384,16 @@ let run_suite_bench scale jobs_list =
   let out = open_out "BENCH_suite.json" in
   output_string out json;
   close_out out;
-  Printf.printf "wrote BENCH_suite.json (%d runs)\n" (List.length measurements)
+  Printf.printf "wrote BENCH_suite.json (%d runs)\n" (List.length measurements);
+  let contains_substring haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+    at 0
+  in
+  print_string "\nengine registry (bucket samples elided):\n";
+  String.split_on_char '\n' (Obs.render registry)
+  |> List.filter (fun line -> not (contains_substring line "_bucket{"))
+  |> List.iter print_endline
 
 (* --- Entry point -------------------------------------------------------- *)
 
@@ -395,6 +415,19 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let jobs_override, args = extract_jobs [] args in
+  (* --trace-out FILE installs a global tracer: engine batches/jobs and
+     the suite ladder leave spans, dumped as Chrome-trace JSON at exit.
+     Without the flag every span hook is a nop. *)
+  let rec extract_trace_out acc = function
+    | [ "--trace-out" ] ->
+        prerr_endline "--trace-out expects a file";
+        exit 2
+    | "--trace-out" :: file :: rest -> (Some file, List.rev acc @ rest)
+    | a :: rest -> extract_trace_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let trace_out, args = extract_trace_out [] args in
+  if Option.is_some trace_out then Trace.set_global (Some (Trace.create ()));
   let quick = List.mem "--quick" args in
   let scale = if quick then quick_scale else full_scale in
   let wanted = List.filter (fun a -> a <> "--quick") args in
@@ -434,4 +467,10 @@ let () =
     in
     let ladder = if top <= 1 then [ 1 ] else [ 1; top ] in
     run_suite_bench (if quick then quick_scale else scale) ladder
-  end
+  end;
+  match (trace_out, Trace.global ()) with
+  | Some file, Some tracer ->
+      Trace.dump_to_file tracer file;
+      Printf.printf "wrote %d trace spans to %s\n"
+        (Trace.span_count tracer) file
+  | _ -> ()

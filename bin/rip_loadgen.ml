@@ -15,6 +15,8 @@
 module Protocol = Rip_service.Protocol
 module Client = Rip_service.Client
 module Loadgen = Rip_service.Loadgen
+module Obs = Rip_obs.Metrics
+module Metrics = Rip_service.Metrics
 
 let process = Rip_tech.Process.default_180nm
 
@@ -27,6 +29,18 @@ let fetch_stats connect =
   with
   | Ok (Protocol.Stats_frame stats) -> Ok stats
   | Ok _ -> Error "unexpected response to STATS"
+  | Error e -> Error e
+  | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
+
+let fetch_metrics connect =
+  match
+    let client = connect () in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () -> Client.request client Protocol.Metrics)
+  with
+  | Ok (Protocol.Metrics_frame body) -> Ok body
+  | Ok _ -> Error "unexpected response to METRICS"
   | Error e -> Error e
   | exception Unix.Unix_error (code, _, _) -> Error (Unix.error_message code)
 
@@ -97,6 +111,100 @@ let print_consistency ~before ~after (t : totals) =
     consistent
   end
 
+(* The server's view of itself, from the closing STATS frame: the gauge
+   fields and its own histogram percentiles. *)
+let print_server_now (s : Protocol.stats) =
+  Printf.printf
+    "server now         : uptime %.1f s, in_flight %d, queue_depth %d\n\
+     server percentiles : queue p50/p95/p99 %.3f/%.3f/%.3f ms, solve \
+     p50/p95/p99 %.3f/%.3f/%.3f ms (since startup)\n"
+    s.Protocol.uptime_seconds s.Protocol.in_flight s.Protocol.queue_depth
+    (s.Protocol.queue_wait_p50 *. 1e3)
+    (s.Protocol.queue_wait_p95 *. 1e3)
+    (s.Protocol.queue_wait_p99 *. 1e3)
+    (s.Protocol.solve_p50 *. 1e3)
+    (s.Protocol.solve_p95 *. 1e3)
+    (s.Protocol.solve_p99 *. 1e3)
+
+(* Delta of one server histogram across the run, from two METRICS
+   scrapes.  [diff] raises when the families do not line up (daemon
+   restarted between scrapes); treat that as no data. *)
+let histogram_delta ~before ~after name =
+  match
+    ( List.assoc_opt name (Obs.parse_histograms before),
+      List.assoc_opt name (Obs.parse_histograms after) )
+  with
+  | Some earlier, Some later -> (
+      match Obs.Histogram.diff later earlier with
+      | delta -> Some delta
+      | exception Invalid_argument _ -> None)
+  | _ -> None
+
+let print_histogram label (d : Obs.Histogram.snapshot) =
+  let q p = Obs.Histogram.quantile d p *. 1e3 in
+  Printf.printf
+    "%-19s: n=%d, sum %.3f s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n" label
+    d.Obs.Histogram.count d.Obs.Histogram.sum (q 0.5) (q 0.95) (q 0.99)
+
+(* Client latencies bound server-side times from above, request by
+   request: a fresh solve's queue wait and its solver CPU time both fit
+   inside the round trip the client measured around that request.
+   Order statistics preserve pointwise domination, and client and
+   server use the same rank convention ({!Rip_numerics.Stats.quantile_rank}),
+   so at every quantile the client's exact value must be >= the
+   server's Lower bucket-bound estimate.  The request-by-request
+   pairing only exists when every request of the run was one fresh
+   solve, so the check is reported but skipped when cache hits,
+   retries, degradation, timeouts or transport trouble blur it. *)
+let print_percentile_reconciliation ~before ~after (t : totals)
+    (results : Loadgen.result list) =
+  match
+    ( histogram_delta ~before ~after Metrics.queue_wait_metric,
+      histogram_delta ~before ~after Metrics.solve_cpu_metric )
+  with
+  | Some queue, Some solve -> (
+      print_histogram "server queue wait" queue;
+      print_histogram "server solve cpu" solve;
+      let clean =
+        t.cached = 0 && t.degraded = 0 && t.timeouts = 0 && t.errors = 0
+        && t.busy = 0 && t.transport = 0 && t.retried_busy = 0
+        && t.retried_timeout = 0 && t.retried_transport = 0
+      in
+      match results with
+      | [ client ] when clean ->
+          let lower s p =
+            Obs.Histogram.quantile ~estimate:Obs.Histogram.Lower s p
+          in
+          let dominates (p, client_p) =
+            client_p >= lower queue p && client_p >= lower solve p
+          in
+          let consistent =
+            queue.Obs.Histogram.count = t.fresh
+            && solve.Obs.Histogram.count = t.fresh
+            && List.for_all dominates
+                 [
+                   (0.5, client.Loadgen.p50);
+                   (0.95, client.Loadgen.p95);
+                   (0.99, client.Loadgen.p99);
+                 ]
+          in
+          Printf.printf "percentiles consistent: %s\n"
+            (if consistent then
+               "yes (client p50/p95/p99 dominate the server's lower bucket \
+                bounds; histogram counts match)"
+             else "NO (server histograms disagree with client latencies)");
+          consistent
+      | _ ->
+          Printf.printf
+            "percentiles consistent: skipped (needs one all-fresh pass: no \
+             cache hits, retries, degradation or transport trouble — try \
+             --distinct-nets >= --requests)\n";
+          true)
+  | _ ->
+      Printf.printf
+        "server histograms  : missing from METRICS; reconciliation skipped\n";
+      true
+
 let run_load socket_path port host requests connections distinct_nets seed
     slack passes deadline_ms retries attempt_timeout_ms backoff_ms =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -123,11 +231,11 @@ let run_load socket_path port host requests connections distinct_nets seed
       Loadgen.workload ~seed:(Int64.of_int seed) ~distinct_nets ~slack
         ?deadline_ms ~requests process
     in
-    match fetch_stats connect with
-    | Error e ->
+    match (fetch_stats connect, fetch_metrics connect) with
+    | Error e, _ | _, Error e ->
         Printf.eprintf "rip_loadgen: cannot reach the daemon: %s\n" e;
         1
-    | Ok before ->
+    | Ok before, Ok metrics_before ->
         let results =
           List.init passes (fun pass ->
               let label =
@@ -195,9 +303,22 @@ let run_load socket_path port host requests connections distinct_nets seed
           | Error e ->
               Printf.eprintf "rip_loadgen: cannot fetch closing STATS: %s\n" e;
               false
-          | Ok after -> print_consistency ~before ~after totals
+          | Ok after ->
+              let counters_ok = print_consistency ~before ~after totals in
+              print_server_now after;
+              counters_ok
         in
-        if failures || not consistent then 1 else 0
+        let percentiles_ok =
+          match fetch_metrics connect with
+          | Error e ->
+              Printf.eprintf
+                "rip_loadgen: cannot fetch closing METRICS: %s\n" e;
+              false
+          | Ok metrics_after ->
+              print_percentile_reconciliation ~before:metrics_before
+                ~after:metrics_after totals results
+        in
+        if failures || not consistent || not percentiles_ok then 1 else 0
   end
 
 open Cmdliner

@@ -22,7 +22,7 @@ let resolve_faults = function
   | None -> Faults.of_env ()
 
 let serve socket_path port host jobs cache_capacity queue_depth high_water
-    max_frame_bytes faults_spec =
+    max_frame_bytes faults_spec trace_out =
   if queue_depth < 1 then begin
     prerr_endline "rip_serviced: --queue-depth must be at least 1";
     2
@@ -47,6 +47,13 @@ let serve socket_path port host jobs cache_capacity queue_depth high_water
         2
     | Ok faults ->
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        (* One tracer for the daemon's lifetime; installed globally so
+           engine batch spans land in the same timeline as the service
+           spans.  Dumped once, at shutdown. *)
+        let tracer =
+          Option.map (fun _ -> Rip_obs.Trace.create ()) trace_out
+        in
+        if Option.is_some tracer then Rip_obs.Trace.set_global tracer;
         let config =
           {
             Server.default_config with
@@ -56,6 +63,7 @@ let serve socket_path port host jobs cache_capacity queue_depth high_water
             cache_capacity;
             max_frame_bytes;
             faults;
+            tracer;
           }
         in
         let server = Server.create ~config process in
@@ -80,6 +88,13 @@ let serve socket_path port host jobs cache_capacity queue_depth high_water
         (* Leave no stale socket file behind on a clean shutdown. *)
         (if port = None && Sys.file_exists socket_path then
            try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+        (match (tracer, trace_out) with
+        | Some tr, Some path ->
+            Rip_obs.Trace.dump_to_file tr path;
+            Printf.printf "rip_serviced: wrote %d trace spans to %s\n%!"
+              (Rip_obs.Trace.span_count tr)
+              path
+        | _ -> ());
         Printf.printf "rip_serviced: shut down\n%!";
         0
   end
@@ -151,6 +166,16 @@ let faults_spec =
               corrupt:p=1'.  Also read from \\$RIP_FAULTS; this flag wins. \
               Off by default.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record per-request trace spans (admission, cache lookup, queue \
+              wait, solve, solver phases) and write them as Chrome-trace \
+              JSON to $(docv) at shutdown; open in chrome://tracing or \
+              Perfetto.  Off by default — the span hooks are nops.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_serviced" ~version:"1.0.0"
@@ -158,6 +183,6 @@ let main =
              result cache, deadlines and graceful degradation")
     Term.(
       const serve $ socket_path $ port $ host $ jobs $ cache_capacity
-      $ queue_depth $ high_water $ max_frame_bytes $ faults_spec)
+      $ queue_depth $ high_water $ max_frame_bytes $ faults_spec $ trace_out)
 
 let () = exit (Cmd.eval' main)

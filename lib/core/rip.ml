@@ -111,9 +111,23 @@ type problem = {
 
 let problem ?geometry process net ~budget = { process; net; geometry; budget }
 
-let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
-    geometry ~budget =
+type probe = {
+  dp : (Power_dp.probe_event -> unit) option;
+  refine : (Refine.probe_event -> unit) option;
+}
+
+let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
+    process geometry ~budget =
   let started = Rip_numerics.Cpu_clock.thread_seconds () in
+  let dp_probe = match probe with None -> None | Some p -> p.dp in
+  let refine_probe = match probe with None -> None | Some p -> p.refine in
+  let in_phase name f =
+    match phase with
+    | None -> f ()
+    | Some start ->
+        let finish = start name in
+        Fun.protect ~finally:finish f
+  in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
   let frontier_cap = config.Config.dp_frontier_cap in
@@ -125,16 +139,17 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
      with the min-delay insertion instead: the analytical movement plus
      the fine-pitch final DP can still land under the budget. *)
   let coarse, used_fallback_library =
+    in_phase "coarse_dp" @@ fun () ->
     match
-      Power_dp.solve ~frontier_cap ~cancel geometry repeater
+      Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry repeater
         ~library:config.Config.coarse_library ~candidates:coarse_candidates
         ~budget
     with
     | Some r -> (Some r, false)
     | None -> (
         match
-          Power_dp.solve ~frontier_cap ~cancel geometry repeater
-            ~library:config.Config.fallback_library
+          Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry
+            repeater ~library:config.Config.fallback_library
             ~candidates:coarse_candidates ~budget
         with
         | Some r -> (Some r, true)
@@ -164,8 +179,9 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
          seeds REFINE with the previous round's discrete solution. *)
       let run_round seed =
         match
-          Refine.run ~config:config.Config.refine ~cancel geometry repeater
-            ~budget ~initial:seed
+          in_phase "refine" (fun () ->
+              Refine.run ~config:config.Config.refine ~cancel
+                ?probe:refine_probe geometry repeater ~budget ~initial:seed)
         with
         | None -> (None, None, [], None)
         | Some outcome ->
@@ -183,8 +199,9 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
                         { Power_dp.sites = 2; transitions = 0; labels = 0 };
                     }
               | Some library ->
-                  Power_dp.solve ~frontier_cap ~cancel geometry repeater
-                    ~library ~candidates ~budget
+                  in_phase "final_dp" (fun () ->
+                      Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe
+                        geometry repeater ~library ~candidates ~budget)
             in
             (Some outcome, library, candidates, final)
       in
@@ -223,6 +240,7 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
         in
         if not need then None
         else
+          in_phase "rescue_dp" @@ fun () ->
           let fastest =
             Rip_refine.Min_delay_analytic.solve
               ~min_width:config.Config.min_width
@@ -251,8 +269,8 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
                   ~min_width:config.Config.min_width
                   ~max_width:config.Config.max_width widths
           in
-          Power_dp.solve ~frontier_cap ~cancel geometry repeater ~library
-            ~candidates ~budget
+          Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry
+            repeater ~library ~candidates ~budget
       in
       let trace =
         { coarse = Some coarse_result; used_fallback_library; refined;
@@ -297,11 +315,11 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) process
       | Some best ->
           Ok (make_report process geometry ~runtime_seconds ~trace best))
 
-let solve ?config ?cancel { process; net; geometry; budget } =
+let solve ?config ?cancel ?probe ?phase { process; net; geometry; budget } =
   match Validate.check_problem ?geometry net ~budget with
   | _ :: _ as violations -> Error (Invalid_net violations)
   | [] ->
       let geometry =
         match geometry with Some g -> g | None -> Geometry.of_net net
       in
-      solve_prepared ?config ?cancel process geometry ~budget
+      solve_prepared ?config ?cancel ?probe ?phase process geometry ~budget

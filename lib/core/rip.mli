@@ -81,8 +81,20 @@ val problem :
   budget:float -> problem
 (** Convenience constructor for {!type-problem}. *)
 
+type probe = {
+  dp : (Rip_dp.Power_dp.probe_event -> unit) option;
+      (** observes every DP pass: coarse, final and rescue *)
+  refine : (Rip_refine.Refine.probe_event -> unit) option;
+      (** observes REFINE rounds (and, via [Refine.Newton], the KKT
+          Newton iterations when that backend is configured) *)
+}
+(** Solver probes, threaded to the sub-solvers in the same plain-hook
+    style as [cancel]: results are bit-identical with or without them,
+    and absent hooks cost a branch, never an allocation. *)
+
 val solve :
-  ?config:Config.t -> ?cancel:(unit -> unit) -> problem ->
+  ?config:Config.t -> ?cancel:(unit -> unit) -> ?probe:probe ->
+  ?phase:(string -> unit -> unit) -> problem ->
   (report, error) result
 (** Solve Problem LPRI.  The only entry point: batch callers build one
     {!Rip_net.Geometry.t} per net and stamp out problems per budget.
@@ -92,7 +104,13 @@ val solve :
     granularity).  Returning unit leaves the solve bit-identical to one
     without the hook; raising aborts the pipeline with that exception —
     {!Rip_engine.Cancel.hook} raises [Cancelled], which the solve service
-    maps to its deadline/degradation ladder. *)
+    maps to its deadline/degradation ladder.
+
+    [phase] is a span hook: entering pipeline phase [name]
+    (["coarse_dp"], ["refine"], ["final_dp"], ["rescue_dp"]) calls
+    [phase name] and the returned closure when the phase ends (also on
+    exceptions) — the shape of {!Rip_obs.Trace.begin_span}, without a
+    dependency on it. *)
 
 val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
 (** The timing-target anchor, "the minimum delay of the net": the better

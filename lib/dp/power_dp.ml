@@ -14,6 +14,14 @@ type result = {
   stats : stats;
 }
 
+type probe_event =
+  | Column of {
+      site : int;
+      width_index : int;
+      collected : int;
+      kept : int;
+    }
+
 type label = {
   delay : float;
   width_units : int;  (* total repeater width quantised to milli-u *)
@@ -68,7 +76,7 @@ let freeze_frontier labels =
     arr;
   Array.of_list (List.rev !kept)
 
-let solve ?frontier_cap ?(cancel = ignore) geometry repeater ~library
+let solve ?frontier_cap ?(cancel = ignore) ?probe geometry repeater ~library
     ~candidates ~budget =
   (match frontier_cap with
   | Some cap when cap < 2 ->
@@ -167,6 +175,19 @@ let solve ?frontier_cap ?(cancel = ignore) geometry repeater ~library
         | None -> frontier
       in
       labels := !labels + Array.length frontier;
+      (* Guarded so the event record is never allocated without a
+         listener — an absent probe costs one branch per column. *)
+      (match probe with
+      | None -> ()
+      | Some f ->
+          f
+            (Column
+               {
+                 site;
+                 width_index = wj;
+                 collected = Hashtbl.length collected;
+                 kept = Array.length frontier;
+               }));
       frontiers.(site).(wj) <- frontier
     done
   done;

@@ -23,9 +23,20 @@ type result = {
   stats : stats;
 }
 
+type probe_event =
+  | Column of {
+      site : int;  (** candidate site index, 1-based along the chain *)
+      width_index : int;  (** index into the site's width array *)
+      collected : int;  (** width-bucketed labels before the Pareto prune *)
+      kept : int;  (** frontier size after pruning (and any cap) *)
+    }
+      (** One DP state finished: its frontier was frozen.  Labels pruned
+          at this state = [collected - kept]. *)
+
 val solve :
   ?frontier_cap:int ->
   ?cancel:(unit -> unit) ->
+  ?probe:(probe_event -> unit) ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   library:Repeater_library.t -> candidates:float list -> budget:float ->
   result option
@@ -47,4 +58,9 @@ val solve :
     raise, which aborts the DP with that exception
     ({!Rip_engine.Cancel.hook} raises [Cancelled]).  Default: never
     raises.
+
+    [probe], when given, receives one {!probe_event} per DP state in the
+    same plain-hook style as [cancel]: the solve is bit-identical with or
+    without it, and an absent probe costs one branch per column — no
+    allocation.
     @raise Invalid_argument when [frontier_cap < 2]. *)

@@ -79,16 +79,33 @@ let map_on runner f input =
    size: time a domain spends descheduled behind its siblings is not
    charged to the job it happens to be holding. *)
 let timed_map_on runner f input =
+  (* When a global tracer is installed ([Rip_obs.Trace.set_global]) the
+     batch leaves one "engine:batch" span on the submitting thread and
+     one "engine:job" span per element on whichever worker ran it; with
+     no tracer both hooks are nops.  The tracer is fetched once per
+     batch, not per job. *)
+  let tracer = Rip_obs.Trace.global () in
+  let finish_batch =
+    Rip_obs.Trace.begin_opt tracer ~cat:"engine"
+      ~args:
+        [
+          ("tasks", string_of_int (Array.length input));
+          ("workers", string_of_int (runner_size runner));
+        ]
+      "engine:batch"
+  in
   let started = Unix.gettimeofday () in
   let timed =
     map_on runner
       (fun x ->
+        Rip_obs.Trace.span tracer ~cat:"engine" "engine:job" @@ fun () ->
         let t0 = Cpu_clock.thread_seconds () in
         let result = f x in
         (result, Cpu_clock.thread_seconds () -. t0))
       input
   in
   let wall_seconds = Unix.gettimeofday () -. started in
+  finish_batch ();
   let cpu_seconds =
     Array.fold_left (fun acc (_, seconds) -> acc +. seconds) 0.0 timed
   in

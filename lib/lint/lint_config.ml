@@ -9,6 +9,8 @@
    - engine and service are the only libraries allowed to read wall
      clocks (batch/queue telemetry), and the only ones that spawn, so
      they get the race-detector rule instead;
+   - obs times spans and histograms, but only on the monotonic stub:
+     it keeps the wall-clock ban alongside the race-detector rule;
    - net and service own the wire formats whose float rendering feeds
      the byte-identical cached-replay guarantee. *)
 
@@ -52,6 +54,14 @@ let rules_for_library = function
       [ No_poly_compare; No_hashtbl_order; No_wall_clock;
         Float_format_precision ]
   | "rip_engine" -> [ No_poly_compare; Guarded_mutation ]
+  | "rip_obs" ->
+      (* Observability must time on the monotonic stub
+         ([Rip_numerics.Cpu_clock.monotonic_seconds], not in the banned
+         set), so the wall-clock ban stays on: [Unix.gettimeofday] in
+         lib/obs is still a finding.  Prometheus text and Chrome-trace
+         JSON are scrape/tooling formats, never byte-compared the way
+         cache keys are, so the float-format rule does not apply. *)
+      [ No_poly_compare; No_hashtbl_order; No_wall_clock; Guarded_mutation ]
   | "rip_service" ->
       [ No_poly_compare; No_hashtbl_order; Guarded_mutation;
         Float_format_precision ]

@@ -9,14 +9,21 @@ type result = {
   status : status;
 }
 
+type probe_event = Iteration of { iteration : int; residual_norm : float }
+
 let max_norm v =
   Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
 
 let all_finite v = Array.for_all Float.is_finite v
 
 let solve_system ~residual ~jacobian ~init ?(tol = 1e-10) ?(max_iter = 60)
-    ?(damping = 1.0) ?lower_bounds () =
+    ?(damping = 1.0) ?lower_bounds ?probe () =
   let n = Array.length init in
+  let notify k norm =
+    match probe with
+    | None -> ()
+    | Some f -> f (Iteration { iteration = k; residual_norm = norm })
+  in
   let respects_bounds x =
     match lower_bounds with
     | None -> true
@@ -56,7 +63,10 @@ let solve_system ~residual ~jacobian ~init ?(tol = 1e-10) ?(max_iter = 60)
               in
               (match try_step damping 0 with
               | None -> { solution = x; residual = norm; status = Diverged }
-              | Some (x', fx') -> iterate x' fx' (max_norm fx') (k + 1)))
+              | Some (x', fx') ->
+                  let norm' = max_norm fx' in
+                  notify (k + 1) norm';
+                  iterate x' fx' norm' (k + 1)))
   in
   let f0 = residual init in
   if not (all_finite f0) then

@@ -15,6 +15,10 @@ type result = {
   status : status;
 }
 
+type probe_event = Iteration of { iteration : int; residual_norm : float }
+(** One completed Newton step: the 1-based iteration count and the
+    post-step residual max-norm. *)
+
 val solve_system :
   residual:(float array -> float array) ->
   jacobian:(float array -> float array array) ->
@@ -23,13 +27,16 @@ val solve_system :
   ?max_iter:int ->
   ?damping:float ->
   ?lower_bounds:float array ->
+  ?probe:(probe_event -> unit) ->
   unit ->
   result
 (** [solve_system ~residual ~jacobian ~init ()] iterates
     [x <- x - J(x)^-1 F(x)] from [init] until the residual max-norm drops
     below [tol] (default [1e-10]).  Steps are damped by halving (starting
     from [damping], default [1.0]) whenever they fail to reduce the residual
-    norm or leave a coordinate below its entry in [lower_bounds]. *)
+    norm or leave a coordinate below its entry in [lower_bounds].  When
+    [probe] is given it is called once per completed step — the hook
+    mirrors [?cancel] elsewhere: plain, optional, and free when absent. *)
 
 val solve_scalar :
   f:(float -> float) -> df:(float -> float) -> init:float ->

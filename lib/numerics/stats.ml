@@ -15,18 +15,31 @@ let stddev xs =
       in
       sqrt (sum_sq /. float_of_int (List.length xs))
 
-let percentile p xs =
-  (match xs with [] -> invalid_arg "Stats.percentile: empty list" | _ -> ());
-  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
-  let sorted = List.sort Float.compare xs in
-  let arr = Array.of_list sorted in
+let quantile_rank ~n q =
+  if n < 1 then invalid_arg "Stats.quantile_rank: n must be positive";
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Stats.quantile_rank: q outside [0,1]";
+  q *. float_of_int (n - 1)
+
+let quantile_sorted arr q =
   let n = Array.length arr in
-  let pos = p *. float_of_int (n - 1) in
+  if n = 0 then invalid_arg "Stats.quantile_sorted: empty array";
+  let pos = quantile_rank ~n q in
   let k = int_of_float (Float.floor pos) in
   if k >= n - 1 then arr.(n - 1)
   else
     let frac = pos -. float_of_int k in
     arr.(k) +. (frac *. (arr.(k + 1) -. arr.(k)))
+
+let quantile q xs =
+  (match xs with [] -> invalid_arg "Stats.quantile: empty list" | _ -> ());
+  let arr = Array.of_list (List.sort Float.compare xs) in
+  quantile_sorted arr q
+
+let percentile p xs =
+  (match xs with [] -> invalid_arg "Stats.percentile: empty list" | _ -> ());
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  quantile p xs
 
 let ratio_percent base v =
   if base = 0.0 then 0.0 else 100.0 *. (base -. v) /. base

@@ -12,10 +12,29 @@ val min_value : float list -> float
 val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 
+val quantile_rank : n:int -> float -> float
+(** [quantile_rank ~n q] is the fractional 0-based order-statistic rank
+    of the [q]-quantile of [n] samples: [q * (n - 1)] (the "type 7" /
+    linear-interpolation convention).  Shared by the exact list/array
+    quantiles below and the histogram quantile estimator in [rip_obs],
+    so client-side and server-side percentiles agree on what is being
+    estimated.  @raise Invalid_argument when [n < 1] or [q] is outside
+    [0,1]. *)
+
+val quantile_sorted : float array -> float -> float
+(** [quantile_sorted arr q] on an already-sorted (ascending) array, by
+    linear interpolation between the order statistics bracketing
+    {!quantile_rank}.  @raise Invalid_argument on the empty array or [q]
+    outside [0,1]. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs]: sorts [xs] and applies {!quantile_sorted}.
+    @raise Invalid_argument on the empty list or [q] outside [0,1]. *)
+
 val percentile : float -> float list -> float
 (** [percentile p xs] for [p] in [0,1], by linear interpolation between
-    order statistics.  @raise Invalid_argument on the empty list or [p]
-    outside [0,1]. *)
+    order statistics; an alias of {!quantile}.  @raise Invalid_argument
+    on the empty list or [p] outside [0,1]. *)
 
 val ratio_percent : float -> float -> float
 (** [ratio_percent base v] is the saving [(base - v) / base] in percent;

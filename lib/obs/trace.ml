@@ -1,0 +1,153 @@
+module Cpu_clock = Rip_numerics.Cpu_clock
+
+type span = {
+  name : string;
+  cat : string;
+  start : float;  (* seconds since tracer epoch *)
+  duration : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type t = {
+  epoch : float;
+  mutex : Mutex.t;  (* guards the buffer table, not the buffers *)
+  buffers : (int, span list ref) Hashtbl.t;  (* Thread.id -> own buffer *)
+}
+
+let create () =
+  {
+    epoch = Cpu_clock.monotonic_seconds ();
+    mutex = Mutex.create ();
+    buffers = Hashtbl.create 8;
+  }
+
+(* Each buffer is only ever pushed by its owning thread; the mutex is
+   held just long enough to find or create the ref, because a Hashtbl
+   read racing another thread's [add] is unsafe under OCaml 5. *)
+let buffer_for t tid =
+  Mutex.lock t.mutex;
+  let buf =
+    match Hashtbl.find_opt t.buffers tid with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add t.buffers tid b;
+        b
+  in
+  Mutex.unlock t.mutex;
+  buf
+
+let record t span =
+  let buf = buffer_for t span.tid in
+  buf := span :: !buf
+
+let begin_span t ?(cat = "rip") ?(args = []) name =
+  let tid = Thread.id (Thread.self ()) in
+  let start = Cpu_clock.monotonic_seconds () in
+  let ended = ref false in
+  fun () ->
+    if not !ended then begin
+      ended := true;
+      let stop = Cpu_clock.monotonic_seconds () in
+      record t
+        {
+          name;
+          cat;
+          start = start -. t.epoch;
+          duration = Float.max 0.0 (stop -. start);
+          tid;
+          args;
+        }
+    end
+
+let nop () = ()
+
+let begin_opt t ?cat ?args name =
+  match t with
+  | None -> nop
+  | Some t -> begin_span t ?cat ?args name
+
+let span t ?cat ?args name f =
+  match t with
+  | None -> f ()
+  | Some t ->
+      let finish = begin_span t ?cat ?args name in
+      Fun.protect ~finally:finish f
+
+let span_id ~digest name =
+  String.sub (Digest.to_hex (Digest.string (digest ^ "/" ^ name))) 0 16
+
+let spans t =
+  (* Reading a buffer owned by a still-running thread sees some prefix
+     of its spans — fine for a count or a dump-at-exit.  The Hashtbl
+     traversal lives inside the sort argument, so its hash order never
+     escapes. *)
+  List.sort
+    (fun a b ->
+      match Int.compare a.tid b.tid with
+      | 0 -> Float.compare a.start b.start
+      | c -> c)
+    (let buffers =
+       Mutex.lock t.mutex;
+       let bs = Hashtbl.fold (fun _ buf acc -> buf :: acc) t.buffers [] in
+       Mutex.unlock t.mutex;
+       bs
+     in
+     List.concat_map (fun buf -> List.rev !buf) buffers)
+
+let span_count t = List.length (spans t)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let to_chrome_json t =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buffer ',';
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+           (json_escape s.name) (json_escape s.cat) (s.start *. 1e6)
+           (s.duration *. 1e6) s.tid);
+      (match s.args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string buffer ",\"args\":{";
+          List.iteri
+            (fun j (k, v) ->
+              if j > 0 then Buffer.add_char buffer ',';
+              Buffer.add_string buffer
+                (Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                   (json_escape v)))
+            args;
+          Buffer.add_char buffer '}');
+      Buffer.add_char buffer '}')
+    (spans t);
+  Buffer.add_string buffer "\n]}\n";
+  Buffer.contents buffer
+
+let dump_to_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json t))
+
+let installed : t option Atomic.t = Atomic.make None
+let set_global t = Atomic.set installed t
+let global () = Atomic.get installed

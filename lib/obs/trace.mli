@@ -1,0 +1,75 @@
+(** Trace spans on the monotonic clock, dumpable as Chrome-trace JSON.
+
+    A tracer owns one span buffer per thread (keyed on [Thread.id], which
+    is globally unique across domains), so recording a span never
+    contends with other threads beyond a brief buffer-lookup lock.
+    Timestamps come from {!Rip_numerics.Cpu_clock.monotonic_seconds} —
+    wall clocks can step backwards under NTP and would produce negative
+    durations; span ids must come from request digests, never from the
+    clock, so traces of the same workload are comparable run to run. *)
+
+type t
+
+val create : unit -> t
+(** A fresh tracer; its epoch (Chrome-trace t=0) is the creation
+    instant. *)
+
+val begin_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string -> unit -> unit
+(** [begin_span t name] starts a span now and returns its end closure;
+    calling the closure records the completed span into the current
+    thread's buffer.  Calling it more than once records only the first
+    end.  [cat] defaults to ["rip"]. *)
+
+val begin_opt :
+  t option ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  unit ->
+  unit
+(** Like {!begin_span} but a no-op returning a no-op closure when the
+    tracer is [None] — call sites guard once, not twice. *)
+
+val span :
+  t option -> ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a span; the span is recorded even
+    when [f] raises. *)
+
+val span_id : digest:string -> string -> string
+(** Deterministic 16-hex-char span id derived from a request digest and
+    the span name — the same request traced twice yields the same ids,
+    so traces diff cleanly. *)
+
+type span = {
+  name : string;
+  cat : string;
+  start : float;  (** seconds since the tracer epoch *)
+  duration : float;  (** seconds, clamped non-negative *)
+  tid : int;  (** [Thread.id] of the recording thread *)
+  args : (string * string) list;
+}
+
+val spans : t -> span list
+(** Completed spans so far, sorted by [(tid, start)].  Reading while
+    other threads still record sees some prefix of each thread's
+    spans. *)
+
+val span_count : t -> int
+(** Total spans recorded so far, across all threads. *)
+
+val to_chrome_json : t -> string
+(** The [traceEvents] JSON object Chrome's [about://tracing] and Perfetto
+    load: one ["ph":"X"] complete event per span, timestamps and
+    durations in microseconds relative to the tracer epoch. *)
+
+val dump_to_file : t -> string -> unit
+(** Write {!to_chrome_json} to a path (truncating). *)
+
+val set_global : t option -> unit
+(** Install a process-wide tracer that deep layers (engine workers,
+    bench harness) read with {!global} instead of threading a tracer
+    through every signature.  Last set wins. *)
+
+val global : unit -> t option

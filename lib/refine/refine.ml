@@ -18,6 +18,10 @@ let default_config =
     patience = 4; hop_zones = false; max_hop = 800.0;
     backend = Width_solver.Gauss_seidel }
 
+type probe_event =
+  | Iteration of { iteration : int; moved : int; total_width : float }
+  | Newton of Rip_numerics.Newton.probe_event
+
 type outcome = {
   solution : Solution.t;
   lambda : float;
@@ -96,14 +100,19 @@ type state = {
   mutable best : Width_solver.result;
 }
 
-let run ?(config = default_config) ?(cancel = ignore) geometry repeater
+let run ?(config = default_config) ?(cancel = ignore) ?probe geometry repeater
     ~budget ~initial =
   let net = Geometry.net geometry in
   let length = Geometry.total_length geometry in
   let positions = Array.of_list (Solution.positions initial) in
+  let newton_probe =
+    match probe with
+    | None -> None
+    | Some f -> Some (fun e -> f (Newton e))
+  in
   let solve () =
-    Width_solver.solve ~backend:config.backend geometry repeater ~positions
-      ~budget
+    Width_solver.solve ~backend:config.backend ?newton_probe geometry repeater
+      ~positions ~budget
   in
   match solve () with
   | None -> None
@@ -137,7 +146,7 @@ let run ?(config = default_config) ?(cancel = ignore) geometry repeater
           let moved =
             apply_moves config net length st.step positions directions
           in
-          if moved = 0 then begin
+          (if moved = 0 then begin
             converged := true;
             finished := true
           end
@@ -181,7 +190,19 @@ let run ?(config = default_config) ?(cancel = ignore) geometry repeater
                   end
                   else st.quiet <- 0
                 end
-          end
+          end);
+          (* Guarded so the event record is never allocated without a
+             listener. *)
+          match probe with
+          | None -> ()
+          | Some f ->
+              f
+                (Iteration
+                   {
+                     iteration = st.iterations;
+                     moved;
+                     total_width = st.current.Width_solver.total_width;
+                   })
         end
       done;
       Some

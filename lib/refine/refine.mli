@@ -36,6 +36,15 @@ val default_config : config
 (** 50 um step, eps_0 = 1e-4, 256 iterations max, 1 um gap, patience 4,
     Gauss-Seidel. *)
 
+type probe_event =
+  | Iteration of { iteration : int; moved : int; total_width : float }
+      (** One move-round finished: repeaters moved this round and the
+          total width after the round's re-solve (unchanged when the
+          round was reverted). *)
+  | Newton of Rip_numerics.Newton.probe_event
+      (** Forwarded from the width solver's KKT Newton backend (only
+          emitted when [config.backend = Newton]). *)
+
 type outcome = {
   solution : Rip_elmore.Solution.t;  (** best solution seen (continuous widths) *)
   lambda : float;  (** multiplier at the returned solution *)
@@ -49,6 +58,7 @@ type outcome = {
 
 val run :
   ?config:config -> ?cancel:(unit -> unit) ->
+  ?probe:(probe_event -> unit) ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   budget:float -> initial:Rip_elmore.Solution.t -> outcome option
 (** [None] when even the fastest continuous sizing at the initial locations
@@ -57,4 +67,9 @@ val run :
 
     [cancel] is polled once per iteration of the move loop; returning
     unit leaves the run bit-identical to one without the hook, raising
-    aborts it with that exception (see {!Rip_engine.Cancel}). *)
+    aborts it with that exception (see {!Rip_engine.Cancel}).
+
+    [probe] receives one [Iteration] event per move round (plus [Newton]
+    events from the width solver when that backend is selected), in the
+    same plain-hook style as [cancel]: bit-identical results, and no
+    allocation when absent. *)

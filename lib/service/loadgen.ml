@@ -91,7 +91,7 @@ let record shared latency (outcome : Client.outcome) =
   | Ok (Protocol.Error_frame _) -> shared.errors <- shared.errors + 1
   | Ok
       ( Protocol.Pong | Protocol.Bye | Protocol.Toobig
-      | Protocol.Stats_frame _ ) ->
+      | Protocol.Stats_frame _ | Protocol.Metrics_frame _ ) ->
       (* Not a SOLVE answer; treat an off-protocol reply as an error. *)
       shared.errors <- shared.errors + 1
   | Error _ -> shared.transport_failures <- shared.transport_failures + 1);
@@ -145,10 +145,13 @@ let run ~connect ?(connections = 4) ?policy ?(seed = 1L) requests =
   List.iter Thread.join threads;
   let wall_seconds = Unix.gettimeofday () -. started in
   let completed = List.length shared.latencies in
+  (* The shared quantile convention ({!Stats.quantile_rank}) — the same
+     one the server's histograms estimate against, so client and server
+     percentiles are comparable at any sample count. *)
   let percentile p =
     match shared.latencies with
     | [] -> 0.0
-    | latencies -> Stats.percentile p latencies
+    | latencies -> Stats.quantile p latencies
   in
   {
     sent = shared.sent;

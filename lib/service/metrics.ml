@@ -1,68 +1,143 @@
+module Obs = Rip_obs.Metrics
+module Cpu_clock = Rip_numerics.Cpu_clock
+
 type t = {
-  started : float;  (* Unix.gettimeofday at creation *)
-  mutex : Mutex.t;
-  mutable requests : int;
-  mutable solved : int;
-  mutable errors : int;
-  mutable rejected_busy : int;
-  mutable timeouts : int;
-  mutable degraded : int;
-  mutable toobig : int;
-  mutable queue_wait_seconds : float;
-  mutable solve_cpu_seconds : float;
+  registry : Obs.t;
+  started : float;  (* monotonic; uptime survives wall-clock steps *)
+  requests : Obs.Counter.t;
+  solved : Obs.Counter.t;
+  errors : Obs.Counter.t;
+  rejected_busy : Obs.Counter.t;
+  timeouts : Obs.Counter.t;
+  degraded : Obs.Counter.t;
+  toobig : Obs.Counter.t;
+  in_flight : Obs.Gauge.t;
+  queue_depth : Obs.Gauge.t;
+  queue_wait : Obs.Histogram.t;
+  solve_cpu : Obs.Histogram.t;
+  dp_columns : Obs.Counter.t;
+  dp_labels_pruned : Obs.Counter.t;
+  refine_iterations : Obs.Counter.t;
+  newton_iterations : Obs.Counter.t;
 }
 
-let create () =
-  {
-    started = Unix.gettimeofday ();
-    mutex = Mutex.create ();
-    requests = 0;
-    solved = 0;
-    errors = 0;
-    rejected_busy = 0;
-    timeouts = 0;
-    degraded = 0;
-    toobig = 0;
-    queue_wait_seconds = 0.0;
-    solve_cpu_seconds = 0.0;
-  }
+let queue_wait_metric = "rip_queue_wait_seconds"
+let solve_cpu_metric = "rip_solve_cpu_seconds"
 
-let locked t f =
-  Mutex.lock t.mutex;
-  let result = f () in
-  Mutex.unlock t.mutex;
-  result
+let create ?cache_stats () =
+  let registry = Obs.create () in
+  let started = Cpu_clock.monotonic_seconds () in
+  let counter name help = Obs.counter registry ~name ~help in
+  Obs.gauge_fn registry ~name:"rip_uptime_seconds"
+    ~help:"Seconds since server start (monotonic clock)" (fun () ->
+      Cpu_clock.monotonic_seconds () -. started);
+  let t =
+    {
+      registry;
+      started;
+      requests = counter "rip_requests_total" "SOLVE requests received";
+      solved = counter "rip_solved_total" "SOLVE requests answered RESULT";
+      errors = counter "rip_errors_total" "SOLVE requests answered ERROR";
+      rejected_busy = counter "rip_rejected_busy_total"
+          "SOLVE requests answered BUSY";
+      timeouts = counter "rip_timeouts_total"
+          "SOLVE requests answered TIMEOUT";
+      degraded = counter "rip_degraded_total"
+          "SOLVE requests answered DEGRADED";
+      toobig = counter "rip_toobig_total" "request frames answered TOOBIG";
+      in_flight =
+        Obs.gauge registry ~name:"rip_in_flight"
+          ~help:"SOLVE requests currently holding an admission slot";
+      queue_depth =
+        Obs.gauge registry ~name:"rip_queue_depth"
+          ~help:"solves currently queued or running in the worker pool";
+      queue_wait =
+        Obs.histogram registry ~name:queue_wait_metric
+          ~help:"per-solve wall seconds queued behind the worker pool";
+      solve_cpu =
+        Obs.histogram registry ~name:solve_cpu_metric
+          ~help:"per-solve thread-CPU seconds inside the solver";
+      dp_columns =
+        counter "rip_dp_columns_total" "DP state frontiers frozen";
+      dp_labels_pruned =
+        counter "rip_dp_labels_pruned_total"
+          "DP labels dropped at frontier freezing (Pareto prune + cap)";
+      refine_iterations =
+        counter "rip_refine_iterations_total" "REFINE move rounds";
+      newton_iterations =
+        counter "rip_newton_iterations_total"
+          "Newton steps in the KKT width solver";
+    }
+  in
+  (match cache_stats with
+  | None -> ()
+  | Some stats ->
+      let cache_gauge name help read =
+        Obs.gauge_fn registry ~name ~help (fun () ->
+            float_of_int (read (stats ())))
+      in
+      cache_gauge "rip_cache_hits" "solve cache hits" (fun s ->
+          s.Solve_cache.hits);
+      cache_gauge "rip_cache_misses" "solve cache misses" (fun s ->
+          s.Solve_cache.misses);
+      cache_gauge "rip_cache_evictions" "solve cache LRU evictions" (fun s ->
+          s.Solve_cache.evictions);
+      cache_gauge "rip_cache_self_heals"
+        "cache entries dropped on digest mismatch" (fun s ->
+          s.Solve_cache.self_heals);
+      cache_gauge "rip_cache_size" "solve cache entries" (fun s ->
+          s.Solve_cache.size));
+  t
 
-let incr_requests t = locked t (fun () -> t.requests <- t.requests + 1)
-let incr_solved t = locked t (fun () -> t.solved <- t.solved + 1)
-let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
-let incr_busy t = locked t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
-let incr_timeouts t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
-let incr_degraded t = locked t (fun () -> t.degraded <- t.degraded + 1)
-let incr_toobig t = locked t (fun () -> t.toobig <- t.toobig + 1)
+let incr_requests t = Obs.Counter.incr t.requests
+let incr_solved t = Obs.Counter.incr t.solved
+let incr_errors t = Obs.Counter.incr t.errors
+let incr_busy t = Obs.Counter.incr t.rejected_busy
+let incr_timeouts t = Obs.Counter.incr t.timeouts
+let incr_degraded t = Obs.Counter.incr t.degraded
+let incr_toobig t = Obs.Counter.incr t.toobig
 
 let add_solve_times t ~queue_seconds ~cpu_seconds =
-  locked t (fun () ->
-      t.queue_wait_seconds <- t.queue_wait_seconds +. queue_seconds;
-      t.solve_cpu_seconds <- t.solve_cpu_seconds +. cpu_seconds)
+  Obs.Histogram.observe t.queue_wait queue_seconds;
+  Obs.Histogram.observe t.solve_cpu cpu_seconds
+
+let incr_dp_columns t = Obs.Counter.incr t.dp_columns
+let add_dp_labels_pruned t n = Obs.Counter.add t.dp_labels_pruned n
+let incr_refine_iterations t = Obs.Counter.incr t.refine_iterations
+let incr_newton_iterations t = Obs.Counter.incr t.newton_iterations
+let set_in_flight t n = Obs.Gauge.set t.in_flight (float_of_int n)
+let add_queue_depth t delta = Obs.Gauge.add t.queue_depth (float_of_int delta)
+let registry t = t.registry
+let render t = Obs.render t.registry
+let uptime_seconds t = Cpu_clock.monotonic_seconds () -. t.started
 
 let snapshot t ~cache =
-  locked t (fun () ->
-      {
-        Protocol.uptime_seconds = Unix.gettimeofday () -. t.started;
-        requests = t.requests;
-        solved = t.solved;
-        errors = t.errors;
-        rejected_busy = t.rejected_busy;
-        timeouts = t.timeouts;
-        degraded = t.degraded;
-        toobig = t.toobig;
-        cache_self_heals = cache.Solve_cache.self_heals;
-        cache_hits = cache.Solve_cache.hits;
-        cache_misses = cache.Solve_cache.misses;
-        cache_evictions = cache.Solve_cache.evictions;
-        cache_size = cache.Solve_cache.size;
-        cache_capacity = cache.Solve_cache.capacity;
-        queue_wait_seconds = t.queue_wait_seconds;
-        solve_cpu_seconds = t.solve_cpu_seconds;
-      })
+  let queue_wait = Obs.Histogram.snapshot t.queue_wait in
+  let solve_cpu = Obs.Histogram.snapshot t.solve_cpu in
+  let q s p = Obs.Histogram.quantile s p in
+  {
+    Protocol.uptime_seconds = uptime_seconds t;
+    requests = Obs.Counter.value t.requests;
+    solved = Obs.Counter.value t.solved;
+    errors = Obs.Counter.value t.errors;
+    rejected_busy = Obs.Counter.value t.rejected_busy;
+    timeouts = Obs.Counter.value t.timeouts;
+    degraded = Obs.Counter.value t.degraded;
+    toobig = Obs.Counter.value t.toobig;
+    cache_self_heals = cache.Solve_cache.self_heals;
+    cache_hits = cache.Solve_cache.hits;
+    cache_misses = cache.Solve_cache.misses;
+    cache_evictions = cache.Solve_cache.evictions;
+    cache_size = cache.Solve_cache.size;
+    cache_capacity = cache.Solve_cache.capacity;
+    queue_wait_seconds = queue_wait.Obs.Histogram.sum;
+    solve_cpu_seconds = solve_cpu.Obs.Histogram.sum;
+    in_flight = int_of_float (Obs.Gauge.value t.in_flight);
+    queue_depth = int_of_float (Obs.Gauge.value t.queue_depth);
+    queue_wait_p50 = q queue_wait 0.50;
+    queue_wait_p95 = q queue_wait 0.95;
+    queue_wait_p99 = q queue_wait 0.99;
+    solve_p50 = q solve_cpu 0.50;
+    solve_p95 = q solve_cpu 0.95;
+    solve_p99 = q solve_cpu 0.99;
+  }

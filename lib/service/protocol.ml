@@ -32,11 +32,20 @@ type stats = {
   degraded : int;
   toobig : int;
   cache_self_heals : int;
+  in_flight : int;
+  queue_depth : int;
+  queue_wait_p50 : float;
+  queue_wait_p95 : float;
+  queue_wait_p99 : float;
+  solve_p50 : float;
+  solve_p95 : float;
+  solve_p99 : float;
 }
 
 type request =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Solve of { budget : float; deadline_ms : float option; net : Rip_net.Net.t }
 
@@ -50,6 +59,8 @@ type response =
   | Result of { served : served; solution : solution }
   | Degraded of { reason : degrade_reason; solution : solution }
   | Stats_frame of stats
+  | Metrics_frame of string
+      (* Prometheus text exposition, newline-terminated lines *)
 
 (* --- Printing ------------------------------------------------------------ *)
 
@@ -88,6 +99,7 @@ let degrade_reason_of_string = function
 let print_request = function
   | Ping -> "PING\n"
   | Stats -> "STATS\n"
+  | Metrics -> "METRICS\n"
   | Shutdown -> "SHUTDOWN\n"
   | Solve { budget; deadline_ms = None; net } ->
       Printf.sprintf "SOLVE %.17g\n%sEND\n" budget (Rip_net.Net_io.to_string net)
@@ -127,6 +139,14 @@ let stats_fields stats =
     ("degraded", string_of_int stats.degraded);
     ("toobig", string_of_int stats.toobig);
     ("cache_self_heals", string_of_int stats.cache_self_heals);
+    ("in_flight", string_of_int stats.in_flight);
+    ("queue_depth", string_of_int stats.queue_depth);
+    ("queue_wait_p50", Printf.sprintf "%.17g" stats.queue_wait_p50);
+    ("queue_wait_p95", Printf.sprintf "%.17g" stats.queue_wait_p95);
+    ("queue_wait_p99", Printf.sprintf "%.17g" stats.queue_wait_p99);
+    ("solve_p50", Printf.sprintf "%.17g" stats.solve_p50);
+    ("solve_p95", Printf.sprintf "%.17g" stats.solve_p95);
+    ("solve_p99", Printf.sprintf "%.17g" stats.solve_p99);
   ]
 
 let print_response = function
@@ -152,6 +172,7 @@ let print_response = function
              (stats_fields stats))
       in
       Printf.sprintf "STATS\n%sEND\n" body
+  | Metrics_frame body -> Printf.sprintf "METRICS\n%sEND\n" body
 
 (* --- Parsing ------------------------------------------------------------- *)
 
@@ -208,6 +229,7 @@ let input_request read =
       match split_words line with
       | [ "PING" ] -> Ok (Some Ping)
       | [ "STATS" ] -> Ok (Some Stats)
+      | [ "METRICS" ] -> Ok (Some Metrics)
       | [ "SHUTDOWN" ] -> Ok (Some Shutdown)
       | "SOLVE" :: budget :: header ->
           let* budget = parse_float "budget" budget in
@@ -299,6 +321,14 @@ let parse_stats_body lines =
   let* degraded = geti "degraded" in
   let* toobig = geti "toobig" in
   let* cache_self_heals = geti "cache_self_heals" in
+  let* in_flight = geti "in_flight" in
+  let* queue_depth = geti "queue_depth" in
+  let* queue_wait_p50 = getf "queue_wait_p50" in
+  let* queue_wait_p95 = getf "queue_wait_p95" in
+  let* queue_wait_p99 = getf "queue_wait_p99" in
+  let* solve_p50 = getf "solve_p50" in
+  let* solve_p95 = getf "solve_p95" in
+  let* solve_p99 = getf "solve_p99" in
   Ok
     {
       uptime_seconds;
@@ -317,6 +347,14 @@ let parse_stats_body lines =
       degraded;
       toobig;
       cache_self_heals;
+      in_flight;
+      queue_depth;
+      queue_wait_p50;
+      queue_wait_p95;
+      queue_wait_p99;
+      solve_p50;
+      solve_p95;
+      solve_p99;
     }
 
 let input_response read =
@@ -366,6 +404,14 @@ let input_response read =
           let* body = body_until_end read in
           let* stats = parse_stats_body body in
           Ok (Some (Stats_frame stats))
+      | [ "METRICS" ] ->
+          (* Keep the raw lines: the body is opaque Prometheus text, and
+             Prometheus never emits a bare END line. *)
+          let* body = body_until_end read in
+          let body =
+            String.concat "" (List.map (fun l -> l ^ "\n") body)
+          in
+          Ok (Some (Metrics_frame body))
       | [] -> Error "empty response line"
       | word :: _ -> Error (Printf.sprintf "unknown response %S" word))
 
@@ -373,12 +419,12 @@ let input_response read =
 
 let request_equal a b =
   match (a, b) with
-  | Ping, Ping | Stats, Stats | Shutdown, Shutdown -> true
+  | Ping, Ping | Stats, Stats | Metrics, Metrics | Shutdown, Shutdown -> true
   | Solve a, Solve b ->
       a.budget = b.budget
       && Option.equal Float.equal a.deadline_ms b.deadline_ms
       && Rip_net.Net.equal a.net b.net
-  | (Ping | Stats | Shutdown | Solve _), _ -> false
+  | (Ping | Stats | Metrics | Shutdown | Solve _), _ -> false
 
 let solution_equal a b =
   List.equal
@@ -411,7 +457,16 @@ let response_equal a b =
       && a.timeouts = b.timeouts && a.degraded = b.degraded
       && a.toobig = b.toobig
       && a.cache_self_heals = b.cache_self_heals
+      && a.in_flight = b.in_flight
+      && a.queue_depth = b.queue_depth
+      && Float.equal a.queue_wait_p50 b.queue_wait_p50
+      && Float.equal a.queue_wait_p95 b.queue_wait_p95
+      && Float.equal a.queue_wait_p99 b.queue_wait_p99
+      && Float.equal a.solve_p50 b.solve_p50
+      && Float.equal a.solve_p95 b.solve_p95
+      && Float.equal a.solve_p99 b.solve_p99
+  | Metrics_frame a, Metrics_frame b -> String.equal a b
   | ( ( Pong | Bye | Busy | Timeout | Toobig | Error_frame _ | Result _
-      | Degraded _ | Stats_frame _ ),
+      | Degraded _ | Stats_frame _ | Metrics_frame _ ),
       _ ) ->
       false

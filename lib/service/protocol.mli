@@ -9,6 +9,7 @@
     {v
     PING
     STATS
+    METRICS
     SHUTDOWN
     SOLVE <budget-seconds> [DEADLINE <milliseconds>]
     <net body in the Rip_net.Net_io file format>
@@ -44,7 +45,15 @@
     STATS
     <field> <value>                      (one line per stats field)
     END
+    METRICS
+    <Prometheus text exposition lines>
+    END
     v}
+
+    The [METRICS] body is the server registry's Prometheus text
+    exposition ({!Rip_obs.Metrics.render}): counters, gauges, and the
+    queue-wait / solve-latency histograms.  A Prometheus line never
+    equals [END], so the framing is unambiguous.
 
     [TIMEOUT] answers a SOLVE whose deadline had already expired at
     admission.  [TOOBIG] answers a request frame exceeding the server's
@@ -106,11 +115,21 @@ type stats = {
   cache_self_heals : int;
       (** cache entries dropped on read because their digest no longer
           matched their body (and re-solved) *)
+  in_flight : int;  (** SOLVE requests currently admitted, a gauge *)
+  queue_depth : int;
+      (** of those, how many are waiting or running in the worker pool *)
+  queue_wait_p50 : float;  (** seconds; histogram estimates over *)
+  queue_wait_p95 : float;  (** every fresh solve since startup — *)
+  queue_wait_p99 : float;  (** 0 before the first one *)
+  solve_p50 : float;  (** thread-CPU seconds inside the solver *)
+  solve_p95 : float;
+  solve_p99 : float;
 }
 
 type request =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Solve of {
       budget : float;
@@ -128,6 +147,8 @@ type response =
   | Result of { served : served; solution : solution }
   | Degraded of { reason : degrade_reason; solution : solution }
   | Stats_frame of stats
+  | Metrics_frame of string
+      (** the Prometheus text body, newline-terminated lines *)
 
 (** {1 Printing} *)
 

@@ -1,5 +1,6 @@
 module Engine = Rip_engine.Engine
 module Cancel = Rip_engine.Cancel
+module Trace = Rip_obs.Trace
 module Cpu_clock = Rip_numerics.Cpu_clock
 module Rip = Rip_core.Rip
 module Net = Rip_net.Net
@@ -14,6 +15,7 @@ type config = {
   max_frame_bytes : int;
   solver : Rip_core.Config.t option;
   faults : Faults.t option;
+  tracer : Trace.t option;
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     max_frame_bytes = Wire.default_max_frame_bytes;
     solver = None;
     faults = None;
+    tracer = None;
   }
 
 (* --- Deadline watchdog ----------------------------------------------------
@@ -131,12 +134,14 @@ let create ?(config = default_config) process =
     invalid_arg "Server.create: high_water must be in [1, queue_depth]";
   if config.max_frame_bytes < 1 then
     invalid_arg "Server.create: max_frame_bytes must be positive";
+  let cache = Solve_cache.create ~capacity:config.cache_capacity in
   {
     process;
     config;
     handle = Engine.create_handle ?jobs:config.jobs ();
-    cache = Solve_cache.create ~capacity:config.cache_capacity;
-    metrics = Metrics.create ();
+    cache;
+    metrics =
+      Metrics.create ~cache_stats:(fun () -> Solve_cache.stats cache) ();
     watchdog = Watchdog.create ();
     faults =
       (match config.faults with
@@ -198,12 +203,15 @@ let try_acquire_slot t =
   if admitted then t.in_flight <- t.in_flight + 1;
   let depth = t.in_flight in
   Mutex.unlock t.mutex;
+  if admitted then Metrics.set_in_flight t.metrics depth;
   if admitted then Admitted depth else Rejected
 
 let release_slot t =
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight - 1;
-  Mutex.unlock t.mutex
+  let depth = t.in_flight in
+  Mutex.unlock t.mutex;
+  Metrics.set_in_flight t.metrics depth
 
 (* --- Solutions ------------------------------------------------------------ *)
 
@@ -359,34 +367,81 @@ type solve_outcome =
   | Cancelled_mid_solve
   | Worker_lost_mid_solve
 
-let run_full_solve t ~budget ~net token =
+(* Probes are always wired: each event is one or two atomic counter
+   bumps, cheap enough to keep on for every solve. *)
+let solver_probe t =
+  {
+    Rip.dp =
+      Some
+        (fun (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
+          Metrics.incr_dp_columns t.metrics;
+          Metrics.add_dp_labels_pruned t.metrics (collected - kept));
+    refine =
+      Some
+        (function
+        | Rip_refine.Refine.Iteration _ ->
+            Metrics.incr_refine_iterations t.metrics
+        | Rip_refine.Refine.Newton _ ->
+            Metrics.incr_newton_iterations t.metrics);
+  }
+
+let run_full_solve t ~budget ~net ~key token =
+  let tracer = t.config.tracer in
+  let span_args name = [ ("span_id", Trace.span_id ~digest:key name) ] in
   let enqueued = Cpu_clock.monotonic_seconds () in
-  let outcomes =
-    Engine.map_on_handle t.handle
-      (fun () ->
-        let queue_seconds = Cpu_clock.monotonic_seconds () -. enqueued in
-        let cpu_started = Cpu_clock.thread_seconds () in
-        let outcome =
-          try
-            (match Faults.solve_delay t.faults with
-            | Some seconds -> interruptible_delay token seconds
-            | None -> ());
-            if Faults.kill_worker t.faults then raise Faults.Worker_killed;
-            match
-              Rip.solve ?config:t.config.solver ~cancel:(Cancel.hook token)
-                { Rip.process = t.process; net; geometry = None; budget }
-            with
-            | Ok report -> Solved report
-            | Error error -> Failed error
-          with
-          | Cancel.Cancelled -> Cancelled_mid_solve
-          | Faults.Worker_killed -> Worker_lost_mid_solve
-          | exn -> Failed (Rip.Internal (Printexc.to_string exn))
-        in
-        (outcome, queue_seconds, Cpu_clock.thread_seconds () -. cpu_started))
-      [| () |]
+  (* Started on the connection thread, ended by the worker the moment it
+     picks the job up: the span is exactly the queue wait.  The
+     connection thread blocks in [map_on_handle] meanwhile, so the
+     cross-thread buffer write cannot race its owner. *)
+  let end_queue =
+    Trace.begin_opt tracer ~cat:"service" ~args:(span_args "queue") "queue"
   in
-  outcomes.(0)
+  let phase =
+    Option.map
+      (fun tr name ->
+        let full = "solve:" ^ name in
+        Trace.begin_span tr ~cat:"solver" ~args:(span_args full) full)
+      tracer
+  in
+  Metrics.add_queue_depth t.metrics 1;
+  Fun.protect
+    ~finally:(fun () -> Metrics.add_queue_depth t.metrics (-1))
+    (fun () ->
+      let outcomes =
+        Engine.map_on_handle t.handle
+          (fun () ->
+            end_queue ();
+            let queue_seconds = Cpu_clock.monotonic_seconds () -. enqueued in
+            let cpu_started = Cpu_clock.thread_seconds () in
+            let outcome =
+              Trace.span tracer ~cat:"service" ~args:(span_args "solve")
+                "solve"
+                (fun () ->
+                  try
+                    (match Faults.solve_delay t.faults with
+                    | Some seconds -> interruptible_delay token seconds
+                    | None -> ());
+                    if Faults.kill_worker t.faults then
+                      raise Faults.Worker_killed;
+                    match
+                      Rip.solve ?config:t.config.solver
+                        ~cancel:(Cancel.hook token)
+                        ~probe:(solver_probe t) ?phase
+                        { Rip.process = t.process; net; geometry = None;
+                          budget }
+                    with
+                    | Ok report -> Solved report
+                    | Error error -> Failed error
+                  with
+                  | Cancel.Cancelled -> Cancelled_mid_solve
+                  | Faults.Worker_killed -> Worker_lost_mid_solve
+                  | exn -> Failed (Rip.Internal (Printexc.to_string exn)))
+            in
+            (outcome, queue_seconds,
+             Cpu_clock.thread_seconds () -. cpu_started))
+          [| () |]
+      in
+      outcomes.(0))
 
 let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
   let token = Cancel.create () in
@@ -402,7 +457,7 @@ let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
     ~finally:(fun () -> Option.iter (Watchdog.disarm t.watchdog) watchdog_id)
     (fun () ->
       let outcome, queue_seconds, cpu_seconds =
-        run_full_solve t ~budget ~net token
+        run_full_solve t ~budget ~net ~key token
       in
       Metrics.add_solve_times t.metrics ~queue_seconds ~cpu_seconds;
       match outcome with
@@ -428,10 +483,21 @@ let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
 let serve_solve t ~budget ~deadline_ms ~net =
   Metrics.incr_requests t.metrics;
   let key = cache_key t ~net ~budget in
+  let tracer = t.config.tracer in
+  (* Span ids derive from the cache key, so the same request traced
+     twice produces the same ids — traces diff across runs. *)
+  let span name f =
+    Trace.span tracer ~cat:"service"
+      ~args:[ ("span_id", Trace.span_id ~digest:key name) ]
+      name f
+  in
   (* The cache is consulted before the deadline: replaying a cached
      solution is effectively free, so a cached answer always beats a
      TIMEOUT, even for a deadline that expired in transit. *)
-  match Solve_cache.find_verified t.cache key ~digest_of:solution_digest with
+  match
+    span "cache_lookup" (fun () ->
+        Solve_cache.find_verified t.cache key ~digest_of:solution_digest)
+  with
   | Some solution ->
       Metrics.incr_solved t.metrics;
       Protocol.Result { served = Cached; solution }
@@ -442,7 +508,7 @@ let serve_solve t ~budget ~deadline_ms ~net =
           Metrics.incr_timeouts t.metrics;
           Protocol.Timeout
       | _ -> (
-          match try_acquire_slot t with
+          match span "admission" (fun () -> try_acquire_slot t) with
           | Rejected ->
               Metrics.incr_busy t.metrics;
               Protocol.Busy
@@ -486,6 +552,9 @@ let handle_connection t fd =
         serve ()
     | Ok (Some Protocol.Stats) ->
         send (Protocol.Stats_frame (stats t));
+        serve ()
+    | Ok (Some Protocol.Metrics) ->
+        send (Protocol.Metrics_frame (Metrics.render t.metrics));
         serve ()
     | Ok (Some Protocol.Shutdown) ->
         send Protocol.Bye;

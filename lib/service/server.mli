@@ -49,13 +49,18 @@ type config = {
   max_frame_bytes : int;  (** request-frame byte bound before TOOBIG *)
   solver : Rip_core.Config.t option;  (** [None] means the default *)
   faults : Faults.t option;  (** [None] means no injection *)
+  tracer : Rip_obs.Trace.t option;
+      (** when set, every request leaves spans (admission, cache lookup,
+          queue wait, solve, per-phase solver work) in the tracer, with
+          span ids derived from the request's cache key; the daemon dumps
+          them as Chrome-trace JSON on exit ([--trace-out]) *)
 }
 
 val default_config : config
 (** [jobs = None], [queue_depth = 64], [high_water = 48],
     [cache_capacity = 512],
     [max_frame_bytes = Wire.default_max_frame_bytes], [solver = None],
-    [faults = None]. *)
+    [faults = None], [tracer = None]. *)
 
 type t
 

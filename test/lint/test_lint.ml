@@ -96,6 +96,17 @@ let bad_format_expected =
     "bad_format.ml:4:31 [float-format-precision] " ^ format_msg "%.6f";
   ]
 
+(* The rip_obs rule set: the monotonic stub passes (it is not a wall
+   clock), Unix.gettimeofday is still flagged even in an obs-style
+   unit. *)
+let obs_clock_expected =
+  [ "obs_clock.ml:8:15 [no-wall-clock] Unix.gettimeofday" ^ clock_msg ]
+
+let test_obs_clock () =
+  Alcotest.(check (list string))
+    "Obs_clock under the rip_obs rules" obs_clock_expected
+    (run_fixture ~rules:(Lint_config.rules_for_library "rip_obs") "Obs_clock")
+
 let test_rule_filter () =
   Alcotest.(check (list string))
     "wall-clock rule alone sees nothing in bad_poly" []
@@ -169,6 +180,9 @@ let () =
             (check_findings bad_hashtbl_expected "Bad_hashtbl");
           Alcotest.test_case "bad_clock: exact findings" `Quick
             (check_findings bad_clock_expected "Bad_clock");
+          Alcotest.test_case
+            "obs_clock: monotonic stub sanctioned, wall clock flagged"
+            `Quick test_obs_clock;
           Alcotest.test_case "bad_format: exact findings" `Quick
             (check_findings bad_format_expected "Bad_format");
           Alcotest.test_case "clean file: no findings" `Quick

@@ -1,0 +1,8 @@
+(* Lint fixture for the rip_obs rule set: the monotonic stub
+   (Rip_numerics.Cpu_clock) is sanctioned — it is how spans and
+   histograms are supposed to take time — while the process wall clock
+   remains a finding even inside an observability unit. *)
+
+let epoch = Rip_numerics.Cpu_clock.monotonic_seconds ()
+let elapsed () = Rip_numerics.Cpu_clock.monotonic_seconds () -. epoch
+let drift () = Unix.gettimeofday () -. epoch

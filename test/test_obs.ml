@@ -1,0 +1,373 @@
+(* Tests for the rip_obs observability layer: the shared quantile
+   convention, histogram exactness and concurrency, the Prometheus
+   render/parse round trip, trace spans, and the solver probe hooks. *)
+
+module Stats = Rip_numerics.Stats
+module Obs = Rip_obs.Metrics
+module Counter = Rip_obs.Metrics.Counter
+module Gauge = Rip_obs.Metrics.Gauge
+module Histogram = Rip_obs.Metrics.Histogram
+module Trace = Rip_obs.Trace
+module Geometry = Rip_net.Geometry
+module Rip = Rip_core.Rip
+
+let check_float = Alcotest.(check (float 1e-9))
+let contains = Helpers.contains
+
+let invalid name f =
+  Alcotest.match_raises name
+    (function Invalid_argument _ -> true | _ -> false)
+    f
+
+(* --- The shared quantile function (satellite: n = 1, 2, 4, 100) ---------- *)
+
+let test_quantile_exact () =
+  check_float "n=1 median" 42.0 (Stats.quantile 0.5 [ 42.0 ]);
+  check_float "n=1 p99" 42.0 (Stats.quantile 0.99 [ 42.0 ]);
+  check_float "n=2 min" 10.0 (Stats.quantile 0.0 [ 20.0; 10.0 ]);
+  check_float "n=2 median" 15.0 (Stats.quantile 0.5 [ 20.0; 10.0 ]);
+  check_float "n=2 q0.25" 12.5 (Stats.quantile 0.25 [ 20.0; 10.0 ]);
+  check_float "n=2 max" 20.0 (Stats.quantile 1.0 [ 20.0; 10.0 ]);
+  let four = [ 4.0; 1.0; 3.0; 2.0 ] in
+  check_float "n=4 median" 2.5 (Stats.quantile 0.5 four);
+  check_float "n=4 q0.25" 1.75 (Stats.quantile 0.25 four);
+  check_float "n=4 q0.95" 3.85 (Stats.quantile 0.95 four);
+  let hundred = List.init 100 (fun i -> float_of_int (100 - i)) in
+  check_float "n=100 median" 50.5 (Stats.quantile 0.5 hundred);
+  check_float "n=100 q0.95" 95.05 (Stats.quantile 0.95 hundred);
+  check_float "n=100 q0.99" 99.01 (Stats.quantile 0.99 hundred);
+  check_float "n=100 max" 100.0 (Stats.quantile 1.0 hundred)
+
+let test_quantile_errors () =
+  invalid "empty" (fun () -> ignore (Stats.quantile 0.5 []));
+  invalid "q > 1" (fun () -> ignore (Stats.quantile 1.5 [ 1.0 ]));
+  invalid "rank n=0" (fun () -> ignore (Stats.quantile_rank ~n:0 0.5))
+
+(* --- Histogram buckets, clamping, exact placement ------------------------ *)
+
+let bounds = [| 1.0; 10.0; 100.0 |]
+
+let test_histogram_buckets () =
+  let r = Obs.create () in
+  let h = Obs.histogram ~bounds r ~name:"h" ~help:"test" in
+  List.iter (Histogram.observe h)
+    [ 0.5; 1.0; 5.0; 10.0; 99.0; 1000.0; -3.0; Float.nan ];
+  let s = Histogram.snapshot h in
+  Alcotest.(check (array (float 1e-12)))
+    "bounds kept" bounds s.Histogram.upper_bounds;
+  (* [0.5; 1.0; -3.0 (clamped)] <= 1; [5.0; 10.0]; [99.0];
+     [1000.0; nan (overflow)] *)
+  Alcotest.(check (array int)) "per-bucket counts" [| 3; 2; 1; 2 |]
+    s.Histogram.counts;
+  Alcotest.(check int) "count" 8 s.Histogram.count;
+  (* nan contributes 0 to the sum, -3 contributes 0 after clamping. *)
+  check_float "sum" (0.5 +. 1.0 +. 5.0 +. 10.0 +. 99.0 +. 1000.0)
+    s.Histogram.sum
+
+let test_log_bounds () =
+  let b = Histogram.log_bounds ~lo:1e-3 ~hi:1.0 ~per_decade:3 in
+  Alcotest.(check int) "count" 10 (Array.length b);
+  check_float "first" 1e-3 b.(0);
+  check_float "last is hi exactly" 1.0 b.(Array.length b - 1);
+  Array.iteri
+    (fun i v ->
+      if i > 0 then
+        Alcotest.(check bool)
+          "strictly increasing" true
+          (v > b.(i - 1)))
+    b;
+  let d = Histogram.default_latency_bounds in
+  check_float "default lo" 1e-6 d.(0);
+  check_float "default hi" 100.0 d.(Array.length d - 1)
+
+(* Histogram quantiles must bracket the exact sample quantile computed
+   with the same rank convention. *)
+let test_histogram_quantile_brackets () =
+  let r = Obs.create () in
+  let h =
+    Obs.histogram
+      ~bounds:(Histogram.log_bounds ~lo:1e-3 ~hi:10.0 ~per_decade:5)
+      r ~name:"h" ~help:"test"
+  in
+  let rng = Rip_numerics.Prng.create 7L in
+  let samples =
+    List.init 200 (fun _ -> Rip_numerics.Prng.float_range rng 1e-3 5.0)
+  in
+  List.iter (Histogram.observe h) samples;
+  let s = Histogram.snapshot h in
+  List.iter
+    (fun q ->
+      let exact = Stats.quantile q samples in
+      let lo = Histogram.quantile ~estimate:Histogram.Lower s q in
+      let hi = Histogram.quantile ~estimate:Histogram.Upper s q in
+      let mid = Histogram.quantile s q in
+      Alcotest.(check bool)
+        (Printf.sprintf "lower <= exact at q=%g" q)
+        true (lo <= exact);
+      Alcotest.(check bool)
+        (Printf.sprintf "exact <= upper at q=%g" q)
+        true (exact <= hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "interpolated inside bucket at q=%g" q)
+        true
+        (lo <= mid && mid <= hi))
+    [ 0.0; 0.25; 0.5; 0.95; 0.99; 1.0 ]
+
+let test_merge_diff () =
+  let r = Obs.create () in
+  let a = Obs.histogram ~bounds r ~name:"a" ~help:"test" in
+  let b = Obs.histogram ~bounds r ~name:"b" ~help:"test" in
+  List.iter (Histogram.observe a) [ 0.5; 5.0 ];
+  List.iter (Histogram.observe b) [ 50.0; 500.0; 5.0 ];
+  let sa = Histogram.snapshot a and sb = Histogram.snapshot b in
+  let m = Histogram.merge sa sb in
+  Alcotest.(check int) "merge preserves counts" 5 m.Histogram.count;
+  Alcotest.(check (array int)) "merge buckets" [| 1; 2; 1; 1 |]
+    m.Histogram.counts;
+  check_float "merge sum" (560.5) m.Histogram.sum;
+  let d = Histogram.diff m sa in
+  Alcotest.(check int) "diff count" 3 d.Histogram.count;
+  Alcotest.(check (array int)) "diff buckets" sb.Histogram.counts
+    d.Histogram.counts;
+  invalid "negative diff" (fun () -> ignore (Histogram.diff sa m));
+  let r2 = Obs.create () in
+  let other =
+    Obs.histogram ~bounds:[| 2.0; 4.0 |] r2 ~name:"a" ~help:"test"
+  in
+  invalid "mismatched bounds" (fun () ->
+      ignore (Histogram.merge sa (Histogram.snapshot other)))
+
+(* --- Concurrency: hammer one registry from several domains --------------- *)
+
+(* Satellite (c): every domain records into the same histogram and bumps
+   a twin counter; after joining, the snapshot must show every sample
+   exactly once and agree with the counter, and count must equal the
+   bucket sum (the latter holds even on torn snapshots, by
+   construction). *)
+let test_multicore_stress () =
+  let r = Obs.create () in
+  let h = Obs.histogram r ~name:"stress_seconds" ~help:"test" in
+  let c = Obs.counter r ~name:"stress_total" ~help:"test" in
+  let g = Obs.gauge r ~name:"stress_gauge" ~help:"test" in
+  let domains = 4 and per_domain = 20_000 in
+  let torn = Atomic.make false in
+  let snapshots_taken = Atomic.make 0 in
+  let worker k () =
+    let rng = Rip_numerics.Prng.create (Int64.of_int (k + 1)) in
+    for _ = 1 to per_domain do
+      Histogram.observe h (Rip_numerics.Prng.float_range rng 0.0 0.1);
+      Counter.incr c;
+      Gauge.add g 1.0
+    done
+  in
+  (* A reader scrapes concurrently: count = sum of buckets must hold on
+     every snapshot, torn or not. *)
+  let reader () =
+    while Atomic.get snapshots_taken < 50 do
+      let s = Histogram.snapshot h in
+      if s.Histogram.count <> Array.fold_left ( + ) 0 s.Histogram.counts
+      then Atomic.set torn true;
+      Atomic.incr snapshots_taken
+    done
+  in
+  let ds = List.init domains (fun k -> Domain.spawn (worker k)) in
+  let rd = Domain.spawn reader in
+  List.iter Domain.join ds;
+  Domain.join rd;
+  Alcotest.(check bool) "no torn snapshot" false (Atomic.get torn);
+  let s = Histogram.snapshot h in
+  let total = domains * per_domain in
+  Alcotest.(check int) "histogram total" total s.Histogram.count;
+  Alcotest.(check int) "counter total" total (Counter.value c);
+  check_float "gauge total" (float_of_int total) (Gauge.value g);
+  Alcotest.(check int) "bucket sum" total
+    (Array.fold_left ( + ) 0 s.Histogram.counts)
+
+(* --- Registry: registration, render, parse round trip -------------------- *)
+
+let test_registry_names () =
+  let r = Obs.create () in
+  let _ = Obs.counter r ~name:"a_total" ~help:"test" in
+  let _ = Obs.gauge r ~name:"b" ~help:"test" in
+  Obs.gauge_fn r ~name:"c" ~help:"test" (fun () -> 3.0);
+  Alcotest.(check (list string))
+    "registration order" [ "a_total"; "b"; "c" ] (Obs.registered_names r);
+  invalid "duplicate name" (fun () ->
+      ignore (Obs.counter r ~name:"a_total" ~help:"again"));
+  invalid "invalid name" (fun () ->
+      ignore (Obs.counter r ~name:"bad name" ~help:"test"))
+
+let test_render_parse_roundtrip () =
+  let r = Obs.create () in
+  let c = Obs.counter r ~name:"reqs_total" ~help:"requests" in
+  let h = Obs.histogram ~bounds r ~name:"lat_seconds" ~help:"latency" in
+  Counter.add c 3;
+  List.iter (Histogram.observe h) [ 0.5; 5.0; 500.0 ];
+  let text = Obs.render r in
+  Alcotest.(check bool)
+    "help line present" true
+    (List.exists
+       (fun l -> l = "# HELP reqs_total requests")
+       (String.split_on_char '\n' text));
+  Alcotest.(check bool)
+    "+Inf bucket present" true
+    (List.exists
+       (fun l -> l = "lat_seconds_bucket{le=\"+Inf\"} 3")
+       (String.split_on_char '\n' text));
+  match Obs.parse_histograms text with
+  | [ ("lat_seconds", parsed) ] ->
+      let s = Histogram.snapshot h in
+      Alcotest.(check (array (float 1e-12)))
+        "bounds round-trip" s.Histogram.upper_bounds
+        parsed.Histogram.upper_bounds;
+      Alcotest.(check (array int))
+        "buckets round-trip" s.Histogram.counts parsed.Histogram.counts;
+      Alcotest.(check int) "count round-trip" s.Histogram.count
+        parsed.Histogram.count;
+      check_float "sum round-trip" s.Histogram.sum parsed.Histogram.sum
+  | other ->
+      Alcotest.failf "expected one parsed histogram, got %d"
+        (List.length other)
+
+(* --- Trace spans ---------------------------------------------------------- *)
+
+let test_trace_spans () =
+  let t = Trace.create () in
+  let finish = Trace.begin_span t ~cat:"test" ~args:[ ("k", "v") ] "outer" in
+  Trace.span (Some t) "inner" (fun () -> ());
+  finish ();
+  finish ();
+  (* idempotent: the second call records nothing *)
+  Alcotest.(check int) "two spans" 2 (Trace.span_count t);
+  let json = Trace.to_chrome_json t in
+  Alcotest.(check bool)
+    "chrome envelope" true
+    (String.length json > 0
+    && String.sub json 0 1 = "{"
+    && contains json "\"traceEvents\""
+    && contains json "\"ph\":\"X\""
+    && contains json "\"name\":\"outer\""
+    && contains json "\"k\":\"v\"");
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "non-negative duration" true (s.duration >= 0.0);
+      Alcotest.(check bool) "non-negative start" true (s.start >= 0.0))
+    (Trace.spans t)
+
+let test_trace_span_id () =
+  let a = Trace.span_id ~digest:"abc" "solve" in
+  Alcotest.(check string)
+    "deterministic" a
+    (Trace.span_id ~digest:"abc" "solve");
+  Alcotest.(check int) "16 hex chars" 16 (String.length a);
+  Alcotest.(check bool)
+    "name changes the id" true
+    (a <> Trace.span_id ~digest:"abc" "queue");
+  Alcotest.(check bool)
+    "digest changes the id" true
+    (a <> Trace.span_id ~digest:"abd" "solve")
+
+let test_trace_disabled_nop () =
+  Alcotest.(check int)
+    "span over None runs the body" 7
+    (Trace.span None "nothing" (fun () -> 7));
+  let finish = Trace.begin_opt None "nothing" in
+  finish ()
+
+(* --- Solver probes through the full pipeline ------------------------------ *)
+
+let probe_request () =
+  let net =
+    Rip_net.Net.create
+      ~segments:
+        [
+          Rip_net.Segment.of_layer Rip_tech.Layer.metal4 ~length:4000.0;
+          Rip_net.Segment.of_layer Rip_tech.Layer.metal5 ~length:4000.0;
+        ]
+      ~zones:[ Rip_net.Zone.create ~z_start:2500.0 ~z_end:3500.0 ]
+      ~driver_width:20.0 ~receiver_width:40.0 ()
+  in
+  let geometry = Geometry.of_net net in
+  let budget = 1.4 *. Rip.tau_min Helpers.process geometry in
+  { Rip.process = Helpers.process; net; geometry = Some geometry; budget }
+
+let test_solver_probes () =
+  let dp_events = ref 0 and pruned = ref 0 in
+  let refine_iterations = ref 0 and newton_events = ref 0 in
+  let phases = ref [] in
+  let probe =
+    {
+      Rip.dp =
+        Some
+          (fun (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
+            incr dp_events;
+            Alcotest.(check bool) "kept <= collected" true (kept <= collected);
+            pruned := !pruned + (collected - kept));
+      refine =
+        Some
+          (function
+          | Rip_refine.Refine.Iteration { iteration; _ } ->
+              refine_iterations := max !refine_iterations iteration
+          | Rip_refine.Refine.Newton _ -> incr newton_events);
+    }
+  in
+  let phase name =
+    phases := name :: !phases;
+    fun () -> ()
+  in
+  let probed = Rip.solve ~probe ~phase (probe_request ()) in
+  let plain = Rip.solve (probe_request ()) in
+  (match (probed, plain) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool)
+        "probe does not change the solution" true
+        (Rip_elmore.Solution.equal a.Rip.solution b.Rip.solution)
+  | _ -> Alcotest.fail "solve failed");
+  Alcotest.(check bool) "dp columns observed" true (!dp_events > 0);
+  Alcotest.(check bool) "labels pruned observed" true (!pruned >= 0);
+  Alcotest.(check bool)
+    "phases include the coarse DP" true
+    (List.mem "coarse_dp" !phases);
+  Alcotest.(check bool)
+    "phases include refine" true
+    (List.mem "refine" !phases)
+
+let suite =
+  [
+    ( "obs.quantile",
+      [
+        Alcotest.test_case "exact values at n = 1, 2, 4, 100" `Quick
+          test_quantile_exact;
+        Alcotest.test_case "errors" `Quick test_quantile_errors;
+      ] );
+    ( "obs.histogram",
+      [
+        Alcotest.test_case "bucket placement and clamping" `Quick
+          test_histogram_buckets;
+        Alcotest.test_case "log bounds" `Quick test_log_bounds;
+        Alcotest.test_case "quantile brackets the exact sample quantile"
+          `Quick test_histogram_quantile_brackets;
+        Alcotest.test_case "merge and diff preserve counts" `Quick
+          test_merge_diff;
+        Alcotest.test_case "multi-domain stress: consistent snapshots" `Slow
+          test_multicore_stress;
+      ] );
+    ( "obs.registry",
+      [
+        Alcotest.test_case "names and duplicates" `Quick test_registry_names;
+        Alcotest.test_case "render/parse round trip" `Quick
+          test_render_parse_roundtrip;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "spans and chrome JSON" `Quick test_trace_spans;
+        Alcotest.test_case "deterministic span ids" `Quick test_trace_span_id;
+        Alcotest.test_case "disabled tracer is a nop" `Quick
+          test_trace_disabled_nop;
+      ] );
+    ( "obs.probes",
+      [
+        Alcotest.test_case "probe and phase hooks through Rip.solve" `Quick
+          test_solver_probes;
+      ] );
+  ]

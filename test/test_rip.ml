@@ -4,6 +4,7 @@ let () =
     (List.concat
        [
          Test_numerics.suite;
+         Test_obs.suite;
          Test_tech.suite;
          Test_net.suite;
          Test_elmore.suite;

@@ -50,6 +50,14 @@ let sample_stats =
     degraded = 3;
     toobig = 1;
     cache_self_heals = 1;
+    in_flight = 2;
+    queue_depth = 1;
+    queue_wait_p50 = 0.125;
+    queue_wait_p95 = 0.5;
+    queue_wait_p99 = 0.625;
+    solve_p50 = 0.25;
+    solve_p95 = 0.875;
+    solve_p99 = 1.0;
   }
 
 (* --- Protocol ----------------------------------------------------------- *)
@@ -85,6 +93,7 @@ let check_response_round_trip response =
 let test_protocol_request_round_trips () =
   check_request_round_trip Protocol.Ping;
   check_request_round_trip Protocol.Stats;
+  check_request_round_trip Protocol.Metrics;
   check_request_round_trip Protocol.Shutdown;
   check_request_round_trip
     (Protocol.Solve
@@ -132,7 +141,19 @@ let test_protocol_response_round_trips () =
            { Protocol.repeaters = []; total_width = 0.0; delay = 4.5e-10;
              power_watts = 0.0 };
        });
-  check_response_round_trip (Protocol.Stats_frame sample_stats)
+  check_response_round_trip (Protocol.Stats_frame sample_stats);
+  (* A METRICS frame carries its Prometheus body bytewise: comment
+     lines, label syntax and full-precision floats must all survive. *)
+  check_response_round_trip
+    (Protocol.Metrics_frame
+       "# HELP rip_requests_total SOLVE requests received\n\
+        # TYPE rip_requests_total counter\n\
+        rip_requests_total 9\n\
+        rip_queue_wait_seconds_bucket{le=\"9.9999999999999995e-07\"} 0\n\
+        rip_queue_wait_seconds_bucket{le=\"+Inf\"} 4\n\
+        rip_queue_wait_seconds_sum 0.75\n\
+        rip_queue_wait_seconds_count 4\n");
+  check_response_round_trip (Protocol.Metrics_frame "")
 
 let test_protocol_errors () =
   let request_of lines =
@@ -337,6 +358,31 @@ let test_server_end_to_end () =
   | Ok other ->
       Alcotest.failf "STATS answered %S" (Protocol.print_response other)
   | Error e -> Alcotest.failf "STATS failed: %s" e);
+  (match Client.request client Protocol.Metrics with
+  | Ok (Protocol.Metrics_frame body) ->
+      Alcotest.(check bool) "requests counter scraped" true
+        (Helpers.contains body "rip_requests_total 3");
+      Alcotest.(check bool) "histogram type line" true
+        (Helpers.contains body "# TYPE rip_solve_cpu_seconds histogram");
+      let histograms = Rip_obs.Metrics.parse_histograms body in
+      let solve =
+        List.assoc Rip_service.Metrics.solve_cpu_metric histograms
+      in
+      let queue =
+        List.assoc Rip_service.Metrics.queue_wait_metric histograms
+      in
+      (* Both dispatched solves (the fresh one and the infeasible one)
+         ran on the pool and account their times; the cache hit did
+         not. *)
+      Alcotest.(check int) "dispatched solves in the histogram" 2
+        solve.Rip_obs.Metrics.Histogram.count;
+      Alcotest.(check int) "queue waits recorded with them" 2
+        queue.Rip_obs.Metrics.Histogram.count;
+      Alcotest.(check bool) "solve cpu sum positive" true
+        (solve.Rip_obs.Metrics.Histogram.sum > 0.0)
+  | Ok other ->
+      Alcotest.failf "METRICS answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "METRICS failed: %s" e);
   (match Client.request client Protocol.Shutdown with
   | Ok Protocol.Bye -> ()
   | Ok other ->
@@ -345,6 +391,62 @@ let test_server_end_to_end () =
   Thread.join worker;
   Client.close client;
   Server.shutdown server
+
+(* A traced solve must leave the full span tree: admission and cache
+   lookup on the connection thread, the queue wait, the solve, and the
+   per-phase solver spans — with span ids derived from the request's
+   cache key, so the same request traced twice yields the same ids. *)
+let test_server_traced_spans () =
+  let tracer = Rip_obs.Trace.create () in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          jobs = Some 1;
+          cache_capacity = 8;
+          tracer = Some tracer;
+        }
+      process
+  in
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  let client = Client.of_fd client_fd in
+  let net = sample_net () in
+  let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
+  let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+  let _ = expect_result (Client.request client solve) in
+  (match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok other ->
+      Alcotest.failf "SHUTDOWN answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "SHUTDOWN failed: %s" e);
+  Thread.join worker;
+  Client.close client;
+  Server.shutdown server;
+  let spans = Rip_obs.Trace.spans tracer in
+  let names = List.map (fun (s : Rip_obs.Trace.span) -> s.name) spans in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %S recorded" expected)
+        true (List.mem expected names))
+    [ "admission"; "cache_lookup"; "queue"; "solve"; "solve:coarse_dp" ];
+  let key = Server.cache_key server ~net ~budget in
+  let solve_span =
+    List.find (fun (s : Rip_obs.Trace.span) -> s.name = "solve") spans
+  in
+  Alcotest.(check (option string))
+    "span id derives from the cache key"
+    (Some (Rip_obs.Trace.span_id ~digest:key "solve"))
+    (List.assoc_opt "span_id" solve_span.args);
+  (* The chrome dump is valid enough for a tooling smoke test. *)
+  Alcotest.(check bool) "chrome json has the solve span" true
+    (Helpers.contains
+       (Rip_obs.Trace.to_chrome_json tracer)
+       "\"name\":\"solve\"")
 
 let test_server_rejects_garbage () =
   let server =
@@ -396,6 +498,8 @@ let suite =
     ( "service.server",
       [
         Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+        Alcotest.test_case "traced solve leaves the span tree" `Quick
+          test_server_traced_spans;
         Alcotest.test_case "rejects garbage" `Quick
           test_server_rejects_garbage;
       ] );
