@@ -202,13 +202,22 @@ let run_micro () =
   in
   let coarse =
     match
-      Rip_dp.Power_dp.solve geometry repeater
-        ~library:Config.default.Config.coarse_library ~candidates ~budget
+      Rip_dp.Power_dp.run
+        (Rip_dp.Power_dp.request geometry repeater
+           ~library:Config.default.Config.coarse_library ~candidates ~budget)
     with
     | Some r -> r.Rip_dp.Power_dp.solution
     | None -> Solution.empty
   in
   let positions = Array.of_list (Solution.positions coarse) in
+  let dp_micro backend name =
+    let open Bechamel in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Rip_dp.Power_dp.run
+             (Rip_dp.Power_dp.request ~backend geometry repeater ~library
+                ~candidates ~budget)))
+  in
   let tests =
     [
       Test.make ~name:"stage_delay(eq1)"
@@ -218,10 +227,8 @@ let run_micro () =
       Test.make ~name:"total_delay(eq2)"
         (Staged.stage (fun () ->
              Rip_elmore.Delay.total repeater geometry coarse));
-      Test.make ~name:"power_dp[14](g=40u)"
-        (Staged.stage (fun () ->
-             Rip_dp.Power_dp.solve geometry repeater ~library ~candidates
-               ~budget));
+      dp_micro Rip_dp.Power_dp.Reference "power_dp_ref(g=40u)";
+      dp_micro Rip_dp.Power_dp.Fast "power_dp_fast(g=40u)";
       Test.make ~name:"width_solver(eq5+eq8)"
         (Staged.stage (fun () ->
              Rip_refine.Width_solver.solve geometry repeater ~positions
@@ -325,6 +332,16 @@ let suite_fingerprint runs =
         run.Experiments.cells)
     runs
 
+type suite_row = {
+  row_backend : Rip_dp.Power_dp.backend;
+  row_jobs : int;
+  row_wall : float;
+  row_telemetry : Telemetry.t;
+  row_runs : Experiments.net_run list;
+  row_labels_pruned : int;
+  row_dp_columns : int;
+}
+
 let run_suite_bench scale jobs_list =
   section "Engine batch-solve scaling";
   (* Engine telemetry feeds an observability registry: one recorder per
@@ -334,49 +351,114 @@ let run_suite_bench scale jobs_list =
   let recorder = Telemetry.Recorder.create registry in
   let nets = Suite.nets ~count:scale.nets () in
   let cells = scale.nets * scale.targets in
-  let one jobs =
+  (* The ladder runs once per DP backend: same nets, same targets, so the
+     fingerprint check below doubles as the cross-backend bit-identity
+     gate, and the jobs=1 rows give an apples-to-apples cells/s ratio. *)
+  let one backend jobs =
+    let name = Rip_dp.Power_dp.backend_name backend in
     Trace.span (Trace.global ()) ~cat:"bench"
-      (Printf.sprintf "suite jobs=%d" jobs)
+      (Printf.sprintf "suite backend=%s jobs=%d" name jobs)
     @@ fun () ->
+    let labels_pruned = Atomic.make 0 in
+    let dp_columns = Atomic.make 0 in
+    let hooks =
+      (* Same counters the solve service keeps; atomics because with
+         jobs > 1 the probe fires from every pool domain. *)
+      Rip_core.Hooks.make
+        ~probe:(function
+          | Rip.Dp (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
+              Atomic.incr dp_columns;
+              ignore (Atomic.fetch_and_add labels_pruned (collected - kept))
+          | Rip.Refine _ -> ())
+        ()
+    in
+    let config =
+      { Config.default with
+        Config.dp = { Config.default.Config.dp with Config.backend } }
+    in
     let started = Unix.gettimeofday () in
     let runs, telemetry =
       Experiments.run_suite_stats ~jobs ~granularities:[] ~nets
-        ~targets_per_net:scale.targets process
+        ~targets_per_net:scale.targets ~config ~hooks process
     in
     let wall = Unix.gettimeofday () -. started in
     Telemetry.Recorder.observe recorder telemetry;
     Printf.printf
-      "jobs=%-2d  wall %6.2fs  cpu %6.2fs  %5.1f cells/s  utilization %3.0f%%\n%!"
-      jobs wall telemetry.Telemetry.cpu_seconds
+      "backend=%-9s jobs=%-2d  wall %6.2fs  cpu %6.2fs  %6.1f cells/s  \
+       utilization %3.0f%%  pruned %d/%d columns\n%!"
+      name jobs wall telemetry.Telemetry.cpu_seconds
       (float_of_int cells /. wall)
-      (100.0 *. telemetry.Telemetry.utilization);
-    (jobs, wall, telemetry, runs)
+      (100.0 *. telemetry.Telemetry.utilization)
+      (Atomic.get labels_pruned) (Atomic.get dp_columns);
+    { row_backend = backend; row_jobs = jobs; row_wall = wall;
+      row_telemetry = telemetry; row_runs = runs;
+      row_labels_pruned = Atomic.get labels_pruned;
+      row_dp_columns = Atomic.get dp_columns }
   in
-  let measurements = List.map one jobs_list in
+  let measurements =
+    List.concat_map
+      (fun backend -> List.map (one backend) jobs_list)
+      [ Rip_dp.Power_dp.Reference; Rip_dp.Power_dp.Fast ]
+  in
   (match measurements with
-  | (_, _, _, reference) :: rest ->
-      let reference_fp = suite_fingerprint reference in
+  | reference :: rest ->
+      let reference_fp = suite_fingerprint reference.row_runs in
       List.iter
-        (fun (jobs, _, _, runs) ->
-          if suite_fingerprint runs <> reference_fp then begin
+        (fun row ->
+          if suite_fingerprint row.row_runs <> reference_fp then begin
             Printf.eprintf
-              "DETERMINISM VIOLATION: jobs=%d differs from jobs=%d\n" jobs
-              (match measurements with (j, _, _, _) :: _ -> j | [] -> 0);
+              "DETERMINISM VIOLATION: backend=%s jobs=%d differs from \
+               backend=%s jobs=%d\n"
+              (Rip_dp.Power_dp.backend_name row.row_backend)
+              row.row_jobs
+              (Rip_dp.Power_dp.backend_name reference.row_backend)
+              reference.row_jobs;
             exit 1
           end)
         rest;
-      Printf.printf "outcome arrays identical across job counts: yes\n"
+      Printf.printf
+        "outcome arrays identical across job counts and backends: yes\n"
+  | [] -> ());
+  (* Perf gate: at the first job count, the pruning backend must beat the
+     reference — CI runs @bench-quick, so a Fast regression fails the
+     build. *)
+  (match jobs_list with
+  | first_jobs :: _ ->
+      let cps backend =
+        List.find_map
+          (fun r ->
+            if r.row_backend = backend && r.row_jobs = first_jobs then
+              Some (float_of_int cells /. r.row_wall)
+            else None)
+          measurements
+      in
+      (match (cps Rip_dp.Power_dp.Reference, cps Rip_dp.Power_dp.Fast) with
+      | Some reference, Some fast ->
+          Printf.printf "fast/reference cells/s at jobs=%d: %.1fx\n"
+            first_jobs (fast /. reference);
+          if fast <= reference then begin
+            Printf.eprintf
+              "PERF REGRESSION: fast backend (%.1f cells/s) does not beat \
+               reference (%.1f cells/s) at jobs=%d\n"
+              fast reference first_jobs;
+            exit 1
+          end
+      | _, _ -> ())
   | [] -> ());
   (* Machine-readable perf trajectory for future PRs. *)
   let json =
-    let row (jobs, wall, (telemetry : Telemetry.t), _) =
+    let row r =
       Printf.sprintf
-        "    { \"nets\": %d, \"targets\": %d, \"jobs\": %d, \
-         \"wall_seconds\": %.4f, \"cpu_seconds\": %.4f, \
-         \"cells_per_second\": %.2f, \"utilization\": %.3f }"
-        scale.nets scale.targets jobs wall telemetry.Telemetry.cpu_seconds
-        (float_of_int cells /. wall)
-        telemetry.Telemetry.utilization
+        "    { \"nets\": %d, \"targets\": %d, \"backend\": %S, \
+         \"jobs\": %d, \"wall_seconds\": %.4f, \"cpu_seconds\": %.4f, \
+         \"cells_per_second\": %.2f, \"utilization\": %.3f, \
+         \"labels_pruned\": %d, \"dp_columns\": %d }"
+        scale.nets scale.targets
+        (Rip_dp.Power_dp.backend_name r.row_backend)
+        r.row_jobs r.row_wall r.row_telemetry.Telemetry.cpu_seconds
+        (float_of_int cells /. r.row_wall)
+        r.row_telemetry.Telemetry.utilization r.row_labels_pruned
+        r.row_dp_columns
     in
     Printf.sprintf "{\n  \"runs\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" (List.map row measurements))

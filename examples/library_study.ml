@@ -35,7 +35,8 @@ let () =
       in
       let t0 = Unix.gettimeofday () in
       let result =
-        Power_dp.solve geometry repeater ~library ~candidates ~budget
+        Power_dp.run
+          (Power_dp.request geometry repeater ~library ~candidates ~budget)
       in
       let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       match result with

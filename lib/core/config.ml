@@ -1,5 +1,10 @@
 module Repeater_library = Rip_dp.Repeater_library
 
+type dp_options = {
+  backend : Rip_dp.Power_dp.backend;
+  frontier_cap : int option;
+}
+
 type t = {
   coarse_library : Repeater_library.t;
   coarse_pitch : float;
@@ -11,7 +16,7 @@ type t = {
   max_width : float;
   refine : Rip_refine.Refine.config;
   refine_passes : int;
-  dp_frontier_cap : int;
+  dp : dp_options;
 }
 
 let reference_library =
@@ -34,7 +39,7 @@ let default =
     max_width = 400.0;
     refine = Rip_refine.Refine.default_config;
     refine_passes = 1;
-    dp_frontier_cap = 128;
+    dp = { backend = Rip_dp.Power_dp.Auto; frontier_cap = Some 128 };
   }
 
 let pp ppf t =
@@ -43,6 +48,9 @@ let pp ppf t =
      coarse library %a at %gum pitch@,\
      refined grid %gu, +/-%d slots at %gum@,\
      width range [%gu, %gu]@,\
-     dp frontier cap %d@]"
+     dp backend %s, frontier cap %a@]"
     Repeater_library.pp t.coarse_library t.coarse_pitch t.refined_granularity
-    t.refined_radius t.refined_pitch t.min_width t.max_width t.dp_frontier_cap
+    t.refined_radius t.refined_pitch t.min_width t.max_width
+    (Rip_dp.Power_dp.backend_name t.dp.backend)
+    Fmt.(option ~none:(any "none") int)
+    t.dp.frontier_cap

@@ -1,0 +1,5 @@
+(* The shared hook bundle, re-exported at the pipeline level: callers of
+   [Rip.solve] write [Rip_core.Hooks.make ...] without reaching into the
+   numerics layer the type actually lives in (rip_dp and rip_refine
+   cannot depend on rip_core, so the definition sits below them). *)
+include Rip_numerics.Hooks

@@ -3,6 +3,7 @@ module Net = Rip_net.Net
 module Solution = Rip_elmore.Solution
 module Delay = Rip_elmore.Delay
 module Power_dp = Rip_dp.Power_dp
+module Fast_dp = Rip_dp.Fast_dp
 module Min_delay = Rip_dp.Min_delay
 module Candidates = Rip_dp.Candidates
 module Repeater_library = Rip_dp.Repeater_library
@@ -111,26 +112,39 @@ type problem = {
 
 let problem ?geometry process net ~budget = { process; net; geometry; budget }
 
+type probe_event =
+  | Dp of Power_dp.probe_event
+  | Refine of Refine.probe_event
+
 type probe = {
   dp : (Power_dp.probe_event -> unit) option;
   refine : (Refine.probe_event -> unit) option;
 }
 
-let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
-    process geometry ~budget =
+let solve_prepared ?(config = Config.default) ?(hooks = Hooks.default) process
+    geometry ~budget =
   let started = Rip_numerics.Cpu_clock.thread_seconds () in
-  let dp_probe = match probe with None -> None | Some p -> p.dp in
-  let refine_probe = match probe with None -> None | Some p -> p.refine in
-  let in_phase name f =
-    match phase with
-    | None -> f ()
-    | Some start ->
-        let finish = start name in
-        Fun.protect ~finally:finish f
-  in
+  (* Sub-solver hook bundles: same cancel token, events re-tagged with the
+     pipeline-level constructors.  When [hooks.probe] is [None] the
+     contramapped probes are [None] too, so the sub-solvers stay on their
+     allocation-free paths. *)
+  let dp_hooks = Hooks.contramap (fun e -> Dp e) hooks in
+  let refine_hooks = Hooks.contramap (fun e -> Refine e) hooks in
+  let in_phase name f = Hooks.in_phase hooks name f in
   let net = Geometry.net geometry in
   let repeater = process.Process.repeater in
-  let frontier_cap = config.Config.dp_frontier_cap in
+  let backend = config.Config.dp.Config.backend in
+  let frontier_cap = config.Config.dp.Config.frontier_cap in
+  (* One label arena shared by every DP pass of this solve (coarse,
+     final-per-round, rescue): the final DPs reuse the capacity the coarse
+     pass grew.  Arenas are single-owner; a solve is single-threaded, so
+     this is safe. *)
+  let arena = Fast_dp.Arena.create () in
+  let run_dp geometry repeater ~library ~candidates ~budget =
+    Power_dp.run
+      (Power_dp.request ~backend ?frontier_cap ~arena ~hooks:dp_hooks geometry
+         repeater ~library ~candidates ~budget)
+  in
   let coarse_candidates =
     Candidates.uniform net ~pitch:config.Config.coarse_pitch
   in
@@ -141,15 +155,13 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
   let coarse, used_fallback_library =
     in_phase "coarse_dp" @@ fun () ->
     match
-      Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry repeater
-        ~library:config.Config.coarse_library ~candidates:coarse_candidates
-        ~budget
+      run_dp geometry repeater ~library:config.Config.coarse_library
+        ~candidates:coarse_candidates ~budget
     with
     | Some r -> (Some r, false)
     | None -> (
         match
-          Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry
-            repeater ~library:config.Config.fallback_library
+          run_dp geometry repeater ~library:config.Config.fallback_library
             ~candidates:coarse_candidates ~budget
         with
         | Some r -> (Some r, true)
@@ -180,8 +192,8 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
       let run_round seed =
         match
           in_phase "refine" (fun () ->
-              Refine.run ~config:config.Config.refine ~cancel
-                ?probe:refine_probe geometry repeater ~budget ~initial:seed)
+              Rip_refine.Refine.run ~config:config.Config.refine
+                ~hooks:refine_hooks geometry repeater ~budget ~initial:seed)
         with
         | None -> (None, None, [], None)
         | Some outcome ->
@@ -200,8 +212,7 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
                     }
               | Some library ->
                   in_phase "final_dp" (fun () ->
-                      Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe
-                        geometry repeater ~library ~candidates ~budget)
+                      run_dp geometry repeater ~library ~candidates ~budget)
             in
             (Some outcome, library, candidates, final)
       in
@@ -269,8 +280,7 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
                   ~min_width:config.Config.min_width
                   ~max_width:config.Config.max_width widths
           in
-          Power_dp.solve ~frontier_cap ~cancel ?probe:dp_probe geometry
-            repeater ~library ~candidates ~budget
+          run_dp geometry repeater ~library ~candidates ~budget
       in
       let trace =
         { coarse = Some coarse_result; used_fallback_library; refined;
@@ -315,11 +325,23 @@ let solve_prepared ?(config = Config.default) ?(cancel = ignore) ?probe ?phase
       | Some best ->
           Ok (make_report process geometry ~runtime_seconds ~trace best))
 
-let solve ?config ?cancel ?probe ?phase { process; net; geometry; budget } =
+let solve ?config ?hooks { process; net; geometry; budget } =
   match Validate.check_problem ?geometry net ~budget with
   | _ :: _ as violations -> Error (Invalid_net violations)
   | [] ->
       let geometry =
         match geometry with Some g -> g | None -> Geometry.of_net net
       in
-      solve_prepared ?config ?cancel ?probe ?phase process geometry ~budget
+      solve_prepared ?config ?hooks process geometry ~budget
+
+let solve_callbacks ?config ?cancel ?probe ?phase problem =
+  let probe_fn =
+    match probe with
+    | None | Some { dp = None; refine = None } -> None
+    | Some { dp; refine } ->
+        Some
+          (function
+          | Dp e -> ( match dp with None -> () | Some f -> f e)
+          | Refine e -> ( match refine with None -> () | Some f -> f e))
+  in
+  solve ?config ~hooks:(Hooks.make ?cancel ?probe:probe_fn ?phase ()) problem

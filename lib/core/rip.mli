@@ -81,36 +81,57 @@ val problem :
   budget:float -> problem
 (** Convenience constructor for {!type-problem}. *)
 
+type probe_event =
+  | Dp of Rip_dp.Power_dp.probe_event
+      (** from every DP pass: coarse, final and rescue — whichever
+          backend ran it *)
+  | Refine of Rip_refine.Refine.probe_event
+      (** from REFINE rounds (and, via [Refine.Newton], the KKT Newton
+          iterations when that backend is configured) *)
+(** Everything the pipeline can report through [hooks.probe]. *)
+
 type probe = {
   dp : (Rip_dp.Power_dp.probe_event -> unit) option;
-      (** observes every DP pass: coarse, final and rescue *)
   refine : (Rip_refine.Refine.probe_event -> unit) option;
-      (** observes REFINE rounds (and, via [Refine.Newton], the KKT
-          Newton iterations when that backend is configured) *)
 }
-(** Solver probes, threaded to the sub-solvers in the same plain-hook
-    style as [cancel]: results are bit-identical with or without them,
-    and absent hooks cost a branch, never an allocation. *)
+(** Pre-[Hooks] probe record, kept only for {!solve_callbacks}. *)
 
 val solve :
-  ?config:Config.t -> ?cancel:(unit -> unit) -> ?probe:probe ->
-  ?phase:(string -> unit -> unit) -> problem ->
+  ?config:Config.t -> ?hooks:probe_event Hooks.t -> problem ->
   (report, error) result
 (** Solve Problem LPRI.  The only entry point: batch callers build one
     {!Rip_net.Geometry.t} per net and stamp out problems per budget.
 
-    [cancel] is a cooperative-cancellation poll threaded through every DP
-    pass (candidate-column granularity) and REFINE run (iteration
-    granularity).  Returning unit leaves the solve bit-identical to one
-    without the hook; raising aborts the pipeline with that exception —
-    {!Rip_engine.Cancel.hook} raises [Cancelled], which the solve service
-    maps to its deadline/degradation ladder.
+    All observation and cancellation goes through one {!Hooks.t} bundle:
 
-    [phase] is a span hook: entering pipeline phase [name]
-    (["coarse_dp"], ["refine"], ["final_dp"], ["rescue_dp"]) calls
-    [phase name] and the returned closure when the phase ends (also on
-    exceptions) — the shape of {!Rip_obs.Trace.begin_span}, without a
-    dependency on it. *)
+    - [hooks.cancel] is a cooperative-cancellation poll threaded through
+      every DP pass (candidate-column granularity) and REFINE run
+      (iteration granularity).  Returning unit leaves the solve
+      bit-identical to one without the hook; raising aborts the pipeline
+      with that exception — {!Rip_engine.Cancel.hook} raises [Cancelled],
+      which the solve service maps to its deadline/degradation ladder.
+    - [hooks.probe] receives every sub-solver event, tagged {!Dp} or
+      {!Refine}.  Results are bit-identical with or without it, and when
+      absent the sub-solvers allocate nothing for events.
+    - [hooks.phase] is a span hook: entering pipeline phase [name]
+      (["coarse_dp"], ["refine"], ["final_dp"], ["rescue_dp"]) calls
+      [phase name] and the returned closure when the phase ends (also on
+      exceptions) — the shape of {!Rip_obs.Trace.begin_span}, without a
+      dependency on it.
+
+    The DP backend and frontier cap come from [config.dp]
+    ({!Config.dp_options}); every DP pass of one solve shares a single
+    label arena, so batch callers amortise allocation by reusing warmed
+    capacity across the coarse, final and rescue passes. *)
+
+val solve_callbacks :
+  ?config:Config.t -> ?cancel:(unit -> unit) -> ?probe:probe ->
+  ?phase:(string -> unit -> unit) -> problem ->
+  (report, error) result
+[@@ocaml.deprecated
+  "Use Rip.solve with ?hooks (Hooks.make ?cancel ?probe ?phase ())."]
+(** Pre-[Hooks] calling convention, kept for one release as a thin shim
+    over {!solve}. *)
 
 val tau_min : Rip_tech.Process.t -> Rip_net.Geometry.t -> float
 (** The timing-target anchor, "the minimum delay of the net": the better

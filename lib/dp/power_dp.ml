@@ -1,5 +1,6 @@
 module Solution = Rip_elmore.Solution
 module Delay = Rip_elmore.Delay
+module Hooks = Rip_numerics.Hooks
 
 type stats = {
   sites : int;
@@ -21,6 +22,46 @@ type probe_event =
       collected : int;
       kept : int;
     }
+
+type backend = Reference | Fast | Auto
+
+let backend_name = function
+  | Reference -> "reference"
+  | Fast -> "fast"
+  | Auto -> "auto"
+
+(* [Auto] cutover, in DP states (interior candidate sites x library
+   size).  Below it the reference backend's frontiers are tiny and the
+   fast backend's backward minF pass plus arena setup are pure
+   overhead; above it the pruning and the flat arenas win, and keep
+   winning by growing margins.  Measured on the suite's smallest net
+   (2000-rep micro, per-solve wall time): break-even sits at n*b = 12
+   (ratio 1.05), fast is 2.3-3.5x ahead by n*b = 24 and ~30x ahead on
+   the g=40u bench instance (92 x 10 states), while below n*b = 8 the
+   reference is 1.4-4x faster in absolute single-digit microseconds.
+   16 sits just above break-even, so [Auto] only ever picks
+   [Reference] for instances where the choice is immaterial. *)
+let auto_cutover = 16
+
+let auto_backend ~interior_sites ~library_size =
+  if interior_sites * library_size >= auto_cutover then Fast else Reference
+
+type request = {
+  geometry : Rip_net.Geometry.t;
+  repeater : Rip_tech.Repeater_model.t;
+  library : Repeater_library.t;
+  candidates : float list;
+  budget : float;
+  backend : backend;
+  frontier_cap : int option;
+  arena : Fast_dp.Arena.t option;
+  hooks : probe_event Hooks.t;
+}
+
+let request ?(backend = Auto) ?frontier_cap ?arena
+    ?(hooks = Hooks.default) geometry repeater ~library ~candidates ~budget =
+  { geometry; repeater; library; candidates; budget; backend; frontier_cap;
+    arena; hooks }
 
 type label = {
   delay : float;
@@ -76,13 +117,11 @@ let freeze_frontier labels =
     arr;
   Array.of_list (List.rev !kept)
 
-let solve ?frontier_cap ?(cancel = ignore) ?probe geometry repeater ~library
-    ~candidates ~budget =
-  (match frontier_cap with
-  | Some cap when cap < 2 ->
-      invalid_arg "Power_dp.solve: frontier_cap must be at least 2"
-  | Some _ | None -> ());
-  let chain = Chain.create geometry repeater ~candidates in
+(* The reference backend: the textbook Lillis/Cheng/Lin label DP, kept
+   as the exactness baseline the fast backend must match bit for bit. *)
+let solve_reference ?frontier_cap ~cancel ~probe chain ~library ~budget =
+  let geometry = chain.Chain.geometry in
+  let repeater = chain.Chain.repeater in
   let n_sites = Chain.site_count chain in
   let last = n_sites - 1 in
   let lib = Repeater_library.to_array library in
@@ -218,3 +257,66 @@ let solve ?frontier_cap ?(cancel = ignore) ?probe geometry repeater ~library
                   labels = !labels };
       }
   end
+
+let run (r : request) =
+  (match r.frontier_cap with
+  | Some cap when cap < 2 ->
+      invalid_arg "Power_dp.run: frontier_cap must be at least 2"
+  | Some _ | None -> ());
+  let chain = Chain.create r.geometry r.repeater ~candidates:r.candidates in
+  let backend =
+    match r.backend with
+    | (Reference | Fast) as b -> b
+    | Auto ->
+        auto_backend ~interior_sites:(Chain.interior_count chain)
+          ~library_size:(Repeater_library.size r.library)
+  in
+  match backend with
+  | Auto -> assert false
+  | Reference ->
+      solve_reference ?frontier_cap:r.frontier_cap
+        ~cancel:r.hooks.Hooks.cancel ~probe:r.hooks.Hooks.probe chain
+        ~library:r.library ~budget:r.budget
+  | Fast -> (
+      let on_column =
+        match r.hooks.Hooks.probe with
+        | None -> None
+        | Some f ->
+            Some
+              (fun ~site ~width_index ~collected ~kept ->
+                f (Column { site; width_index; collected; kept }))
+      in
+      match
+        Fast_dp.solve ?frontier_cap:r.frontier_cap
+          ~cancel:r.hooks.Hooks.cancel ?on_column ?arena:r.arena chain
+          ~library:r.library ~budget:r.budget
+      with
+      | None -> None
+      | Some (placements, fstats) ->
+          let solution = Solution.create placements in
+          Some
+            {
+              solution;
+              total_width = Solution.total_width solution;
+              delay = Delay.total r.repeater r.geometry solution;
+              stats =
+                {
+                  sites = fstats.Fast_dp.sites;
+                  transitions = fstats.Fast_dp.transitions;
+                  labels = fstats.Fast_dp.labels;
+                };
+            })
+
+(* Deprecated pre-backend entry point; kept for one release.  Pinned to
+   [Reference] so existing callers keep byte-identical behaviour even
+   where a binding frontier cap makes the backends diverge. *)
+let solve ?frontier_cap ?cancel ?probe geometry repeater ~library ~candidates
+    ~budget =
+  (match frontier_cap with
+  | Some cap when cap < 2 ->
+      invalid_arg "Power_dp.solve: frontier_cap must be at least 2"
+  | Some _ | None -> ());
+  run
+    (request ~backend:Reference ?frontier_cap
+       ~hooks:(Hooks.make ?cancel ?probe ())
+       geometry repeater ~library ~candidates ~budget)

@@ -8,11 +8,16 @@
     stage delay.  Labels exceeding the budget are discarded eagerly
     (delay only grows along the chain), and frontiers are bucketed by
     quantised total width so each distinct width keeps only its fastest
-    label — the pseudo-polynomial bound of [14]. *)
+    label — the pseudo-polynomial bound of [14].
+
+    Two interchangeable backends implement that contract ({!backend});
+    {!run} on a {!type-request} is the single dispatch point every caller
+    — [Rip.solve]'s passes, the engine's baseline jobs, the service's
+    rescue DP, the bench suite — routes through. *)
 
 type stats = {
   sites : int;  (** candidate sites including driver and receiver *)
-  transitions : int;  (** stage-delay evaluations *)
+  transitions : int;  (** per-column source-state scans *)
   labels : int;  (** labels surviving pruning, summed over states *)
 }
 
@@ -31,7 +36,83 @@ type probe_event =
       kept : int;  (** frontier size after pruning (and any cap) *)
     }
       (** One DP state finished: its frontier was frozen.  Labels pruned
-          at this state = [collected - kept]. *)
+          at this state = [collected - kept].  Both backends emit the
+          event; under [Fast] the counts reflect its additional
+          forward-infeasibility pruning, which is exactly what makes the
+          win visible in METRICS. *)
+
+(** {1 Backends} *)
+
+type backend =
+  | Reference
+      (** the boxed-label Hashtbl DP of [14]: the exactness baseline *)
+  | Fast
+      (** {!Fast_dp}: Li/Shi-style candidate pruning over flat arenas;
+          bit-identical solutions, order-of-magnitude faster on real
+          instances *)
+  | Auto
+      (** picks per instance: [Fast] when
+          [interior sites * library size >= auto_cutover], [Reference]
+          for the tiny instances below it *)
+
+val backend_name : backend -> string
+(** ["reference"], ["fast"], ["auto"] — for reports and bench output. *)
+
+val auto_cutover : int
+(** The documented [Auto] threshold, in DP states (interior candidate
+    sites times library size).  Sits just above the measured break-even
+    (n*b = 12 on the suite's smallest net); [Auto] resolves to
+    [Reference] only where the backends are within single-digit
+    microseconds of each other. *)
+
+val auto_backend : interior_sites:int -> library_size:int -> backend
+(** The [Auto] decision rule; always returns [Reference] or [Fast]. *)
+
+(** {1 Requests and the dispatch point} *)
+
+type request = {
+  geometry : Rip_net.Geometry.t;
+  repeater : Rip_tech.Repeater_model.t;
+  library : Repeater_library.t;
+  candidates : float list;
+  budget : float;
+  backend : backend;
+  frontier_cap : int option;
+      (** bounds every per-state frontier to that many labels (evenly
+          sampled along the width axis, keeping the cheapest and the
+          fastest).  Without it the DP is exact but pseudo-polynomial;
+          with it, an anytime approximation that still never returns a
+          budget-violating solution.  Must be at least 2.  When a cap
+          actually binds on a state where [Fast] pruned labels, the two
+          backends may sample different survivors and cease to be
+          bit-identical — callers needing cross-backend identity under
+          all inputs pass [None] (see DESIGN.md). *)
+  arena : Fast_dp.Arena.t option;
+      (** reusable label store for the [Fast] backend (ignored by
+          [Reference]); omitted, the solve allocates a private one *)
+  hooks : probe_event Rip_numerics.Hooks.t;
+      (** [cancel] is polled once per candidate column; [probe] receives
+          one {!probe_event} per DP state; [phase] is unused at this
+          layer.  All hooks are bit-identity-preserving observers. *)
+}
+
+val request :
+  ?backend:backend ->
+  ?frontier_cap:int ->
+  ?arena:Fast_dp.Arena.t ->
+  ?hooks:probe_event Rip_numerics.Hooks.t ->
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  library:Repeater_library.t -> candidates:float list -> budget:float ->
+  request
+(** Constructor with the defaults of a plain solve: [Auto] backend, no
+    cap, no arena, {!Rip_numerics.Hooks.default}. *)
+
+val run : request -> result option
+(** The solve.  [None] when no repeater assignment over the given sites
+    and library meets the budget.  The returned solution's delay is
+    recomputed through {!Rip_elmore.Delay.total} and always satisfies
+    [delay <= budget].
+    @raise Invalid_argument when [frontier_cap < 2]. *)
 
 val solve :
   ?frontier_cap:int ->
@@ -40,27 +121,7 @@ val solve :
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   library:Repeater_library.t -> candidates:float list -> budget:float ->
   result option
-(** [None] when no repeater assignment over the given sites and library
-    meets the budget.  The returned solution's delay is recomputed through
-    {!Rip_elmore.Delay.total} and always satisfies [delay <= budget].
-
-    [frontier_cap] bounds every per-state frontier to that many labels
-    (evenly sampled along the width axis, keeping the cheapest and the
-    fastest).  Without it the DP is exact but pseudo-polynomial: on tall
-    nets with tight budgets the number of distinct quantised total widths
-    — and with it the run time — can explode.  With it the DP is an
-    anytime approximation that still never returns a budget-violating
-    solution.  Must be at least 2.
-
-    [cancel] is a cooperative-cancellation poll called once per candidate
-    column (before its transition scan).  It must either return unit —
-    in which case the solve is bit-identical to one without the hook — or
-    raise, which aborts the DP with that exception
-    ({!Rip_engine.Cancel.hook} raises [Cancelled]).  Default: never
-    raises.
-
-    [probe], when given, receives one {!probe_event} per DP state in the
-    same plain-hook style as [cancel]: the solve is bit-identical with or
-    without it, and an absent probe costs one branch per column — no
-    allocation.
-    @raise Invalid_argument when [frontier_cap < 2]. *)
+[@@ocaml.deprecated
+  "Use Power_dp.run with a Power_dp.request (and Hooks.t) instead."]
+(** The pre-backend entry point, pinned to [Reference]: byte-identical
+    to releases before the backend split.  Kept for one release. *)

@@ -49,9 +49,16 @@ let execute job =
           | None -> Geometry.of_net job.net
         in
         let candidates = Candidates.uniform job.net ~pitch in
+        let dp =
+          (Option.value job.config ~default:Rip_core.Config.default)
+            .Rip_core.Config.dp
+        in
         match
-          Power_dp.solve geometry job.process.Rip_tech.Process.repeater
-            ~library ~candidates ~budget:job.budget
+          Power_dp.run
+            (Power_dp.request ~backend:dp.Rip_core.Config.backend
+               ?frontier_cap:dp.Rip_core.Config.frontier_cap geometry
+               job.process.Rip_tech.Process.repeater ~library ~candidates
+               ~budget:job.budget)
         with
         | Some result -> Ok (Dp_result result)
         | None ->

@@ -48,7 +48,13 @@ let all =
 let rules_for_library = function
   | "rip_core" | "rip_elmore" | "rip_refine" | "rip_tech" | "rip_workload" ->
       [ No_poly_compare; No_wall_clock ]
-  | "rip_dp" | "rip_tree" | "rip_numerics" ->
+  | "rip_dp" ->
+      (* The fast DP backend mutates its flat label arenas in place;
+         the race-detector rule rides along so any future attempt to
+         share an arena across a spawn gets flagged (the single-owner
+         write sites carry annotated waivers). *)
+      [ No_poly_compare; No_hashtbl_order; No_wall_clock; Guarded_mutation ]
+  | "rip_tree" | "rip_numerics" ->
       [ No_poly_compare; No_hashtbl_order; No_wall_clock ]
   | "rip_net" ->
       [ No_poly_compare; No_hashtbl_order; No_wall_clock;

@@ -1,0 +1,27 @@
+type 'event t = {
+  cancel : unit -> unit;
+  probe : ('event -> unit) option;
+  phase : (string -> unit -> unit) option;
+}
+
+let default = { cancel = ignore; probe = None; phase = None }
+
+let make ?(cancel = ignore) ?probe ?phase () = { cancel; probe; phase }
+
+let poll t = t.cancel ()
+
+let emit t event = match t.probe with None -> () | Some f -> f event
+
+let contramap f t =
+  {
+    cancel = t.cancel;
+    probe = (match t.probe with None -> None | Some g -> Some (fun e -> g (f e)));
+    phase = t.phase;
+  }
+
+let in_phase t name f =
+  match t.phase with
+  | None -> f ()
+  | Some start ->
+      let finish = start name in
+      Fun.protect ~finally:finish f

@@ -17,10 +17,10 @@ let max_norm v =
 let all_finite v = Array.for_all Float.is_finite v
 
 let solve_system ~residual ~jacobian ~init ?(tol = 1e-10) ?(max_iter = 60)
-    ?(damping = 1.0) ?lower_bounds ?probe () =
+    ?(damping = 1.0) ?lower_bounds ?(hooks = Hooks.default) () =
   let n = Array.length init in
   let notify k norm =
-    match probe with
+    match hooks.Hooks.probe with
     | None -> ()
     | Some f -> f (Iteration { iteration = k; residual_norm = norm })
   in
@@ -35,6 +35,8 @@ let solve_system ~residual ~jacobian ~init ?(tol = 1e-10) ?(max_iter = 60)
         !ok
   in
   let rec iterate x fx norm k =
+    (* Step-granularity cancellation poll; [Hooks.default] never fires. *)
+    hooks.Hooks.cancel ();
     if norm <= tol then { solution = x; residual = norm; status = Converged k }
     else if k >= max_iter then
       { solution = x; residual = norm; status = Max_iterations }

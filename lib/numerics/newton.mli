@@ -27,16 +27,18 @@ val solve_system :
   ?max_iter:int ->
   ?damping:float ->
   ?lower_bounds:float array ->
-  ?probe:(probe_event -> unit) ->
+  ?hooks:probe_event Hooks.t ->
   unit ->
   result
 (** [solve_system ~residual ~jacobian ~init ()] iterates
     [x <- x - J(x)^-1 F(x)] from [init] until the residual max-norm drops
     below [tol] (default [1e-10]).  Steps are damped by halving (starting
     from [damping], default [1.0]) whenever they fail to reduce the residual
-    norm or leave a coordinate below its entry in [lower_bounds].  When
-    [probe] is given it is called once per completed step — the hook
-    mirrors [?cancel] elsewhere: plain, optional, and free when absent. *)
+    norm or leave a coordinate below its entry in [lower_bounds].
+    [hooks.probe] is called once per completed step and [hooks.cancel]
+    polled once per iteration; both are bit-identity-preserving
+    observers in the uniform {!Hooks} style (default: {!Hooks.default},
+    which observes nothing and never cancels). *)
 
 val solve_scalar :
   f:(float -> float) -> df:(float -> float) -> init:float ->

@@ -1,6 +1,7 @@
 module Geometry = Rip_net.Geometry
 module Net = Rip_net.Net
 module Solution = Rip_elmore.Solution
+module Hooks = Rip_numerics.Hooks
 
 type config = {
   move_step : float;
@@ -100,19 +101,19 @@ type state = {
   mutable best : Width_solver.result;
 }
 
-let run ?(config = default_config) ?(cancel = ignore) ?probe geometry repeater
+let run ?(config = default_config) ?(hooks = Hooks.default) geometry repeater
     ~budget ~initial =
   let net = Geometry.net geometry in
   let length = Geometry.total_length geometry in
   let positions = Array.of_list (Solution.positions initial) in
-  let newton_probe =
-    match probe with
-    | None -> None
-    | Some f -> Some (fun e -> f (Newton e))
-  in
+  let probe = hooks.Hooks.probe in
+  (* Newton events flow through the same bundle, re-tagged; when [probe]
+     is absent the contramapped probe is also [None], so the width solver
+     allocates nothing. *)
+  let newton_hooks = Hooks.contramap (fun e -> Newton e) hooks in
   let solve () =
-    Width_solver.solve ~backend:config.backend ?newton_probe geometry repeater
-      ~positions ~budget
+    Width_solver.solve ~backend:config.backend ~hooks:newton_hooks geometry
+      repeater ~positions ~budget
   in
   match solve () with
   | None -> None
@@ -128,7 +129,7 @@ let run ?(config = default_config) ?(cancel = ignore) ?probe geometry repeater
       let converged = ref !finished in
       while not !finished do
         (* Iteration-granularity cancellation poll. *)
-        cancel ();
+        hooks.Hooks.cancel ();
         if st.iterations >= config.max_iterations then finished := true
         else begin
           st.iterations <- st.iterations + 1;
@@ -216,3 +217,8 @@ let run ?(config = default_config) ?(cancel = ignore) ?probe geometry repeater
           delay = st.best.Width_solver.delay;
           converged = !converged;
         }
+
+let run_callbacks ?config ?cancel ?probe geometry repeater ~budget ~initial =
+  run ?config
+    ~hooks:(Hooks.make ?cancel ?probe ())
+    geometry repeater ~budget ~initial

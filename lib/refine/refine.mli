@@ -57,19 +57,29 @@ type outcome = {
 }
 
 val run :
-  ?config:config -> ?cancel:(unit -> unit) ->
-  ?probe:(probe_event -> unit) ->
+  ?config:config ->
+  ?hooks:probe_event Rip_numerics.Hooks.t ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   budget:float -> initial:Rip_elmore.Solution.t -> outcome option
 (** [None] when even the fastest continuous sizing at the initial locations
     misses the budget.  The initial solution's widths are ignored (Line 1
     recomputes them); its locations seed the iteration.
 
-    [cancel] is polled once per iteration of the move loop; returning
+    [hooks.cancel] is polled once per iteration of the move loop; returning
     unit leaves the run bit-identical to one without the hook, raising
     aborts it with that exception (see {!Rip_engine.Cancel}).
+    [hooks.probe] receives one [Iteration] event per move round (plus
+    [Newton] events forwarded from the width solver when that backend is
+    selected).  Both are bit-identity-preserving observers; with
+    {!Rip_numerics.Hooks.default} nothing is observed and nothing is
+    allocated. *)
 
-    [probe] receives one [Iteration] event per move round (plus [Newton]
-    events from the width solver when that backend is selected), in the
-    same plain-hook style as [cancel]: bit-identical results, and no
-    allocation when absent. *)
+val run_callbacks :
+  ?config:config -> ?cancel:(unit -> unit) ->
+  ?probe:(probe_event -> unit) ->
+  Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
+  budget:float -> initial:Rip_elmore.Solution.t -> outcome option
+[@@ocaml.deprecated
+  "Use Refine.run with ?hooks (Rip_numerics.Hooks.make ?cancel ?probe ())."]
+(** Pre-[Hooks] calling convention, kept for one release as a thin shim
+    over {!run}. *)

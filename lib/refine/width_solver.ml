@@ -166,7 +166,7 @@ let solve_gauss_seidel st ~budget =
 
 (* Full KKT Newton: unknowns z = (w_1..w_n, lambda); residuals are Eq. (8)
    for each i and Eq. (5).  Seeded from a loose Gauss-Seidel solve. *)
-let solve_newton ?newton_probe st ~budget =
+let solve_newton ?hooks st ~budget =
   match solve_gauss_seidel st ~budget with
   | None -> None
   | Some seed ->
@@ -213,7 +213,7 @@ let solve_newton ?newton_probe st ~budget =
       let lower_bounds = Array.make (n + 1) 1e-6 in
       let outcome =
         Newton_solver.solve_system ~residual ~jacobian ~init ~tol:1e-9
-          ~lower_bounds ?probe:newton_probe ()
+          ~lower_bounds ?hooks ()
       in
       (match outcome.Newton_solver.status with
       | Newton_solver.Converged _ ->
@@ -230,7 +230,7 @@ let solve_newton ?newton_probe st ~budget =
           (* Fall back to the (already valid) Gauss-Seidel answer. *)
           Some seed)
 
-let solve ?(backend = Gauss_seidel) ?newton_probe geometry repeater ~positions
+let solve ?(backend = Gauss_seidel) ?hooks geometry repeater ~positions
     ~budget =
   let st = build_stages geometry repeater ~positions in
   if st.n = 0 then
@@ -241,4 +241,4 @@ let solve ?(backend = Gauss_seidel) ?newton_probe geometry repeater ~positions
   else
     match backend with
     | Gauss_seidel -> solve_gauss_seidel st ~budget
-    | Newton -> solve_newton ?newton_probe st ~budget
+    | Newton -> solve_newton ?hooks st ~budget

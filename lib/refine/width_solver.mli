@@ -48,13 +48,13 @@ val min_delay_sizing_bounded :
 
 val solve :
   ?backend:backend ->
-  ?newton_probe:(Rip_numerics.Newton.probe_event -> unit) ->
+  ?hooks:Rip_numerics.Newton.probe_event Rip_numerics.Hooks.t ->
   Rip_net.Geometry.t -> Rip_tech.Repeater_model.t ->
   positions:float array -> budget:float -> result option
 (** [None] when even {!min_delay_sizing} misses the budget (the positions
     are infeasible).  With empty [positions] the answer is [Some] with no
     widths when the bare wire meets the budget, [None] otherwise.
-    [newton_probe] observes the KKT Newton iterations and is only ever
-    called by the [Newton] backend; absent, it costs nothing.
+    [hooks] is forwarded to {!Rip_numerics.Newton.solve_system} and only
+    ever consulted by the [Newton] backend; absent, it costs nothing.
     @raise Invalid_argument when positions are not strictly increasing or
     lie outside (0, L). *)

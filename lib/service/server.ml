@@ -368,22 +368,17 @@ type solve_outcome =
   | Worker_lost_mid_solve
 
 (* Probes are always wired: each event is one or two atomic counter
-   bumps, cheap enough to keep on for every solve. *)
-let solver_probe t =
-  {
-    Rip.dp =
-      Some
-        (fun (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
-          Metrics.incr_dp_columns t.metrics;
-          Metrics.add_dp_labels_pruned t.metrics (collected - kept));
-    refine =
-      Some
-        (function
-        | Rip_refine.Refine.Iteration _ ->
-            Metrics.incr_refine_iterations t.metrics
-        | Rip_refine.Refine.Newton _ ->
-            Metrics.incr_newton_iterations t.metrics);
-  }
+   bumps, cheap enough to keep on for every solve.  Both DP backends
+   report through the same [Column] event, so the counters are
+   backend-independent. *)
+let solver_probe t = function
+  | Rip.Dp (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
+      Metrics.incr_dp_columns t.metrics;
+      Metrics.add_dp_labels_pruned t.metrics (collected - kept)
+  | Rip.Refine (Rip_refine.Refine.Iteration _) ->
+      Metrics.incr_refine_iterations t.metrics
+  | Rip.Refine (Rip_refine.Refine.Newton _) ->
+      Metrics.incr_newton_iterations t.metrics
 
 let run_full_solve t ~budget ~net ~key token =
   let tracer = t.config.tracer in
@@ -425,8 +420,9 @@ let run_full_solve t ~budget ~net ~key token =
                       raise Faults.Worker_killed;
                     match
                       Rip.solve ?config:t.config.solver
-                        ~cancel:(Cancel.hook token)
-                        ~probe:(solver_probe t) ?phase
+                        ~hooks:
+                          (Rip_core.Hooks.make ~cancel:(Cancel.hook token)
+                             ~probe:(solver_probe t) ?phase ())
                         { Rip.process = t.process; net; geometry = None;
                           budget }
                     with

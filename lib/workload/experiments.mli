@@ -27,12 +27,19 @@ val run_suite :
   ?fixed_range:bool ->
   ?nets:Rip_net.Net.t list ->
   ?targets_per_net:int ->
+  ?config:Rip_core.Config.t ->
+  ?hooks:Rip_core.Rip.probe_event Rip_core.Hooks.t ->
   Rip_tech.Process.t ->
   net_run list
 (** Sweep every net and timing target, solving RIP once per cell and the
     baseline once per granularity.  Defaults: the 20-net suite, 20 targets,
     granularities [10; 20; 40] with the paper's fixed-size-10 baseline
     libraries ([fixed_range = false]).
+
+    [config] is handed to every RIP solve (its [dp] options also pick the
+    baseline DP backend); [hooks] observes every RIP solve — with
+    [jobs > 1] its callbacks run concurrently from pool domains, so they
+    must be thread-safe (atomic counters are; see the bench suite).
 
     The sweep runs on the {!Rip_engine.Engine} domain pool ([jobs]
     workers, default {!Rip_engine.Engine.default_jobs}); results are
@@ -45,6 +52,8 @@ val run_suite_stats :
   ?fixed_range:bool ->
   ?nets:Rip_net.Net.t list ->
   ?targets_per_net:int ->
+  ?config:Rip_core.Config.t ->
+  ?hooks:Rip_core.Rip.probe_event Rip_core.Hooks.t ->
   Rip_tech.Process.t ->
   net_run list * Rip_engine.Telemetry.t
 (** As {!run_suite}, also returning the engine's batch summary (batch
@@ -101,7 +110,8 @@ type table2_row = {
 
 val table2 :
   ?jobs:int -> ?granularities:float list -> ?nets:Rip_net.Net.t list ->
-  ?targets_per_net:int -> Rip_tech.Process.t -> table2_row list
+  ?targets_per_net:int -> ?config:Rip_core.Config.t -> Rip_tech.Process.t ->
+  table2_row list
 (** Fixed-range (10u, 400u) baselines per the paper; defaults to
     granularities [40; 30; 20; 10] over the full suite.
 

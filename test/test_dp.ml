@@ -18,6 +18,21 @@ let invalid name f = Alcotest.match_raises name (function Invalid_argument _ -> 
 let check_float = Alcotest.(check (float 1e-9))
 let repeater = Helpers.repeater
 
+(* Most tests go through the redesigned request/run entry point; [backend]
+   defaults to [Auto] exactly as production callers get it. *)
+let run_dp ?backend ?frontier_cap ?arena ?hooks geometry repeater ~library
+    ~candidates ~budget =
+  Power_dp.run
+    (Power_dp.request ?backend ?frontier_cap ?arena ?hooks geometry repeater
+       ~library ~candidates ~budget)
+
+let identical_results (a : Power_dp.result) (b : Power_dp.result) =
+  let eq = List.for_all2 Float.equal in
+  eq (Solution.positions a.solution) (Solution.positions b.solution)
+  && eq (Solution.widths a.solution) (Solution.widths b.solution)
+  && Float.equal a.delay b.delay
+  && Float.equal a.total_width b.total_width
+
 (* --- Repeater_library ------------------------------------------------------ *)
 
 let test_library_create () =
@@ -172,7 +187,7 @@ let prop_power_dp_optimal =
       let bare = Delay.total repeater geometry Solution.empty in
       let budget = bare *. slack /. 1.5 in
       let dp =
-        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+        run_dp geometry repeater ~library ~candidates:sites ~budget
       in
       let brute =
         Exhaustive.min_width_under_budget geometry repeater ~library
@@ -192,7 +207,7 @@ let prop_power_dp_valid =
       let library = Repeater_library.create widths in
       let bare = Delay.total repeater geometry Solution.empty in
       let budget = bare *. slack in
-      match Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+      match run_dp geometry repeater ~library ~candidates:sites ~budget
       with
       | None -> true
       | Some r ->
@@ -210,7 +225,7 @@ let prop_power_dp_monotone_in_budget =
       let library = Repeater_library.create widths in
       let bare = Delay.total repeater geometry Solution.empty in
       let width_at budget =
-        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+        run_dp geometry repeater ~library ~candidates:sites ~budget
         |> Option.map (fun r -> r.Power_dp.total_width)
       in
       match (width_at (0.8 *. bare), width_at (1.1 *. bare)) with
@@ -224,7 +239,7 @@ let test_power_dp_generous_budget_is_free () =
   let bare = Delay.total repeater geometry Solution.empty in
   let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
   match
-    Power_dp.solve geometry repeater ~library
+    run_dp geometry repeater ~library
       ~candidates:(Candidates.uniform net ~pitch:200.0)
       ~budget:(10.0 *. bare)
   with
@@ -236,7 +251,7 @@ let test_power_dp_impossible_budget () =
   let geometry = Geometry.of_net net in
   let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
   Alcotest.(check bool) "infeasible" true
-    (Power_dp.solve geometry repeater ~library
+    (run_dp geometry repeater ~library
        ~candidates:(Candidates.uniform net ~pitch:200.0)
        ~budget:1e-15
     = None)
@@ -254,7 +269,7 @@ let test_power_dp_zone_respected () =
   let bare = Delay.total repeater geometry Solution.empty in
   let library = Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:30.0 in
   match
-    Power_dp.solve geometry repeater ~library
+    run_dp geometry repeater ~library
       ~candidates:(Candidates.uniform net ~pitch:100.0)
       ~budget:(0.75 *. bare)
   with
@@ -298,7 +313,7 @@ let prop_min_delay_lower_bounds_power_dp =
       in
       let bare = Delay.total repeater geometry Solution.empty in
       match
-        Power_dp.solve geometry repeater ~library ~candidates:sites
+        run_dp geometry repeater ~library ~candidates:sites
           ~budget:(bare *. slack)
       with
       | None -> true
@@ -332,7 +347,7 @@ let prop_power_dp_deterministic =
       let bare = Delay.total repeater geometry Solution.empty in
       let budget = bare *. slack in
       let solve () =
-        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+        run_dp geometry repeater ~library ~candidates:sites ~budget
       in
       let identical (a : Power_dp.result) (b : Power_dp.result) =
         let eq = List.for_all2 Float.equal in
@@ -360,11 +375,13 @@ let prop_power_dp_cancel_identity =
       let budget = bare *. slack in
       let token = Rip_engine.Cancel.create () in
       let plain =
-        Power_dp.solve geometry repeater ~library ~candidates:sites ~budget
+        run_dp geometry repeater ~library ~candidates:sites ~budget
       in
       let hooked =
-        Power_dp.solve ~cancel:(Rip_engine.Cancel.hook token) geometry
-          repeater ~library ~candidates:sites ~budget
+        run_dp
+          ~hooks:
+            (Rip_numerics.Hooks.make ~cancel:(Rip_engine.Cancel.hook token) ())
+          geometry repeater ~library ~candidates:sites ~budget
       in
       let identical (a : Power_dp.result) (b : Power_dp.result) =
         let eq = List.for_all2 Float.equal in
@@ -377,6 +394,140 @@ let prop_power_dp_cancel_identity =
       | None, None -> true
       | Some a, Some b -> identical a b
       | Some _, None | None, Some _ -> false)
+
+(* --- Backend equivalence ----------------------------------------------------- *)
+
+(* The tentpole contract: the O(bn^2)-pruned flat-arena backend returns
+   the same solution, bit for bit, as the reference frontier DP.  Run
+   uncapped (the documented divergence caveat only concerns a binding
+   frontier cap), and thread a never-firing cancel token through the fast
+   side so its poll points are covered too. *)
+let prop_backend_equivalence =
+  QCheck.Test.make
+    ~name:"fast backend is bit-identical to the reference backend" ~count:80
+    small_instance_arb
+    (fun (net, sites, widths, slack) ->
+      let geometry = Geometry.of_net net in
+      let library = Repeater_library.create widths in
+      let bare = Delay.total repeater geometry Solution.empty in
+      List.for_all
+        (fun budget ->
+          let reference =
+            run_dp ~backend:Power_dp.Reference geometry repeater ~library
+              ~candidates:sites ~budget
+          in
+          let token = Rip_engine.Cancel.create () in
+          let fast =
+            run_dp ~backend:Power_dp.Fast
+              ~hooks:
+                (Rip_numerics.Hooks.make ~cancel:(Rip_engine.Cancel.hook token)
+                   ())
+              geometry repeater ~library ~candidates:sites ~budget
+          in
+          match (reference, fast) with
+          | None, None -> true
+          | Some a, Some b ->
+              identical_results a b
+              && a.Power_dp.stats.Power_dp.sites
+                 = b.Power_dp.stats.Power_dp.sites
+          | Some _, None | None, Some _ -> false)
+        [ bare *. slack /. 1.5; bare *. slack; bare *. slack *. 2.0 ])
+
+(* One arena reused across many fast solves must behave exactly like a
+   fresh arena per solve, and its capacity must stop growing once it has
+   seen the biggest instance. *)
+let test_arena_reuse () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  let library =
+    Repeater_library.range ~min_width:10.0 ~max_width:400.0 ~step:30.0
+  in
+  let candidates = Candidates.uniform net ~pitch:100.0 in
+  let arena = Rip_dp.Fast_dp.Arena.create () in
+  let budgets = [ 0.7 *. bare; 0.8 *. bare; 1.1 *. bare; 0.7 *. bare ] in
+  let shared =
+    List.map
+      (fun budget ->
+        run_dp ~backend:Power_dp.Fast ~arena geometry repeater ~library
+          ~candidates ~budget)
+      budgets
+  in
+  let capacity_after_warmup = Rip_dp.Fast_dp.Arena.capacity arena in
+  let fresh =
+    List.map
+      (fun budget ->
+        run_dp ~backend:Power_dp.Fast geometry repeater ~library ~candidates
+          ~budget)
+      budgets
+  in
+  List.iter2
+    (fun shared fresh ->
+      match (shared, fresh) with
+      | None, None -> ()
+      | Some a, Some b ->
+          Alcotest.(check bool)
+            "shared arena result equals fresh arena result" true
+            (identical_results a b)
+      | Some _, None | None, Some _ ->
+          Alcotest.fail "shared/fresh arena feasibility mismatch")
+    shared fresh;
+  List.iter
+    (fun budget ->
+      ignore
+        (run_dp ~backend:Power_dp.Fast ~arena geometry repeater ~library
+           ~candidates ~budget))
+    budgets;
+  Alcotest.(check int) "capacity stabilises after warmup" capacity_after_warmup
+    (Rip_dp.Fast_dp.Arena.capacity arena)
+
+let test_auto_backend () =
+  Alcotest.(check string) "auto resolves small instances to the reference"
+    (Power_dp.backend_name Power_dp.Reference)
+    (Power_dp.backend_name
+       (Power_dp.auto_backend ~interior_sites:3 ~library_size:5));
+  Alcotest.(check string) "auto resolves large instances to fast"
+    (Power_dp.backend_name Power_dp.Fast)
+    (Power_dp.backend_name
+       (Power_dp.auto_backend ~interior_sites:20 ~library_size:10));
+  Alcotest.(check bool) "cutover boundary goes fast" true
+    (Power_dp.auto_backend ~interior_sites:Power_dp.auto_cutover
+       ~library_size:1
+    = Power_dp.Fast)
+
+(* The deprecated entry point must stay a faithful shim over the new
+   one. *)
+let[@alert "-deprecated"] test_deprecated_solve_shim () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let bare = Delay.total repeater geometry Solution.empty in
+  let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
+  let candidates = Candidates.uniform net ~pitch:200.0 in
+  let budget = 0.8 *. bare in
+  let old_style =
+    Power_dp.solve geometry repeater ~library ~candidates ~budget
+  in
+  let new_style =
+    run_dp ~backend:Power_dp.Reference geometry repeater ~library ~candidates
+      ~budget
+  in
+  match (old_style, new_style) with
+  | None, None -> ()
+  | Some a, Some b ->
+      Alcotest.(check bool) "solve = run (request ~backend:Reference)" true
+        (identical_results a b)
+  | Some _, None | None, Some _ ->
+      Alcotest.fail "deprecated shim feasibility mismatch"
+
+let test_run_rejects_tiny_cap () =
+  let net = zoned_net () in
+  let geometry = Geometry.of_net net in
+  let library = Repeater_library.uniform ~min_width:10.0 ~step:10.0 ~count:5 in
+  let candidates = Candidates.uniform net ~pitch:200.0 in
+  invalid "cap of 1" (fun () ->
+      ignore
+        (run_dp ~frontier_cap:1 geometry repeater ~library ~candidates
+           ~budget:1e-9))
 
 let suite =
   [
@@ -414,6 +565,16 @@ let suite =
         qcheck prop_power_dp_monotone_in_budget;
         qcheck prop_power_dp_deterministic;
         qcheck prop_power_dp_cancel_identity;
+      ] );
+    ( "dp.backends",
+      [
+        qcheck prop_backend_equivalence;
+        Alcotest.test_case "arena reuse" `Quick test_arena_reuse;
+        Alcotest.test_case "auto cutover" `Quick test_auto_backend;
+        Alcotest.test_case "deprecated solve shim" `Quick
+          test_deprecated_solve_shim;
+        Alcotest.test_case "tiny frontier cap rejected" `Quick
+          test_run_rejects_tiny_cap;
       ] );
     ( "dp.min_delay",
       [

@@ -295,27 +295,24 @@ let test_solver_probes () =
   let dp_events = ref 0 and pruned = ref 0 in
   let refine_iterations = ref 0 and newton_events = ref 0 in
   let phases = ref [] in
-  let probe =
-    {
-      Rip.dp =
-        Some
-          (fun (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
-            incr dp_events;
-            Alcotest.(check bool) "kept <= collected" true (kept <= collected);
-            pruned := !pruned + (collected - kept));
-      refine =
-        Some
-          (function
-          | Rip_refine.Refine.Iteration { iteration; _ } ->
-              refine_iterations := max !refine_iterations iteration
-          | Rip_refine.Refine.Newton _ -> incr newton_events);
-    }
+  let probe = function
+    | Rip.Dp (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
+        incr dp_events;
+        Alcotest.(check bool) "kept <= collected" true (kept <= collected);
+        pruned := !pruned + (collected - kept)
+    | Rip.Refine (Rip_refine.Refine.Iteration { iteration; _ }) ->
+        refine_iterations := max !refine_iterations iteration
+    | Rip.Refine (Rip_refine.Refine.Newton _) -> incr newton_events
   in
   let phase name =
     phases := name :: !phases;
     fun () -> ()
   in
-  let probed = Rip.solve ~probe ~phase (probe_request ()) in
+  let probed =
+    Rip.solve
+      ~hooks:(Rip_core.Hooks.make ~probe ~phase ())
+      (probe_request ())
+  in
   let plain = Rip.solve (probe_request ()) in
   (match (probed, plain) with
   | Ok a, Ok b ->

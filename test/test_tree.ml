@@ -169,7 +169,8 @@ let prop_chain_dp_equivalence =
       in
       let candidates = Candidates.uniform net ~pitch:400.0 in
       let chain =
-        Power_dp.solve geometry repeater ~library ~candidates ~budget
+        Power_dp.run
+          (Power_dp.request geometry repeater ~library ~candidates ~budget)
       in
       let tree_result =
         Tree_dp.solve repeater tree ~library
