@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --jobs 8 suite -- engine scaling run
 
    Experiments: table1, table2, fig7, tree, ablation, micro, service,
-   suite.
+   cluster, suite.
    The suite experiment runs the quick sweep through the rip_engine
    domain pool at jobs=1 and jobs=N, checks the outcome arrays are
    identical, and writes machine-readable rows to BENCH_suite.json in
@@ -313,6 +313,268 @@ let run_service scale =
   Thread.join acceptor;
   try Sys.remove path with Sys_error _ -> ()
 
+(* --- Cluster: sharded solve throughput ladder (BENCH_cluster.json) ------ *)
+
+module Loadgen = Rip_service.Loadgen
+
+type cluster_rung = {
+  cl_shards : int;
+  cl_cold : Loadgen.result;
+  cl_warm : Loadgen.result;
+  cl_hit_rates : (string * float) list;
+  cl_router : Loadgen.result option;
+}
+
+(* The cluster acceptance ladder: spawn real rip_serviced shard
+   processes, drive one workload through a client-side consistent-hash
+   ring (the same placement rip_routerd computes) at 1 and 4 shards,
+   then replay the warm pass through an in-process router to price the
+   front-end hop.  Every rung gives each shard the same --jobs budget,
+   so the ladder measures process-level scaling; on a box with fewer
+   cores than shards the cold factor is core-bound, which is why the
+   2.5x expectation is reported, not enforced. *)
+let run_cluster scale =
+  section "Cluster: sharded solve throughput (rip_serviced x N)";
+  let module Client = Rip_service.Client in
+  let module Protocol = Rip_service.Protocol in
+  let module Supervisor = Rip_router.Supervisor in
+  let module Ring = Rip_router.Ring in
+  let module Router = Rip_router.Router in
+  let module Net = Rip_net.Net in
+  let exe =
+    match Sys.getenv_opt "RIP_SERVICED" with
+    | Some exe -> exe
+    | None ->
+        Filename.concat
+          (Filename.dirname (Filename.dirname Sys.executable_name))
+          "bin/rip_serviced.exe"
+  in
+  if not (Sys.file_exists exe) then
+    Printf.printf
+      "skipped: rip_serviced not found at %s (set RIP_SERVICED or build \
+       bin/rip_serviced.exe)\n"
+      exe
+  else begin
+    let cores = Engine.default_jobs () in
+    let ladder = [ 1; 4 ] in
+    let max_shards = List.fold_left Stdlib.max 1 ladder in
+    let shard_jobs = Stdlib.max 1 (cores / max_shards) in
+    let requests = scale.nets * scale.targets in
+    let workload =
+      Loadgen.workload ~distinct_nets:(Stdlib.min scale.nets 20) ~requests
+        process
+    in
+    let dir = Filename.get_temp_dir_name () in
+    let tag = Unix.getpid () in
+    let solve_key frame =
+      match frame with
+      | Protocol.Solve { net; _ } -> Net.canonical_digest net
+      | _ -> ""
+    in
+    (* Warm pass replayed through an in-process Router over the same
+       (already hot) shards: the delta against the direct warm pass is
+       the cost of the extra hop plus the pricing/ring decision. *)
+    let router_pass children =
+      let specs =
+        List.map
+          (fun c ->
+            {
+              Router.id = Supervisor.id c;
+              socket = Supervisor.socket c;
+              weight = 1;
+            })
+          children
+      in
+      let router = Router.create ~shards:specs process in
+      let rpath =
+        Filename.concat dir (Printf.sprintf "rip-bench-%d-router.sock" tag)
+      in
+      let listener = Router.listen_unix rpath in
+      let acceptor = Thread.create (fun () -> Router.run router listener) () in
+      let connect () = Client.connect_unix rpath in
+      let r = Loadgen.run ~connect ~connections:4 workload in
+      let closer = Client.connect_unix rpath in
+      (match Client.request closer Protocol.Shutdown with
+      | Ok Protocol.Bye -> ()
+      | Ok _ | Error _ -> Router.request_shutdown router);
+      Client.close closer;
+      Thread.join acceptor;
+      (try Sys.remove rpath with Sys_error _ -> ());
+      r
+    in
+    let run_rung n =
+      let children =
+        List.init n (fun i ->
+            Supervisor.spawn ~exe
+              ~extra_args:[ "--jobs"; string_of_int shard_jobs ]
+              ~id:(Printf.sprintf "s%d" i)
+              ~socket:
+                (Filename.concat dir
+                   (Printf.sprintf "rip-bench-%d-%d-%d.sock" tag n i))
+              ())
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Supervisor.terminate children)
+        (fun () ->
+          List.iter
+            (fun c ->
+              match Supervisor.wait_ready c with
+              | Ok () -> ()
+              | Error e -> failwith e)
+            children;
+          let ids = Array.of_list (List.map Supervisor.id children) in
+          let ring =
+            Ring.create (Array.to_list (Array.map (fun id -> (id, 1)) ids))
+          in
+          let index_of id =
+            let rec find i =
+              if String.equal ids.(i) id then i else find (i + 1)
+            in
+            find 0
+          in
+          let connects =
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   let s = Supervisor.socket c in
+                   fun () -> Client.connect_unix s)
+                 children)
+          in
+          let route ~index:_ frame =
+            match Ring.lookup ring (solve_key frame) with
+            | Some id -> index_of id
+            | None -> 0
+          in
+          let pass label =
+            let r = (Loadgen.run_multi ~connects ~route workload) in
+            Printf.printf "%d shard(s), %s pass (%d requests):\n%s%!" n label
+              requests
+              (Loadgen.render r.Loadgen.merged);
+            r
+          in
+          let cold = pass "cold" in
+          let warm = pass "warm" in
+          (* Shards whose partition was empty served no traffic and
+             have no hit rate to report. *)
+          let hit_rates =
+            List.filteri
+              (fun e _ -> warm.Loadgen.by_endpoint.(e).Loadgen.sent > 0)
+              (Array.to_list
+                 (Array.mapi
+                    (fun e (r : Loadgen.result) ->
+                      ( ids.(e),
+                        float_of_int r.Loadgen.solved_cached
+                        /. float_of_int (Stdlib.max 1 r.Loadgen.sent) ))
+                    warm.Loadgen.by_endpoint))
+          in
+          Printf.printf "warm cache hit rate: %s\n%!"
+            (String.concat ", "
+               (List.map
+                  (fun (id, rate) ->
+                    Printf.sprintf "%s %.1f%%" id (100.0 *. rate))
+                  hit_rates));
+          let router =
+            if n = max_shards then begin
+              let r = router_pass children in
+              Printf.printf
+                "via in-process router (%d shards, warm): %.1f req/s (direct \
+                 warm %.1f req/s)\n"
+                n r.Loadgen.throughput warm.Loadgen.merged.Loadgen.throughput;
+              Some r
+            end
+            else None
+          in
+          {
+            cl_shards = n;
+            cl_cold = cold.Loadgen.merged;
+            cl_warm = warm.Loadgen.merged;
+            cl_hit_rates = hit_rates;
+            cl_router = router;
+          })
+    in
+    let rungs =
+      List.filter_map
+        (fun n ->
+          try Some (run_rung n)
+          with Failure e ->
+            Printf.printf "cluster rung %d skipped: %s\n" n e;
+            None)
+        ladder
+    in
+    let find_rung n =
+      List.find_opt (fun r -> r.cl_shards = n) rungs
+    in
+    let scaling =
+      match (find_rung 1, find_rung max_shards) with
+      | Some one, Some top
+        when max_shards > 1 && one.cl_cold.Loadgen.throughput > 0.0 ->
+          Some
+            (top.cl_cold.Loadgen.throughput /. one.cl_cold.Loadgen.throughput)
+      | _ -> None
+    in
+    (match scaling with
+    | Some f ->
+        Printf.printf "cold aggregate scaling %d vs 1 shards: %.2fx (%d \
+                       cores, %d jobs/shard)\n"
+          max_shards f cores shard_jobs;
+        if f < 2.5 then
+          Printf.printf
+            "note: below the 2.5x acceptance expectation — informative on a \
+             %d-core machine; the CI runners demonstrate the multi-core \
+             factor\n"
+            cores
+    | None -> ());
+    let json =
+      let row ?hits ~shards ~pass (r : Loadgen.result) =
+        Printf.sprintf
+          "    { \"shards\": %d, \"pass\": %S, \"requests\": %d, \"fresh\": \
+           %d, \"cached\": %d, \"degraded\": %d, \"wall_seconds\": %.4f, \
+           \"throughput\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+           \"p99_ms\": %.3f%s }"
+          shards pass r.Loadgen.sent r.Loadgen.solved_fresh
+          r.Loadgen.solved_cached r.Loadgen.degraded r.Loadgen.wall_seconds
+          r.Loadgen.throughput (r.Loadgen.p50 *. 1e3) (r.Loadgen.p95 *. 1e3)
+          (r.Loadgen.p99 *. 1e3)
+          (match hits with
+          | None -> ""
+          | Some hit_rates ->
+              Printf.sprintf ", \"warm_hit_rates\": [ %s ]"
+                (String.concat ", "
+                   (List.map
+                      (fun (id, rate) ->
+                        Printf.sprintf "{ \"shard\": %S, \"hit_rate\": %.4f }"
+                          id rate)
+                      hit_rates)))
+      in
+      let rows =
+        List.concat_map
+          (fun rung ->
+            [
+              row ~shards:rung.cl_shards ~pass:"cold" rung.cl_cold;
+              row ~hits:rung.cl_hit_rates ~shards:rung.cl_shards ~pass:"warm"
+                rung.cl_warm;
+            ]
+            @
+            match rung.cl_router with
+            | Some r -> [ row ~shards:rung.cl_shards ~pass:"router-warm" r ]
+            | None -> [])
+          rungs
+      in
+      Printf.sprintf
+        "{\n  \"cores\": %d,\n  \"shard_jobs\": %d,\n  \"requests\": %d,\n\
+        \  \"cold_scaling\": %s,\n  \"runs\": [\n%s\n  ]\n}\n"
+        cores shard_jobs requests
+        (match scaling with
+        | Some f -> Printf.sprintf "%.3f" f
+        | None -> "null")
+        (String.concat ",\n" rows)
+    in
+    let out = open_out "BENCH_cluster.json" in
+    output_string out json;
+    close_out out;
+    Printf.printf "wrote BENCH_cluster.json (%d rungs)\n" (List.length rungs)
+  end
+
 (* --- Engine batch-solve scaling (BENCH_suite.json) ---------------------- *)
 
 (* Per-cell results modulo runtime: the determinism contract is that the
@@ -514,12 +776,13 @@ let () =
   let scale = if quick then quick_scale else full_scale in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let wanted = if wanted = [] || List.mem "all" wanted then
-      [ "table1"; "table2"; "tree"; "ablation"; "micro"; "service"; "suite" ]
+      [ "table1"; "table2"; "tree"; "ablation"; "micro"; "service";
+        "cluster"; "suite" ]
     else wanted
   in
   let known =
     [ "table1"; "fig7"; "table2"; "tree"; "ablation"; "micro"; "service";
-      "suite" ]
+      "cluster"; "suite" ]
   in
   List.iter
     (fun w ->
@@ -537,6 +800,7 @@ let () =
   if List.mem "ablation" wanted then run_ablation scale;
   if List.mem "micro" wanted then run_micro ();
   if List.mem "service" wanted then run_service scale;
+  if List.mem "cluster" wanted then run_cluster scale;
   if List.mem "suite" wanted then begin
     (* The scaling ladder: sequential, then the machine's own pool size.
        Never force more domains than the machine recommends — an

@@ -5,9 +5,20 @@
 module Netgen = Rip_workload.Netgen
 module Suite = Rip_workload.Suite
 
+(* Create [dir] and any missing parents.  EEXIST is success, not an
+   error: concurrent invocations racing to create the same directory
+   (a sharded workload generation fan-out) must all win. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if not (String.equal parent dir) then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
 let generate count seed out_dir =
   let rng = Rip_numerics.Prng.create (Int64.of_int seed) in
-  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  mkdir_p out_dir;
   List.iter
     (fun index ->
       let net = Netgen.generate rng ~index in

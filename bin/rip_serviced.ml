@@ -21,15 +21,23 @@ let resolve_faults = function
   | Some spec -> Result.map Option.some (Faults.parse_spec spec)
   | None -> Faults.of_env ()
 
-let serve socket_path port host jobs cache_capacity queue_depth high_water
-    max_frame_bytes faults_spec trace_out =
+let serve socket_path port host shard_id jobs cache_capacity queue_depth
+    high_water max_frame_bytes faults_spec trace_out =
   if queue_depth < 1 then begin
     prerr_endline "rip_serviced: --queue-depth must be at least 1";
     2
   end
   else if high_water < 1 || high_water > queue_depth then begin
-    prerr_endline
-      "rip_serviced: --high-water must be between 1 and --queue-depth";
+    Printf.eprintf
+      "rip_serviced: --high-water %d must be between 1 and --queue-depth %d\n"
+      high_water queue_depth;
+    2
+  end
+  else if not (Rip_service.Protocol.valid_shard_id shard_id) then begin
+    Printf.eprintf
+      "rip_serviced: --shard-id %S must be a non-empty token over \
+       [A-Za-z0-9._-]\n"
+      shard_id;
     2
   end
   else if cache_capacity < 0 then begin
@@ -57,6 +65,7 @@ let serve socket_path port host jobs cache_capacity queue_depth high_water
         let config =
           {
             Server.default_config with
+            shard_id;
             jobs;
             queue_depth;
             high_water;
@@ -77,10 +86,10 @@ let serve socket_path port host jobs cache_capacity queue_depth high_water
           | None -> (Server.listen_unix socket_path, socket_path)
         in
         Printf.printf
-          "rip_serviced: listening on %s (jobs %s, cache %d entries, queue \
-           depth %d, high water %d%s)\n\
+          "rip_serviced[%s]: listening on %s (jobs %s, cache %d entries, \
+           queue depth %d, high water %d%s)\n\
            %!"
-          endpoint
+          shard_id endpoint
           (match jobs with Some j -> string_of_int j | None -> "auto")
           cache_capacity queue_depth high_water
           (if Option.is_some faults then ", FAULT INJECTION ON" else "");
@@ -118,6 +127,15 @@ let host =
   Arg.(
     value & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for --port.")
+
+let shard_id =
+  Arg.(
+    value
+    & opt string Rip_service.Server.default_config.shard_id
+    & info [ "shard-id" ] ~docv:"ID"
+        ~doc:"Shard identity reported in STATS and HEALTH frames — how a \
+              routing front end (rip_routerd) tells shards apart.  A \
+              non-empty token over [A-Za-z0-9._-].")
 
 let jobs =
   Arg.(
@@ -182,7 +200,8 @@ let main =
        ~doc:"Persistent repeater-insertion solve service with a canonical-form \
              result cache, deadlines and graceful degradation")
     Term.(
-      const serve $ socket_path $ port $ host $ jobs $ cache_capacity
-      $ queue_depth $ high_water $ max_frame_bytes $ faults_spec $ trace_out)
+      const serve $ socket_path $ port $ host $ shard_id $ jobs
+      $ cache_capacity $ queue_depth $ high_water $ max_frame_bytes
+      $ faults_spec $ trace_out)
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,56 @@
+(** Per-shard price controller for admission decisions.
+
+    An extremum-seeking climb on the shard's profit — useful answers per
+    second minus weighted degradation costs — in the style of
+    CloudNetworking's [optimizeResourcePriceNew]: raise the price by a
+    multiplicative step while profit still improves, reverse into a
+    shrink on the first losing step, and decay straight to the floor
+    when the shard is comfortably idle.  The router compares the
+    resulting prices against its spill/shed thresholds; this module
+    never makes the admission decision itself. *)
+
+type config = {
+  initial_price : float;
+  floor : float;  (** idle decay target; an idle shard must become cheap *)
+  ceiling : float;  (** the climb's hard cap *)
+  growth : float;  (** multiplicative raise while profit improves, > 1 *)
+  shrink : float;  (** back-off / idle-decay factor, in (0, 1) *)
+  degraded_cost : float;  (** profit penalty per DEGRADED/s *)
+  timeout_cost : float;  (** profit penalty per TIMEOUT/s *)
+  busy_cost : float;  (** profit penalty per BUSY/s *)
+  utilization_low : float;
+      (** below this fraction of [queue_depth], decay instead of climb *)
+}
+
+val default_config : config
+
+type observation = {
+  seconds : float;  (** wall seconds covered by this tick *)
+  completed : int;  (** RESULT answers (fresh + cached) in the window *)
+  degraded : int;
+  timeouts : int;
+  busy : int;
+  in_flight : int;  (** admission slots held now *)
+  queue_depth : int;  (** the shard's configured bound (from HEALTH) *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument on a config violating
+    [0 < floor <= initial_price <= ceiling], [growth > 1], or
+    [shrink] outside (0, 1). *)
+
+val price : t -> float
+(** The current ask; starts at [initial_price], always within
+    [[floor, ceiling]]. *)
+
+val config : t -> config
+
+val profit : config -> observation -> float
+(** [completed/s - degraded_cost*degraded/s - timeout_cost*timeouts/s -
+    busy_cost*busy/s]; 0 when the window is empty.  Exposed for tests. *)
+
+val observe : t -> observation -> float
+(** Feed one tick's delta; returns the updated price.  Deterministic:
+    the same observation sequence always yields the same price path. *)

@@ -1,0 +1,666 @@
+(* The cluster front end: one listening socket, N rip_serviced shards.
+
+   Requests route by consistent-hashing the net's canonical digest over
+   the shard ring — the same net always lands on the same shard, so
+   each shard's LRU solve cache stays hot for its own key range instead
+   of every shard caching a diluted copy of everything.
+
+   Admission is price-based rather than a static high-water mark.  A
+   poller thread scrapes each shard's STATS on a fixed tick, feeds the
+   delta to the shard's {!Pricing} controller, and the resulting prices
+   drive three-way decisions on the request path:
+
+     - primary price below [spill_price]       -> forward to the primary
+     - primary expensive, second choice cheaper -> spill to the second
+       choice (the next distinct shard clockwise, so no third shard's
+       key range is disturbed)
+     - every candidate above [shed_price]       -> answer DEGRADED
+       (overload) from the router's own analytic fallback tier rather
+       than queue behind a saturated cluster
+
+   With a single shard there is no spill target and pricing alone would
+   shed too eagerly, so the shard's static high-water mark keeps its
+   original role as the floor: the router only sheds when the price
+   says so *and* the shard's last-reported in-flight count is at or
+   past its high-water mark.
+
+   The same poller doubles as the failure detector.  A shard that
+   misses [down_after] consecutive polls is marked down (no longer a
+   forward target); after [remove_after] further misses it is removed
+   from the ring so its keyspace arcs fall to the survivors (a
+   rebalance, counted).  A recovered shard is re-added, reclaiming
+   exactly its old arcs — consistent hashing makes both transitions
+   minimal.  A transport failure on the request path fails over to the
+   other candidate immediately; when no candidate is left the router
+   answers DEGRADED (worker lost) locally.  The router never drops a
+   request on the floor. *)
+
+module Client = Rip_service.Client
+module Protocol = Rip_service.Protocol
+module Wire = Rip_service.Wire
+module Fallback = Rip_service.Fallback
+module Obs = Rip_obs.Metrics
+module Cpu_clock = Rip_numerics.Cpu_clock
+module Net = Rip_net.Net
+
+type shard_spec = { id : string; socket : string; weight : int }
+
+type config = {
+  pool_size : int;  (* connections kept per shard *)
+  request_timeout : float;  (* per-forward socket timeout, seconds *)
+  poll_interval : float;  (* pricing / liveness tick, seconds *)
+  vnodes_per_weight : int;
+  spill_price : float;  (* primary above this may spill *)
+  shed_price : float;  (* every candidate above this sheds *)
+  down_after : int;  (* missed polls before a shard is down *)
+  remove_after : int;  (* further misses before ring removal *)
+  pricing : Pricing.config;
+  solver : Rip_core.Config.t option;  (* for the local fallback tier *)
+  max_frame_bytes : int;
+}
+
+let default_config =
+  {
+    pool_size = 8;
+    request_timeout = 60.0;
+    poll_interval = 0.25;
+    vnodes_per_weight = Ring.default_vnodes_per_weight;
+    spill_price = 4.0;
+    shed_price = 16.0;
+    down_after = 2;
+    remove_after = 8;
+    pricing = Pricing.default_config;
+    solver = None;
+    max_frame_bytes = Wire.default_max_frame_bytes;
+  }
+
+(* Counter totals carried across shard incarnations.  A restarted shard
+   reports counters from zero; folding the dead incarnation's last
+   snapshot into this baseline keeps the router's aggregate STATS
+   monotone, which the load generator's delta reconciliation relies
+   on. *)
+type baseline = {
+  mutable b_requests : int;
+  mutable b_solved : int;
+  mutable b_errors : int;
+  mutable b_rejected_busy : int;
+  mutable b_timeouts : int;
+  mutable b_degraded : int;
+  mutable b_toobig : int;
+  mutable b_cache_self_heals : int;
+  mutable b_cache_hits : int;
+  mutable b_cache_misses : int;
+  mutable b_cache_evictions : int;
+  mutable b_queue_wait_seconds : float;
+  mutable b_solve_cpu_seconds : float;
+}
+
+let zero_baseline () =
+  {
+    b_requests = 0;
+    b_solved = 0;
+    b_errors = 0;
+    b_rejected_busy = 0;
+    b_timeouts = 0;
+    b_degraded = 0;
+    b_toobig = 0;
+    b_cache_self_heals = 0;
+    b_cache_hits = 0;
+    b_cache_misses = 0;
+    b_cache_evictions = 0;
+    b_queue_wait_seconds = 0.0;
+    b_solve_cpu_seconds = 0.0;
+  }
+
+let fold_into_baseline b (s : Protocol.stats) =
+  b.b_requests <- b.b_requests + s.requests;
+  b.b_solved <- b.b_solved + s.solved;
+  b.b_errors <- b.b_errors + s.errors;
+  b.b_rejected_busy <- b.b_rejected_busy + s.rejected_busy;
+  b.b_timeouts <- b.b_timeouts + s.timeouts;
+  b.b_degraded <- b.b_degraded + s.degraded;
+  b.b_toobig <- b.b_toobig + s.toobig;
+  b.b_cache_self_heals <- b.b_cache_self_heals + s.cache_self_heals;
+  b.b_cache_hits <- b.b_cache_hits + s.cache_hits;
+  b.b_cache_misses <- b.b_cache_misses + s.cache_misses;
+  b.b_cache_evictions <- b.b_cache_evictions + s.cache_evictions;
+  b.b_queue_wait_seconds <- b.b_queue_wait_seconds +. s.queue_wait_seconds;
+  b.b_solve_cpu_seconds <- b.b_solve_cpu_seconds +. s.solve_cpu_seconds
+
+type shard = {
+  spec : shard_spec;
+  pool : Client.Pool.t;
+  pricing : Pricing.t;
+  inst : Router_metrics.shard_instruments;
+  baseline : baseline;
+  (* The remaining fields are guarded by the router mutex. *)
+  mutable up : bool;
+  mutable missed_polls : int;
+  mutable down_polls : int;
+  mutable in_ring : bool;
+  mutable last_stats : Protocol.stats option;
+  mutable last_poll_at : float;  (* monotonic; 0 before the first poll *)
+  mutable queue_bound : int;  (* the shard's --queue-depth (HEALTH) *)
+  mutable high_water : int;  (* the shard's --high-water (HEALTH) *)
+}
+
+type t = {
+  process : Rip_tech.Process.t;
+  config : config;
+  shards : shard array;
+  metrics : Router_metrics.t;
+  mutex : Mutex.t;  (* ring + shard state + lifecycle *)
+  mutable ring : Ring.t;
+  mutable in_flight : int;
+  mutable stopping : bool;
+  mutable listener : Unix.file_descr option;
+  mutable connection_threads : Thread.t list;
+  mutable poller : Thread.t option;
+}
+
+let create ?(config = default_config) ~shards process =
+  if List.length shards = 0 then
+    invalid_arg "Router.create: at least one shard is required";
+  if config.pool_size < 1 then
+    invalid_arg "Router.create: pool_size must be >= 1";
+  if config.poll_interval <= 0.0 then
+    invalid_arg "Router.create: poll_interval must be positive";
+  if config.down_after < 1 || config.remove_after < 1 then
+    invalid_arg "Router.create: down_after and remove_after must be >= 1";
+  if not (config.spill_price > 0.0 && config.shed_price >= config.spill_price)
+  then invalid_arg "Router.create: need 0 < spill_price <= shed_price";
+  let ring =
+    Ring.create ~vnodes_per_weight:config.vnodes_per_weight
+      (List.map (fun s -> (s.id, s.weight)) shards)
+  in
+  let metrics =
+    Router_metrics.create ~shard_ids:(List.map (fun s -> s.id) shards) ()
+  in
+  let shard_states =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           let socket = spec.socket in
+           {
+             spec;
+             pool =
+               Client.Pool.create ~timeout:config.request_timeout
+                 ~size:config.pool_size (fun () ->
+                   Client.connect_unix socket);
+             pricing = Pricing.create ~config:config.pricing ();
+             inst = Router_metrics.shard metrics spec.id;
+             baseline = zero_baseline ();
+             up = true;
+             missed_polls = 0;
+             down_polls = 0;
+             in_ring = true;
+             last_stats = None;
+             last_poll_at = 0.0;
+             queue_bound = 64;
+             high_water = 48;
+           })
+         shards)
+  in
+  {
+    process;
+    config;
+    shards = shard_states;
+    metrics;
+    mutex = Mutex.create ();
+    ring;
+    in_flight = 0;
+    stopping = false;
+    listener = None;
+    connection_threads = [];
+    poller = None;
+  }
+
+let metrics t = t.metrics
+let shard_count t = Array.length t.shards
+
+let stopping t =
+  Mutex.lock t.mutex;
+  let s = t.stopping in
+  Mutex.unlock t.mutex;
+  s
+
+(* --- Poller: pricing + failure detection ---------------------------------- *)
+
+let refresh_bounds shard =
+  match Client.Pool.request shard.pool Protocol.Health with
+  | Ok (Protocol.Health_frame h) ->
+      shard.queue_bound <- h.Protocol.health_queue_depth;
+      shard.high_water <- h.Protocol.health_high_water
+  | Ok _ | Error _ -> ()
+
+let mark_recovered t shard =
+  Mutex.lock t.mutex;
+  let re_add = not shard.in_ring in
+  shard.up <- true;
+  shard.missed_polls <- 0;
+  shard.down_polls <- 0;
+  if re_add then begin
+    t.ring <- Ring.add t.ring shard.spec.id ~weight:shard.spec.weight;
+    shard.in_ring <- true
+  end;
+  Mutex.unlock t.mutex;
+  Obs.Gauge.set shard.inst.up 1.0;
+  if re_add then Obs.Counter.incr t.metrics.rebalances
+
+let on_stats t shard now (stats : Protocol.stats) =
+  if not shard.up then begin
+    (* Back from the dead: a new incarnation, with fresh counters and
+       possibly a different configuration. *)
+    refresh_bounds shard;
+    mark_recovered t shard
+  end;
+  Mutex.lock t.mutex;
+  shard.missed_polls <- 0;
+  (* Restart detection: counters went backwards (or uptime did) — fold
+     the dead incarnation's final snapshot into the baseline so the
+     aggregate stays monotone, and delta from zero. *)
+  (match shard.last_stats with
+  | Some prev
+    when stats.Protocol.uptime_seconds < prev.Protocol.uptime_seconds
+         || stats.Protocol.requests < prev.Protocol.requests ->
+      fold_into_baseline shard.baseline prev;
+      shard.last_stats <- None
+  | _ -> ());
+  let observation =
+    let prev_solved, prev_degraded, prev_timeouts, prev_busy =
+      match shard.last_stats with
+      | Some p ->
+          ( p.Protocol.solved,
+            p.Protocol.degraded,
+            p.Protocol.timeouts,
+            p.Protocol.rejected_busy )
+      | None -> (0, 0, 0, 0)
+    in
+    let seconds =
+      if shard.last_poll_at > 0.0 then now -. shard.last_poll_at
+      else t.config.poll_interval
+    in
+    {
+      Pricing.seconds;
+      completed = stats.Protocol.solved - prev_solved;
+      degraded = stats.Protocol.degraded - prev_degraded;
+      timeouts = stats.Protocol.timeouts - prev_timeouts;
+      busy = stats.Protocol.rejected_busy - prev_busy;
+      in_flight = stats.Protocol.in_flight;
+      queue_depth = shard.queue_bound;
+    }
+  in
+  shard.last_stats <- Some stats;
+  shard.last_poll_at <- now;
+  let price = Pricing.observe shard.pricing observation in
+  Mutex.unlock t.mutex;
+  Obs.Gauge.set shard.inst.price price
+
+let on_poll_failure t shard =
+  Mutex.lock t.mutex;
+  let went_down =
+    shard.missed_polls <- shard.missed_polls + 1;
+    shard.up && shard.missed_polls >= t.config.down_after
+  in
+  if went_down then begin
+    shard.up <- false;
+    shard.down_polls <- 0
+  end
+  else if not shard.up then shard.down_polls <- shard.down_polls + 1;
+  let removed =
+    if
+      (not shard.up) && shard.in_ring
+      && shard.down_polls >= t.config.remove_after
+    then begin
+      t.ring <- Ring.remove t.ring shard.spec.id;
+      shard.in_ring <- false;
+      true
+    end
+    else false
+  in
+  Mutex.unlock t.mutex;
+  if went_down then Obs.Gauge.set shard.inst.up 0.0;
+  if removed then Obs.Counter.incr t.metrics.rebalances
+
+let poll_shard t shard =
+  let now = Cpu_clock.monotonic_seconds () in
+  match Client.Pool.request shard.pool Protocol.Stats with
+  | Ok (Protocol.Stats_frame stats) -> on_stats t shard now stats
+  | Ok _ | Error _ -> on_poll_failure t shard
+
+let rec poll_loop t =
+  if not (stopping t) then begin
+    Array.iter
+      (fun shard ->
+        if shard.last_poll_at <= 0.0 && shard.up then refresh_bounds shard;
+        poll_shard t shard)
+      t.shards;
+    Thread.delay t.config.poll_interval;
+    poll_loop t
+  end
+
+(* --- Local degraded answers ------------------------------------------------ *)
+
+let degraded_response t ~budget ~net ~shed reason =
+  Obs.Counter.incr t.metrics.local_degraded;
+  if shed then Obs.Counter.incr t.metrics.shed;
+  Protocol.Degraded
+    {
+      reason;
+      solution =
+        Fallback.solution ~process:t.process ?solver:t.config.solver ~budget
+          ~net ();
+    }
+
+(* --- Request routing ------------------------------------------------------- *)
+
+let find_shard t id =
+  let found = ref None in
+  Array.iter
+    (fun s -> if String.equal s.spec.id id then found := Some s)
+    t.shards;
+  match !found with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Router: unknown shard %s" id)
+
+type routing =
+  | Forward of shard * shard option * bool  (* target, failover, spilled *)
+  | Shed
+  | No_candidate
+
+(* The shard's original static mark keeps its role as the pricing
+   floor: with a single shard there is no spill target and a young
+   price controller would shed too eagerly, so shedding additionally
+   requires the shard's last-reported in-flight count to have reached
+   its high-water mark. *)
+let floor_reached shard =
+  match shard.last_stats with
+  | Some s -> s.Protocol.in_flight >= shard.high_water
+  | None -> false
+
+let route t key =
+  Mutex.lock t.mutex;
+  let decision =
+    match Ring.lookup_pair t.ring key with
+    | None -> No_candidate
+    | Some (primary_id, secondary_id) -> (
+        let primary = find_shard t primary_id in
+        let secondary = Option.map (find_shard t) secondary_id in
+        let secondary_up =
+          match secondary with Some s when s.up -> Some s | _ -> None
+        in
+        if not primary.up then
+          match secondary_up with
+          | Some s -> Forward (s, None, false)
+          | None -> No_candidate
+        else
+          let p_primary = Pricing.price primary.pricing in
+          let target, failover, spilled =
+            if p_primary < t.config.spill_price then
+              (primary, secondary_up, false)
+            else
+              match secondary_up with
+              | Some s when Pricing.price s.pricing < p_primary ->
+                  (s, Some primary, true)
+              | _ -> (primary, secondary_up, false)
+          in
+          let price = Pricing.price target.pricing in
+          if price >= t.config.shed_price then
+            if Array.length t.shards = 1 && not (floor_reached target) then
+              Forward (target, failover, spilled)
+            else Shed
+          else Forward (target, failover, spilled))
+  in
+  Mutex.unlock t.mutex;
+  decision
+
+let forward t shard frame =
+  let started = Cpu_clock.monotonic_seconds () in
+  let result = Client.Pool.request shard.pool frame in
+  (match result with
+  | Ok _ ->
+      Obs.Counter.incr shard.inst.forwarded;
+      Obs.Histogram.observe t.metrics.forward_seconds
+        (Cpu_clock.monotonic_seconds () -. started)
+  | Error _ -> Obs.Counter.incr shard.inst.failovers);
+  result
+
+let serve_solve t ~budget ~deadline_ms ~net =
+  Obs.Counter.incr t.metrics.requests;
+  let key = Net.canonical_digest net in
+  let frame = Protocol.Solve { budget; deadline_ms; net } in
+  match route t key with
+  | No_candidate ->
+      (* Every shard is gone; the router still answers. *)
+      degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost
+  | Shed -> degraded_response t ~budget ~net ~shed:true Protocol.Overload
+  | Forward (target, failover, spilled) -> (
+      if spilled then Obs.Counter.incr target.inst.spills;
+      match forward t target frame with
+      | Ok response -> response
+      | Error _ -> (
+          (* The poller will notice the death on its own tick; the
+             request fails over right now. *)
+          match failover with
+          | Some other when other.up -> (
+              match forward t other frame with
+              | Ok response -> response
+              | Error _ ->
+                  degraded_response t ~budget ~net ~shed:false
+                    Protocol.Worker_lost)
+          | _ ->
+              degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost
+          ))
+
+(* --- Aggregated views ------------------------------------------------------ *)
+
+(* The cluster's STATS, as if it were one server: counters are the sum
+   of every shard's live counters, each shard's retired-incarnation
+   baseline, and the answers the router produced itself; percentiles
+   are the worst (max) across shards — a conservative bound a client's
+   own percentile must still dominate; uptime is the router's own. *)
+let aggregate_stats t =
+  let live =
+    Array.map
+      (fun shard ->
+        match Client.Pool.request shard.pool Protocol.Stats with
+        | Ok (Protocol.Stats_frame s) -> Some s
+        | Ok _ | Error _ ->
+            Mutex.lock t.mutex;
+            let cached = shard.last_stats in
+            Mutex.unlock t.mutex;
+            cached)
+      t.shards
+  in
+  let sum_i f =
+    Array.fold_left (fun acc s -> acc + match s with Some s -> f s | None -> 0) 0 live
+  in
+  let sum_f f =
+    Array.fold_left
+      (fun acc s -> acc +. match s with Some s -> f s | None -> 0.0)
+      0.0 live
+  in
+  let max_f f =
+    Array.fold_left
+      (fun acc s -> Float.max acc (match s with Some s -> f s | None -> 0.0))
+      0.0 live
+  in
+  let base f = Array.fold_left (fun acc s -> acc + f s.baseline) 0 t.shards in
+  let base_f f =
+    Array.fold_left (fun acc s -> acc +. f s.baseline) 0.0 t.shards
+  in
+  let local_degraded = Obs.Counter.value t.metrics.local_degraded in
+  Mutex.lock t.mutex;
+  let in_flight = t.in_flight in
+  Mutex.unlock t.mutex;
+  {
+    Protocol.shard_id = "router";
+    uptime_seconds = Router_metrics.uptime_seconds t.metrics;
+    (* Requests the router shed never reached a shard; adding the
+       locally-degraded count on both sides keeps the accounting
+       identity requests = solved + errors + busy + timeouts + degraded
+       + toobig across the aggregate. *)
+    requests = sum_i (fun s -> s.Protocol.requests) + base (fun b -> b.b_requests) + local_degraded;
+    solved = sum_i (fun s -> s.Protocol.solved) + base (fun b -> b.b_solved);
+    errors = sum_i (fun s -> s.Protocol.errors) + base (fun b -> b.b_errors);
+    rejected_busy =
+      sum_i (fun s -> s.Protocol.rejected_busy) + base (fun b -> b.b_rejected_busy);
+    timeouts = sum_i (fun s -> s.Protocol.timeouts) + base (fun b -> b.b_timeouts);
+    degraded =
+      sum_i (fun s -> s.Protocol.degraded) + base (fun b -> b.b_degraded)
+      + local_degraded;
+    toobig = sum_i (fun s -> s.Protocol.toobig) + base (fun b -> b.b_toobig);
+    cache_self_heals =
+      sum_i (fun s -> s.Protocol.cache_self_heals)
+      + base (fun b -> b.b_cache_self_heals);
+    cache_hits =
+      sum_i (fun s -> s.Protocol.cache_hits) + base (fun b -> b.b_cache_hits);
+    cache_misses =
+      sum_i (fun s -> s.Protocol.cache_misses) + base (fun b -> b.b_cache_misses);
+    cache_evictions =
+      sum_i (fun s -> s.Protocol.cache_evictions)
+      + base (fun b -> b.b_cache_evictions);
+    cache_size = sum_i (fun s -> s.Protocol.cache_size);
+    cache_capacity = sum_i (fun s -> s.Protocol.cache_capacity);
+    queue_wait_seconds =
+      sum_f (fun s -> s.Protocol.queue_wait_seconds)
+      +. base_f (fun b -> b.b_queue_wait_seconds);
+    solve_cpu_seconds =
+      sum_f (fun s -> s.Protocol.solve_cpu_seconds)
+      +. base_f (fun b -> b.b_solve_cpu_seconds);
+    in_flight;
+    queue_depth = sum_i (fun s -> s.Protocol.queue_depth);
+    queue_wait_p50 = max_f (fun s -> s.Protocol.queue_wait_p50);
+    queue_wait_p95 = max_f (fun s -> s.Protocol.queue_wait_p95);
+    queue_wait_p99 = max_f (fun s -> s.Protocol.queue_wait_p99);
+    solve_p50 = max_f (fun s -> s.Protocol.solve_p50);
+    solve_p95 = max_f (fun s -> s.Protocol.solve_p95);
+    solve_p99 = max_f (fun s -> s.Protocol.solve_p99);
+  }
+
+let health t =
+  Mutex.lock t.mutex;
+  let in_flight = t.in_flight in
+  Mutex.unlock t.mutex;
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards in
+  {
+    Protocol.health_shard_id = "router";
+    health_in_flight = in_flight;
+    health_queue_depth = sum (fun s -> s.queue_bound);
+    health_high_water = sum (fun s -> s.high_water);
+  }
+
+(* --- Lifecycle ------------------------------------------------------------- *)
+
+let request_shutdown t =
+  Mutex.lock t.mutex;
+  let listener = t.listener in
+  t.stopping <- true;
+  t.listener <- None;
+  Mutex.unlock t.mutex;
+  match listener with
+  | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ()
+
+(* --- Connection handling --------------------------------------------------- *)
+
+let track_in_flight t delta =
+  Mutex.lock t.mutex;
+  t.in_flight <- t.in_flight + delta;
+  let now = t.in_flight in
+  Mutex.unlock t.mutex;
+  Obs.Gauge.set t.metrics.in_flight (float_of_int now)
+
+let handle_connection t fd =
+  let wire = Wire.create ~max_frame_bytes:t.config.max_frame_bytes fd in
+  let reader = Wire.reader wire in
+  let send response = Wire.send fd (Protocol.print_response response) in
+  let rec serve () =
+    Wire.new_frame wire;
+    match Protocol.input_request reader with
+    | Ok None -> ()
+    | Error message ->
+        send (Protocol.Error_frame { kind = Protocol.Protocol_error; message })
+    | Ok (Some Protocol.Ping) ->
+        send Protocol.Pong;
+        serve ()
+    | Ok (Some Protocol.Stats) ->
+        send (Protocol.Stats_frame (aggregate_stats t));
+        serve ()
+    | Ok (Some Protocol.Metrics) ->
+        send (Protocol.Metrics_frame (Router_metrics.render t.metrics));
+        serve ()
+    | Ok (Some Protocol.Health) ->
+        send (Protocol.Health_frame (health t));
+        serve ()
+    | Ok (Some Protocol.Shutdown) ->
+        send Protocol.Bye;
+        request_shutdown t
+    | Ok (Some (Protocol.Solve { budget; deadline_ms; net })) ->
+        track_in_flight t 1;
+        let response =
+          Fun.protect
+            ~finally:(fun () -> track_in_flight t (-1))
+            (fun () ->
+              try serve_solve t ~budget ~deadline_ms ~net
+              with exn ->
+                Protocol.Error_frame
+                  {
+                    kind = Protocol.Internal_error;
+                    message = Protocol.one_line (Printexc.to_string exn);
+                  })
+        in
+        send response;
+        serve ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try serve () with
+      | Unix.Unix_error _ | Sys_error _ | End_of_file -> ()
+      | Wire.Frame_too_big -> (
+          try Wire.send fd (Protocol.print_response Protocol.Toobig)
+          with Unix.Unix_error _ | Sys_error _ -> ()))
+
+(* --- Accept loop ----------------------------------------------------------- *)
+
+let listen_unix = Rip_service.Server.listen_unix
+let listen_tcp = Rip_service.Server.listen_tcp
+
+let run t listen_fd =
+  Mutex.lock t.mutex;
+  let refused = t.stopping in
+  if not refused then begin
+    t.listener <- Some listen_fd;
+    t.poller <- Some (Thread.create poll_loop t)
+  end;
+  Mutex.unlock t.mutex;
+  if refused then (try Unix.close listen_fd with Unix.Unix_error _ -> ())
+  else begin
+    let rec accept_loop () =
+      match Unix.accept ~cloexec:true listen_fd with
+      | client_fd, _ ->
+          let thread =
+            Thread.create (fun () -> handle_connection t client_fd) ()
+          in
+          Mutex.lock t.mutex;
+          t.connection_threads <- thread :: t.connection_threads;
+          Mutex.unlock t.mutex;
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    accept_loop ();
+    request_shutdown t;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.mutex;
+    let threads = t.connection_threads in
+    t.connection_threads <- [];
+    let poller = t.poller in
+    t.poller <- None;
+    Mutex.unlock t.mutex;
+    List.iter Thread.join threads;
+    Option.iter Thread.join poller;
+    Array.iter (fun shard -> Client.Pool.close_all shard.pool) t.shards
+  end

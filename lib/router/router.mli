@@ -1,0 +1,71 @@
+(** The cluster front end: one listening socket routing SOLVE traffic
+    over N [rip_serviced] shards.
+
+    Requests route by consistent-hashing the net's canonical digest
+    ({!Rip_net.Net.canonical_digest}) over a weighted {!Ring}, keeping
+    each shard's solve cache hot for its own key range.  Admission is
+    price-based: a poller feeds each shard's STATS deltas to a
+    {!Pricing} controller, and the request path forwards to the primary
+    while its price is below [spill_price], spills to the key's second
+    choice when that one is cheaper, and answers DEGRADED (overload)
+    from the router's own analytic fallback tier once every candidate
+    has priced past [shed_price].  With a single shard, the shard's
+    static high-water mark remains the shed floor.
+
+    The poller doubles as the failure detector: a shard missing
+    [down_after] polls stops receiving traffic, after [remove_after]
+    more its arcs fall to the survivors (a counted rebalance), and a
+    recovery re-adds it — both transitions remap only that shard's
+    keys.  A transport failure on the request path fails over
+    immediately; with no candidate left the router answers DEGRADED
+    (worker lost).  The router never drops a request. *)
+
+type shard_spec = { id : string; socket : string; weight : int }
+
+type config = {
+  pool_size : int;  (** connections kept per shard *)
+  request_timeout : float;  (** per-forward socket timeout, seconds *)
+  poll_interval : float;  (** pricing / liveness tick, seconds *)
+  vnodes_per_weight : int;
+  spill_price : float;  (** primary at/above this may spill *)
+  shed_price : float;  (** every candidate at/above this sheds *)
+  down_after : int;  (** missed polls before a shard is down *)
+  remove_after : int;  (** further misses before ring removal *)
+  pricing : Pricing.config;
+  solver : Rip_core.Config.t option;  (** for the local fallback tier *)
+  max_frame_bytes : int;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> shards:shard_spec list -> Rip_tech.Process.t -> t
+(** @raise Invalid_argument on an empty shard list, a duplicate or
+    invalid shard id, or a nonsensical config
+    (thresholds must satisfy [0 < spill_price <= shed_price]). *)
+
+val run : t -> Unix.file_descr -> unit
+(** Serve until {!request_shutdown}; starts the poller, owns and closes
+    the listener, joins every connection thread and the poller, and
+    closes the shard pools. *)
+
+val request_shutdown : t -> unit
+(** Idempotent, callable from a signal handler. *)
+
+val stopping : t -> bool
+val metrics : t -> Router_metrics.t
+val shard_count : t -> int
+
+val aggregate_stats : t -> Rip_service.Protocol.stats
+(** The cluster as one server: counters sum live shards, their
+    retired-incarnation baselines and the router's own local answers
+    (keeping [requests = solved + errors + busy + timeouts + degraded +
+    toobig]); percentiles are the max across shards; uptime is the
+    router's own. *)
+
+val health : t -> Rip_service.Protocol.health
+(** [shard_id = "router"]; queue/high-water are sums of shard bounds. *)
+
+val listen_unix : string -> Unix.file_descr
+val listen_tcp : host:string -> port:int -> Unix.file_descr

@@ -63,6 +63,95 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+(* --- Connection pools -----------------------------------------------------
+
+   A router forwards many concurrent requests to the same shard; dialing
+   per request would pay connect latency and churn fds.  A pool keeps up
+   to [size] idle connections and dials on demand when all are checked
+   out — the steady state is [<= size] sockets, but a burst never blocks
+   on pool capacity (the overflow connection is simply closed on return
+   instead of kept).  A connection that saw a transport error is
+   discarded, never re-pooled: its framing may be mid-frame. *)
+
+module Pool = struct
+  type conn = t
+
+  type nonrec t = {
+    connect : unit -> conn;
+    size : int;
+    timeout : float option;
+    mutex : Mutex.t;
+    mutable free : conn list;
+    mutable closed : bool;
+  }
+
+  let create ?timeout ~size connect =
+    if size < 1 then invalid_arg "Client.Pool.create: size must be >= 1";
+    {
+      connect;
+      size;
+      timeout;
+      mutex = Mutex.create ();
+      free = [];
+      closed = false;
+    }
+
+  let checkout p =
+    Mutex.lock p.mutex;
+    let pooled =
+      if p.closed then Error "pool is closed"
+      else
+        match p.free with
+        | conn :: rest ->
+            p.free <- rest;
+            Ok (Some conn)
+        | [] -> Ok None
+    in
+    Mutex.unlock p.mutex;
+    match pooled with
+    | Error _ as e -> e
+    | Ok (Some conn) -> Ok conn
+    | Ok None -> (
+        match p.connect () with
+        | conn ->
+            Option.iter (set_timeout conn.fd) p.timeout;
+            Ok conn
+        | exception Unix.Unix_error (code, _, _) ->
+            Error (Unix.error_message code)
+        | exception (Sys_error message | Failure message) -> Error message)
+
+  let checkin p (conn : conn) =
+    Mutex.lock p.mutex;
+    let keep =
+      (not p.closed) && (not conn.closed) && List.length p.free < p.size
+    in
+    if keep then p.free <- conn :: p.free;
+    Mutex.unlock p.mutex;
+    if not keep then close conn
+
+  let request p frame =
+    match checkout p with
+    | Error _ as e -> e
+    | Ok conn -> (
+        match request conn frame with
+        | Ok _ as ok ->
+            checkin p conn;
+            ok
+        | Error _ as e ->
+            (* Transport trouble poisons the connection; drop it so the
+               next checkout dials fresh. *)
+            close conn;
+            e)
+
+  let close_all p =
+    Mutex.lock p.mutex;
+    let conns = p.free in
+    p.free <- [];
+    p.closed <- true;
+    Mutex.unlock p.mutex;
+    List.iter close conns
+end
+
 (* --- Retrying sessions ----------------------------------------------------
 
    Retries are restricted to outcomes that are safe to repeat: transport

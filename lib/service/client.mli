@@ -34,6 +34,37 @@ val request : t -> Protocol.request -> (Protocol.response, string) result
 val close : t -> unit
 (** Idempotent. *)
 
+(** {1 Connection pools}
+
+    What a router keeps per shard: up to [size] idle connections, dialed
+    on demand, shared by any number of threads.  A burst beyond [size]
+    dials extra connections rather than queueing (they are closed on
+    return instead of pooled), and a connection that reported a
+    transport error is discarded, never re-pooled. *)
+
+module Pool : sig
+  type conn = t
+  type t
+
+  val create : ?timeout:float -> size:int -> (unit -> conn) -> t
+  (** [create ~size connect] pools connections produced by [connect]
+      (which may raise; dial failures surface as [Error] from
+      {!request}).  [timeout] arms each pooled connection's socket
+      timeouts.
+      @raise Invalid_argument when [size < 1]. *)
+
+  val request : t -> Protocol.request -> (Protocol.response, string) result
+  (** Check a connection out (pooled or freshly dialed), run one
+      round trip, check it back in on success.  [Error] carries the
+      dial or transport diagnostic; the failed connection is closed,
+      not re-pooled. *)
+
+  val close_all : t -> unit
+  (** Close every idle connection and refuse further checkouts.
+      Connections currently checked out are closed by their users'
+      failure path (a request on a closed pool returns [Error]). *)
+end
+
 (** {1 Retrying sessions} *)
 
 type retry_policy = {

@@ -1,0 +1,21 @@
+(** The DP-free analytic fallback tier behind every [DEGRADED] answer.
+
+    Shared by the shard server (overload, deadline, worker loss — see
+    {!Server}) and the router (price-based load shedding, shards lost
+    mid-forward): {!Rip_refine.Min_delay_analytic} plus a short REFINE
+    pass when the budget has slack, widths rounded to the coarse
+    library, positions re-legalised against forbidden zones.  Total and
+    cheap — microseconds to milliseconds, never a DP — with the empty
+    insertion as the last resort. *)
+
+val solution :
+  process:Rip_tech.Process.t ->
+  ?solver:Rip_core.Config.t ->
+  budget:float ->
+  net:Rip_net.Net.t ->
+  unit ->
+  Protocol.solution
+(** Best-effort solution for [net] under [budget].  [solver] supplies
+    the width range, REFINE configuration and coarse library ([None]
+    means {!Rip_core.Config.default}).  The result is always legal
+    (zones, width range) but its delay may exceed the budget. *)

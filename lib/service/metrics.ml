@@ -111,12 +111,13 @@ let registry t = t.registry
 let render t = Obs.render t.registry
 let uptime_seconds t = Cpu_clock.monotonic_seconds () -. t.started
 
-let snapshot t ~cache =
+let snapshot t ~shard_id ~cache =
   let queue_wait = Obs.Histogram.snapshot t.queue_wait in
   let solve_cpu = Obs.Histogram.snapshot t.solve_cpu in
   let q s p = Obs.Histogram.quantile s p in
   {
-    Protocol.uptime_seconds = uptime_seconds t;
+    Protocol.shard_id;
+    uptime_seconds = uptime_seconds t;
     requests = Obs.Counter.value t.requests;
     solved = Obs.Counter.value t.solved;
     errors = Obs.Counter.value t.errors;

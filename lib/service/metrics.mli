@@ -80,7 +80,9 @@ val queue_wait_metric : string
 val solve_cpu_metric : string
 (** Name of the solve-CPU histogram (["rip_solve_cpu_seconds"]). *)
 
-val snapshot : t -> cache:Solve_cache.stats -> Protocol.stats
+val snapshot :
+  t -> shard_id:string -> cache:Solve_cache.stats -> Protocol.stats
 (** A point-in-time STATS payload, merging the cache's own counters;
     percentile fields are histogram estimates (0 before the first fresh
-    solve). *)
+    solve).  [shard_id] stamps the frame with the answering server's
+    identity. *)

@@ -16,6 +16,7 @@ type served = Fresh | Cached
 type degrade_reason = Deadline_exceeded | Overload | Worker_lost
 
 type stats = {
+  shard_id : string;
   uptime_seconds : float;
   requests : int;
   solved : int;
@@ -42,10 +43,18 @@ type stats = {
   solve_p99 : float;
 }
 
+type health = {
+  health_shard_id : string;
+  health_in_flight : int;
+  health_queue_depth : int;
+  health_high_water : int;
+}
+
 type request =
   | Ping
   | Stats
   | Metrics
+  | Health
   | Shutdown
   | Solve of { budget : float; deadline_ms : float option; net : Rip_net.Net.t }
 
@@ -61,6 +70,7 @@ type response =
   | Stats_frame of stats
   | Metrics_frame of string
       (* Prometheus text exposition, newline-terminated lines *)
+  | Health_frame of health
 
 (* --- Printing ------------------------------------------------------------ *)
 
@@ -96,10 +106,24 @@ let degrade_reason_of_string = function
   | "worker-lost" -> Some Worker_lost
   | _ -> None
 
+(* A shard id travels on single-line frames (HEALTHY, STATS body), so it
+   must be one whitespace-free token.  Enforced here once, for servers
+   and routers alike. *)
+let valid_shard_id id =
+  id <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       id
+
 let print_request = function
   | Ping -> "PING\n"
   | Stats -> "STATS\n"
   | Metrics -> "METRICS\n"
+  | Health -> "HEALTH\n"
   | Shutdown -> "SHUTDOWN\n"
   | Solve { budget; deadline_ms = None; net } ->
       Printf.sprintf "SOLVE %.17g\n%sEND\n" budget (Rip_net.Net_io.to_string net)
@@ -123,6 +147,7 @@ let solution_body solution =
    order but the printer is canonical so STATS frames round-trip bytewise. *)
 let stats_fields stats =
   [
+    ("shard_id", stats.shard_id);
     ("uptime_seconds", Printf.sprintf "%.17g" stats.uptime_seconds);
     ("requests", string_of_int stats.requests);
     ("solved", string_of_int stats.solved);
@@ -173,6 +198,9 @@ let print_response = function
       in
       Printf.sprintf "STATS\n%sEND\n" body
   | Metrics_frame body -> Printf.sprintf "METRICS\n%sEND\n" body
+  | Health_frame h ->
+      Printf.sprintf "HEALTHY %s %d %d %d\n" h.health_shard_id
+        h.health_in_flight h.health_queue_depth h.health_high_water
 
 (* --- Parsing ------------------------------------------------------------- *)
 
@@ -230,6 +258,7 @@ let input_request read =
       | [ "PING" ] -> Ok (Some Ping)
       | [ "STATS" ] -> Ok (Some Stats)
       | [ "METRICS" ] -> Ok (Some Metrics)
+      | [ "HEALTH" ] -> Ok (Some Health)
       | [ "SHUTDOWN" ] -> Ok (Some Shutdown)
       | "SOLVE" :: budget :: header ->
           let* budget = parse_float "budget" budget in
@@ -305,6 +334,11 @@ let parse_stats_body lines =
     let* v = lookup key in
     parse_float key v
   in
+  let* shard_id = lookup "shard_id" in
+  let* () =
+    if valid_shard_id shard_id then Ok ()
+    else Error (Printf.sprintf "bad shard_id %S" shard_id)
+  in
   let* uptime_seconds = getf "uptime_seconds" in
   let* requests = geti "requests" in
   let* solved = geti "solved" in
@@ -331,6 +365,7 @@ let parse_stats_body lines =
   let* solve_p99 = getf "solve_p99" in
   Ok
     {
+      shard_id;
       uptime_seconds;
       requests;
       solved;
@@ -412,6 +447,22 @@ let input_response read =
             String.concat "" (List.map (fun l -> l ^ "\n") body)
           in
           Ok (Some (Metrics_frame body))
+      | [ "HEALTHY"; shard_id; in_flight; queue_depth; high_water ] ->
+          if not (valid_shard_id shard_id) then
+            Error (Printf.sprintf "bad shard_id %S" shard_id)
+          else
+            let* health_in_flight = parse_int "in_flight" in_flight in
+            let* health_queue_depth = parse_int "queue_depth" queue_depth in
+            let* health_high_water = parse_int "high_water" high_water in
+            Ok
+              (Some
+                 (Health_frame
+                    {
+                      health_shard_id = shard_id;
+                      health_in_flight;
+                      health_queue_depth;
+                      health_high_water;
+                    }))
       | [] -> Error "empty response line"
       | word :: _ -> Error (Printf.sprintf "unknown response %S" word))
 
@@ -419,12 +470,14 @@ let input_response read =
 
 let request_equal a b =
   match (a, b) with
-  | Ping, Ping | Stats, Stats | Metrics, Metrics | Shutdown, Shutdown -> true
+  | Ping, Ping | Stats, Stats | Metrics, Metrics | Health, Health
+  | Shutdown, Shutdown ->
+      true
   | Solve a, Solve b ->
       a.budget = b.budget
       && Option.equal Float.equal a.deadline_ms b.deadline_ms
       && Rip_net.Net.equal a.net b.net
-  | (Ping | Stats | Metrics | Shutdown | Solve _), _ -> false
+  | (Ping | Stats | Metrics | Health | Shutdown | Solve _), _ -> false
 
 let solution_equal a b =
   List.equal
@@ -443,7 +496,8 @@ let response_equal a b =
   | Degraded a, Degraded b ->
       a.reason = b.reason && solution_equal a.solution b.solution
   | Stats_frame a, Stats_frame b ->
-      Float.equal a.uptime_seconds b.uptime_seconds
+      String.equal a.shard_id b.shard_id
+      && Float.equal a.uptime_seconds b.uptime_seconds
       && a.requests = b.requests && a.solved = b.solved
       && a.errors = b.errors
       && a.rejected_busy = b.rejected_busy
@@ -466,7 +520,12 @@ let response_equal a b =
       && Float.equal a.solve_p95 b.solve_p95
       && Float.equal a.solve_p99 b.solve_p99
   | Metrics_frame a, Metrics_frame b -> String.equal a b
+  | Health_frame a, Health_frame b ->
+      String.equal a.health_shard_id b.health_shard_id
+      && a.health_in_flight = b.health_in_flight
+      && a.health_queue_depth = b.health_queue_depth
+      && a.health_high_water = b.health_high_water
   | ( ( Pong | Bye | Busy | Timeout | Toobig | Error_frame _ | Result _
-      | Degraded _ | Stats_frame _ | Metrics_frame _ ),
+      | Degraded _ | Stats_frame _ | Metrics_frame _ | Health_frame _ ),
       _ ) ->
       false

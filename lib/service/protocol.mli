@@ -10,6 +10,7 @@
     PING
     STATS
     METRICS
+    HEALTH
     SHUTDOWN
     SOLVE <budget-seconds> [DEADLINE <milliseconds>]
     <net body in the Rip_net.Net_io file format>
@@ -48,7 +49,14 @@
     METRICS
     <Prometheus text exposition lines>
     END
+    HEALTHY <shard-id> <in-flight> <queue-depth> <high-water>
     v}
+
+    [HEALTH] is the cheap liveness-and-load probe a router polls between
+    METRICS scrapes: one line out, one line back, no END framing on
+    either side.  The shard id is the server's configured identity (one
+    token of [[A-Za-z0-9._-]]); the three integers are the current
+    admission gauges.
 
     The [METRICS] body is the server registry's Prometheus text
     exposition ({!Rip_obs.Metrics.render}): counters, gauges, and the
@@ -95,6 +103,10 @@ type degrade_reason =
   | Worker_lost  (** the worker running the solve died mid-solve *)
 
 type stats = {
+  shard_id : string;
+      (** the answering server's identity; ["standalone"] unless
+          configured (a router aggregating shard stats answers with its
+          own id) *)
   uptime_seconds : float;
   requests : int;  (** SOLVE requests received (PING/STATS not counted) *)
   solved : int;  (** SOLVE requests answered with RESULT, hits included *)
@@ -126,10 +138,18 @@ type stats = {
   solve_p99 : float;
 }
 
+type health = {
+  health_shard_id : string;
+  health_in_flight : int;  (** admitted SOLVEs right now *)
+  health_queue_depth : int;  (** the server's admission bound *)
+  health_high_water : int;  (** its static load-shed mark *)
+}
+
 type request =
   | Ping
   | Stats
   | Metrics
+  | Health
   | Shutdown
   | Solve of {
       budget : float;
@@ -149,8 +169,13 @@ type response =
   | Stats_frame of stats
   | Metrics_frame of string
       (** the Prometheus text body, newline-terminated lines *)
+  | Health_frame of health
 
 (** {1 Printing} *)
+
+val valid_shard_id : string -> bool
+(** One non-empty token over [[A-Za-z0-9._-]] — what fits on the
+    single-line [HEALTHY] and [STATS shard_id] fields. *)
 
 val print_request : request -> string
 (** The frame's wire form, newline-terminated. *)

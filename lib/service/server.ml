@@ -8,6 +8,7 @@ module Zone = Rip_net.Zone
 module Solution = Rip_elmore.Solution
 
 type config = {
+  shard_id : string;
   jobs : int option;
   queue_depth : int;
   high_water : int;
@@ -20,6 +21,7 @@ type config = {
 
 let default_config =
   {
+    shard_id = "standalone";
     jobs = None;
     queue_depth = 64;
     high_water = 48;
@@ -129,9 +131,24 @@ type t = {
 
 let create ?(config = default_config) process =
   if config.queue_depth < 1 then
-    invalid_arg "Server.create: queue_depth must be at least 1";
-  if config.high_water < 1 || config.high_water > config.queue_depth then
-    invalid_arg "Server.create: high_water must be in [1, queue_depth]";
+    invalid_arg
+      (Printf.sprintf "Server.create: queue_depth %d must be at least 1"
+         config.queue_depth);
+  if config.high_water < 1 then
+    invalid_arg
+      (Printf.sprintf "Server.create: high_water %d must be at least 1"
+         config.high_water);
+  if config.high_water > config.queue_depth then
+    invalid_arg
+      (Printf.sprintf
+         "Server.create: high_water %d must not exceed queue_depth %d"
+         config.high_water config.queue_depth);
+  if not (Protocol.valid_shard_id config.shard_id) then
+    invalid_arg
+      (Printf.sprintf
+         "Server.create: shard_id %S must be one non-empty token over \
+          [A-Za-z0-9._-]"
+         config.shard_id);
   if config.max_frame_bytes < 1 then
     invalid_arg "Server.create: max_frame_bytes must be positive";
   let cache = Solve_cache.create ~capacity:config.cache_capacity in
@@ -154,7 +171,21 @@ let create ?(config = default_config) process =
     connection_threads = [];
   }
 
-let stats t = Metrics.snapshot t.metrics ~cache:(Solve_cache.stats t.cache)
+let stats t =
+  Metrics.snapshot t.metrics ~shard_id:t.config.shard_id
+    ~cache:(Solve_cache.stats t.cache)
+
+let health t =
+  Mutex.lock t.mutex;
+  let in_flight = t.in_flight in
+  Mutex.unlock t.mutex;
+  {
+    Protocol.health_shard_id = t.config.shard_id;
+    health_in_flight = in_flight;
+    health_queue_depth = t.config.queue_depth;
+    health_high_water = t.config.high_water;
+  }
+
 let cache_key t ~net ~budget = Solve_cache.key ~process:t.process ~net ~budget
 let corrupt_cache_entry t key = Solve_cache.corrupt t.cache key
 
@@ -238,112 +269,17 @@ let error_response error =
 
 let solution_digest solution = Digest.string (Protocol.solution_body solution)
 
-(* --- The analytic fallback tier -------------------------------------------
-
-   When the full solve is skipped (overload) or abandoned (deadline,
-   worker loss), the reply still carries a usable insertion: the
-   analytical minimum-delay solution, budget-improved by a short REFINE
-   run when it has slack, with widths rounded to the coarse library and
-   positions re-legalised against the forbidden zones.  Every step is
-   cheap (no DP) and total — the empty insertion is the last resort —
-   so a degraded answer is produced in microseconds-to-milliseconds
-   regardless of how hostile the request was. *)
-
-let nearest_library_width library w =
-  Array.fold_left
-    (fun best candidate ->
-      if Float.abs (candidate -. w) < Float.abs (best -. w) then candidate
-      else best)
-    library.(0) library
-
-let legalise_positions net length pairs =
-  let zones = net.Net.zones in
-  let shifted =
-    List.map
-      (fun (p, w) ->
-        if Net.position_legal net p then (p, w)
-        else
-          let after = Zone.first_allowed_at_or_after zones p in
-          let before = Zone.last_allowed_at_or_before zones p in
-          let q =
-            if after -. p <= p -. before && after < length then after
-            else before
-          in
-          (q, w))
-      pairs
-  in
-  (* Keep strictly increasing interior positions; drop offenders rather
-     than shuffling them (a dropped repeater only costs delay, never
-     legality). *)
-  let _, kept =
-    List.fold_left
-      (fun (last, acc) (p, w) ->
-        if p > last && p < length && Net.position_legal net p then
-          (p, (p, w) :: acc)
-        else (last, acc))
-      (0.0, []) shifted
-  in
-  List.rev kept
-
-let degraded_solution t ~budget ~net =
-  let repeater = t.process.Rip_tech.Process.repeater in
-  let power = t.process.Rip_tech.Process.power in
-  let solver_config =
-    Option.value t.config.solver ~default:Rip_core.Config.default
-  in
-  let geometry = Rip_net.Geometry.of_net net in
-  let length = Rip_net.Geometry.total_length geometry in
-  let continuous =
-    let analytic =
-      Rip_refine.Min_delay_analytic.solve
-        ~min_width:solver_config.Rip_core.Config.min_width
-        ~max_width:solver_config.Rip_core.Config.max_width geometry repeater
-    in
-    if analytic.Rip_refine.Min_delay_analytic.delay > budget then
-      analytic.Rip_refine.Min_delay_analytic.solution
-    else
-      (* Slack available: spend a short REFINE run trading it for width.
-         Capped iterations keep the fallback fast even on long nets. *)
-      let refine_config =
-        { solver_config.Rip_core.Config.refine with max_iterations = 16 }
-      in
-      match
-        Rip_refine.Refine.run ~config:refine_config geometry repeater ~budget
-          ~initial:analytic.Rip_refine.Min_delay_analytic.solution
-      with
-      | Some outcome -> outcome.Rip_refine.Refine.solution
-      | None -> analytic.Rip_refine.Min_delay_analytic.solution
-  in
-  let library =
-    Rip_dp.Repeater_library.to_array
-      solver_config.Rip_core.Config.coarse_library
-  in
-  let rounded =
-    List.map
-      (fun (r : Solution.repeater) ->
-        (r.position, nearest_library_width library r.width))
-      (Solution.repeaters continuous)
-  in
-  let solution =
-    match Solution.create (legalise_positions net length rounded) with
-    | s -> s
-    | exception Invalid_argument _ -> Solution.empty
-  in
-  let total_width = Solution.total_width solution in
-  {
-    Protocol.repeaters =
-      List.map
-        (fun (r : Solution.repeater) -> (r.position, r.width))
-        (Solution.repeaters solution);
-    total_width;
-    delay = Rip_elmore.Delay.total repeater geometry solution;
-    power_watts =
-      Rip_tech.Power_model.repeater_power power ~repeater ~total_width;
-  }
+(* --- The analytic fallback tier (see {!Fallback}) ------------------------- *)
 
 let degraded_response t ~budget ~net reason =
   Metrics.incr_degraded t.metrics;
-  Protocol.Degraded { reason; solution = degraded_solution t ~budget ~net }
+  Protocol.Degraded
+    {
+      reason;
+      solution =
+        Fallback.solution ~process:t.process ?solver:t.config.solver ~budget
+          ~net ();
+    }
 
 (* --- Solving -------------------------------------------------------------- *)
 
@@ -551,6 +487,9 @@ let handle_connection t fd =
         serve ()
     | Ok (Some Protocol.Metrics) ->
         send (Protocol.Metrics_frame (Metrics.render t.metrics));
+        serve ()
+    | Ok (Some Protocol.Health) ->
+        send (Protocol.Health_frame (health t));
         serve ()
     | Ok (Some Protocol.Shutdown) ->
         send Protocol.Bye;

@@ -37,6 +37,10 @@
     cache. *)
 
 type config = {
+  shard_id : string;
+      (** this server's identity on HEALTH and STATS frames; one token
+          over [[A-Za-z0-9._-]] (see {!Protocol.valid_shard_id}).  A
+          router uses it to tell its shards apart *)
   jobs : int option;
       (** worker domains for the pool; [None] is the machine default,
           [Some 1] solves inline in the connection thread *)
@@ -57,8 +61,8 @@ type config = {
 }
 
 val default_config : config
-(** [jobs = None], [queue_depth = 64], [high_water = 48],
-    [cache_capacity = 512],
+(** [shard_id = "standalone"], [jobs = None], [queue_depth = 64],
+    [high_water = 48], [cache_capacity = 512],
     [max_frame_bytes = Wire.default_max_frame_bytes], [solver = None],
     [faults = None], [tracer = None]. *)
 
@@ -68,10 +72,16 @@ val create : ?config:config -> Rip_tech.Process.t -> t
 (** Spawn the worker pool and the watchdog; the server is ready to serve
     connections.
     @raise Invalid_argument on a non-positive [queue_depth] or
-    [max_frame_bytes], or [high_water] outside [1, queue_depth]. *)
+    [max_frame_bytes], an invalid [shard_id], or [high_water] outside
+    [1, queue_depth] — the message names the offending values
+    (e.g. ["high_water 80 must not exceed queue_depth 64"]). *)
 
 val stats : t -> Protocol.stats
 (** The STATS payload a client would receive now. *)
+
+val health : t -> Protocol.health
+(** The HEALTHY payload a client would receive now: shard id plus the
+    live admission gauges. *)
 
 val stopping : t -> bool
 

@@ -13,6 +13,7 @@ let () =
          Test_core.suite;
          Test_engine.suite;
          Test_service.suite;
+         Test_router.suite;
          Test_resilience.suite;
          Test_workload.suite;
          Test_tree.suite;

@@ -1,0 +1,250 @@
+(* The router subsystem's pure parts: consistent-hash ring placement
+   (balance, restart determinism, minimal remap on membership edits)
+   and the price controller's climb/decay dynamics.  The process-level
+   behaviour — supervision, failover, shedding — is exercised by the
+   bench cluster ladder and the CI cluster smoke job. *)
+
+module Ring = Rip_router.Ring
+module Pricing = Rip_router.Pricing
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Ring: fixed-example behaviour -------------------------------------- *)
+
+let members n = List.init n (fun i -> (Printf.sprintf "s%d" i, 1))
+
+let test_ring_basics () =
+  let ring = Ring.create (members 3) in
+  Alcotest.(check int) "members" 3 (Ring.size ring);
+  Alcotest.(check int) "vnodes"
+    (3 * Ring.default_vnodes_per_weight)
+    (Ring.vnode_count ring);
+  (match Ring.lookup ring "some key" with
+  | Some id -> Alcotest.(check bool) "member owns key"
+      true
+      (List.mem_assoc id (Ring.members ring))
+  | None -> Alcotest.fail "non-empty ring must own every key");
+  (* The share accounting covers the whole keyspace. *)
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 (Ring.shares ring) in
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 total
+
+let test_ring_single_shard () =
+  let ring = Ring.create (members 1) in
+  (match Ring.lookup_pair ring "k" with
+  | Some ("s0", None) -> ()
+  | Some (id, second) ->
+      Alcotest.failf "expected (s0, None), got (%s, %s)" id
+        (Option.value second ~default:"<none>")
+  | None -> Alcotest.fail "single-shard ring owns everything");
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Ring.create: duplicate shard s0") (fun () ->
+      ignore (Ring.create [ ("s0", 1); ("s0", 2) ]))
+
+let test_ring_pair_distinct () =
+  let ring = Ring.create (members 4) in
+  List.iter
+    (fun i ->
+      let key = Printf.sprintf "net-%d" i in
+      match Ring.lookup_pair ring key with
+      | Some (primary, Some second) ->
+          if String.equal primary second then
+            Alcotest.failf "spill target equals primary for %s" key
+      | Some (_, None) ->
+          Alcotest.fail "4-shard ring must offer a second choice"
+      | None -> Alcotest.fail "non-empty ring owns every key")
+    (List.init 64 Fun.id)
+
+(* --- Ring: properties ---------------------------------------------------- *)
+
+let shard_count_gen = QCheck.Gen.int_range 2 8
+
+(* Balance: at the default vnode count, equally-weighted shards own
+   keyspace shares within a 3x max/min spread.  (MD5 positions are not
+   uniform enough for a tighter bound at 128 vnodes; the router cares
+   that no shard is starved or doubled up on, not about perfection.) *)
+let prop_ring_balance =
+  QCheck.Test.make ~name:"ring balance: max/min share within 3x" ~count:20
+    (QCheck.make shard_count_gen) (fun n ->
+      let ring = Ring.create (members n) in
+      let shares = List.map snd (Ring.shares ring) in
+      let mx = List.fold_left Float.max 0.0 shares in
+      let mn = List.fold_left Float.min 1.0 shares in
+      mn > 0.0 && mx /. mn <= 3.0)
+
+(* Determinism: placement is a pure function of the membership, so a
+   ring rebuilt from scratch (a process restart) routes every key
+   identically. *)
+let prop_ring_restart_deterministic =
+  QCheck.Test.make ~name:"ring determinism across rebuilds" ~count:20
+    QCheck.(pair (make shard_count_gen) small_int)
+    (fun (n, salt) ->
+      let a = Ring.create (members n) in
+      let b = Ring.create (members n) in
+      List.for_all
+        (fun i ->
+          let key = Printf.sprintf "key-%d-%d" salt i in
+          match (Ring.lookup a key, Ring.lookup b key) with
+          | Some x, Some y -> String.equal x y
+          | _ -> false)
+        (List.init 100 Fun.id))
+
+(* Minimal remap: removing one of [n] equally-weighted shards moves
+   only the removed shard's keys (survivors keep every key they had),
+   and the moved fraction is ~1/n. *)
+let prop_ring_minimal_remap =
+  QCheck.Test.make ~name:"ring remap on removal is ~1/n and one-way"
+    ~count:10
+    (QCheck.make (QCheck.Gen.int_range 3 8))
+    (fun n ->
+      let before = Ring.create (members n) in
+      let after = Ring.remove before "s0" in
+      let keys = List.init 2000 (Printf.sprintf "net-%d") in
+      let moved =
+        List.fold_left
+          (fun acc key ->
+            match (Ring.lookup before key, Ring.lookup after key) with
+            | Some b, Some a ->
+                if String.equal b "s0" then
+                  (* must move, anywhere *)
+                  if String.equal a "s0" then QCheck.Test.fail_report
+                      "removed shard still owns a key"
+                  else acc + 1
+                else if not (String.equal b a) then
+                  QCheck.Test.fail_report
+                    "a key moved between surviving shards"
+                else acc
+            | _ -> QCheck.Test.fail_report "lookup failed")
+          0 keys
+      in
+      let expected = float_of_int (List.length keys) /. float_of_int n in
+      (* The removed shard's true share is its arc share, not exactly
+         1/n; allow a generous band around the ideal. *)
+      let f = float_of_int moved in
+      f > 0.2 *. expected && f < 3.0 *. expected)
+
+(* add is remove's inverse: re-adding the shard restores the original
+   placement exactly. *)
+let prop_ring_add_restores =
+  QCheck.Test.make ~name:"ring re-add restores placement" ~count:10
+    (QCheck.make (QCheck.Gen.int_range 2 6))
+    (fun n ->
+      let original = Ring.create (members n) in
+      let restored = Ring.add (Ring.remove original "s1") "s1" ~weight:1 in
+      List.for_all
+        (fun i ->
+          let key = Printf.sprintf "k%d" i in
+          match (Ring.lookup original key, Ring.lookup restored key) with
+          | Some a, Some b -> String.equal a b
+          | _ -> false)
+        (List.init 500 Fun.id))
+
+(* --- Pricing ------------------------------------------------------------- *)
+
+let tick ?(seconds = 1.0) ?(completed = 0) ?(degraded = 0) ?(timeouts = 0)
+    ?(busy = 0) ?(in_flight = 0) ?(queue_depth = 64) () =
+  {
+    Pricing.seconds;
+    completed;
+    degraded;
+    timeouts;
+    busy;
+    in_flight;
+    queue_depth;
+  }
+
+let test_pricing_climbs_under_pain () =
+  let p = Pricing.create () in
+  let congested =
+    tick ~completed:40 ~degraded:10 ~busy:20 ~in_flight:60 ()
+  in
+  let initial = Pricing.price p in
+  let floor = (Pricing.config p).Pricing.floor in
+  let ceiling = (Pricing.config p).Pricing.ceiling in
+  for _ = 1 to 12 do
+    let price = Pricing.observe p congested in
+    Alcotest.(check bool) "price stays within bounds" true
+      (price >= floor && price <= ceiling)
+  done;
+  Alcotest.(check bool) "price rose under sustained congestion" true
+    (Pricing.price p > initial)
+
+let test_pricing_decays_when_idle () =
+  let p = Pricing.create () in
+  let congested = tick ~completed:40 ~degraded:10 ~busy:20 ~in_flight:60 () in
+  List.iter (fun _ -> ignore (Pricing.observe p congested)) (List.init 8 Fun.id);
+  let peak = Pricing.price p in
+  let idle = tick ~completed:2 ~in_flight:1 () in
+  List.iter (fun _ -> ignore (Pricing.observe p idle)) (List.init 40 Fun.id);
+  let floor = (Pricing.config p).Pricing.floor in
+  Alcotest.(check bool) "price fell from its peak" true (Pricing.price p < peak);
+  Alcotest.(check (float 1e-9)) "idle price reaches the floor" floor
+    (Pricing.price p)
+
+let test_pricing_profit () =
+  let config = Pricing.default_config in
+  let o = tick ~seconds:2.0 ~completed:20 ~degraded:2 ~timeouts:1 ~busy:4 () in
+  let expected =
+    (20.0 /. 2.0)
+    -. (config.Pricing.degraded_cost *. 2.0 /. 2.0)
+    -. (config.Pricing.timeout_cost *. 1.0 /. 2.0)
+    -. (config.Pricing.busy_cost *. 4.0 /. 2.0)
+  in
+  Alcotest.(check (float 1e-9)) "profit arithmetic" expected
+    (Pricing.profit config o);
+  Alcotest.(check (float 1e-9)) "empty window profits nothing" 0.0
+    (Pricing.profit config (tick ~seconds:0.0 ()))
+
+let test_pricing_validation () =
+  let bad config =
+    match Pricing.create ~config () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad { Pricing.default_config with floor = 0.0 };
+  bad { Pricing.default_config with floor = 2.0; initial_price = 1.0 };
+  bad { Pricing.default_config with ceiling = 0.5 };
+  bad { Pricing.default_config with growth = 1.0 };
+  bad { Pricing.default_config with shrink = 1.0 }
+
+(* Determinism: the same observation sequence always yields the same
+   price path — the router's admission decisions are replayable. *)
+let prop_pricing_deterministic =
+  QCheck.Test.make ~name:"pricing determinism" ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 0 30)
+        (pair (int_bound 80) (int_bound 10)))
+    (fun ticks ->
+      let run () =
+        let p = Pricing.create () in
+        List.map
+          (fun (completed, degraded) ->
+            Pricing.observe p
+              (tick ~completed ~degraded ~in_flight:(completed / 2) ()))
+          ticks
+      in
+      List.for_all2 (fun a b -> Float.equal a b) (run ()) (run ()))
+
+let suite =
+  [
+    ( "router.ring",
+      [
+        Alcotest.test_case "basics" `Quick test_ring_basics;
+        Alcotest.test_case "single shard" `Quick test_ring_single_shard;
+        Alcotest.test_case "spill target distinct" `Quick
+          test_ring_pair_distinct;
+        qcheck prop_ring_balance;
+        qcheck prop_ring_restart_deterministic;
+        qcheck prop_ring_minimal_remap;
+        qcheck prop_ring_add_restores;
+      ] );
+    ( "router.pricing",
+      [
+        Alcotest.test_case "climbs under pain" `Quick
+          test_pricing_climbs_under_pain;
+        Alcotest.test_case "decays when idle" `Quick
+          test_pricing_decays_when_idle;
+        Alcotest.test_case "profit arithmetic" `Quick test_pricing_profit;
+        Alcotest.test_case "config validation" `Quick test_pricing_validation;
+        qcheck prop_pricing_deterministic;
+      ] );
+  ]

@@ -34,7 +34,8 @@ let sample_solution =
 
 let sample_stats =
   {
-    Protocol.uptime_seconds = 12.5;
+    Protocol.shard_id = "s0";
+    uptime_seconds = 12.5;
     requests = 9;
     solved = 7;
     errors = 1;
@@ -94,6 +95,7 @@ let test_protocol_request_round_trips () =
   check_request_round_trip Protocol.Ping;
   check_request_round_trip Protocol.Stats;
   check_request_round_trip Protocol.Metrics;
+  check_request_round_trip Protocol.Health;
   check_request_round_trip Protocol.Shutdown;
   check_request_round_trip
     (Protocol.Solve
@@ -142,6 +144,14 @@ let test_protocol_response_round_trips () =
              power_watts = 0.0 };
        });
   check_response_round_trip (Protocol.Stats_frame sample_stats);
+  check_response_round_trip
+    (Protocol.Health_frame
+       {
+         Protocol.health_shard_id = "s0";
+         health_in_flight = 3;
+         health_queue_depth = 64;
+         health_high_water = 48;
+       });
   (* A METRICS frame carries its Prometheus body bytewise: comment
      lines, label syntax and full-precision floats must all survive. *)
   check_response_round_trip
