@@ -13,15 +13,37 @@ let rules =
   let doc =
     "Comma-separated rule ids to run, overriding the per-library default. \
      Known rules: no-poly-compare, no-hashtbl-order, no-wall-clock, \
-     guarded-mutation, float-format-precision."
+     guarded-mutation, float-format-precision, domain-escape, fd-leak, \
+     blocking-under-lock, alloc-in-hot-loop."
   in
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let format =
+  let doc = "Output format: $(b,text) (one finding per line) or $(b,sarif)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let baseline =
+  let doc =
+    "Known-findings baseline file; findings listed in it are not \
+     reported, so the exit code reflects $(i,new) findings only."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_baseline =
+  let doc =
+    "Rewrite the --baseline file to contain exactly the current findings \
+     (exit 0); requires --baseline."
+  in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
 
 let cmts =
   let doc = "Compiled typed trees (.cmt) to lint." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"CMT" ~doc)
 
-let main lib rules cmts =
+let main lib rules format baseline update_baseline cmts =
   let rules =
     match rules with
     | Some spec -> (
@@ -32,10 +54,37 @@ let main lib rules cmts =
     | None -> Rip_lint.Lint_config.rules_for_library lib
   in
   let findings = Rip_lint.Driver.run ~library:lib ~rules cmts in
-  List.iter
-    (fun f -> print_endline (Rip_lint.Finding.to_string f))
-    findings;
-  if findings <> [] then exit 1
+  if update_baseline then begin
+    match baseline with
+    | None ->
+        prerr_endline "rip_lint: --update-baseline requires --baseline FILE";
+        exit 2
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Rip_lint.Baseline.render findings));
+        Printf.printf "rip_lint: wrote %d finding(s) to %s\n"
+          (List.length findings) path
+  end
+  else begin
+    let findings =
+      match baseline with
+      | None -> findings
+      | Some path -> (
+          match Rip_lint.Baseline.load path with
+          | baseline -> Rip_lint.Baseline.filter ~baseline findings
+          | exception Failure msg ->
+              prerr_endline ("rip_lint: " ^ msg);
+              exit 2)
+    in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun f -> print_endline (Rip_lint.Finding.to_string f))
+          findings
+    | `Sarif ->
+        print_string (Rip_lint.Sarif.render ~tool_version:"2.0" findings));
+    if findings <> [] then exit 1
+  end
 
 let cmd =
   let doc = "static determinism and domain-safety checks for rip" in
@@ -52,6 +101,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "rip_lint" ~doc ~man)
-    Term.(const main $ lib $ rules $ cmts)
+    Term.(
+      const main $ lib $ rules $ format $ baseline $ update_baseline $ cmts)
 
 let () = exit (Cmd.eval cmd)

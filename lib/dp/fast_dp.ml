@@ -176,7 +176,7 @@ let width_units w = int_of_float (Float.round (w *. units_per_u))
    sequence).  Columns collect tens of distinct buckets, and a range
    sort avoids both allocation and [Array.sort]'s closure comparisons
    in the freeze path. *)
-let sort_keys keys n =
+let[@lint.hot] sort_keys keys n =
   let gap = ref 1 in
   while !gap < n / 3 do
     gap := (3 * !gap) + 1
@@ -194,8 +194,8 @@ let sort_keys keys n =
     gap := !gap / 3
   done
 
-let solve ?frontier_cap ?(cancel = ignore) ?on_column ?arena chain ~library
-    ~budget =
+let[@lint.hot] solve ?frontier_cap ?(cancel = ignore) ?on_column ?arena chain
+    ~library ~budget =
   (match frontier_cap with
   | Some cap when cap < 2 ->
       invalid_arg "Fast_dp.solve: frontier_cap must be at least 2"
@@ -306,8 +306,9 @@ let solve ?frontier_cap ?(cancel = ignore) ?on_column ?arena chain ~library
   Arena.ensure_labels arena 1;
   (* Arena columns are mutated freely here and below: the arena is owned
      by this solve alone for its whole duration (see [Arena]), so the
-     writes need no lock.  [@lint.allow "guarded-mutation"] *)
-  (arena.Arena.delay.(0) <- 0.0) [@lint.allow "guarded-mutation"];
+     writes need no lock.  The domain-escape analysis agrees — no spawn
+     in this library reaches [solve] — so no waiver is needed. *)
+  arena.Arena.delay.(0) <- 0.0;
   arena.Arena.wu.(0) <- 0;
   arena.Arena.pred.(0) <- -1;
   arena.Arena.owner.(0) <- 0;
@@ -493,10 +494,14 @@ let solve ?frontier_cap ?(cancel = ignore) ?on_column ?arena chain ~library
     while !idx >= 0 do
       let o = arena.Arena.owner.(!idx) in
       let site = o / stride in
-      if Chain.is_interior chain site then
-        placements :=
-          (chain.Chain.positions.(site), (widths_at site).(o mod stride))
-          :: !placements;
+      (* alloc-in-hot-loop waiver: the backtrack runs once per solve and
+         allocates one pair+cons per placement — O(sites), not O(sites ×
+         widths × frontier) like the scan loops the rule is guarding. *)
+      (if Chain.is_interior chain site then
+         placements :=
+           (chain.Chain.positions.(site), (widths_at site).(o mod stride))
+           :: !placements)
+      [@lint.allow "alloc-in-hot-loop"];
       idx := arena.Arena.pred.(!idx)
     done;
     Some

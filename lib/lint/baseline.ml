@@ -1,0 +1,73 @@
+(* Known-findings baseline: CI fails only on findings not present in
+   the checked-in file.
+
+   Entries are one finding per line as "file [rule] message" — line and
+   column are deliberately dropped so unrelated edits shifting a waived
+   finding do not churn the baseline.  Matching is multiplicity-aware:
+   a baseline entry absorbs at most one live finding, so a *second*
+   occurrence of a baselined defect is still reported. *)
+
+type entry = { b_file : string; b_rule : string; b_message : string }
+
+let key e = e.b_file ^ "\x00" ^ e.b_rule ^ "\x00" ^ e.b_message
+
+let entry_of_finding (f : Finding.t) =
+  { b_file = f.Finding.file; b_rule = f.rule; b_message = f.message }
+
+let render_entry e = Printf.sprintf "%s [%s] %s" e.b_file e.b_rule e.b_message
+
+(* "file [rule] message" — the rule id is the first bracketed token. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.index_opt line '[' with
+    | None -> None
+    | Some i -> (
+        match String.index_from_opt line i ']' with
+        | None -> None
+        | Some j ->
+            let b_file = String.trim (String.sub line 0 i) in
+            let b_rule = String.sub line (i + 1) (j - i - 1) in
+            let b_message =
+              String.trim
+                (String.sub line (j + 1) (String.length line - j - 1))
+            in
+            Some { b_file; b_rule; b_message })
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents ->
+      String.split_on_char '\n' contents |> List.filter_map parse_line
+  | exception Sys_error msg -> failwith ("cannot read baseline: " ^ msg)
+
+let filter ~baseline findings =
+  let budget = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      Hashtbl.replace budget k
+        (1 + Option.value (Hashtbl.find_opt budget k) ~default:0))
+    baseline;
+  List.filter
+    (fun f ->
+      let k = key (entry_of_finding f) in
+      match Hashtbl.find_opt budget k with
+      | Some n when n > 0 ->
+          Hashtbl.replace budget k (n - 1);
+          false
+      | _ -> true)
+    findings
+
+let header =
+  "# rip_lint baseline: known findings CI tolerates while they are being\n\
+   # fixed.  One finding per line as \"file [rule] message\" (line/column\n\
+   # dropped so edits elsewhere in the file do not churn entries).\n\
+   # Regenerate with: rip_lint --update-baseline <this file> ...\n"
+
+let render findings =
+  header
+  ^ String.concat ""
+      (List.map
+         (fun f -> render_entry (entry_of_finding f) ^ "\n")
+         findings)

@@ -1,0 +1,16 @@
+(** Known-findings baseline ("file [rule] message" lines, [#] comments)
+    so CI fails only on new findings. *)
+
+type entry = { b_file : string; b_rule : string; b_message : string }
+
+val load : string -> entry list
+(** Parses a baseline file, ignoring blank and comment lines.
+    @raise Failure when the file cannot be read. *)
+
+val filter : baseline:entry list -> Finding.t list -> Finding.t list
+(** Drops findings matched by the baseline.  Multiplicity-aware: each
+    entry absorbs at most one finding, so a second occurrence of a
+    baselined defect is still reported. *)
+
+val render : Finding.t list -> string
+(** Renders findings as a baseline file with an explanatory header. *)

@@ -147,51 +147,102 @@ let dedup findings =
       end)
     findings
 
+(* "Rip_net__Net_io" -> "Net_io": split at the rightmost "__" *)
+let unit_name_of modname =
+  let n = String.length modname in
+  let rec last_sep i =
+    if i < 0 then None
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then Some i
+    else last_sep (i - 1)
+  in
+  match last_sep (n - 2) with
+  | Some i when i + 2 < n -> String.sub modname (i + 2) (n - i - 2)
+  | _ -> modname
+
+(* Source path a unit's findings will carry, for routing the
+   whole-program phase's findings back to the right suppression set. *)
+let file_of_unit u =
+  match u.structure.Typedtree.str_items with
+  | item :: _ ->
+      Some item.Typedtree.str_loc.Location.loc_start.Lexing.pos_fname
+  | [] -> None
+
 let run ~library ~rules paths =
   let units = List.filter_map load_cmt paths in
   let float_types =
     Rules.harvest_float_types
       (List.map (fun u -> (u.modname, u.structure)) units)
   in
-  units
-  |> List.concat_map (fun u ->
-         let findings = ref [] in
-         let ctx =
-           {
-             Rules.library;
-             modname = u.modname;
-             float_types;
-             source = u.source;
-             emit =
-               (fun rule loc message ->
-                 findings :=
-                   Finding.of_loc ~rule:(Lint_config.id rule) ~message loc
-                   :: !findings);
-           }
-         in
-         let unit_name =
-           (* "Rip_net__Net_io" -> "Net_io": split at the rightmost "__" *)
-           let n = String.length u.modname in
-           let rec last_sep i =
-             if i < 0 then None
-             else if u.modname.[i] = '_' && u.modname.[i + 1] = '_' then Some i
-             else last_sep (i - 1)
+  let sups_by_file = Hashtbl.create 16 in
+  (* Phase 0: the per-unit rules, exactly as before. *)
+  let per_unit =
+    units
+    |> List.concat_map (fun u ->
+           let findings = ref [] in
+           let ctx =
+             {
+               Rules.library;
+               modname = u.modname;
+               float_types;
+               source = u.source;
+               emit =
+                 (fun rule loc message ->
+                   findings :=
+                     Finding.of_loc ~rule:(Lint_config.id rule) ~message loc
+                     :: !findings);
+             }
            in
-           match last_sep (n - 2) with
-           | Some i when i + 2 < n -> String.sub u.modname (i + 2) (n - i - 2)
-           | _ -> u.modname
-         in
-         let rules =
-           List.filter
-             (fun rule ->
-               match rule with
-               | Lint_config.Float_format_precision ->
-                   Lint_config.format_rule_applies ~library ~unit_name
-               | _ -> true)
-             rules
-         in
-         List.iter (fun rule -> Rules.run rule ctx u.structure) rules;
-         let sups = collect_suppressions u.structure in
-         List.filter (fun f -> not (suppressed sups f)) !findings)
-  |> dedup
-  |> List.sort Finding.order
+           let unit_name = unit_name_of u.modname in
+           let unit_rules =
+             List.filter
+               (fun rule ->
+                 match rule with
+                 | Lint_config.Float_format_precision ->
+                     Lint_config.format_rule_applies ~library ~unit_name
+                 | _ -> true)
+               rules
+           in
+           List.iter (fun rule -> Rules.run rule ctx u.structure) unit_rules;
+           let sups = collect_suppressions u.structure in
+           Option.iter
+             (fun file -> Hashtbl.replace sups_by_file file sups)
+             (file_of_unit u);
+           List.filter (fun f -> not (suppressed sups f)) !findings)
+  in
+  (* Phases 1–2: summaries over every unit at once, then the
+     interprocedural rules over the pooled call graph.  Suppressions
+     still apply — a finding lands in some unit's source file, and that
+     unit's [@lint.allow] spans cover it. *)
+  let interproc =
+    let want_escape = List.mem Lint_config.Domain_escape rules in
+    let want_blocking = List.mem Lint_config.Blocking_under_lock rules in
+    if not (want_escape || want_blocking) then []
+    else begin
+      let summaries =
+        List.map
+          (fun u ->
+            Summary.of_structure ~library
+              ~unit_name:(unit_name_of u.modname) u.structure)
+          units
+      in
+      let graph = Iproc.build summaries in
+      let findings = ref [] in
+      let emit rule loc message =
+        findings :=
+          Finding.of_loc ~rule:(Lint_config.id rule) ~message loc
+          :: !findings
+      in
+      if want_escape then
+        Iproc.domain_escape graph ~emit:(emit Lint_config.Domain_escape);
+      if want_blocking then
+        Iproc.blocking_under_lock graph
+          ~emit:(emit Lint_config.Blocking_under_lock);
+      List.filter
+        (fun (f : Finding.t) ->
+          match Hashtbl.find_opt sups_by_file f.Finding.file with
+          | Some sups -> not (suppressed sups f)
+          | None -> true)
+        !findings
+    end
+  in
+  per_unit @ interproc |> dedup |> List.sort Finding.order

@@ -1,4 +1,8 @@
-(** Loads [.cmt] typed trees and runs the rule engine over them. *)
+(** Loads [.cmt] typed trees and runs the rule engine over them: the
+    per-unit rules first, then — when [Domain_escape] or
+    [Blocking_under_lock] is requested — the two-phase whole-program
+    analysis ([Summary] harvest, [Iproc] call-graph traversal) over
+    every unit of the run at once. *)
 
 val run :
   library:string ->
@@ -7,5 +11,9 @@ val run :
   Finding.t list
 (** [run ~library ~rules cmt_paths] lints every implementation unit
     among [cmt_paths] with [rules], applies inline
-    [\[@lint.allow "rule-id"\]] suppressions, and returns findings
-    sorted by position.  Interface-only and partial cmts are skipped. *)
+    [\[@lint.allow "rule-id"\]] suppressions (including to
+    interprocedural findings, routed by source file), and returns
+    findings sorted by position.  Interface-only and partial cmts are
+    skipped.  The call graph is scoped to the units of one invocation —
+    one dune library — so cross-library calls are a documented
+    soundness frontier. *)

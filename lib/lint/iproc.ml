@@ -1,0 +1,197 @@
+(* Phase 2 of the interprocedural analysis: a call-graph traversal over
+   the per-function summaries of one library.
+
+   Call resolution is per-library: a canonical call name is looked up
+   first lexically (siblings of the calling function, then its
+   ancestors, then the unit's top level), then as a [Unit.fn] path into
+   another unit of the same library.  Cross-library calls stay
+   unresolved — each library is linted against its own rule set, so the
+   boundary is a documented soundness frontier, not silent noise.
+
+   domain-escape walks every spawn target with "no parameter is local,
+   no lock is held" and propagates two facts along call edges: which
+   callee parameters are rooted in caller-local values, and whether a
+   lock is held (a lock at the call site, or one inherited from further
+   up the chain).  Any lock sanctions an access — matching the *right*
+   lock across call boundaries is out of scope (intraprocedurally, the
+   guarded-mutation rule still checks lock/structure affinity). *)
+
+module S = Set.Make (String)
+
+type graph = {
+  by_qual : (string, Summary.fn) Hashtbl.t;
+  all_fns : Summary.fn list;
+  spawns : Summary.spawn list;
+}
+
+let build (summaries : Summary.t list) =
+  let by_qual = Hashtbl.create 256 in
+  let all_fns = List.concat_map (fun s -> s.Summary.fns) summaries in
+  List.iter
+    (fun (f : Summary.fn) ->
+      Hashtbl.replace by_qual (f.fn_unit ^ "." ^ f.fn_sub) f)
+    all_fns;
+  {
+    by_qual;
+    all_fns;
+    spawns = List.concat_map (fun s -> s.Summary.spawns) summaries;
+  }
+
+(* Scope prefixes a name can resolve under from inside a function,
+   innermost first — the function's own nested helpers, then its
+   siblings, up to the unit's top level:
+   "worker.loop" -> ["worker.loop."; "worker."; ""]. *)
+let scope_prefixes sub =
+  let parts = String.split_on_char '.' sub in
+  let rec drop_last = function
+    | [] | [ _ ] -> []
+    | x :: tl -> x :: drop_last tl
+  in
+  let rec prefixes parts =
+    match parts with
+    | [] -> [ "" ]
+    | _ -> (String.concat "." parts ^ ".") :: prefixes (drop_last parts)
+  in
+  prefixes parts
+
+let resolve graph (caller : Summary.fn) name =
+  let find key = Hashtbl.find_opt graph.by_qual key in
+  let lexical =
+    List.find_map
+      (fun prefix -> find (caller.fn_unit ^ "." ^ prefix ^ name))
+      (scope_prefixes caller.fn_sub)
+  in
+  match lexical with
+  | Some _ as r -> r
+  | None -> if String.contains name '.' then find name else None
+
+(* --- domain-escape --------------------------------------------------------- *)
+
+let locals_sig locals =
+  String.init (Array.length locals) (fun i -> if locals.(i) then '1' else '0')
+
+let domain_escape graph ~emit =
+  let memo = Hashtbl.create 256 in
+  let rec analyze (fn : Summary.fn) locals locked depth =
+    let key = (fn.fn_unit ^ "." ^ fn.fn_sub, locals_sig locals, locked) in
+    if depth > 60 || Hashtbl.mem memo key then ()
+    else begin
+      Hashtbl.add memo key ();
+      List.iter
+        (fun (a : Summary.access) ->
+          let shared =
+            match a.acc_class with
+            | Summary.Opaque -> true
+            | Summary.Param i ->
+                i >= Array.length locals || not locals.(i)
+            | Summary.Local -> false
+          in
+          if shared && not (a.acc_locked || locked) then
+            let verb =
+              match a.acc_kind with `Read -> "read" | `Write -> "written"
+            in
+            emit a.acc_loc
+              (Printf.sprintf
+                 "%s is %s on a spawn-reachable path with no lock held; \
+                  guard it with the owning mutex, make it Atomic.t, or keep \
+                  it thread-local"
+                 a.acc_what verb))
+        fn.fn_accesses;
+      List.iter
+        (fun (c : Summary.call) ->
+          match resolve graph fn c.call_name with
+          | None -> ()
+          | Some callee ->
+              let locals' =
+                Array.init callee.fn_params (fun j ->
+                    match List.nth_opt c.call_args j with
+                    | Some Summary.Local -> true
+                    | Some (Summary.Param i) ->
+                        i < Array.length locals && locals.(i)
+                    | Some Summary.Opaque | None -> false)
+              in
+              analyze callee locals' (locked || c.call_locked) (depth + 1))
+        fn.fn_calls
+    end
+  in
+  List.iter
+    (fun (sp : Summary.spawn) ->
+      let target =
+        match sp.sp_target with
+        | `Closure fn -> Some fn
+        | `Named name -> resolve graph sp.sp_caller name
+      in
+      match target with
+      | Some fn ->
+          (* Everything a spawn target receives or captures crossed the
+             thread boundary: no parameter is local, no lock is held. *)
+          analyze fn (Array.make fn.fn_params false) false 0
+      | None -> ())
+    graph.spawns
+
+(* --- blocking-under-lock --------------------------------------------------- *)
+
+(* [Condition.wait] is deliberately absent: it releases the mutex while
+   waiting, which is the sanctioned way to block under a lock.
+   [Unix.waitpid] is also absent — the supervisor's WNOHANG reaps are
+   non-blocking, and a flag-sensitive check is not worth the noise. *)
+let blocking_prims =
+  [
+    "Unix.read"; "Unix.write"; "Unix.write_substring"; "Unix.single_write";
+    "Unix.single_write_substring"; "Unix.recv"; "Unix.send";
+    "Unix.send_substring"; "Unix.connect"; "Unix.accept"; "Unix.select";
+    "Unix.sleep"; "Unix.sleepf"; "Thread.delay"; "Thread.join";
+    "Domain.join";
+  ]
+
+let blocking_under_lock graph ~emit =
+  (* [may_block fn] = the first blocking primitive reachable from [fn]
+     through resolved same-library calls, at any lock state. *)
+  let memo : (string, string option) Hashtbl.t = Hashtbl.create 256 in
+  let rec may_block (fn : Summary.fn) visiting =
+    let key = fn.fn_unit ^ "." ^ fn.fn_sub in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        if S.mem key visiting then None
+        else begin
+          let visiting = S.add key visiting in
+          let r =
+            List.find_map
+              (fun (c : Summary.call) ->
+                if List.mem c.call_name blocking_prims then Some c.call_name
+                else
+                  match resolve graph fn c.call_name with
+                  | Some callee -> may_block callee visiting
+                  | None -> None)
+              fn.fn_calls
+          in
+          Hashtbl.replace memo key r;
+          r
+        end
+  in
+  List.iter
+    (fun (fn : Summary.fn) ->
+      List.iter
+        (fun (c : Summary.call) ->
+          if c.call_locked then
+            if List.mem c.call_name blocking_prims then
+              emit c.call_loc
+                (Printf.sprintf
+                   "blocking %s while a mutex is held; move it outside the \
+                    lock region (to wait under a lock, use Condition.wait)"
+                   c.call_name)
+            else
+              match resolve graph fn c.call_name with
+              | Some callee -> (
+                  match may_block callee S.empty with
+                  | Some prim ->
+                      emit c.call_loc
+                        (Printf.sprintf
+                           "call to %s may block (reaches %s) while a mutex \
+                            is held; move it outside the lock region"
+                           c.call_name prim)
+                  | None -> ())
+              | None -> ())
+        fn.fn_calls)
+    graph.all_fns

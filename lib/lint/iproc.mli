@@ -1,0 +1,21 @@
+(** Phase 2 of the interprocedural analysis: call-graph construction
+    over one library's summaries, plus the two whole-program rules. *)
+
+type graph
+
+val build : Summary.t list -> graph
+(** Indexes every function summary of the library by its qualified name
+    and pools the spawn sites. *)
+
+val domain_escape : graph -> emit:(Location.t -> string -> unit) -> unit
+(** From every [Domain.spawn]/[Thread.create] target, propagates
+    parameter locality and held-lock state along resolved call edges
+    and reports every access to shared mutable state made with no lock
+    held. *)
+
+val blocking_under_lock :
+  graph -> emit:(Location.t -> string -> unit) -> unit
+(** Reports calls made with a mutex held that are, or transitively
+    reach, a blocking primitive ([Unix.read]/[write]/[connect]/
+    [accept]/[select]/[sleepf], [Thread.delay]/[join], [Domain.join]);
+    [Condition.wait] is exempt. *)

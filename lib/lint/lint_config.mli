@@ -15,10 +15,34 @@ type rule_id =
       (** A mutable record field or [ref] captured by a
           [Domain.spawn]/[Thread.create] closure must only be accessed
           between [Mutex.lock]/[unlock] on the owning structure's mutex
-          (or be an [Atomic.t]). *)
+          (or be an [Atomic.t]).  Intraprocedural; superseded in the
+          concurrent libraries' default sets by [Domain_escape]. *)
   | Float_format_precision
       (** Float conversions in the wire-format libraries must be exactly
           [%.17g] so cached replay stays byte-identical. *)
+  | Domain_escape
+      (** Interprocedural escape analysis: a [ref] or mutable field
+          reachable from a [Domain.spawn]/[Thread.create] closure —
+          through any chain of same-library calls — must be accessed
+          with a lock held or be provably thread-local ([Atomic.t]
+          operations are ordinary calls and naturally exempt). *)
+  | Fd_leak
+      (** A [Unix.socket]/[openfile]/[accept]/[pipe]/[socketpair]
+          result must reach [Unix.close] (directly, via
+          [Fun.protect ~finally], or in an exception handler), or
+          escape to an owner (returned / stored / handed off); flags
+          leaks, unprotected spawn-captures, and double closes. *)
+  | Blocking_under_lock
+      (** No blocking call ([Unix.read]/[write]/[connect]/[accept]/
+          [select]/[sleepf], [Thread.delay]/[join], [Domain.join])
+          while a [Mutex] is held, including through same-library
+          call chains; [Condition.wait] is exempt (it releases the
+          mutex). *)
+  | Alloc_in_hot_loop
+      (** No boxing allocation (tuple, record, non-constant
+          constructor, array literal, closure) inside [for]/[while]
+          loops of functions annotated [\[@lint.hot\]]; allocations on
+          raise/failwith/invalid_arg paths are exempt. *)
 
 val id : rule_id -> string
 val of_id : string -> rule_id option

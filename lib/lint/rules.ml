@@ -654,6 +654,338 @@ let float_format_precision ctx str =
       let it = { Tast_iterator.default_iterator with expr } in
       it.structure it str
 
+(* --- Rule: fd-leak --------------------------------------------------------- *)
+
+(* Per-function resource tracking of raw file descriptors.  A binding
+   whose right-hand side is a creator call is tracked through its scope:
+
+   - used by a whitelisted non-owning call (read/write/bind/listen/
+     setsockopt/...): neutral;
+   - closed by [Unix.close]: consumed;
+   - any other occurrence (returned, stored in a structure, passed to a
+     non-whitelisted function): ownership escapes to the receiver, and
+     the binding is the receiver's problem, not a leak here;
+   - captured by a [Thread.create]/[Domain.spawn] argument: ownership
+     moves to the new thread *only if the spawn succeeds*, so the spawn
+     must sit under an exception handler that closes the fd;
+   - two closes in one straight-line sequence: double close.
+
+   Approximation, by design: a binding with at least one close (or an
+   escape) is accepted — per-branch path sensitivity is phase-2 work
+   the fixture set documents as out of scope.  "No close anywhere, no
+   escape" is the leak shape this rule exists for. *)
+
+let fd_creators =
+  [
+    ("Unix.socket", `Whole);
+    ("Unix.openfile", `Whole);
+    ("Unix.accept", `Fst);
+    ("Unix.pipe", `Both);
+    ("Unix.socketpair", `Both);
+  ]
+
+let fd_whitelist =
+  [
+    "Unix.read"; "Unix.write"; "Unix.write_substring"; "Unix.single_write";
+    "Unix.single_write_substring"; "Unix.recv"; "Unix.send";
+    "Unix.send_substring"; "Unix.listen"; "Unix.bind"; "Unix.connect";
+    "Unix.setsockopt"; "Unix.setsockopt_int"; "Unix.setsockopt_optint";
+    "Unix.setsockopt_float"; "Unix.getsockopt"; "Unix.getsockname";
+    "Unix.getpeername"; "Unix.shutdown"; "Unix.select"; "Unix.set_nonblock";
+    "Unix.clear_nonblock"; "Unix.dup2"; "Unix.in_channel_of_descr";
+    "Unix.out_channel_of_descr";
+  ]
+
+let is_id id e =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident i, _, _) -> Ident.same i id
+  | _ -> false
+
+let subtree_mentions id e =
+  let found = ref false in
+  let expr sub child =
+    if is_id id child then found := true;
+    Tast_iterator.default_iterator.expr sub child
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+let is_close_of id e =
+  match e.exp_desc with
+  | Texp_apply (f, [ (_, Some a) ]) ->
+      (match ident_name f with Some "Unix.close" -> true | _ -> false)
+      && is_id id a
+  | _ -> false
+
+let subtree_closes id e =
+  let found = ref false in
+  let expr sub child =
+    if is_close_of id child then found := true;
+    Tast_iterator.default_iterator.expr sub child
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+let fd_leak ctx str =
+  let analyze name id creator scope binding_loc =
+    let closes = ref 0 in
+    let escaped = ref false in
+    let unprotected_spawns = ref [] in
+    let rec scan ~protects e =
+      match e.exp_desc with
+      | Texp_ident _ -> if is_id id e then escaped := true
+      | Texp_apply (f, args) -> (
+          match ident_name f with
+          | Some "Unix.close" -> (
+              match args with
+              | [ (_, Some a) ] when is_id id a -> incr closes
+              | _ ->
+                  List.iter
+                    (fun (_, a) -> Option.iter (scan ~protects) a)
+                    args)
+          | Some n when List.mem n spawners ->
+              if List.exists
+                   (fun (_, a) ->
+                     match a with
+                     | Some a -> subtree_mentions id a
+                     | None -> false)
+                   args
+                 && not protects
+              then unprotected_spawns := e.exp_loc :: !unprotected_spawns
+          | Some n when List.mem n fd_whitelist ->
+              List.iter
+                (fun (_, a) ->
+                  match a with
+                  | Some a when is_id id a -> ()
+                  | Some a -> scan ~protects a
+                  | None -> ())
+                args
+          | _ ->
+              scan ~protects f;
+              List.iter (fun (_, a) -> Option.iter (scan ~protects) a) args)
+      | Texp_try (body, cases) ->
+          let handler_closes =
+            List.exists (fun c -> subtree_closes id c.c_rhs) cases
+          in
+          scan ~protects:(protects || handler_closes) body;
+          List.iter (fun c -> scan ~protects c.c_rhs) cases
+      | Texp_match (scrut, cases, _) ->
+          let handler_closes =
+            List.exists
+              (fun c ->
+                match c.c_lhs.pat_desc with
+                | Tpat_exception _ -> subtree_closes id c.c_rhs
+                | _ -> false)
+              cases
+          in
+          scan ~protects:(protects || handler_closes) scrut;
+          List.iter (fun c -> scan ~protects c.c_rhs) cases
+      | _ ->
+          let sub =
+            {
+              Tast_iterator.default_iterator with
+              expr = (fun _ child -> scan ~protects child);
+            }
+          in
+          Tast_iterator.default_iterator.expr sub e
+    in
+    scan ~protects:false scope;
+    (* Double close: two closes in one straight-line sequence. *)
+    let rec chain e =
+      match e.exp_desc with
+      | Texp_sequence (a, b) -> chain a @ chain b
+      | Texp_let (_, vbs, body) ->
+          List.concat_map (fun vb -> chain vb.vb_expr) vbs @ chain body
+      | _ -> if is_close_of id e then [ e.exp_loc ] else []
+    in
+    let rec find_chains ~root e =
+      (if root then
+         match chain e with
+         | _ :: second :: _ ->
+             ctx.emit Lint_config.Fd_leak second
+               (Printf.sprintf "%s is closed twice on the same path" name)
+         | _ -> ());
+      match e.exp_desc with
+      | Texp_sequence (a, b) ->
+          find_chains ~root:false a;
+          find_chains ~root:false b
+      | Texp_let (_, vbs, body) ->
+          List.iter (fun vb -> find_chains ~root:false vb.vb_expr) vbs;
+          find_chains ~root:false body
+      | _ ->
+          let sub =
+            {
+              Tast_iterator.default_iterator with
+              expr = (fun _ child -> find_chains ~root:true child);
+            }
+          in
+          Tast_iterator.default_iterator.expr sub e
+    in
+    find_chains ~root:true scope;
+    List.iter
+      (fun loc ->
+        ctx.emit Lint_config.Fd_leak loc
+          (Printf.sprintf
+             "%s from %s is captured by a spawned thread with no close on \
+              the spawn-failure path; close it in an exception handler \
+              around the spawn"
+             name creator))
+      !unprotected_spawns;
+    if !closes = 0 && (not !escaped) && !unprotected_spawns = [] then
+      ctx.emit Lint_config.Fd_leak binding_loc
+        (Printf.sprintf
+           "%s bound from %s is never closed; close it on every path, wrap \
+            it in Fun.protect ~finally, or hand it to an owner"
+           name creator)
+  in
+  let creator_of e =
+    match e.exp_desc with
+    | Texp_apply (f, _) -> (
+        match ident_name f with
+        | Some n -> (
+            match List.assoc_opt n fd_creators with
+            | Some pos -> Some (n, pos)
+            | None -> None)
+        | None -> None)
+    | _ -> None
+  in
+  let tracked_of_pat pos (pat : pattern) =
+    match (pos, pat.pat_desc) with
+    | `Whole, Tpat_var (id, _) -> [ id ]
+    | ((`Fst | `Both) as pos), Tpat_tuple (first :: rest) -> (
+        let of_var p =
+          match p.pat_desc with Tpat_var (id, _) -> [ id ] | _ -> []
+        in
+        match pos with
+        | `Fst -> of_var first
+        | `Both -> of_var first @ List.concat_map of_var rest)
+    | _ -> []
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, body) ->
+        List.iter
+          (fun vb ->
+            match creator_of vb.vb_expr with
+            | Some (creator, pos) ->
+                List.iter
+                  (fun id ->
+                    analyze (Ident.name id) id creator body vb.vb_pat.pat_loc)
+                  (tracked_of_pat pos vb.vb_pat)
+            | None -> ())
+          vbs
+    | Texp_match (scrut, cases, _) -> (
+        match creator_of scrut with
+        | Some (creator, pos) ->
+            List.iter
+              (fun c ->
+                match c.c_lhs.pat_desc with
+                | Tpat_value arg ->
+                    List.iter
+                      (fun id ->
+                        analyze (Ident.name id) id creator c.c_rhs
+                          c.c_lhs.pat_loc)
+                      (tracked_of_pat pos (arg :> pattern))
+                | _ -> ())
+              cases
+        | None -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str
+
+(* --- Rule: alloc-in-hot-loop ----------------------------------------------- *)
+
+(* Boxing allocations inside for/while loops of [@lint.hot]-annotated
+   functions.  Only direct boxing constructs are flagged (tuples,
+   records, non-constant constructors, array literals, closures) —
+   allocation hidden behind calls is the callee's business, and [ref]s
+   deliberately hoisted per-column in the DP are accepted idiom.
+   Allocations feeding raise/failwith/invalid_arg are cold paths and
+   exempt. *)
+
+let raising = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let alloc_in_hot_loop ctx str =
+  let report loc what fname =
+    ctx.emit Lint_config.Alloc_in_hot_loop loc
+      (Printf.sprintf
+         "%s inside a loop of [@lint.hot] %s; hoist it out of the loop or \
+          shrink the hot region"
+         what fname)
+  in
+  let rec hot_walk fname in_loop e =
+    match e.exp_desc with
+    | Texp_for (_, _, lo, hi, _, body) ->
+        hot_walk fname in_loop lo;
+        hot_walk fname in_loop hi;
+        hot_walk fname true body
+    | Texp_while (c, b) ->
+        hot_walk fname true c;
+        hot_walk fname true b
+    | Texp_apply (f, args) when
+        (match ident_name f with
+        | Some n -> List.mem n raising
+        | None -> false) ->
+        List.iter (fun (_, a) -> Option.iter (hot_walk fname false) a) args
+    | Texp_assert (e', _) -> hot_walk fname false e'
+    | Texp_tuple parts ->
+        if in_loop then report e.exp_loc "tuple allocation" fname;
+        List.iter (hot_walk fname in_loop) parts
+    | Texp_record { fields; extended_expression; _ } ->
+        if in_loop then report e.exp_loc "record allocation" fname;
+        Option.iter (hot_walk fname in_loop) extended_expression;
+        Array.iter
+          (fun (_, def) ->
+            match def with
+            | Overridden (_, e') -> hot_walk fname in_loop e'
+            | Kept _ -> ())
+          fields
+    | Texp_array parts ->
+        if in_loop then report e.exp_loc "array allocation" fname;
+        List.iter (hot_walk fname in_loop) parts
+    | Texp_construct (_, cd, args) ->
+        if in_loop && args <> [] then
+          report e.exp_loc
+            (Printf.sprintf "constructor %s allocation" cd.Types.cstr_name)
+            fname;
+        List.iter (hot_walk fname in_loop) args
+    | Texp_function { cases; _ } ->
+        if in_loop then begin
+          report e.exp_loc "closure allocation" fname;
+          (* The closure body runs on call, not per allocation — reset. *)
+          List.iter (fun c -> hot_walk fname false c.c_rhs) cases
+        end
+        else List.iter (fun c -> hot_walk fname false c.c_rhs) cases
+    | _ ->
+        let sub =
+          {
+            Tast_iterator.default_iterator with
+            expr = (fun _ child -> hot_walk fname in_loop child);
+          }
+        in
+        Tast_iterator.default_iterator.expr sub e
+  in
+  let value_binding sub vb =
+    (if
+       List.exists
+         (fun a -> a.Parsetree.attr_name.Asttypes.txt = "lint.hot")
+         vb.vb_attributes
+     then
+       let fname =
+         match vb.vb_pat.pat_desc with
+         | Tpat_var (id, _) -> Ident.name id
+         | _ -> "<binding>"
+       in
+       hot_walk fname false vb.vb_expr);
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it = { Tast_iterator.default_iterator with value_binding } in
+  it.structure it str
+
 (* --- Dispatch ------------------------------------------------------------- *)
 
 let run rule ctx str =
@@ -663,3 +995,9 @@ let run rule ctx str =
   | Lint_config.No_wall_clock -> no_wall_clock ctx str
   | Lint_config.Guarded_mutation -> guarded_mutation ctx str
   | Lint_config.Float_format_precision -> float_format_precision ctx str
+  | Lint_config.Fd_leak -> fd_leak ctx str
+  | Lint_config.Alloc_in_hot_loop -> alloc_in_hot_loop ctx str
+  | Lint_config.Domain_escape | Lint_config.Blocking_under_lock ->
+      (* Whole-program rules: phase 2 runs in [Driver] over the pooled
+         [Summary]/[Iproc] graph, not per unit. *)
+      ()

@@ -1,4 +1,6 @@
-(** The five rule passes over one compilation unit's typed tree. *)
+(** The per-unit rule passes over one compilation unit's typed tree
+    (the interprocedural rules live in {!Summary}/{!Iproc} and are
+    orchestrated by {!Driver}). *)
 
 type ctx = {
   library : string;  (** dune library name the unit belongs to *)

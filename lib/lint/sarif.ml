@@ -1,0 +1,71 @@
+(* Minimal SARIF 2.1.0 emitter.  Only the fields CI viewers actually
+   read (ruleId, message.text, one physicalLocation per result) are
+   produced; columns are converted from the compiler's 0-based
+   convention to SARIF's 1-based one. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render ~tool_version findings =
+  let b = Buffer.create 4096 in
+  let rule_ids =
+    List.sort_uniq String.compare
+      (List.map (fun f -> f.Finding.rule) findings)
+  in
+  Buffer.add_string b
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"rip_lint\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "          \"version\": %S,\n" tool_version);
+  Buffer.add_string b "          \"rules\": [";
+  List.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "{\"id\": \"%s\"}" (escape id)))
+    rule_ids;
+  Buffer.add_string b "]\n        }\n      },\n      \"results\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n\
+           \        {\n\
+           \          \"ruleId\": \"%s\",\n\
+           \          \"level\": \"error\",\n\
+           \          \"message\": {\"text\": \"%s\"},\n\
+           \          \"locations\": [\n\
+           \            {\n\
+           \              \"physicalLocation\": {\n\
+           \                \"artifactLocation\": {\"uri\": \"%s\"},\n\
+           \                \"region\": {\"startLine\": %d, \"startColumn\": \
+            %d}\n\
+           \              }\n\
+           \            }\n\
+           \          ]\n\
+           \        }"
+           (escape f.rule) (escape f.message) (escape f.file) f.line
+           (f.col + 1)))
+    findings;
+  if findings <> [] then Buffer.add_string b "\n      ";
+  Buffer.add_string b "]\n    }\n  ]\n}\n";
+  Buffer.contents b

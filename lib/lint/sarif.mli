@@ -1,0 +1,6 @@
+(** Minimal SARIF 2.1.0 rendering of a finding list. *)
+
+val render : tool_version:string -> Finding.t list -> string
+(** One run, one result per finding; columns converted to SARIF's
+    1-based convention.  The output is stable (findings keep their
+    given order, rule ids are sorted) so CI artifacts diff cleanly. *)

@@ -8,9 +8,9 @@ module Counter = struct
   type t = int Atomic.t
 
   let make () = Atomic.make 0
-  let incr t = ignore (Atomic.fetch_and_add t 1)
+  let[@lint.hot] incr t = ignore (Atomic.fetch_and_add t 1)
 
-  let add t n =
+  let[@lint.hot] add t n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
     ignore (Atomic.fetch_and_add t n)
 
@@ -23,9 +23,9 @@ module Gauge = struct
   type t = float Atomic.t
 
   let make () = Atomic.make 0.0
-  let set t v = Atomic.set t v
+  let[@lint.hot] set t v = Atomic.set t v
 
-  let rec add t v =
+  let[@lint.hot] rec add t v =
     let current = Atomic.get t in
     if not (Atomic.compare_and_set t current (current +. v)) then add t v
 
@@ -83,7 +83,7 @@ module Histogram = struct
     }
 
   (* First bucket whose upper bound is >= v; the +Inf bucket otherwise. *)
-  let bucket_index bounds v =
+  let[@lint.hot] bucket_index bounds v =
     let n = Array.length bounds in
     if v <= bounds.(0) then 0
     else if v > bounds.(n - 1) then n
@@ -97,7 +97,7 @@ module Histogram = struct
       !hi
     end
 
-  let observe (t : t) v =
+  let[@lint.hot] observe (t : t) v =
     let v = if Float.is_nan v then Float.infinity else v in
     let v = if v < 0.0 then 0.0 else v in
     let index =

@@ -226,11 +226,13 @@ let stopping t =
 
 (* --- Poller: pricing + failure detection ---------------------------------- *)
 
-let refresh_bounds shard =
+let refresh_bounds t shard =
   match Client.Pool.request shard.pool Protocol.Health with
   | Ok (Protocol.Health_frame h) ->
+      Mutex.lock t.mutex;
       shard.queue_bound <- h.Protocol.health_queue_depth;
-      shard.high_water <- h.Protocol.health_high_water
+      shard.high_water <- h.Protocol.health_high_water;
+      Mutex.unlock t.mutex
   | Ok _ | Error _ -> ()
 
 let mark_recovered t shard =
@@ -248,10 +250,16 @@ let mark_recovered t shard =
   if re_add then Obs.Counter.incr t.metrics.rebalances
 
 let on_stats t shard now (stats : Protocol.stats) =
-  if not shard.up then begin
+  let was_down =
+    Mutex.lock t.mutex;
+    let d = not shard.up in
+    Mutex.unlock t.mutex;
+    d
+  in
+  if was_down then begin
     (* Back from the dead: a new incarnation, with fresh counters and
        possibly a different configuration. *)
-    refresh_bounds shard;
+    refresh_bounds t shard;
     mark_recovered t shard
   end;
   Mutex.lock t.mutex;
@@ -332,7 +340,13 @@ let rec poll_loop t =
   if not (stopping t) then begin
     Array.iter
       (fun shard ->
-        if shard.last_poll_at <= 0.0 && shard.up then refresh_bounds shard;
+        let never_polled =
+          Mutex.lock t.mutex;
+          let b = shard.last_poll_at <= 0.0 && shard.up in
+          Mutex.unlock t.mutex;
+          b
+        in
+        if never_polled then refresh_bounds t shard;
         poll_shard t shard)
       t.shards;
     Thread.delay t.config.poll_interval;
@@ -490,9 +504,12 @@ let aggregate_stats t =
     Array.fold_left (fun acc s -> acc +. f s.baseline) 0.0 t.shards
   in
   let local_degraded = Obs.Counter.value t.metrics.local_degraded in
+  (* The whole snapshot is taken under the lock: the poller folds dead
+     incarnations into [shard.baseline] concurrently, and a torn read
+     would break the accounting identity below. *)
   Mutex.lock t.mutex;
   let in_flight = t.in_flight in
-  Mutex.unlock t.mutex;
+  let stats =
   {
     Protocol.shard_id = "router";
     uptime_seconds = Router_metrics.uptime_seconds t.metrics;
@@ -537,17 +554,22 @@ let aggregate_stats t =
     solve_p95 = max_f (fun s -> s.Protocol.solve_p95);
     solve_p99 = max_f (fun s -> s.Protocol.solve_p99);
   }
+  in
+  Mutex.unlock t.mutex;
+  stats
 
 let health t =
   Mutex.lock t.mutex;
   let in_flight = t.in_flight in
-  Mutex.unlock t.mutex;
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 t.shards in
+  let queue_depth = sum (fun s -> s.queue_bound) in
+  let high_water = sum (fun s -> s.high_water) in
+  Mutex.unlock t.mutex;
   {
     Protocol.health_shard_id = "router";
     health_in_flight = in_flight;
-    health_queue_depth = sum (fun s -> s.queue_bound);
-    health_high_water = sum (fun s -> s.high_water);
+    health_queue_depth = queue_depth;
+    health_high_water = high_water;
   }
 
 (* --- Lifecycle ------------------------------------------------------------- *)
@@ -641,12 +663,16 @@ let run t listen_fd =
     let rec accept_loop () =
       match Unix.accept ~cloexec:true listen_fd with
       | client_fd, _ ->
-          let thread =
-            Thread.create (fun () -> handle_connection t client_fd) ()
-          in
-          Mutex.lock t.mutex;
-          t.connection_threads <- thread :: t.connection_threads;
-          Mutex.unlock t.mutex;
+          (match Thread.create (fun () -> handle_connection t client_fd) () with
+          | thread ->
+              Mutex.lock t.mutex;
+              t.connection_threads <- thread :: t.connection_threads;
+              Mutex.unlock t.mutex
+          | exception e ->
+              (* The spawn failed, so no thread owns the fd: close it
+                 here or it leaks. *)
+              (try Unix.close client_fd with Unix.Unix_error _ -> ());
+              raise e);
           accept_loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
       | exception Unix.Unix_error _ -> ()

@@ -533,10 +533,16 @@ let run t listen_fd =
     let rec accept_loop () =
       match Unix.accept ~cloexec:true listen_fd with
       | client_fd, _ ->
-          let thread = Thread.create (fun () -> handle_connection t client_fd) () in
-          Mutex.lock t.mutex;
-          t.connection_threads <- thread :: t.connection_threads;
-          Mutex.unlock t.mutex;
+          (match Thread.create (fun () -> handle_connection t client_fd) () with
+          | thread ->
+              Mutex.lock t.mutex;
+              t.connection_threads <- thread :: t.connection_threads;
+              Mutex.unlock t.mutex
+          | exception e ->
+              (* The spawn failed, so no thread owns the fd: close it
+                 here or it leaks. *)
+              (try Unix.close client_fd with Unix.Unix_error _ -> ());
+              raise e);
           accept_loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
       | exception Unix.Unix_error _ ->

@@ -23,8 +23,8 @@ let run_fixture ?(rules = Lint_config.all) unit_ =
   Driver.run ~library:"lint_fixtures" ~rules [ fixture_cmt unit_ ]
   |> List.map render
 
-let check_findings expected unit_ () =
-  Alcotest.(check (list string)) unit_ expected (run_fixture unit_)
+let check_findings ?rules expected unit_ () =
+  Alcotest.(check (list string)) unit_ expected (run_fixture ?rules unit_)
 
 (* --- Expected findings, one list per fixture ------------------------------- *)
 
@@ -82,6 +82,72 @@ let bad_mutation_expected =
     ^ mutation_msg "mutable field c.count" "read";
     "bad_mutation.ml:13:27 [guarded-mutation] "
     ^ mutation_msg "ref flag" "written";
+  ]
+
+(* --- Interprocedural rules -------------------------------------------------- *)
+
+let escape_msg what verb =
+  Printf.sprintf
+    "%s is %s on a spawn-reachable path with no lock held; guard it with \
+     the owning mutex, make it Atomic.t, or keep it thread-local"
+    what verb
+
+(* Only [bump]'s access fires: [guarded_bump] holds its own lock,
+   [locked_helper] inherits its callers' lock across the call edge, and
+   [local_work]'s state is rooted in a spawn-local allocation. *)
+let bad_escape_expected =
+  [
+    "bad_escape.ml:10:13 [domain-escape] "
+    ^ escape_msg "mutable field c.count" "written";
+    "bad_escape.ml:10:24 [domain-escape] "
+    ^ escape_msg "mutable field c.count" "read";
+  ]
+
+(* The supersession check: on the intraprocedural fixture, domain-escape
+   alone reproduces exactly the three guarded-mutation sanctions, which
+   is why the default library sets drop the older rule. *)
+let test_escape_supersedes_mutation () =
+  Alcotest.(check (list string))
+    "domain-escape finds the same three accesses"
+    [
+      "bad_mutation.ml:7:60 [domain-escape] "
+      ^ escape_msg "mutable field c.count" "written";
+      "bad_mutation.ml:10:41 [domain-escape] "
+      ^ escape_msg "mutable field c.count" "read";
+      "bad_mutation.ml:13:27 [domain-escape] "
+      ^ escape_msg "ref flag" "written";
+    ]
+    (run_fixture ~rules:[ Lint_config.Domain_escape ] "Bad_mutation")
+
+let bad_fd_expected =
+  [
+    "bad_fd.ml:7:6 [fd-leak] fd bound from Unix.socket is never closed; \
+     close it on every path, wrap it in Fun.protect ~finally, or hand it to \
+     an owner";
+    "bad_fd.ml:14:2 [fd-leak] fd is closed twice on the same path";
+    "bad_fd.ml:20:9 [fd-leak] fd from Unix.socket is captured by a spawned \
+     thread with no close on the spawn-failure path; close it in an \
+     exception handler around the spawn";
+  ]
+
+let bad_block_expected =
+  [
+    "bad_block.ml:10:9 [blocking-under-lock] blocking Unix.read while a \
+     mutex is held; move it outside the lock region (to wait under a lock, \
+     use Condition.wait)";
+    "bad_block.ml:18:2 [blocking-under-lock] call to helper may block \
+     (reaches Thread.delay) while a mutex is held; move it outside the \
+     lock region";
+  ]
+
+let bad_hot_expected =
+  [
+    "bad_hot.ml:9:15 [alloc-in-hot-loop] tuple allocation inside a loop of \
+     [@lint.hot] sum_pairs; hoist it out of the loop or shrink the hot \
+     region";
+    "bad_hot.ml:10:12 [alloc-in-hot-loop] closure allocation inside a loop \
+     of [@lint.hot] sum_pairs; hoist it out of the loop or shrink the hot \
+     region";
   ]
 
 let format_msg spec =
@@ -169,6 +235,77 @@ let test_cli_clean () =
   Alcotest.(check bool) "exit code 0" true (status = Unix.WEXITED 0);
   Alcotest.(check (list string)) "no output" [] out
 
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let test_cli_sarif () =
+  let out, status =
+    read_process
+      (Printf.sprintf "%s --lib lint_fixtures --format sarif %s 2>/dev/null"
+         exe (fixture_cmt "Bad_fd"))
+  in
+  Alcotest.(check bool) "exit code 1" true (status = Unix.WEXITED 1);
+  let doc = String.concat "\n" out in
+  Alcotest.(check bool) "SARIF version" true
+    (contains ~needle:{|"version": "2.1.0"|} doc);
+  Alcotest.(check bool) "driver name" true
+    (contains ~needle:{|"name": "rip_lint"|} doc);
+  Alcotest.(check bool) "rule declared once" true
+    (contains ~needle:{|{"id": "fd-leak"}|} doc);
+  Alcotest.(check bool) "result carries the rule" true
+    (contains ~needle:{|"ruleId": "fd-leak"|} doc);
+  Alcotest.(check bool) "1-based column" true
+    (contains ~needle:{|"region": {"startLine": 7, "startColumn": 7}|} doc)
+
+(* --update-baseline records today's findings; a rerun against that
+   baseline is silent and green; a fixture with *different* findings
+   still fails. *)
+let test_cli_baseline_roundtrip () =
+  let baseline = Filename.temp_file "rip_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove baseline)
+    (fun () ->
+      let out, status =
+        read_process
+          (Printf.sprintf
+             "%s --lib lint_fixtures --baseline %s --update-baseline %s \
+              2>/dev/null"
+             exe baseline (fixture_cmt "Bad_fd"))
+      in
+      Alcotest.(check bool) "update exits 0" true (status = Unix.WEXITED 0);
+      Alcotest.(check bool) "update reports count" true
+        (match out with
+        | [ line ] -> contains ~needle:"wrote 3 finding(s)" line
+        | _ -> false);
+      let out, status =
+        read_process
+          (Printf.sprintf "%s --lib lint_fixtures --baseline %s %s 2>/dev/null"
+             exe baseline (fixture_cmt "Bad_fd"))
+      in
+      Alcotest.(check bool) "baselined run exits 0" true
+        (status = Unix.WEXITED 0);
+      Alcotest.(check (list string)) "baselined run is silent" [] out;
+      let _, status =
+        read_process
+          (Printf.sprintf "%s --lib lint_fixtures --baseline %s %s 2>/dev/null"
+             exe baseline (fixture_cmt "Bad_block"))
+      in
+      Alcotest.(check bool) "new findings still fail" true
+        (status = Unix.WEXITED 1))
+
+let test_cli_baseline_missing () =
+  let _, status =
+    read_process
+      (Printf.sprintf
+         "%s --lib lint_fixtures --baseline /nonexistent/baseline.txt %s \
+          2>/dev/null"
+         exe (fixture_cmt "Clean"))
+  in
+  Alcotest.(check bool) "unreadable baseline exits 2" true
+    (status = Unix.WEXITED 2)
+
 let () =
   Alcotest.run "rip_lint"
     [
@@ -196,7 +333,35 @@ let () =
           Alcotest.test_case
             "unguarded accesses flagged; lock/protect/atomic sanctioned"
             `Quick
-            (check_findings bad_mutation_expected "Bad_mutation");
+            (check_findings
+               ~rules:[ Lint_config.Guarded_mutation ]
+               bad_mutation_expected "Bad_mutation");
+        ] );
+      ( "lint.interproc",
+        [
+          Alcotest.test_case
+            "bad_escape: helper mutation reached from spawn; lock \
+             inheritance and spawn-local state sanctioned"
+            `Quick
+            (check_findings bad_escape_expected "Bad_escape");
+          Alcotest.test_case "domain-escape supersedes guarded-mutation"
+            `Quick test_escape_supersedes_mutation;
+          Alcotest.test_case "bad_fd: leak, double close, spawn capture"
+            `Quick
+            (check_findings bad_fd_expected "Bad_fd");
+          Alcotest.test_case
+            "good_fd: Fun.protect, handoff and handler-close accepted" `Quick
+            (check_findings [] "Good_fd");
+          Alcotest.test_case
+            "bad_block: direct and transitive blocking; Condition.wait \
+             sanctioned"
+            `Quick
+            (check_findings bad_block_expected "Bad_block");
+          Alcotest.test_case
+            "bad_hot: loop allocations in [@lint.hot]; raise path and \
+             unannotated functions exempt"
+            `Quick
+            (check_findings bad_hot_expected "Bad_hot");
         ] );
       ( "lint.format_scanner",
         [ Alcotest.test_case "conversion scanner" `Quick test_scanner ] );
@@ -206,5 +371,12 @@ let () =
             test_cli_flags_violation;
           Alcotest.test_case "clean and suppressed: exit 0, silent" `Quick
             test_cli_clean;
+          Alcotest.test_case "--format sarif emits SARIF 2.1.0" `Quick
+            test_cli_sarif;
+          Alcotest.test_case
+            "--update-baseline / --baseline round-trip" `Quick
+            test_cli_baseline_roundtrip;
+          Alcotest.test_case "unreadable --baseline is a hard error" `Quick
+            test_cli_baseline_missing;
         ] );
     ]

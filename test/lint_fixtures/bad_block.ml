@@ -1,0 +1,35 @@
+(* blocking-under-lock: a blocking primitive called directly inside a
+   lock region, one reached through a helper, and the sanctioned
+   Condition.wait idiom. *)
+
+type t = { mutex : Mutex.t; cond : Condition.t; mutable ready : bool }
+
+(* Flagged: Unix.read blocks while t.mutex is held. *)
+let direct t fd buf =
+  Mutex.lock t.mutex;
+  ignore (Unix.read fd buf 0 1);
+  Mutex.unlock t.mutex
+
+let helper () = Thread.delay 0.01
+
+(* Flagged: the call to [helper] reaches Thread.delay under the lock. *)
+let indirect t =
+  Mutex.lock t.mutex;
+  helper ();
+  Mutex.unlock t.mutex
+
+(* Not flagged: Condition.wait releases the mutex while waiting — it is
+   the sanctioned way to block under a lock. *)
+let wait_ready t =
+  Mutex.lock t.mutex;
+  while not t.ready do
+    Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+(* Not flagged: the delay runs after the unlock. *)
+let polite t =
+  Mutex.lock t.mutex;
+  t.ready <- false;
+  Mutex.unlock t.mutex;
+  Thread.delay 0.01

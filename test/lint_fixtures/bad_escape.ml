@@ -1,0 +1,42 @@
+(* domain-escape: a spawned worker that mutates shared state only
+   through helpers.  The intraprocedural guarded-mutation rule cannot
+   see past the call boundary; the two-phase analysis follows the call
+   graph from the spawn site, propagating which arguments are caller-
+   local and whether a lock is inherited. *)
+
+type counter = { mutable count : int; mutex : Mutex.t }
+
+(* Flagged: reached from [worker] (a spawn target) with no lock held. *)
+let bump c = c.count <- c.count + 1
+
+(* Not flagged: the write is inside this function's own lock region. *)
+let guarded_bump c =
+  Mutex.lock c.mutex;
+  c.count <- c.count + 1;
+  Mutex.unlock c.mutex
+
+let worker c () =
+  bump c;
+  guarded_bump c
+
+let spawn_it c = Thread.create (worker c) ()
+
+(* Not flagged: every caller holds the lock across the call, and the
+   analysis propagates the inherited-lock bit into the callee. *)
+let locked_helper c = c.count <- c.count + 1
+
+let worker2 c () =
+  Mutex.lock c.mutex;
+  locked_helper c;
+  Mutex.unlock c.mutex
+
+let spawn_it2 c = Thread.create (worker2 c) ()
+
+(* Not flagged: [local_counter]'s state is freshly allocated inside the
+   spawned closure, so every access is rooted in a spawn-local value. *)
+let local_work () =
+  let c = { count = 0; mutex = Mutex.create () } in
+  bump c;
+  c.count
+
+let spawn_local () = Thread.create (fun () -> ignore (local_work ())) ()

@@ -1,0 +1,20 @@
+(* fd-leak positives: a socket that is never closed, a double close on
+   one straight-line path, and an fd captured by a spawned thread with
+   no close on the spawn-failure path. *)
+
+(* Flagged: bound, used only through non-owning calls, never closed. *)
+let leak () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  ignore (Unix.getsockname fd)
+
+(* Flagged: the second close runs on the same path as the first. *)
+let double_close () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.close fd;
+  Unix.close fd
+
+(* Flagged: if Thread.create raises, no thread owns [fd] and nothing
+   closes it. *)
+let spawn_capture handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  ignore (Thread.create (fun () -> handler fd) ())

@@ -1,0 +1,41 @@
+(* alloc-in-hot-loop: boxing allocations inside for/while loops of
+   [@lint.hot] functions; raise-path allocations are exempt, and
+   unannotated functions are never scanned. *)
+
+(* Flagged: a tuple and a closure allocated on every iteration. *)
+let[@lint.hot] sum_pairs n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let pair = (i, i * 2) in
+    let add x = x + fst pair + snd pair in
+    acc := add !acc
+  done;
+  !acc
+
+(* Not flagged: loop body only reads and writes through pre-allocated
+   structure. *)
+let[@lint.hot] clean_sum (xs : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc + xs.(i)
+  done;
+  !acc
+
+(* Not flagged: the constructor allocation feeds a raise — error paths
+   are exempt by design. *)
+let[@lint.hot] checked_sum (xs : int array) n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if i >= Array.length xs then raise (Invalid_argument "checked_sum");
+    acc := !acc + xs.(i)
+  done;
+  !acc
+
+(* Not flagged: no [@lint.hot] annotation, so the rule never looks. *)
+let unannotated n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let pair = (i, i) in
+    acc := !acc + fst pair
+  done;
+  !acc

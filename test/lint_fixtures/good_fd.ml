@@ -1,0 +1,29 @@
+(* fd-leak negatives: every ownership discipline the rule accepts. *)
+
+(* Fun.protect ~finally closes the fd: the occurrence inside the
+   [finally] closure counts as a close on every path. *)
+let with_socket f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+(* Returning the fd hands ownership to the caller. *)
+let dial () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  fd
+
+(* Spawn capture is fine when an exception handler around the spawn
+   closes the fd on the failure path. *)
+let serve handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Thread.create (fun () -> handler fd) () with
+  | thread -> Thread.join thread
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+(* Passing the fd to another function is an ownership handoff, not a
+   leak: the new owner is responsible for closing it. *)
+let adopt give =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  give fd
