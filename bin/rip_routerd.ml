@@ -42,7 +42,8 @@ let rec parse_attach_all = function
           Result.map (fun pairs -> pair :: pairs) (parse_attach_all rest))
 
 let serve socket_path port host shards shard_dir shard_jobs shard_args attach
-    pool_size poll_interval spill_price shed_price restart_backoff =
+    pool_size poll_interval spill_price shed_price restart_backoff no_hedge
+    hedge_floor_ms breaker_threshold =
   match parse_attach_all attach with
   | Error e ->
       Printf.eprintf "rip_routerd: %s\n" e;
@@ -112,6 +113,9 @@ let serve socket_path port host shards shard_dir shard_jobs shard_args attach
               poll_interval;
               spill_price;
               shed_price;
+              hedge = not no_hedge;
+              hedge_delay_floor = hedge_floor_ms /. 1000.0;
+              breaker_threshold;
             }
           in
           let router = Router.create ~config ~shards:specs process in
@@ -144,15 +148,22 @@ let serve socket_path port host shards shard_dir shard_jobs shard_args attach
           in
           Printf.printf
             "rip_routerd: listening on %s (%d shards: %s; pool %d, poll \
-             %.2fs, spill at %.2f, shed at %.2f)\n\
+             %.2fs, spill at %.2f, shed at %.2f, %s, breaker at %d)\n\
              %!"
             endpoint (List.length specs)
             (String.concat ", "
                (List.map (fun (s : Router.shard_spec) -> s.id) specs))
-            pool_size poll_interval spill_price shed_price;
+            pool_size poll_interval spill_price shed_price
+            (if no_hedge then "hedging off"
+             else
+               Printf.sprintf "hedge floor %.0f ms" hedge_floor_ms)
+            breaker_threshold;
           Router.run router listen_fd;
           Thread.join supervisor_thread;
-          List.iter Supervisor.terminate children;
+          List.iter
+            (Supervisor.terminate ~log:(fun line ->
+                 Printf.printf "rip_routerd: %s\n%!" line))
+            children;
           (if port = None && Sys.file_exists socket_path then
              try Unix.unlink socket_path with Unix.Unix_error _ -> ());
           Printf.printf "rip_routerd: shut down\n%!";
@@ -253,6 +264,30 @@ let restart_backoff =
               restarted.  Large values keep a killed shard down — useful \
               for observing graceful degradation.")
 
+let no_hedge =
+  Arg.(
+    value & flag
+    & info [ "no-hedge" ]
+        ~doc:"Disable hedged requests.  By default a forward still \
+              unanswered after the p99-derived hedge delay is also issued \
+              to the key's failover shard and the first answer wins.")
+
+let hedge_floor_ms =
+  Arg.(
+    value
+    & opt float (Rip_router.Router.default_config.hedge_delay_floor *. 1000.0)
+    & info [ "hedge-floor-ms" ] ~docv:"MS"
+        ~doc:"Lower bound on the hedge delay, so a cold or cache-hit-fast \
+              forward histogram cannot hedge every request.")
+
+let breaker_threshold =
+  Arg.(
+    value & opt int Rip_router.Router.default_config.breaker_threshold
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:"Consecutive transport failures that open a shard's circuit \
+              breaker, removing it from the candidate set until a \
+              successful poll half-opens it again.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_routerd" ~version:"1.0.0"
@@ -261,6 +296,7 @@ let main =
     Term.(
       const serve $ socket_path $ port $ host $ shards $ shard_dir
       $ shard_jobs $ shard_args $ attach $ pool_size $ poll_interval
-      $ spill_price $ shed_price $ restart_backoff)
+      $ spill_price $ shed_price $ restart_backoff $ no_hedge
+      $ hedge_floor_ms $ breaker_threshold)
 
 let () = exit (Cmd.eval' main)

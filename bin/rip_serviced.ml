@@ -22,7 +22,7 @@ let resolve_faults = function
   | None -> Faults.of_env ()
 
 let serve socket_path port host shard_id jobs cache_capacity queue_depth
-    high_water max_frame_bytes faults_spec trace_out =
+    high_water max_frame_bytes faults_spec trace_out journal_dir =
   if queue_depth < 1 then begin
     prerr_endline "rip_serviced: --queue-depth must be at least 1";
     2
@@ -49,11 +49,29 @@ let serve socket_path port host shard_id jobs cache_capacity queue_depth
     2
   end
   else begin
-    match resolve_faults faults_spec with
-    | Error e ->
+    (* The journal lives in a per-shard subdirectory so several shards
+       can share one --journal-dir without interleaving their logs, and
+       a shard restarted with the same id finds exactly its own
+       segments. *)
+    let journal_dir =
+      Option.map (fun dir -> Filename.concat dir shard_id) journal_dir
+    in
+    let journal_error =
+      match journal_dir with
+      | None -> None
+      | Some dir -> (
+          match Rip_service.Journal.prepare_dir dir with
+          | Ok () -> None
+          | Error e -> Some e)
+    in
+    match (journal_error, resolve_faults faults_spec) with
+    | Some e, _ ->
+        Printf.eprintf "rip_serviced: --journal-dir: %s\n" e;
+        2
+    | None, Error e ->
         Printf.eprintf "rip_serviced: %s\n" e;
         2
-    | Ok faults ->
+    | None, Ok faults ->
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         (* One tracer for the daemon's lifetime; installed globally so
            engine batch spans land in the same timeline as the service
@@ -73,10 +91,31 @@ let serve socket_path port host shard_id jobs cache_capacity queue_depth
             max_frame_bytes;
             faults;
             tracer;
+            journal_dir;
           }
         in
         let server = Server.create ~config process in
-        let stop _ = Server.request_shutdown server in
+        (match Server.journal_recovery server with
+        | None -> ()
+        | Some r ->
+            Printf.printf
+              "rip_serviced[%s]: journal replayed %d records from %d \
+               segment(s) (%d CRC-rejected, %d torn bytes truncated, %s \
+               shutdown)\n\
+               %!"
+              shard_id (List.length r.Rip_service.Journal.entries)
+              r.Rip_service.Journal.segments
+              r.Rip_service.Journal.crc_rejected
+              r.Rip_service.Journal.torn_bytes
+              (if r.Rip_service.Journal.clean then "clean" else "unclean"));
+        (* Flush the journal right at the signal, not only at the end of
+           the clean-shutdown path: if the supervisor's grace window
+           expires while connection threads are still draining, the
+           SIGKILL then lands on an already-synced log. *)
+        let stop _ =
+          Server.journal_flush server;
+          Server.request_shutdown server
+        in
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
         let listen_fd, endpoint =
@@ -194,6 +233,18 @@ let trace_out =
               JSON to $(docv) at shutdown; open in chrome://tracing or \
               Perfetto.  Off by default — the span hooks are nops.")
 
+let journal_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:"Crash-durable solve journal: every verified cache insert is \
+              appended to an fsync-batched log under \
+              $(docv)/<shard-id>/ and replayed at the next boot to \
+              pre-warm the cache (the STATS cache_replayed counter).  The \
+              directory is created if missing.  Off by default — the cache \
+              is purely in-memory.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_serviced" ~version:"1.0.0"
@@ -202,6 +253,6 @@ let main =
     Term.(
       const serve $ socket_path $ port $ host $ shard_id $ jobs
       $ cache_capacity $ queue_depth $ high_water $ max_frame_bytes
-      $ faults_spec $ trace_out)
+      $ faults_spec $ trace_out $ journal_dir)
 
 let () = exit (Cmd.eval' main)

@@ -57,6 +57,10 @@ type config = {
   pricing : Pricing.config;
   solver : Rip_core.Config.t option;  (* for the local fallback tier *)
   max_frame_bytes : int;
+  hedge : bool;  (* hedge slow forwards onto the spill target *)
+  hedge_delay_floor : float;  (* seconds; hedge delay never below this *)
+  hedge_delay_factor : float;  (* hedge delay = factor * forward p99 *)
+  breaker_threshold : int;  (* consecutive transport failures to open *)
 }
 
 let default_config =
@@ -72,6 +76,10 @@ let default_config =
     pricing = Pricing.default_config;
     solver = None;
     max_frame_bytes = Wire.default_max_frame_bytes;
+    hedge = true;
+    hedge_delay_floor = 0.05;
+    hedge_delay_factor = 1.5;
+    breaker_threshold = 3;
   }
 
 (* Counter totals carried across shard incarnations.  A restarted shard
@@ -91,6 +99,8 @@ type baseline = {
   mutable b_cache_hits : int;
   mutable b_cache_misses : int;
   mutable b_cache_evictions : int;
+  mutable b_cache_replayed : int;
+  mutable b_journal_compactions : int;
   mutable b_queue_wait_seconds : float;
   mutable b_solve_cpu_seconds : float;
 }
@@ -108,6 +118,8 @@ let zero_baseline () =
     b_cache_hits = 0;
     b_cache_misses = 0;
     b_cache_evictions = 0;
+    b_cache_replayed = 0;
+    b_journal_compactions = 0;
     b_queue_wait_seconds = 0.0;
     b_solve_cpu_seconds = 0.0;
   }
@@ -124,8 +136,20 @@ let fold_into_baseline b (s : Protocol.stats) =
   b.b_cache_hits <- b.b_cache_hits + s.cache_hits;
   b.b_cache_misses <- b.b_cache_misses + s.cache_misses;
   b.b_cache_evictions <- b.b_cache_evictions + s.cache_evictions;
+  b.b_cache_replayed <- b.b_cache_replayed + s.cache_replayed;
+  b.b_journal_compactions <- b.b_journal_compactions + s.journal_compactions;
   b.b_queue_wait_seconds <- b.b_queue_wait_seconds +. s.queue_wait_seconds;
   b.b_solve_cpu_seconds <- b.b_solve_cpu_seconds +. s.solve_cpu_seconds
+
+(* The circuit breaker shadows the poller's failure detector on a much
+   faster clock: the poller needs [down_after] ticks to mark a shard
+   down, but [breaker_threshold] consecutive transport failures on the
+   request path trip the breaker immediately, taking the shard out of
+   the candidate set before more requests burn a timeout each.  A
+   successful poll while open moves to half-open (the poller is the
+   probe); the next forwarded request decides — success closes,
+   failure re-opens. *)
+type breaker_state = Breaker_closed | Breaker_open | Breaker_half_open
 
 type shard = {
   spec : shard_spec;
@@ -142,6 +166,8 @@ type shard = {
   mutable last_poll_at : float;  (* monotonic; 0 before the first poll *)
   mutable queue_bound : int;  (* the shard's --queue-depth (HEALTH) *)
   mutable high_water : int;  (* the shard's --high-water (HEALTH) *)
+  mutable breaker : breaker_state;
+  mutable breaker_failures : int;  (* consecutive transport failures *)
 }
 
 type t = {
@@ -169,6 +195,12 @@ let create ?(config = default_config) ~shards process =
     invalid_arg "Router.create: down_after and remove_after must be >= 1";
   if not (config.spill_price > 0.0 && config.shed_price >= config.spill_price)
   then invalid_arg "Router.create: need 0 < spill_price <= shed_price";
+  if config.hedge_delay_floor < 0.0 || config.hedge_delay_factor <= 0.0 then
+    invalid_arg
+      "Router.create: hedge_delay_floor must be >= 0 and hedge_delay_factor \
+       positive";
+  if config.breaker_threshold < 1 then
+    invalid_arg "Router.create: breaker_threshold must be >= 1";
   let ring =
     Ring.create ~vnodes_per_weight:config.vnodes_per_weight
       (List.map (fun s -> (s.id, s.weight)) shards)
@@ -198,6 +230,8 @@ let create ?(config = default_config) ~shards process =
              last_poll_at = 0.0;
              queue_bound = 64;
              high_water = 48;
+             breaker = Breaker_closed;
+             breaker_failures = 0;
            })
          shards)
   in
@@ -249,6 +283,49 @@ let mark_recovered t shard =
   Obs.Gauge.set shard.inst.up 1.0;
   if re_add then Obs.Counter.incr t.metrics.rebalances
 
+(* --- Circuit breaker ------------------------------------------------------- *)
+
+let breaker_gauge = function
+  | Breaker_closed -> 0.0
+  | Breaker_open -> 1.0
+  | Breaker_half_open -> 2.0
+
+(* [available] is the request path's view of a shard: poller liveness
+   AND a breaker that is not open.  Half-open admits traffic — the next
+   forward is the probe that decides.  Callers hold the router mutex. *)
+let available shard = shard.up && shard.breaker <> Breaker_open
+
+let shard_available t shard =
+  Mutex.lock t.mutex;
+  let a = available shard in
+  Mutex.unlock t.mutex;
+  a
+
+let note_forward_ok t shard =
+  Mutex.lock t.mutex;
+  shard.breaker_failures <- 0;
+  let closed = shard.breaker <> Breaker_closed in
+  shard.breaker <- Breaker_closed;
+  Mutex.unlock t.mutex;
+  if closed then
+    Obs.Gauge.set shard.inst.breaker_state (breaker_gauge Breaker_closed)
+
+let note_forward_error t shard =
+  Mutex.lock t.mutex;
+  shard.breaker_failures <- shard.breaker_failures + 1;
+  let opened =
+    match shard.breaker with
+    | Breaker_closed -> shard.breaker_failures >= t.config.breaker_threshold
+    | Breaker_half_open -> true  (* the probe failed; snap back open *)
+    | Breaker_open -> false
+  in
+  if opened then shard.breaker <- Breaker_open;
+  Mutex.unlock t.mutex;
+  if opened then begin
+    Obs.Gauge.set shard.inst.breaker_state (breaker_gauge Breaker_open);
+    Obs.Counter.incr shard.inst.breaker_opens
+  end
+
 let on_stats t shard now (stats : Protocol.stats) =
   let was_down =
     Mutex.lock t.mutex;
@@ -264,6 +341,16 @@ let on_stats t shard now (stats : Protocol.stats) =
   end;
   Mutex.lock t.mutex;
   shard.missed_polls <- 0;
+  (* An answered poll is the open breaker's probe: move to half-open so
+     the next forwarded request decides (success closes, failure snaps
+     back open). *)
+  let half_opened =
+    match shard.breaker with
+    | Breaker_open ->
+        shard.breaker <- Breaker_half_open;
+        true
+    | _ -> false
+  in
   (* Restart detection: counters went backwards (or uptime did) — fold
      the dead incarnation's final snapshot into the baseline so the
      aggregate stays monotone, and delta from zero. *)
@@ -302,6 +389,8 @@ let on_stats t shard now (stats : Protocol.stats) =
   shard.last_poll_at <- now;
   let price = Pricing.observe shard.pricing observation in
   Mutex.unlock t.mutex;
+  if half_opened then
+    Obs.Gauge.set shard.inst.breaker_state (breaker_gauge Breaker_half_open);
   Obs.Gauge.set shard.inst.price price
 
 let on_poll_failure t shard =
@@ -401,9 +490,9 @@ let route t key =
         let primary = find_shard t primary_id in
         let secondary = Option.map (find_shard t) secondary_id in
         let secondary_up =
-          match secondary with Some s when s.up -> Some s | _ -> None
+          match secondary with Some s when available s -> Some s | _ -> None
         in
-        if not primary.up then
+        if not (available primary) then
           match secondary_up with
           | Some s -> Forward (s, None, false)
           | None -> No_candidate
@@ -433,11 +522,103 @@ let forward t shard frame =
   let result = Client.Pool.request shard.pool frame in
   (match result with
   | Ok _ ->
+      note_forward_ok t shard;
       Obs.Counter.incr shard.inst.forwarded;
       Obs.Histogram.observe t.metrics.forward_seconds
         (Cpu_clock.monotonic_seconds () -. started)
-  | Error _ -> Obs.Counter.incr shard.inst.failovers);
+  | Error _ ->
+      note_forward_error t shard;
+      Obs.Counter.incr shard.inst.failovers);
   result
+
+(* --- Hedged forwards ------------------------------------------------------- *)
+
+(* Tail tolerance: once a forward has been in flight longer than the
+   hedge delay — derived from the p99 of recent forward round-trips,
+   floored so a cold histogram cannot hedge everything — the same
+   request is issued to the failover candidate (the spill target, whose
+   cache the key would land on anyway) and the first answer wins.  The
+   loser is not torn down mid-flight: its connection completes in the
+   background inside its pool slot and the late answer is discarded,
+   which keeps the pool invariant (one request per checkout) intact.
+
+   The slot poll mirrors {!Watchdog}: [Condition] has no timed wait, so
+   a 2 ms tick bounds the added latency at well under the hedge delay
+   floor. *)
+
+type forward_slot = {
+  slot_mutex : Mutex.t;
+  mutable slot_result : (Protocol.response, string) result option;
+}
+
+let hedge_tick_seconds = 0.002
+
+let hedge_delay t =
+  let snapshot = Obs.Histogram.snapshot t.metrics.forward_seconds in
+  Float.max t.config.hedge_delay_floor
+    (t.config.hedge_delay_factor *. Obs.Histogram.quantile snapshot 0.99)
+
+let hedged_forward t primary secondary frame =
+  let slot = { slot_mutex = Mutex.create (); slot_result = None } in
+  let post result =
+    Mutex.lock slot.slot_mutex;
+    slot.slot_result <- Some result;
+    Mutex.unlock slot.slot_mutex
+  in
+  let peek () =
+    Mutex.lock slot.slot_mutex;
+    let r = slot.slot_result in
+    Mutex.unlock slot.slot_mutex;
+    r
+  in
+  ignore
+    (Thread.create (fun () -> post (forward t primary frame)) () : Thread.t);
+  let deadline = Cpu_clock.monotonic_seconds () +. hedge_delay t in
+  let rec await_primary () =
+    match peek () with
+    | Some result -> Some result
+    | None ->
+        if Cpu_clock.monotonic_seconds () >= deadline then None
+        else begin
+          Thread.delay hedge_tick_seconds;
+          await_primary ()
+        end
+  in
+  match await_primary () with
+  | Some (Ok response) -> Ok response
+  | Some (Error _) ->
+      (* The primary's transport failed before the delay expired: this
+         is an ordinary failover, not a hedge. *)
+      forward t secondary frame
+  | None -> (
+      Obs.Counter.incr t.metrics.hedges;
+      match forward t secondary frame with
+      | Ok response -> (
+          (* First answer wins: if the primary posted while the hedge
+             ran, its answer was first and is the one served. *)
+          match peek () with
+          | Some (Ok primary_response) -> Ok primary_response
+          | Some (Error _) | None ->
+              Obs.Counter.incr t.metrics.hedge_wins;
+              Ok response)
+      | Error _ ->
+          (* The hedge lost its transport; all that is left is waiting
+             out the primary, bounded by the request timeout. *)
+          let give_up =
+            Cpu_clock.monotonic_seconds () +. t.config.request_timeout
+          in
+          let rec await_outcome () =
+            match peek () with
+            | Some result -> result
+            | None ->
+                if Cpu_clock.monotonic_seconds () >= give_up then
+                  Error "hedged forward: both candidates failed"
+                else begin
+                  Thread.delay hedge_tick_seconds;
+                  await_outcome ()
+                end
+          in
+          await_outcome ())
 
 let serve_solve t ~budget ~deadline_ms ~net =
   Obs.Counter.incr t.metrics.requests;
@@ -450,21 +631,36 @@ let serve_solve t ~budget ~deadline_ms ~net =
   | Shed -> degraded_response t ~budget ~net ~shed:true Protocol.Overload
   | Forward (target, failover, spilled) -> (
       if spilled then Obs.Counter.incr target.inst.spills;
-      match forward t target frame with
-      | Ok response -> response
-      | Error _ -> (
-          (* The poller will notice the death on its own tick; the
-             request fails over right now. *)
+      let hedge_target =
+        if t.config.hedge then
           match failover with
-          | Some other when other.up -> (
-              match forward t other frame with
-              | Ok response -> response
-              | Error _ ->
+          | Some other when shard_available t other -> Some other
+          | _ -> None
+        else None
+      in
+      match hedge_target with
+      | Some other -> (
+          match hedged_forward t target other frame with
+          | Ok response -> response
+          | Error _ ->
+              (* Both candidates were already tried inside the hedge. *)
+              degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost)
+      | None -> (
+          match forward t target frame with
+          | Ok response -> response
+          | Error _ -> (
+              (* The poller will notice the death on its own tick; the
+                 request fails over right now. *)
+              match failover with
+              | Some other when shard_available t other -> (
+                  match forward t other frame with
+                  | Ok response -> response
+                  | Error _ ->
+                      degraded_response t ~budget ~net ~shed:false
+                        Protocol.Worker_lost)
+              | _ ->
                   degraded_response t ~budget ~net ~shed:false
-                    Protocol.Worker_lost)
-          | _ ->
-              degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost
-          ))
+                    Protocol.Worker_lost)))
 
 (* --- Aggregated views ------------------------------------------------------ *)
 
@@ -537,6 +733,9 @@ let aggregate_stats t =
     cache_evictions =
       sum_i (fun s -> s.Protocol.cache_evictions)
       + base (fun b -> b.b_cache_evictions);
+    cache_replayed =
+      sum_i (fun s -> s.Protocol.cache_replayed)
+      + base (fun b -> b.b_cache_replayed);
     cache_size = sum_i (fun s -> s.Protocol.cache_size);
     cache_capacity = sum_i (fun s -> s.Protocol.cache_capacity);
     queue_wait_seconds =
@@ -545,6 +744,11 @@ let aggregate_stats t =
     solve_cpu_seconds =
       sum_f (fun s -> s.Protocol.solve_cpu_seconds)
       +. base_f (fun b -> b.b_solve_cpu_seconds);
+    (* A gauge, like cache_size: live bytes only, no baseline. *)
+    journal_bytes = sum_i (fun s -> s.Protocol.journal_bytes);
+    journal_compactions =
+      sum_i (fun s -> s.Protocol.journal_compactions)
+      + base (fun b -> b.b_journal_compactions);
     in_flight;
     queue_depth = sum_i (fun s -> s.Protocol.queue_depth);
     queue_wait_p50 = max_f (fun s -> s.Protocol.queue_wait_p50);

@@ -18,7 +18,24 @@
     recovery re-adds it — both transitions remap only that shard's
     keys.  A transport failure on the request path fails over
     immediately; with no candidate left the router answers DEGRADED
-    (worker lost).  The router never drops a request. *)
+    (worker lost).  The router never drops a request.
+
+    Two tail-tolerance mechanisms sit on the request path itself:
+
+    - {b Hedged requests}: a forward still unanswered after a delay
+      derived from the p99 of recent forward round-trips
+      ([hedge_delay_factor] times the p99, floored at
+      [hedge_delay_floor]) is also issued to the key's failover
+      candidate, and the first answer wins; the loser's late answer is
+      discarded when its connection completes.  Counted as
+      [rip_router_hedges_total] / [rip_router_hedge_wins_total].
+    - {b Circuit breaker}, per shard: [breaker_threshold] consecutive
+      transport failures open the breaker, removing the shard from the
+      candidate set without waiting for the poller's slower
+      failure detector.  A later successful poll half-opens it; the
+      next forwarded request closes it again or snaps it back open.
+      Exported as [rip_router_shard_<id>_breaker_state] (0 closed,
+      1 open, 2 half-open). *)
 
 type shard_spec = { id : string; socket : string; weight : int }
 
@@ -34,16 +51,28 @@ type config = {
   pricing : Pricing.config;
   solver : Rip_core.Config.t option;  (** for the local fallback tier *)
   max_frame_bytes : int;
+  hedge : bool;  (** hedge slow forwards onto the failover candidate *)
+  hedge_delay_floor : float;
+      (** seconds; the hedge delay never drops below this, so a cold or
+          cache-hit-dominated histogram cannot hedge every request *)
+  hedge_delay_factor : float;
+      (** hedge delay = factor x p99 of recent forward round-trips *)
+  breaker_threshold : int;
+      (** consecutive transport failures that open a shard's breaker *)
 }
 
 val default_config : config
+(** [hedge = true], [hedge_delay_floor = 0.05],
+    [hedge_delay_factor = 1.5], [breaker_threshold = 3]. *)
 
 type t
 
 val create : ?config:config -> shards:shard_spec list -> Rip_tech.Process.t -> t
 (** @raise Invalid_argument on an empty shard list, a duplicate or
     invalid shard id, or a nonsensical config
-    (thresholds must satisfy [0 < spill_price <= shed_price]). *)
+    (thresholds must satisfy [0 < spill_price <= shed_price],
+    [hedge_delay_floor >= 0], [hedge_delay_factor > 0],
+    [breaker_threshold >= 1]). *)
 
 val run : t -> Unix.file_descr -> unit
 (** Serve until {!request_shutdown}; starts the poller, owns and closes

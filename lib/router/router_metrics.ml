@@ -21,6 +21,8 @@ type shard_instruments = {
   spills : Obs.Counter.t;  (* requests priced off this primary to its second choice *)
   price : Obs.Gauge.t;
   up : Obs.Gauge.t;  (* 1 while the shard answers its polls *)
+  breaker_state : Obs.Gauge.t;  (* 0 closed, 1 open, 2 half-open *)
+  breaker_opens : Obs.Counter.t;  (* closed/half-open -> open transitions *)
 }
 
 type t = {
@@ -30,6 +32,8 @@ type t = {
   shed : Obs.Counter.t;
   local_degraded : Obs.Counter.t;
   rebalances : Obs.Counter.t;
+  hedges : Obs.Counter.t;
+  hedge_wins : Obs.Counter.t;
   forward_seconds : Obs.Histogram.t;
   in_flight : Obs.Gauge.t;
   shards : (string * shard_instruments) list;
@@ -57,6 +61,16 @@ let create ~shard_ids () =
     counter "rip_router_rebalances_total"
       "hash-ring membership changes (shard removed on sustained death or \
        re-added on recovery)"
+  in
+  let hedges =
+    counter "rip_router_hedges_total"
+      "forwards whose p99-derived hedge delay expired, issuing the request \
+       to the spill target as well"
+  in
+  let hedge_wins =
+    counter "rip_router_hedge_wins_total"
+      "hedged forwards where the secondary's answer came back first and was \
+       the one served"
   in
   let forward_seconds =
     Obs.histogram registry ~name:"rip_router_forward_seconds"
@@ -90,6 +104,12 @@ let create ~shard_ids () =
                 "requests priced off this primary to its second choice";
             price = g "price" "current admission price";
             up = g "up" "1 while the shard answers polls";
+            breaker_state =
+              g "breaker_state"
+                "circuit breaker: 0 closed, 1 open, 2 half-open";
+            breaker_opens =
+              p "breaker_opens_total"
+                "circuit breaker trips on consecutive transport failures";
           } ))
       shard_ids
   in
@@ -101,6 +121,8 @@ let create ~shard_ids () =
     shed;
     local_degraded;
     rebalances;
+    hedges;
+    hedge_wins;
     forward_seconds;
     in_flight;
     shards;

@@ -13,6 +13,8 @@ type shard_instruments = {
   spills : Obs.Counter.t;
   price : Obs.Gauge.t;
   up : Obs.Gauge.t;
+  breaker_state : Obs.Gauge.t;  (** 0 closed, 1 open, 2 half-open *)
+  breaker_opens : Obs.Counter.t;
 }
 
 type t = {
@@ -22,6 +24,8 @@ type t = {
   shed : Obs.Counter.t;
   local_degraded : Obs.Counter.t;
   rebalances : Obs.Counter.t;
+  hedges : Obs.Counter.t;  (** hedge delays that expired (secondary sent) *)
+  hedge_wins : Obs.Counter.t;  (** hedges where the secondary's answer won *)
   forward_seconds : Obs.Histogram.t;
   in_flight : Obs.Gauge.t;
   shards : (string * shard_instruments) list;

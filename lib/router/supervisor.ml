@@ -115,7 +115,11 @@ let wait_ready ?(attempts = 100) ?(delay = 0.05) child =
   in
   go attempts
 
-let terminate ?(timeout = 5.0) child =
+(* The grace window exists for durability: a journaled shard flushes
+   its unsynced journal bytes on SIGTERM, so killing it early would
+   needlessly shrink the warm set it restarts with.  [log] reports
+   which path was taken — CI greps for the escalation line. *)
+let terminate ?(timeout = 5.0) ?(log = fun _ -> ()) child =
   match child.pid with
   | None -> ()
   | Some pid ->
@@ -125,6 +129,11 @@ let terminate ?(timeout = 5.0) child =
         match Unix.waitpid [ Unix.WNOHANG ] pid with
         | 0, _ ->
             if monotonic () >= deadline then begin
+              log
+                (Printf.sprintf
+                   "shard %s: no exit within %.1f s of SIGTERM; escalating \
+                    to SIGKILL"
+                   child.id timeout);
               (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
               ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
             end
@@ -132,10 +141,26 @@ let terminate ?(timeout = 5.0) child =
               Thread.delay 0.02;
               reap ()
             end
-        | _, _ -> ()
+        | _, _ ->
+            log
+              (Printf.sprintf "shard %s: exited within the %.1f s grace window"
+                 child.id timeout)
         | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
       in
       reap ();
       child.pid <- None;
       if Sys.file_exists child.socket then
         try Unix.unlink child.socket with Unix.Unix_error _ -> ()
+
+(* SIGKILL with no grace at all — the crash-simulation path (bench
+   restart, chaos tests).  The socket file is left in place, exactly as
+   a real crash would leave it; the next [spawn_process] unlinks it. *)
+let kill child =
+  match child.pid with
+  | None -> ()
+  | Some pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore
+        (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      child.pid <- None;
+      child.last_exit <- monotonic ()

@@ -41,6 +41,15 @@ val wait_ready : ?attempts:int -> ?delay:float -> child -> (unit, string) result
 (** Connect-and-PING until the shard answers [PONG] (default: 100
     attempts, 50 ms apart — 5 s). *)
 
-val terminate : ?timeout:float -> child -> unit
+val terminate : ?timeout:float -> ?log:(string -> unit) -> child -> unit
 (** SIGTERM, wait up to [timeout] (default 5 s), then SIGKILL; reaps
-    and removes the socket file.  Idempotent. *)
+    and removes the socket file.  Idempotent.  The grace window lets a
+    journaled shard flush its unsynced journal bytes; [log] receives
+    one line saying whether the child exited within the window or was
+    escalated to SIGKILL. *)
+
+val kill : child -> unit
+(** SIGKILL immediately, no grace, and reap — simulates a crash for
+    restart experiments.  Unlike {!terminate} the socket file is left
+    behind, as a real crash would leave it; a subsequent respawn
+    unlinks it.  The child remains restartable ({!restart_if_due}). *)

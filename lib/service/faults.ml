@@ -16,6 +16,10 @@ type spec = {
   drop_p : float;
   drop_bytes : int;
   corrupt_p : float;
+  torn_p : float;
+  bitflip_p : float;
+  fsync_delay_p : float;
+  fsync_delay_seconds : float;
 }
 
 let disabled_spec =
@@ -27,6 +31,10 @@ let disabled_spec =
     drop_p = 0.0;
     drop_bytes = 0;
     corrupt_p = 0.0;
+    torn_p = 0.0;
+    bitflip_p = 0.0;
+    fsync_delay_p = 0.0;
+    fsync_delay_seconds = 0.0;
   }
 
 type t = {
@@ -36,6 +44,9 @@ type t = {
   kill_rng : Rip_numerics.Prng.t;
   drop_rng : Rip_numerics.Prng.t;
   corrupt_rng : Rip_numerics.Prng.t;
+  torn_rng : Rip_numerics.Prng.t;
+  bitflip_rng : Rip_numerics.Prng.t;
+  fsync_rng : Rip_numerics.Prng.t;
 }
 
 let check_p name p =
@@ -47,10 +58,15 @@ let create spec =
   check_p "kill probability" spec.kill_p;
   check_p "drop probability" spec.drop_p;
   check_p "corrupt probability" spec.corrupt_p;
+  check_p "torn-write probability" spec.torn_p;
+  check_p "bit-flip probability" spec.bitflip_p;
+  check_p "fsync-delay probability" spec.fsync_delay_p;
   if spec.delay_seconds < 0.0 then
     invalid_arg "Faults: delay must be non-negative";
   if spec.drop_bytes < 0 then
     invalid_arg "Faults: drop byte count must be non-negative";
+  if spec.fsync_delay_seconds < 0.0 then
+    invalid_arg "Faults: fsync delay must be non-negative";
   let root = Rip_numerics.Prng.create spec.seed in
   {
     spec;
@@ -59,6 +75,9 @@ let create spec =
     kill_rng = Rip_numerics.Prng.derive root 2L;
     drop_rng = Rip_numerics.Prng.derive root 3L;
     corrupt_rng = Rip_numerics.Prng.derive root 4L;
+    torn_rng = Rip_numerics.Prng.derive root 5L;
+    bitflip_rng = Rip_numerics.Prng.derive root 6L;
+    fsync_rng = Rip_numerics.Prng.derive root 7L;
   }
 
 let disabled () = create disabled_spec
@@ -84,6 +103,31 @@ let drop_after t =
   if draw t t.drop_rng t.spec.drop_p then Some t.spec.drop_bytes else None
 
 let corrupt_cache t = draw t t.corrupt_rng t.spec.corrupt_p
+
+(* The disk-fault sites need both the coin flip and a position drawn
+   from the same stream, atomically, so a replay with the same seed
+   tears/flips the same record at the same offset. *)
+let draw_with_pos t rng p ~bound =
+  if p <= 0.0 || bound <= 0 then None
+  else begin
+    Mutex.lock t.mutex;
+    let x = Rip_numerics.Prng.float_range rng 0.0 1.0 in
+    let pos = Rip_numerics.Prng.int_range rng 0 (bound - 1) in
+    Mutex.unlock t.mutex;
+    if x < p then Some pos else None
+  end
+
+let torn_write t ~len = draw_with_pos t t.torn_rng t.spec.torn_p ~bound:len
+
+let journal_bitflip t ~len =
+  match draw_with_pos t t.bitflip_rng t.spec.bitflip_p ~bound:(len * 8) with
+  | None -> None
+  | Some bit -> Some (bit / 8, bit mod 8)
+
+let fsync_delay t =
+  if draw t t.fsync_rng t.spec.fsync_delay_p then
+    Some t.spec.fsync_delay_seconds
+  else None
 
 (* Spec syntax: comma-separated clauses, each [name:key=value:...], e.g.
    "seed=7,delay:p=0.5:ms=20,kill:p=0.1,drop:p=0.2:bytes=64,corrupt:p=1". *)
@@ -146,6 +190,20 @@ let parse_clause spec clause =
       | "corrupt" ->
           let* p = prob () in
           Ok { spec with corrupt_p = p }
+      | "torn" ->
+          let* p = prob () in
+          Ok { spec with torn_p = p }
+      | "bitflip" ->
+          let* p = prob () in
+          Ok { spec with bitflip_p = p }
+      | "fsyncdelay" ->
+          let* p = prob () in
+          let* ms =
+            match List.assoc_opt "ms" assoc with
+            | None -> Ok 5.0
+            | Some s -> parse_float "fsync delay ms" s
+          in
+          Ok { spec with fsync_delay_p = p; fsync_delay_seconds = ms /. 1000.0 }
       | other -> parse_error "faults: unknown clause %S" other)
 
 let parse_spec s =

@@ -21,6 +21,10 @@ type spec = {
   drop_p : float;  (** probability a response is cut short *)
   drop_bytes : int;  (** response bytes written before the cut *)
   corrupt_p : float;  (** probability a cache insert is corrupted *)
+  torn_p : float;  (** probability a journal append is torn short *)
+  bitflip_p : float;  (** probability a journal append has a bit flipped *)
+  fsync_delay_p : float;  (** probability an fsync is delayed *)
+  fsync_delay_seconds : float;
 }
 
 type t
@@ -47,13 +51,27 @@ val drop_after : t -> int option
 val corrupt_cache : t -> bool
 (** Whether to corrupt the digest of the entry being inserted. *)
 
+val torn_write : t -> len:int -> int option
+(** [Some n] when this journal append of [len] bytes should be torn:
+    only the first [n] bytes ([0 <= n < len]) reach the file, simulating
+    a crash mid-[write].  [None] when [len <= 0]. *)
+
+val journal_bitflip : t -> len:int -> (int * int) option
+(** [Some (byte, bit)] when this journal append of [len] bytes should
+    have bit [bit] of byte [byte] flipped before it is written,
+    simulating silent media corruption.  [None] when [len <= 0]. *)
+
+val fsync_delay : t -> float option
+(** [Some seconds] when this journal fsync should be delayed first. *)
+
 val parse_spec : string -> (t, string) result
 (** Parse a comma-separated spec, e.g.
     ["seed=7,delay:p=0.5:ms=20,kill:p=0.1,drop:p=0.2:bytes=64,corrupt:p=1"].
     Clauses: [seed=<int64>], [delay[:p=<q>][:ms=<f>]] (default 10 ms),
-    [kill[:p=<q>]], [drop[:p=<q>][:bytes=<n>]], [corrupt[:p=<q>]];
-    omitted [p] defaults to 1.  The empty string yields a disabled
-    plan. *)
+    [kill[:p=<q>]], [drop[:p=<q>][:bytes=<n>]], [corrupt[:p=<q>]],
+    [torn[:p=<q>]], [bitflip[:p=<q>]], [fsyncdelay[:p=<q>][:ms=<f>]]
+    (default 5 ms); omitted [p] defaults to 1.  The empty string yields
+    a disabled plan. *)
 
 val env_var : string
 (** ["RIP_FAULTS"] — the environment hook read by {!of_env}. *)

@@ -24,7 +24,7 @@ type t = {
 let queue_wait_metric = "rip_queue_wait_seconds"
 let solve_cpu_metric = "rip_solve_cpu_seconds"
 
-let create ?cache_stats () =
+let create ?cache_stats ?journal_stats () =
   let registry = Obs.create () in
   let started = Cpu_clock.monotonic_seconds () in
   let counter name help = Obs.counter registry ~name ~help in
@@ -85,8 +85,33 @@ let create ?cache_stats () =
       cache_gauge "rip_cache_self_heals"
         "cache entries dropped on digest mismatch" (fun s ->
           s.Solve_cache.self_heals);
+      cache_gauge "rip_cache_replayed"
+        "cache entries admitted from journal replay at boot" (fun s ->
+          s.Solve_cache.replayed);
       cache_gauge "rip_cache_size" "solve cache entries" (fun s ->
           s.Solve_cache.size));
+  (match journal_stats with
+  | None -> ()
+  | Some stats ->
+      let journal_gauge name help read =
+        Obs.gauge_fn registry ~name ~help (fun () ->
+            float_of_int (read (stats ())))
+      in
+      journal_gauge "rip_journal_bytes" "on-disk journal size" (fun s ->
+          s.Journal.bytes);
+      journal_gauge "rip_journal_segments" "journal segment files" (fun s ->
+          s.Journal.segments);
+      journal_gauge "rip_journal_live_entries" "journal live records" (fun s ->
+          s.Journal.live_entries);
+      journal_gauge "rip_journal_dead_bytes"
+        "journal bytes held by superseded or evicted records" (fun s ->
+          s.Journal.dead_bytes);
+      journal_gauge "rip_journal_appends" "journal records appended" (fun s ->
+          s.Journal.appends);
+      journal_gauge "rip_journal_fsyncs" "journal fsync batches" (fun s ->
+          s.Journal.fsyncs);
+      journal_gauge "rip_journal_compactions" "journal live-set rewrites"
+        (fun s -> s.Journal.compactions));
   t
 
 let incr_requests t = Obs.Counter.incr t.requests
@@ -111,10 +136,15 @@ let registry t = t.registry
 let render t = Obs.render t.registry
 let uptime_seconds t = Cpu_clock.monotonic_seconds () -. t.started
 
-let snapshot t ~shard_id ~cache =
+let snapshot t ~shard_id ~cache ?journal () =
   let queue_wait = Obs.Histogram.snapshot t.queue_wait in
   let solve_cpu = Obs.Histogram.snapshot t.solve_cpu in
   let q s p = Obs.Histogram.quantile s p in
+  let journal_bytes, journal_compactions =
+    match journal with
+    | None -> (0, 0)
+    | Some (s : Journal.stats) -> (s.Journal.bytes, s.Journal.compactions)
+  in
   {
     Protocol.shard_id;
     uptime_seconds = uptime_seconds t;
@@ -126,6 +156,9 @@ let snapshot t ~shard_id ~cache =
     degraded = Obs.Counter.value t.degraded;
     toobig = Obs.Counter.value t.toobig;
     cache_self_heals = cache.Solve_cache.self_heals;
+    cache_replayed = cache.Solve_cache.replayed;
+    journal_bytes;
+    journal_compactions;
     cache_hits = cache.Solve_cache.hits;
     cache_misses = cache.Solve_cache.misses;
     cache_evictions = cache.Solve_cache.evictions;

@@ -9,10 +9,16 @@
 
 type t
 
-val create : ?cache_stats:(unit -> Solve_cache.stats) -> unit -> t
+val create :
+  ?cache_stats:(unit -> Solve_cache.stats) ->
+  ?journal_stats:(unit -> Journal.stats) ->
+  unit ->
+  t
 (** Fresh instruments; uptime starts now.  When [cache_stats] is given,
     the solve cache's own counters are exposed as scrape-time gauges in
-    the Prometheus rendering (they remain owned by the cache). *)
+    the Prometheus rendering (they remain owned by the cache); likewise
+    [journal_stats] exposes the [rip_journal_*] family for a journaled
+    server. *)
 
 val incr_requests : t -> unit
 (** One SOLVE request received (before it is classified). *)
@@ -81,8 +87,13 @@ val solve_cpu_metric : string
 (** Name of the solve-CPU histogram (["rip_solve_cpu_seconds"]). *)
 
 val snapshot :
-  t -> shard_id:string -> cache:Solve_cache.stats -> Protocol.stats
+  t ->
+  shard_id:string ->
+  cache:Solve_cache.stats ->
+  ?journal:Journal.stats ->
+  unit ->
+  Protocol.stats
 (** A point-in-time STATS payload, merging the cache's own counters;
     percentile fields are histogram estimates (0 before the first fresh
     solve).  [shard_id] stamps the frame with the answering server's
-    identity. *)
+    identity; [journal] fills the journal fields (0 when absent). *)

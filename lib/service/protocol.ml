@@ -33,6 +33,9 @@ type stats = {
   degraded : int;
   toobig : int;
   cache_self_heals : int;
+  cache_replayed : int;
+  journal_bytes : int;
+  journal_compactions : int;
   in_flight : int;
   queue_depth : int;
   queue_wait_p50 : float;
@@ -164,6 +167,9 @@ let stats_fields stats =
     ("degraded", string_of_int stats.degraded);
     ("toobig", string_of_int stats.toobig);
     ("cache_self_heals", string_of_int stats.cache_self_heals);
+    ("cache_replayed", string_of_int stats.cache_replayed);
+    ("journal_bytes", string_of_int stats.journal_bytes);
+    ("journal_compactions", string_of_int stats.journal_compactions);
     ("in_flight", string_of_int stats.in_flight);
     ("queue_depth", string_of_int stats.queue_depth);
     ("queue_wait_p50", Printf.sprintf "%.17g" stats.queue_wait_p50);
@@ -355,6 +361,9 @@ let parse_stats_body lines =
   let* degraded = geti "degraded" in
   let* toobig = geti "toobig" in
   let* cache_self_heals = geti "cache_self_heals" in
+  let* cache_replayed = geti "cache_replayed" in
+  let* journal_bytes = geti "journal_bytes" in
+  let* journal_compactions = geti "journal_compactions" in
   let* in_flight = geti "in_flight" in
   let* queue_depth = geti "queue_depth" in
   let* queue_wait_p50 = getf "queue_wait_p50" in
@@ -382,6 +391,9 @@ let parse_stats_body lines =
       degraded;
       toobig;
       cache_self_heals;
+      cache_replayed;
+      journal_bytes;
+      journal_compactions;
       in_flight;
       queue_depth;
       queue_wait_p50;
@@ -511,6 +523,9 @@ let response_equal a b =
       && a.timeouts = b.timeouts && a.degraded = b.degraded
       && a.toobig = b.toobig
       && a.cache_self_heals = b.cache_self_heals
+      && a.cache_replayed = b.cache_replayed
+      && a.journal_bytes = b.journal_bytes
+      && a.journal_compactions = b.journal_compactions
       && a.in_flight = b.in_flight
       && a.queue_depth = b.queue_depth
       && Float.equal a.queue_wait_p50 b.queue_wait_p50

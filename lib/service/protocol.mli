@@ -127,6 +127,11 @@ type stats = {
   cache_self_heals : int;
       (** cache entries dropped on read because their digest no longer
           matched their body (and re-solved) *)
+  cache_replayed : int;
+      (** cache entries admitted from journal replay at boot; they count
+          into neither hits nor misses *)
+  journal_bytes : int;  (** on-disk journal size, a gauge; 0 unjournaled *)
+  journal_compactions : int;  (** live-set rewrites since startup *)
   in_flight : int;  (** SOLVE requests currently admitted, a gauge *)
   queue_depth : int;
       (** of those, how many are waiting or running in the worker pool *)
@@ -187,6 +192,11 @@ val print_response : response -> string
 val solution_body : solution -> string
 (** The deterministic body of a [RESULT] frame (the lines between the
     header and [END]) — what "byte-identical cached replay" promises. *)
+
+val parse_solution_body : string list -> (solution, string) result
+(** Inverse of {!solution_body} on its lines (terminators stripped) —
+    the journal replay path re-parses persisted bodies through this, so
+    a replayed solution is exactly what a RESULT parser would accept. *)
 
 (** {1 Parsing} *)
 

@@ -17,6 +17,7 @@ type config = {
   solver : Rip_core.Config.t option;
   faults : Faults.t option;
   tracer : Trace.t option;
+  journal_dir : string option;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     solver = None;
     faults = None;
     tracer = None;
+    journal_dir = None;
   }
 
 (* --- Deadline watchdog ----------------------------------------------------
@@ -122,12 +124,58 @@ type t = {
   metrics : Metrics.t;
   watchdog : Watchdog.t;
   faults : Faults.t;
+  journal : Journal.t option;
+  journal_recovery : Journal.recovery option;
   mutex : Mutex.t;  (* guards in_flight, stopping, listener, threads *)
   mutable in_flight : int;
   mutable stopping : bool;
   mutable listener : Unix.file_descr option;
   mutable connection_threads : Thread.t list;
 }
+
+(* --- Journal persistence ---------------------------------------------------
+
+   A journaled server appends every verified cache insert as
+   [digest ^ body]: the MD5 the cache verifies reads against, then the
+   rendered RESULT body those 16 digest bytes commit to.  Replay at boot
+   recomputes the digest over the persisted body and re-parses it
+   through the RESULT grammar; a record failing either check is rejected
+   before anything reaches the cache — the same verify-before-serve
+   contract as the live read path, so a restart admits zero
+   digest-mismatched entries. *)
+
+let digest_len = 16
+
+let replay_solution value =
+  if String.length value <= digest_len then None
+  else
+    let digest = String.sub value 0 digest_len in
+    let body = String.sub value digest_len (String.length value - digest_len) in
+    if not (String.equal (Digest.string body) digest) then None
+    else
+      let lines =
+        (* [solution_body] terminates every line, so drop the final
+           empty split. *)
+        match List.rev (String.split_on_char '\n' body) with
+        | "" :: rest -> List.rev rest
+        | all -> List.rev all
+      in
+      match Protocol.parse_solution_body lines with
+      | Ok solution -> Some (solution, digest)
+      | Error _ -> None
+
+let replay_journal cache journal entries =
+  List.iter
+    (fun (key, value) ->
+      match replay_solution value with
+      | Some (solution, digest) ->
+          Solve_cache.add_replayed cache key solution ~digest
+      | None ->
+          (* Framing survived but the payload does not verify: purge the
+             record from the journal's live set so compaction drops the
+             bytes for good. *)
+          Journal.note_evicted journal ~key)
+    entries
 
 let create ?(config = default_config) process =
   if config.queue_depth < 1 then
@@ -151,19 +199,45 @@ let create ?(config = default_config) process =
          config.shard_id);
   if config.max_frame_bytes < 1 then
     invalid_arg "Server.create: max_frame_bytes must be positive";
+  let faults =
+    match config.faults with Some f -> f | None -> Faults.disabled ()
+  in
+  let journal, journal_recovery =
+    match config.journal_dir with
+    | None -> (None, None)
+    | Some dir -> (
+        match Journal.open_ ~faults (Journal.default_config ~dir) with
+        | Ok (journal, recovery) -> (Some journal, Some recovery)
+        | Error message -> invalid_arg ("Server.create: " ^ message))
+  in
   let cache = Solve_cache.create ~capacity:config.cache_capacity in
+  (match journal with
+  | Some journal ->
+      (* Eviction feedback first, so even replay-time evictions (a
+         journal holding more live records than the cache's capacity)
+         reach the compaction ledger. *)
+      Solve_cache.set_on_evict cache (fun key ->
+          Journal.note_evicted journal ~key);
+      Option.iter
+        (fun (recovery : Journal.recovery) ->
+          replay_journal cache journal recovery.Journal.entries)
+        journal_recovery
+  | None -> ());
   {
     process;
     config;
     handle = Engine.create_handle ?jobs:config.jobs ();
     cache;
     metrics =
-      Metrics.create ~cache_stats:(fun () -> Solve_cache.stats cache) ();
+      Metrics.create
+        ~cache_stats:(fun () -> Solve_cache.stats cache)
+        ?journal_stats:
+          (Option.map (fun journal () -> Journal.stats journal) journal)
+        ();
     watchdog = Watchdog.create ();
-    faults =
-      (match config.faults with
-      | Some f -> f
-      | None -> Faults.disabled ());
+    faults;
+    journal;
+    journal_recovery;
     mutex = Mutex.create ();
     in_flight = 0;
     stopping = false;
@@ -174,6 +248,11 @@ let create ?(config = default_config) process =
 let stats t =
   Metrics.snapshot t.metrics ~shard_id:t.config.shard_id
     ~cache:(Solve_cache.stats t.cache)
+    ?journal:(Option.map Journal.stats t.journal)
+    ()
+
+let journal_recovery t = t.journal_recovery
+let journal_flush t = Option.iter Journal.flush t.journal
 
 let health t =
   Mutex.lock t.mutex;
@@ -213,7 +292,10 @@ let request_shutdown t =
 let shutdown t =
   request_shutdown t;
   Engine.shutdown_handle t.handle;
-  Watchdog.stop t.watchdog
+  Watchdog.stop t.watchdog;
+  (* Clean shutdown seals the journal with its footer, so the next boot
+     replays without the torn-tail repair pass. *)
+  Option.iter Journal.close t.journal
 
 (* --- Admission control ----------------------------------------------------
 
@@ -398,8 +480,15 @@ let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
              observed wins over the deadline: the work is already paid
              for and the full answer strictly dominates the fallback. *)
           let solution = solution_of_report report in
-          Solve_cache.add_verified t.cache key solution
-            ~digest:(solution_digest solution);
+          let body = Protocol.solution_body solution in
+          let digest = Digest.string body in
+          Solve_cache.add_verified t.cache key solution ~digest;
+          (* Journal the good bytes before any fault can corrupt the
+             in-memory entry: durability must persist what was solved,
+             not what a fault plan mangled. *)
+          (match t.journal with
+          | Some journal -> Journal.append journal ~key ~value:(digest ^ body)
+          | None -> ());
           if Faults.corrupt_cache t.faults then
             ignore (Solve_cache.corrupt t.cache key);
           Metrics.incr_solved t.metrics;
@@ -560,7 +649,8 @@ let run t listen_fd =
     Mutex.unlock t.mutex;
     List.iter Thread.join threads;
     Engine.shutdown_handle t.handle;
-    Watchdog.stop t.watchdog
+    Watchdog.stop t.watchdog;
+    Option.iter Journal.close t.journal
   end
 
 (* --- Listening sockets ---------------------------------------------------- *)

@@ -58,26 +58,48 @@ type config = {
           queue wait, solve, per-phase solver work) in the tracer, with
           span ids derived from the request's cache key; the daemon dumps
           them as Chrome-trace JSON on exit ([--trace-out]) *)
+  journal_dir : string option;
+      (** when set, every verified cache insert is appended to a
+          crash-durable {!Journal} in this directory and the log is
+          replayed at {!create} to pre-warm the cache; replayed records
+          are digest-verified and RESULT-parsed before admission, so a
+          corrupted journal can only shrink the warm set, never poison
+          it *)
 }
 
 val default_config : config
 (** [shard_id = "standalone"], [jobs = None], [queue_depth = 64],
     [high_water = 48], [cache_capacity = 512],
     [max_frame_bytes = Wire.default_max_frame_bytes], [solver = None],
-    [faults = None], [tracer = None]. *)
+    [faults = None], [tracer = None], [journal_dir = None]. *)
 
 type t
 
 val create : ?config:config -> Rip_tech.Process.t -> t
 (** Spawn the worker pool and the watchdog; the server is ready to serve
-    connections.
+    connections.  When [journal_dir] is set, recovery and replay happen
+    here, before anything is served.
     @raise Invalid_argument on a non-positive [queue_depth] or
-    [max_frame_bytes], an invalid [shard_id], or [high_water] outside
+    [max_frame_bytes], an invalid [shard_id], [high_water] outside
     [1, queue_depth] — the message names the offending values
-    (e.g. ["high_water 80 must not exceed queue_depth 64"]). *)
+    (e.g. ["high_water 80 must not exceed queue_depth 64"]) — or a
+    journal directory that cannot be created or written (callers
+    wanting a typed error should probe with {!Journal.prepare_dir}
+    first). *)
 
 val stats : t -> Protocol.stats
 (** The STATS payload a client would receive now. *)
+
+val journal_recovery : t -> Journal.recovery option
+(** What boot-time replay found: [None] for an unjournaled server.
+    Note [recovery.entries] counts raw journal records; the cache's
+    [replayed] stat counts those that also passed digest verification
+    and RESULT parsing. *)
+
+val journal_flush : t -> unit
+(** Force unsynced journal bytes to disk now (no-op unjournaled) — the
+    SIGTERM grace path, for embedders that cannot wait for {!run}'s
+    clean close. *)
 
 val health : t -> Protocol.health
 (** The HEALTHY payload a client would receive now: shard id plus the

@@ -20,6 +20,13 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable self_heals : int;
+  mutable replayed : int;
+  (* Eviction feedback (journal compaction hook).  Set once before
+     serving starts; invoked strictly *after* the mutex is released —
+     the callback may do file I/O, which must never run under the cache
+     lock.  Atomic because it is read from connection threads without
+     taking the mutex. *)
+  on_evict : (string -> unit) option Atomic.t;
 }
 
 let create ~capacity =
@@ -34,7 +41,16 @@ let create ~capacity =
     misses = 0;
     evictions = 0;
     self_heals = 0;
+    replayed = 0;
+    on_evict = Atomic.make None;
   }
+
+let set_on_evict t callback = Atomic.set t.on_evict (Some callback)
+
+let notify_evicted t keys =
+  match (Atomic.get t.on_evict, keys) with
+  | None, _ | _, [] -> ()
+  | Some f, keys -> List.iter f (List.rev keys)
 
 let capacity t = t.cache_capacity
 
@@ -77,11 +93,12 @@ let push_front t node =
 
 let evict_lru t =
   match t.tail with
-  | None -> ()
+  | None -> None
   | Some lru ->
       unlink t lru;
       Hashtbl.remove t.table lru.node_key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Some lru.node_key
 
 (* Verification happens on *read*: a hit whose stored digest disagrees
    with the digest recomputed from the stored value is treated as
@@ -92,6 +109,7 @@ let evict_lru t =
 
 let find_verified t k ~digest_of =
   Mutex.lock t.mutex;
+  let dropped = ref [] in
   let result =
     match Hashtbl.find_opt t.table k with
     | Some node -> (
@@ -102,6 +120,7 @@ let find_verified t k ~digest_of =
             Hashtbl.remove t.table k;
             t.self_heals <- t.self_heals + 1;
             t.misses <- t.misses + 1;
+            dropped := [ k ];
             None
         | _ ->
             t.hits <- t.hits + 1;
@@ -113,13 +132,15 @@ let find_verified t k ~digest_of =
         None
   in
   Mutex.unlock t.mutex;
+  notify_evicted t !dropped;
   result
 
 let find t k = find_verified t k ~digest_of:(fun _ -> "")
 
-let add_digested t k value digest =
+let add_digested ?(replay = false) t k value digest =
   if t.cache_capacity > 0 then begin
     Mutex.lock t.mutex;
+    let dropped = ref [] in
     (match Hashtbl.find_opt t.table k with
     | Some node ->
         node.value <- value;
@@ -127,16 +148,22 @@ let add_digested t k value digest =
         unlink t node;
         push_front t node
     | None ->
-        if Hashtbl.length t.table >= t.cache_capacity then evict_lru t;
+        if Hashtbl.length t.table >= t.cache_capacity then
+          Option.iter (fun key -> dropped := key :: !dropped) (evict_lru t);
         let node = { node_key = k; value; digest; prev = None; next = None } in
         Hashtbl.replace t.table k node;
         push_front t node);
-    Mutex.unlock t.mutex
+    if replay then t.replayed <- t.replayed + 1;
+    Mutex.unlock t.mutex;
+    notify_evicted t !dropped
   end
 
 let add t k value = add_digested t k value None
 
 let add_verified t k value ~digest = add_digested t k value (Some digest)
+
+let add_replayed t k value ~digest =
+  add_digested ~replay:true t k value (Some digest)
 
 (* Test/fault hook: flip the stored digest of [k] (when present and
    digest-carrying) so the next verified read detects corruption. *)
@@ -157,6 +184,7 @@ type stats = {
   misses : int;
   evictions : int;
   self_heals : int;
+  replayed : int;
   size : int;
   capacity : int;
 }
@@ -169,6 +197,7 @@ let stats t =
       misses = t.misses;
       evictions = t.evictions;
       self_heals = t.self_heals;
+      replayed = t.replayed;
       size = Hashtbl.length t.table;
       capacity = t.cache_capacity;
     }

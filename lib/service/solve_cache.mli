@@ -50,6 +50,19 @@ val add : 'a t -> string -> 'a -> unit
 val add_verified : 'a t -> string -> 'a -> digest:string -> unit
 (** Like {!add}, attaching the integrity digest. *)
 
+val add_replayed : 'a t -> string -> 'a -> digest:string -> unit
+(** {!add_verified}, but counts into {!stats}' [replayed] — the journal
+    replay path at boot.  The caller is expected to have verified the
+    digest against the replayed bytes already; a mismatched record must
+    be rejected before this call, never inserted. *)
+
+val set_on_evict : 'a t -> (string -> unit) -> unit
+(** Register eviction feedback: the callback receives the key of every
+    entry dropped by capacity eviction or a self-heal (not overwrites —
+    the key stays live).  Call once, before the cache is shared; the
+    callback runs outside the cache lock (it may do I/O, e.g. journal
+    compaction accounting) and must tolerate concurrent invocations. *)
+
 val find_verified : 'a t -> string -> digest_of:('a -> string) -> 'a option
 (** Like {!find}, but a hit first recomputes [digest_of value] and
     compares it with the stored digest; on mismatch the entry is removed
@@ -65,6 +78,7 @@ type stats = {
   misses : int;
   evictions : int;
   self_heals : int;  (** corrupted entries detected and evicted on read *)
+  replayed : int;  (** entries admitted by journal replay at boot *)
   size : int;
   capacity : int;
 }

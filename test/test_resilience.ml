@@ -382,6 +382,16 @@ let test_faults_spec_parsing () =
   Alcotest.(check int) "drop bytes" 64 spec.Faults.drop_bytes;
   Alcotest.(check (float 0.0)) "bare clause means p=1" 1.0
     spec.Faults.corrupt_p;
+  let disk =
+    faults "seed=9,torn:p=0.25,bitflip:p=0.125,fsyncdelay:p=0.5:ms=8"
+  in
+  let disk_spec = Faults.spec disk in
+  Alcotest.(check (float 0.0)) "torn p" 0.25 disk_spec.Faults.torn_p;
+  Alcotest.(check (float 0.0)) "bitflip p" 0.125 disk_spec.Faults.bitflip_p;
+  Alcotest.(check (float 0.0)) "fsyncdelay p" 0.5
+    disk_spec.Faults.fsync_delay_p;
+  Alcotest.(check (float 0.0)) "fsyncdelay seconds" 0.008
+    disk_spec.Faults.fsync_delay_seconds;
   (match Faults.parse_spec "" with
   | Ok plan ->
       Alcotest.(check (float 0.0)) "empty spec is disabled" 0.0
@@ -392,7 +402,10 @@ let test_faults_spec_parsing () =
       match Faults.parse_spec bad with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "spec %S should not parse" bad)
-    [ "frobnicate"; "kill:p=nope"; "kill:p=1.5"; "seed=xyz"; "delay:ms=-3" ]
+    [
+      "frobnicate"; "kill:p=nope"; "kill:p=1.5"; "seed=xyz"; "delay:ms=-3";
+      "torn:p=2"; "fsyncdelay:ms=-1";
+    ]
 
 let test_faults_deterministic () =
   let draws spec =
@@ -598,6 +611,354 @@ let test_chaos_storm_counts_reconcile () =
       Alcotest.(check bool) "the storm injected real faults" true
         (result.Loadgen.degraded > 0))
 
+(* --- Crash-durable journal ------------------------------------------------ *)
+
+module Journal = Rip_service.Journal
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let temp_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rip_journal_%s_%d_%d" tag (Unix.getpid ())
+         (Hashtbl.hash tag))
+  in
+  (match Journal.prepare_dir dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "prepare_dir %s: %s" dir e);
+  dir
+
+let remove_dir dir =
+  (match Sys.readdir dir with
+  | names ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        names
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let with_journal_dir tag f =
+  let dir = temp_dir tag in
+  Fun.protect ~finally:(fun () -> remove_dir dir) (fun () -> f dir)
+
+let open_exn ?faults config =
+  match Journal.open_ ?faults config with
+  | Ok pair -> pair
+  | Error e -> Alcotest.failf "Journal.open_: %s" e
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let segment_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".rj")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let test_journal_crc32_vector () =
+  (* The standard IEEE 802.3 check value: crc32("123456789"). *)
+  let b = Bytes.of_string "123456789" in
+  Alcotest.(check int32)
+    "crc32 check vector" 0xCBF43926l
+    (Journal.crc32 b ~pos:0 ~len:9)
+
+let test_journal_roundtrip () =
+  with_journal_dir "roundtrip" (fun dir ->
+      let pairs =
+        List.init 8 (fun i ->
+            (Printf.sprintf "key-%d" i, Printf.sprintf "value-%d-%s" i dir))
+      in
+      let journal, recovery = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check int) "fresh dir has no entries" 0
+        (List.length recovery.Journal.entries);
+      List.iter (fun (key, value) -> Journal.append journal ~key ~value) pairs;
+      Journal.close journal;
+      let journal2, recovery2 = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check bool) "clean footer found" true recovery2.Journal.clean;
+      Alcotest.(check int) "no CRC rejects" 0 recovery2.Journal.crc_rejected;
+      Alcotest.(check int) "no torn bytes" 0 recovery2.Journal.torn_bytes;
+      Alcotest.(check bool) "entries replay in append order" true
+        (recovery2.Journal.entries = pairs);
+      Journal.close journal2)
+
+let test_journal_last_wins () =
+  with_journal_dir "lastwins" (fun dir ->
+      let journal, _ = open_exn (Journal.default_config ~dir) in
+      Journal.append journal ~key:"a" ~value:"stale";
+      Journal.append journal ~key:"b" ~value:"kept";
+      Journal.append journal ~key:"a" ~value:"fresh";
+      Journal.close journal;
+      let journal2, recovery = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check bool) "last write per key wins" true
+        (recovery.Journal.entries = [ ("a", "fresh"); ("b", "kept") ]
+        || recovery.Journal.entries = [ ("b", "kept"); ("a", "fresh") ]);
+      Alcotest.(check int) "one live record per key" 2
+        (List.length recovery.Journal.entries);
+      Journal.close journal2)
+
+let test_journal_rotation () =
+  with_journal_dir "rotation" (fun dir ->
+      let config =
+        { (Journal.default_config ~dir) with Journal.segment_bytes = 128 }
+      in
+      let journal, _ = open_exn config in
+      let pairs =
+        List.init 16 (fun i ->
+            (Printf.sprintf "rot-%02d" i, String.make 40 (Char.chr (65 + i))))
+      in
+      List.iter (fun (key, value) -> Journal.append journal ~key ~value) pairs;
+      let stats = Journal.stats journal in
+      Alcotest.(check bool) "rotation produced several segments" true
+        (stats.Journal.segments > 1);
+      Journal.close journal;
+      let journal2, recovery = open_exn config in
+      Alcotest.(check bool) "all records survive rotation" true
+        (recovery.Journal.entries = pairs);
+      Journal.close journal2)
+
+let test_journal_compaction () =
+  with_journal_dir "compaction" (fun dir ->
+      let config =
+        {
+          (Journal.default_config ~dir) with
+          Journal.compact_min_bytes = 1;
+          compact_dead_ratio = 0.5;
+        }
+      in
+      let journal, _ = open_exn config in
+      let keys = List.init 8 (fun i -> Printf.sprintf "cmp-%d" i) in
+      List.iter
+        (fun key -> Journal.append journal ~key ~value:(String.make 64 'x'))
+        keys;
+      (* Evict five of eight: the fifth eviction pushes the dead ratio
+         past 0.5 and compaction rewrites the three live records into a
+         fresh segment.  (Evictions *after* the last compaction are not
+         persisted — there are no tombstone records — so the test ends
+         exactly on the compaction to make the on-disk set exact.) *)
+      List.iteri
+        (fun i key -> if i < 5 then Journal.note_evicted journal ~key)
+        keys;
+      let stats = Journal.stats journal in
+      Alcotest.(check bool) "compaction ran" true (stats.Journal.compactions >= 1);
+      Alcotest.(check int) "live entries" 3 stats.Journal.live_entries;
+      Alcotest.(check int) "compaction left no dead bytes" 0
+        stats.Journal.dead_bytes;
+      Journal.close journal;
+      let journal2, recovery = open_exn config in
+      Alcotest.(check bool) "only live keys replay" true
+        (List.map fst recovery.Journal.entries = [ "cmp-5"; "cmp-6"; "cmp-7" ]);
+      Journal.close journal2)
+
+let test_journal_torn_tail () =
+  with_journal_dir "torn" (fun dir ->
+      let journal, _ = open_exn (Journal.default_config ~dir) in
+      Journal.append journal ~key:"whole" ~value:"survives";
+      Journal.flush journal;
+      Journal.close journal;
+      (* A crash mid-append: valid frames, then a ragged half-record. *)
+      let path = List.hd (segment_files dir) in
+      let bytes = read_file path in
+      write_file path (bytes ^ "E\x00\x00\x00\x05\x00");
+      let journal2, recovery = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check bool) "torn tail truncated" true
+        (recovery.Journal.torn_bytes > 0);
+      Alcotest.(check bool) "log no longer clean" false recovery.Journal.clean;
+      Alcotest.(check bool) "records before the tear survive" true
+        (recovery.Journal.entries = [ ("whole", "survives") ]);
+      Journal.close journal2;
+      (* The repair truncated the file in place: a third recovery sees
+         no tear at all. *)
+      let journal3, recovery3 = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check int) "repair is durable" 0 recovery3.Journal.torn_bytes;
+      Journal.close journal3)
+
+let test_journal_crc_reject () =
+  with_journal_dir "crc" (fun dir ->
+      let journal, _ = open_exn (Journal.default_config ~dir) in
+      Journal.append journal ~key:"first" ~value:"to-be-rotted";
+      Journal.append journal ~key:"second" ~value:"intact";
+      Journal.close journal;
+      let path = List.hd (segment_files dir) in
+      let bytes = Bytes.of_string (read_file path) in
+      (* Flip one payload bit of the first record (magic 9B + header 13B
+         + "first"): its CRC must reject it while the second record and
+         the footer still parse. *)
+      let pos = 9 + 13 + 5 + 1 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x10));
+      write_file path (Bytes.to_string bytes);
+      let journal2, recovery = open_exn (Journal.default_config ~dir) in
+      Alcotest.(check int) "one record rejected" 1 recovery.Journal.crc_rejected;
+      Alcotest.(check bool) "later record unaffected" true
+        (recovery.Journal.entries = [ ("second", "intact") ]);
+      Alcotest.(check bool) "footer still terminates the log" true
+        recovery.Journal.clean;
+      Journal.close journal2)
+
+let test_journal_prepare_dir () =
+  (* Typed errors, not exceptions: an unwritable parent and a path
+     through a regular file must both come back as Error. *)
+  (match Journal.prepare_dir "/proc/rip-journal-denied" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "prepare_dir under /proc should fail");
+  with_journal_dir "prepok" (fun dir ->
+      let file = Filename.concat dir "plain-file" in
+      write_file file "not a directory";
+      (match Journal.prepare_dir (Filename.concat file "sub") with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "prepare_dir through a file should fail");
+      (* Re-preparing an existing directory is the mkdir-race idiom:
+         always Ok. *)
+      match Journal.prepare_dir dir with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "re-prepare of %s failed: %s" dir e)
+
+(* Fuzz the recovery path: any byte-prefix of a valid journal, with any
+   bits flipped, must recover to a subset of the original records —
+   never crash, never surface a record that was not appended. *)
+let test_journal_fuzz_recovery =
+  let base_pairs =
+    List.init 6 (fun i ->
+        (Printf.sprintf "fuzz-key-%d" i, Printf.sprintf "fuzz-value-%d" i))
+  in
+  let base_bytes =
+    let dir = temp_dir "fuzzbase" in
+    Fun.protect
+      ~finally:(fun () -> remove_dir dir)
+      (fun () ->
+        let journal, _ = open_exn (Journal.default_config ~dir) in
+        List.iter
+          (fun (key, value) -> Journal.append journal ~key ~value)
+          base_pairs;
+        Journal.close journal;
+        read_file (List.hd (segment_files dir)))
+  in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (int_range 0 (String.length base_bytes))
+        (list_size (int_range 0 8)
+           (pair (int_range 0 (String.length base_bytes - 1)) (int_range 0 7))))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"journal recovery of mutilated logs yields a valid subset"
+    (QCheck.make gen) (fun (keep, flips) ->
+      let bytes = Bytes.of_string (String.sub base_bytes 0 keep) in
+      List.iter
+        (fun (pos, bit) ->
+          if pos < Bytes.length bytes then
+            Bytes.set bytes pos
+              (Char.chr (Char.code (Bytes.get bytes pos) lxor (1 lsl bit))))
+        flips;
+      let dir = temp_dir (Printf.sprintf "fuzz%d" (Hashtbl.hash (keep, flips))) in
+      Fun.protect
+        ~finally:(fun () -> remove_dir dir)
+        (fun () ->
+          write_file
+            (Filename.concat dir "segment-00000000.rj")
+            (Bytes.to_string bytes);
+          match Journal.open_ (Journal.default_config ~dir) with
+          | Error e -> QCheck.Test.fail_reportf "open_ failed: %s" e
+          | Ok (journal, recovery) ->
+              Journal.close journal;
+              List.for_all
+                (fun entry -> List.mem entry base_pairs)
+                recovery.Journal.entries))
+
+(* End-to-end crash recovery: solve through a journaled server, tear
+   the journal's tail as a crash would, boot a second server on the
+   same directory and demand byte-identical cached replays. *)
+let test_journal_server_restart () =
+  with_journal_dir "server" (fun dir ->
+      let config =
+        {
+          Server.default_config with
+          jobs = Some 1;
+          journal_dir = Some dir;
+        }
+      in
+      let nets =
+        List.init 5 (fun i ->
+            Net.create
+              ~name:(Printf.sprintf "restart-%d" i)
+              ~segments:
+                [
+                  Segment.of_layer Rip_tech.Layer.metal4
+                    ~length:(1800.0 +. (130.0 *. float_of_int i));
+                  Segment.of_layer Rip_tech.Layer.metal5 ~length:2200.0;
+                ]
+              ~zones:[ Zone.create ~z_start:1500.0 ~z_end:2600.0 ]
+              ~driver_width:20.0 ~receiver_width:40.0 ())
+      in
+      let solve server net =
+        let client, worker = connect_pair server in
+        let answer =
+          Client.request client
+            (Protocol.Solve
+               { budget = feasible_budget net; deadline_ms = None; net })
+        in
+        Client.close client;
+        Thread.join worker;
+        match answer with
+        | Ok (Protocol.Result { served; solution }) ->
+            (served, Protocol.solution_body solution)
+        | Ok other ->
+            Alcotest.failf "unexpected response %s" (Protocol.print_response other)
+        | Error e -> Alcotest.failf "transport failure: %s" e
+      in
+      let first_bodies =
+        let server = Server.create ~config process in
+        Fun.protect
+          ~finally:(fun () -> Server.shutdown server)
+          (fun () -> List.map (fun net -> snd (solve server net)) nets)
+      in
+      (* The crash: a ragged half-record after the (cleanly closed) log.
+         Recovery must truncate it and keep every whole record. *)
+      let segments =
+        segment_files dir |> List.filter (fun p -> Sys.file_exists p)
+      in
+      let last = List.nth segments (List.length segments - 1) in
+      write_file last (read_file last ^ "E\x00\x00\x01");
+      let server2 = Server.create ~config process in
+      Fun.protect
+        ~finally:(fun () -> Server.shutdown server2)
+        (fun () ->
+          (match Server.journal_recovery server2 with
+          | None -> Alcotest.fail "journaled server reports no recovery"
+          | Some r ->
+              Alcotest.(check int) "every solve was journaled" 5
+                (List.length r.Journal.entries);
+              Alcotest.(check bool) "the torn tail was repaired" true
+                (r.Journal.torn_bytes > 0));
+          let stats = Server.stats server2 in
+          Alcotest.(check int) "all records replayed into the cache" 5
+            stats.Protocol.cache_replayed;
+          let replayed =
+            List.map
+              (fun net ->
+                let served, body = solve server2 net in
+                Alcotest.(check bool) "answered from the replayed cache" true
+                  (served = Protocol.Cached);
+                body)
+              nets
+          in
+          Alcotest.(check bool) "cached replays are byte-identical" true
+            (replayed = first_bodies);
+          let stats = Server.stats server2 in
+          Alcotest.(check int) "no misses: the warm set covered the suite" 0
+            stats.Protocol.cache_misses;
+          Alcotest.(check int) "replay counts as neither hit nor miss" 5
+            stats.Protocol.cache_hits))
+
 let suite =
   [
     ( "resilience.cancel",
@@ -643,5 +1004,25 @@ let suite =
       [
         Alcotest.test_case "storm counts reconcile" `Quick
           test_chaos_storm_counts_reconcile;
+      ] );
+    ( "resilience.journal",
+      [
+        Alcotest.test_case "crc32 check vector" `Quick
+          test_journal_crc32_vector;
+        Alcotest.test_case "roundtrip with clean footer" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "last write wins" `Quick test_journal_last_wins;
+        Alcotest.test_case "segment rotation" `Quick test_journal_rotation;
+        Alcotest.test_case "eviction-driven compaction" `Quick
+          test_journal_compaction;
+        Alcotest.test_case "torn tail truncated" `Quick
+          test_journal_torn_tail;
+        Alcotest.test_case "CRC rejection skips a record" `Quick
+          test_journal_crc_reject;
+        Alcotest.test_case "prepare_dir typed errors" `Quick
+          test_journal_prepare_dir;
+        qcheck test_journal_fuzz_recovery;
+        Alcotest.test_case "server crash restart replays cache" `Quick
+          test_journal_server_restart;
       ] );
   ]

@@ -6,6 +6,7 @@
 
 module Ring = Rip_router.Ring
 module Pricing = Rip_router.Pricing
+module Router = Rip_router.Router
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -206,6 +207,25 @@ let test_pricing_validation () =
   bad { Pricing.default_config with growth = 1.0 };
   bad { Pricing.default_config with shrink = 1.0 }
 
+(* Router.create rejects nonsense hedge / breaker configuration before
+   touching any socket, so the bad specs below never reach the
+   connection pools. *)
+let test_router_config_validation () =
+  let shards =
+    [ { Router.id = "s0"; socket = "/nonexistent/validation.sock"; weight = 1 } ]
+  in
+  let process = Rip_tech.Process.default_180nm in
+  let bad config =
+    match Router.create ~config ~shards process with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad { Router.default_config with hedge_delay_floor = -0.001 };
+  bad { Router.default_config with hedge_delay_factor = 0.0 };
+  bad { Router.default_config with breaker_threshold = 0 };
+  bad { Router.default_config with pool_size = 0 };
+  bad { Router.default_config with spill_price = 2.0; shed_price = 1.0 }
+
 (* Determinism: the same observation sequence always yields the same
    price path — the router's admission decisions are replayable. *)
 let prop_pricing_deterministic =
@@ -246,5 +266,10 @@ let suite =
         Alcotest.test_case "profit arithmetic" `Quick test_pricing_profit;
         Alcotest.test_case "config validation" `Quick test_pricing_validation;
         qcheck prop_pricing_deterministic;
+      ] );
+    ( "router.config",
+      [
+        Alcotest.test_case "hedge and breaker validation" `Quick
+          test_router_config_validation;
       ] );
   ]

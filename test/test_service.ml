@@ -51,6 +51,9 @@ let sample_stats =
     degraded = 3;
     toobig = 1;
     cache_self_heals = 1;
+    cache_replayed = 5;
+    journal_bytes = 4096;
+    journal_compactions = 1;
     in_flight = 2;
     queue_depth = 1;
     queue_wait_p50 = 0.125;
