@@ -26,6 +26,8 @@ module Solution = Rip_elmore.Solution
 module Engine = Rip_engine.Engine
 module Telemetry = Rip_engine.Telemetry
 module Trace = Rip_obs.Trace
+module Trace_merge = Rip_obs.Trace_merge
+module Wide_event = Rip_obs.Wide_event
 module Obs = Rip_obs.Metrics
 
 let process = Rip_tech.Process.default_180nm
@@ -373,8 +375,11 @@ let run_cluster scale =
     in
     (* Warm pass replayed through an in-process Router over the same
        (already hot) shards: the delta against the direct warm pass is
-       the cost of the extra hop plus the pricing/ring decision. *)
-    let router_pass children =
+       the cost of the extra hop plus the pricing/ring decision.
+       Returns the loadgen result plus the router's own METRICS
+       exposition (hedge counters, forward latency). *)
+    let router_pass ?(rconfig = Router.default_config) ?(wl = workload)
+        children =
       let specs =
         List.map
           (fun c ->
@@ -385,14 +390,15 @@ let run_cluster scale =
             })
           children
       in
-      let router = Router.create ~shards:specs process in
+      let router = Router.create ~config:rconfig ~shards:specs process in
       let rpath =
         Filename.concat dir (Printf.sprintf "rip-bench-%d-router.sock" tag)
       in
       let listener = Router.listen_unix rpath in
       let acceptor = Thread.create (fun () -> Router.run router listener) () in
       let connect () = Client.connect_unix rpath in
-      let r = Loadgen.run ~connect ~connections:4 workload in
+      let r = Loadgen.run ~connect ~connections:4 wl in
+      let mrender = Rip_router.Router_metrics.render (Router.metrics router) in
       let closer = Client.connect_unix rpath in
       (match Client.request closer Protocol.Shutdown with
       | Ok Protocol.Bye -> ()
@@ -400,7 +406,7 @@ let run_cluster scale =
       Client.close closer;
       Thread.join acceptor;
       (try Sys.remove rpath with Sys_error _ -> ());
-      r
+      (r, mrender)
     in
     let run_rung n =
       let children =
@@ -475,7 +481,7 @@ let run_cluster scale =
                   hit_rates));
           let router =
             if n = max_shards then begin
-              let r = router_pass children in
+              let r, _metrics = router_pass children in
               Printf.printf
                 "via in-process router (%d shards, warm): %.1f req/s (direct \
                  warm %.1f req/s)\n"
@@ -524,6 +530,252 @@ let run_cluster scale =
              factor\n"
             cores
     | None -> ());
+    (* The tracing rung: same top-rung cluster, shards run with
+       --trace-out and --wide-events, three router passes over warm
+       caches — untraced baseline, traced (the <5% overhead gate), and
+       traced with the hedge delay floored at zero so hedged requests
+       demonstrably propagate their context to both shards.  Artifacts
+       land next to BENCH_cluster.json: the merged Chrome trace, the
+       merged METRICS histograms, and a spool reconciliation against
+       the loadgen counts. *)
+    let fetch_exposition socket =
+      let client = Client.connect_unix socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          match Client.request client Protocol.Metrics with
+          | Ok (Protocol.Metrics_frame body) -> Some body
+          | Ok _ | Error _ -> None)
+    in
+    let run_traced () =
+      let obs_dir = Filename.concat dir (Printf.sprintf "rip-bench-%d-obs" tag) in
+      (try Unix.mkdir obs_dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let children =
+        List.init max_shards (fun i ->
+            Supervisor.spawn ~exe
+              ~extra_args:
+                [
+                  "--jobs"; string_of_int shard_jobs;
+                  "--trace-out"; obs_dir ^ "/";
+                  "--wide-events"; obs_dir ^ "/";
+                  "--wide-sample-ratio"; "1.0";
+                ]
+              ~id:(Printf.sprintf "s%d" i)
+              ~socket:
+                (Filename.concat dir
+                   (Printf.sprintf "rip-bench-%d-t%d.sock" tag i))
+              ())
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter Supervisor.terminate children)
+        (fun () ->
+          List.iter
+            (fun c ->
+              match Supervisor.wait_ready c with
+              | Ok () -> ()
+              | Error e -> failwith e)
+            children;
+          let tracer = Trace.create ~scope:"router" ~pid:(Unix.getpid ()) () in
+          let spool_path = Filename.concat obs_dir "wide-router.jsonl" in
+          let spool =
+            Wide_event.create ~sampler:Wide_event.keep_all spool_path
+          in
+          let traced_wl =
+            Loadgen.workload ~distinct_nets:(Stdlib.min scale.nets 20)
+              ~requests ~traced:true process
+          in
+          ignore (router_pass children) (* warm the shard caches *);
+          let baseline, _ = router_pass children in
+          let traced_cfg =
+            {
+              Router.default_config with
+              tracer = Some tracer;
+              spool = Some spool;
+            }
+          in
+          let traced, traced_metrics =
+            router_pass ~rconfig:traced_cfg ~wl:traced_wl children
+          in
+          let hedge_cfg =
+            {
+              traced_cfg with
+              hedge_delay_floor = 0.0;
+              hedge_delay_factor = 1e-4;
+            }
+          in
+          let hedged, hedge_metrics =
+            router_pass ~rconfig:hedge_cfg ~wl:traced_wl children
+          in
+          (* Merge every process's METRICS histograms before shutdown. *)
+          let expositions =
+            [ traced_metrics; hedge_metrics ]
+            @ List.filter_map
+                (fun c -> fetch_exposition (Supervisor.socket c))
+                children
+          in
+          let merged_hists =
+            List.fold_left
+              (fun acc body ->
+                List.fold_left
+                  (fun acc (name, snap) ->
+                    match List.assoc_opt name acc with
+                    | None -> (name, snap) :: acc
+                    | Some prior ->
+                        (name, Obs.Histogram.merge prior snap)
+                        :: List.remove_assoc name acc)
+                  acc
+                  (Obs.parse_histograms body))
+              [] expositions
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          in
+          let hist_json =
+            Printf.sprintf "{\n%s\n}\n"
+              (String.concat ",\n"
+                 (List.map
+                    (fun (name, (s : Obs.Histogram.snapshot)) ->
+                      let q p = Obs.Histogram.quantile s p in
+                      Printf.sprintf
+                        "  %S: { \"count\": %d, \"sum\": %.6f, \"p50\": %.6g, \
+                         \"p95\": %.6g, \"p99\": %.6g }"
+                        name s.Obs.Histogram.count s.Obs.Histogram.sum
+                        (q 0.50) (q 0.95) (q 0.99))
+                    merged_hists))
+          in
+          let out = open_out "BENCH_cluster_metrics.json" in
+          output_string out hist_json;
+          close_out out;
+          (* Graceful shutdown flushes every shard's trace and spool. *)
+          List.iter Supervisor.terminate children;
+          let router_trace = Filename.concat obs_dir "trace-router.json" in
+          Trace.dump_to_file tracer router_trace;
+          Wide_event.close spool;
+          let trace_files =
+            router_trace
+            :: List.init max_shards (fun i ->
+                   Filename.concat obs_dir (Printf.sprintf "trace-s%d.json" i))
+          in
+          let trace_files = List.filter Sys.file_exists trace_files in
+          (match Trace_merge.merge_files trace_files with
+          | Error e -> failwith ("trace merge: " ^ e)
+          | Ok merged ->
+              let out = open_out "BENCH_cluster_trace.json" in
+              output_string out merged;
+              close_out out);
+          (* Cross-process linkage: a shard span parenting under a router
+             forward span, and a hedged trace forwarding to two shards. *)
+          let dumps =
+            List.filter_map
+              (fun f -> Result.to_option (Trace_merge.load_file f))
+              trace_files
+          in
+          let linked, multi =
+            List.fold_left
+              (fun (linked, multi) (_, spans) ->
+                let is_forward (s : Trace_merge.trace_span) =
+                  String.length s.span_name > 8
+                  && String.sub s.span_name 0 8 = "forward:"
+                in
+                let forwards = List.filter is_forward spans in
+                let targets =
+                  List.sort_uniq String.compare
+                    (List.map
+                       (fun (s : Trace_merge.trace_span) -> s.span_name)
+                       forwards)
+                in
+                let this_linked =
+                  List.exists
+                    (fun (s : Trace_merge.trace_span) ->
+                      (not (is_forward s))
+                      && List.exists
+                           (fun (f : Trace_merge.trace_span) ->
+                             (not (String.equal f.span_process s.span_process))
+                             &&
+                             match
+                               ( List.assoc_opt "span_id" f.span_args,
+                                 List.assoc_opt "parent_span_id" s.span_args )
+                             with
+                             | Some fid, Some pid -> String.equal fid pid
+                             | _ -> false)
+                           forwards)
+                    spans
+                in
+                ( (linked + if this_linked then 1 else 0),
+                  multi + if this_linked && List.length targets >= 2 then 1
+                          else 0 ))
+              (0, 0) (Trace_merge.traces dumps)
+          in
+          (* Spool reconciliation: interesting events are kept at 100%,
+             so the router spool's counts must equal the loadgen's. *)
+          let events = Wide_event.load_file spool_path in
+          let count pred = List.length (List.filter pred events) in
+          let spool_degraded =
+            count (fun (e : Wide_event.t) -> e.outcome = "degraded")
+          in
+          let spool_timeouts =
+            count (fun (e : Wide_event.t) -> e.outcome = "timeout")
+          in
+          let spool_hedged = count (fun (e : Wide_event.t) -> e.hedged) in
+          let spool_total = List.length events in
+          let scalar body name =
+            Option.value ~default:0.0 (Obs.scalar body name)
+          in
+          let hedges_total =
+            int_of_float
+              (scalar traced_metrics "rip_router_hedges_total"
+              +. scalar hedge_metrics "rip_router_hedges_total")
+          in
+          let lg_degraded = traced.Loadgen.degraded + hedged.Loadgen.degraded in
+          let lg_timeouts = traced.Loadgen.timeouts + hedged.Loadgen.timeouts in
+          let lg_total = traced.Loadgen.sent + hedged.Loadgen.sent in
+          let reconciled =
+            spool_degraded = lg_degraded
+            && spool_timeouts = lg_timeouts
+            && spool_hedged = hedges_total
+            && spool_total = lg_total
+          in
+          let overhead =
+            if baseline.Loadgen.throughput > 0.0 then
+              1.0 -. (traced.Loadgen.throughput /. baseline.Loadgen.throughput)
+            else 0.0
+          in
+          Printf.printf
+            "tracing rung (%d shards, warm): untraced %.1f req/s, traced \
+             %.1f req/s (overhead %.1f%%), hedge-forced %.1f req/s\n"
+            max_shards baseline.Loadgen.throughput traced.Loadgen.throughput
+            (100.0 *. overhead) hedged.Loadgen.throughput;
+          Printf.printf
+            "traces: %d linked across processes, %d hedged/failover; spool \
+             reconciliation %s (degraded %d/%d, timeouts %d/%d, hedged \
+             %d/%d, total %d/%d)\n"
+            linked multi
+            (if reconciled then "exact" else "MISMATCH")
+            spool_degraded lg_degraded spool_timeouts lg_timeouts spool_hedged
+            hedges_total spool_total lg_total;
+          Printf.printf
+            "wrote BENCH_cluster_trace.json (%d dumps) and \
+             BENCH_cluster_metrics.json (%d histogram families)\n"
+            (List.length trace_files) (List.length merged_hists);
+          if overhead > 0.05 then
+            Printf.printf
+              "note: tracing overhead above the 5%% acceptance expectation\n";
+          Printf.sprintf
+            ",\n\
+            \  \"tracing\": { \"baseline_throughput\": %.2f, \
+             \"traced_throughput\": %.2f, \"overhead\": %.4f, \
+             \"linked_traces\": %d, \"hedged_traces\": %d, \
+             \"spool_events\": %d, \"spool_reconciled\": %b }"
+            baseline.Loadgen.throughput traced.Loadgen.throughput overhead
+            linked multi spool_total reconciled)
+    in
+    let tracing_json =
+      if rungs = [] then ""
+      else
+        try run_traced ()
+        with Failure e ->
+          Printf.printf "tracing rung skipped: %s\n" e;
+          ""
+    in
     let json =
       let row ?hits ~shards ~pass (r : Loadgen.result) =
         Printf.sprintf
@@ -562,12 +814,13 @@ let run_cluster scale =
       in
       Printf.sprintf
         "{\n  \"cores\": %d,\n  \"shard_jobs\": %d,\n  \"requests\": %d,\n\
-        \  \"cold_scaling\": %s,\n  \"runs\": [\n%s\n  ]\n}\n"
+        \  \"cold_scaling\": %s,\n  \"runs\": [\n%s\n  ]%s\n}\n"
         cores shard_jobs requests
         (match scaling with
         | Some f -> Printf.sprintf "%.3f" f
         | None -> "null")
         (String.concat ",\n" rows)
+        tracing_json
     in
     let out = open_out "BENCH_cluster.json" in
     output_string out json;

@@ -432,8 +432,8 @@ let dump_metrics_mode connects labels =
   if List.exists Fun.id failures then 1 else 0
 
 let run_load socket_path port host endpoints requests connections
-    distinct_nets seed slack passes deadline_ms retries attempt_timeout_ms
-    backoff_ms skip_consistency verify dump_metrics =
+    distinct_nets seed slack passes deadline_ms traced retries
+    attempt_timeout_ms backoff_ms skip_consistency verify dump_metrics =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if retries < 1 then begin
     prerr_endline "rip_loadgen: --retries must be at least 1";
@@ -474,7 +474,7 @@ let run_load socket_path port host endpoints requests connections
       in
       let workload =
         Loadgen.workload ~seed:(Int64.of_int seed) ~distinct_nets ~slack
-          ?deadline_ms ~requests process
+          ?deadline_ms ~traced ~requests process
       in
       let route =
         if Array.length connects = 1 then Ok None
@@ -681,6 +681,16 @@ let deadline_ms =
         ~doc:"Stamp every SOLVE with a DEADLINE header: past it the server \
               answers TIMEOUT or degrades to its analytic fallback tier.")
 
+let traced =
+  Arg.(
+    value & flag
+    & info [ "traced" ]
+        ~doc:"Stamp every SOLVE with a deterministic root TRACE context \
+              (scope 'loadgen', the request index as sequence), so servers \
+              and routers run with --trace-out parent their spans under \
+              this client's requests and rip_trace merge joins them into \
+              one cross-process timeline.")
+
 let retries =
   Arg.(
     value & opt int Client.default_retry_policy.attempts
@@ -735,7 +745,7 @@ let main =
     Term.(
       const run_load $ socket_path $ port $ host $ endpoints $ requests
       $ connections $ distinct_nets $ seed $ slack $ passes $ deadline_ms
-      $ retries $ attempt_timeout_ms $ backoff_ms $ skip_consistency
-      $ verify $ dump_metrics)
+      $ traced $ retries $ attempt_timeout_ms $ backoff_ms
+      $ skip_consistency $ verify $ dump_metrics)
 
 let () = exit (Cmd.eval' main)

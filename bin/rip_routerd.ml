@@ -15,8 +15,35 @@
 module Router = Rip_router.Router
 module Supervisor = Rip_router.Supervisor
 module Pricing = Rip_router.Pricing
+module Trace = Rip_obs.Trace
+module Wide_event = Rip_obs.Wide_event
 
 let process = Rip_tech.Process.default_180nm
+
+let rec ensure_dir dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* A PATH ending in '/' (or naming an existing directory) means "put the
+   router's file inside": the same convention rip_serviced uses, so one
+   --trace-out directory can collect the whole cluster's dumps. *)
+let sink ~default_name path =
+  let is_dir =
+    (Sys.file_exists path && Sys.is_directory path)
+    || (String.length path > 0 && path.[String.length path - 1] = '/')
+  in
+  if is_dir then begin
+    ensure_dir path;
+    Filename.concat path default_name
+  end
+  else begin
+    ensure_dir (Filename.dirname path);
+    path
+  end
 
 let parse_attach spec =
   match String.index_opt spec '=' with
@@ -43,7 +70,8 @@ let rec parse_attach_all = function
 
 let serve socket_path port host shards shard_dir shard_jobs shard_args attach
     pool_size poll_interval spill_price shed_price restart_backoff no_hedge
-    hedge_floor_ms breaker_threshold =
+    hedge_floor_ms breaker_threshold trace_out wide_events wide_sample_ratio
+    wide_latency_threshold_ms =
   match parse_attach_all attach with
   | Error e ->
       Printf.eprintf "rip_routerd: %s\n" e;
@@ -106,6 +134,26 @@ let serve socket_path port host shards shard_dir shard_jobs shard_args attach
                 (fun (id, socket) -> { Router.id; socket; weight = 1 })
                 attached
           in
+          let tracer =
+            match trace_out with
+            | None -> None
+            | Some _ -> Some (Trace.create ~scope:"router" ~pid:(Unix.getpid ()) ())
+          in
+          let spool =
+            match wide_events with
+            | None -> None
+            | Some path ->
+                let sampler =
+                  {
+                    Wide_event.latency_threshold =
+                      wide_latency_threshold_ms /. 1000.0;
+                    sample_ratio = wide_sample_ratio;
+                  }
+                in
+                Some
+                  (Wide_event.create ~sampler
+                     (sink ~default_name:"wide-router.jsonl" path))
+          in
           let config =
             {
               Router.default_config with
@@ -116,6 +164,8 @@ let serve socket_path port host shards shard_dir shard_jobs shard_args attach
               hedge = not no_hedge;
               hedge_delay_floor = hedge_floor_ms /. 1000.0;
               breaker_threshold;
+              tracer;
+              spool;
             }
           in
           let router = Router.create ~config ~shards:specs process in
@@ -160,6 +210,22 @@ let serve socket_path port host shards shard_dir shard_jobs shard_args attach
             breaker_threshold;
           Router.run router listen_fd;
           Thread.join supervisor_thread;
+          (match (tracer, trace_out) with
+          | Some tr, Some out ->
+              let path = sink ~default_name:"trace-router.json" out in
+              Trace.dump_to_file tr path;
+              Printf.printf "rip_routerd: wrote %d trace spans to %s\n%!"
+                (Trace.span_count tr) path
+          | _ -> ());
+          (match spool with
+          | Some spool ->
+              Printf.printf
+                "rip_routerd: wide events: %d written, %d sampled out (%s)\n%!"
+                (Wide_event.written spool)
+                (Wide_event.sampled_out spool)
+                (Wide_event.path spool);
+              Wide_event.close spool
+          | None -> ());
           List.iter
             (Supervisor.terminate ~log:(fun line ->
                  Printf.printf "rip_routerd: %s\n%!" line))
@@ -288,6 +354,48 @@ let breaker_threshold =
               breaker, removing it from the candidate set until a \
               successful poll half-opens it again.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Record the router's ingress and per-forward trace spans and \
+              write them as Chrome-trace JSON to $(docv) at shutdown.  \
+              Forwarded frames carry a TRACE header parented on the forward \
+              span, so shards run with --trace-out produce dumps that \
+              rip_trace merge joins into one cross-process timeline.  A \
+              $(docv) ending in '/' (or naming a directory) writes \
+              trace-router.json inside it.  Off by default.")
+
+let wide_events =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wide-events" ] ~docv:"FILE"
+        ~doc:"Emit one structured wide-event JSON line per routed SOLVE \
+              (target shard, outcome, hedge/failover/spill/breaker \
+              involvement, deadline slack) to this bounded spool, \
+              tail-sampled like rip_serviced's.  A $(docv) ending in '/' \
+              writes wide-router.jsonl inside it.  Query offline with \
+              rip_trace query.")
+
+let wide_sample_ratio =
+  Arg.(
+    value
+    & opt float Rip_obs.Wide_event.default_sampler.sample_ratio
+    & info [ "wide-sample-ratio" ] ~docv:"R"
+        ~doc:"Fraction of uninteresting (fast, successful) wide events kept \
+              by the tail sampler, in [0,1]; 1 keeps everything.")
+
+let wide_latency_threshold_ms =
+  Arg.(
+    value
+    & opt float
+        (Rip_obs.Wide_event.default_sampler.latency_threshold *. 1000.0)
+    & info [ "wide-latency-threshold-ms" ] ~docv:"MS"
+        ~doc:"Requests at least this slow are always kept by the tail \
+              sampler, whatever their outcome.")
+
 let main =
   Cmd.v
     (Cmd.info "rip_routerd" ~version:"1.0.0"
@@ -297,6 +405,7 @@ let main =
       const serve $ socket_path $ port $ host $ shards $ shard_dir
       $ shard_jobs $ shard_args $ attach $ pool_size $ poll_interval
       $ spill_price $ shed_price $ restart_backoff $ no_hedge
-      $ hedge_floor_ms $ breaker_threshold)
+      $ hedge_floor_ms $ breaker_threshold $ trace_out $ wide_events
+      $ wide_sample_ratio $ wide_latency_threshold_ms)
 
 let () = exit (Cmd.eval' main)

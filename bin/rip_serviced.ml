@@ -14,6 +14,8 @@
 
 module Server = Rip_service.Server
 module Faults = Rip_service.Faults
+module Trace = Rip_obs.Trace
+module Wide_event = Rip_obs.Wide_event
 
 let process = Rip_tech.Process.default_180nm
 
@@ -21,8 +23,39 @@ let resolve_faults = function
   | Some spec -> Result.map Option.some (Faults.parse_spec spec)
   | None -> Faults.of_env ()
 
+let rec ensure_dir dir =
+  if
+    String.equal dir "" || String.equal dir "." || String.equal dir "/"
+    || Sys.file_exists dir
+  then ()
+  else begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* A sink path ending in '/' (or naming an existing directory) gets a
+   per-shard file inside it — so a router supervisor can pass one
+   --shard-arg=--trace-out --shard-arg=DIR/ to every shard without the
+   dumps clobbering each other. *)
+let per_shard_sink ~shard_id ~default_name path =
+  let is_dir =
+    (Sys.file_exists path && Sys.is_directory path)
+    || String.length path > 0
+       && path.[String.length path - 1] = '/'
+  in
+  if is_dir then begin
+    ensure_dir path;
+    Filename.concat path (default_name shard_id)
+  end
+  else begin
+    ensure_dir (Filename.dirname path);
+    path
+  end
+
 let serve socket_path port host shard_id jobs cache_capacity queue_depth
-    high_water max_frame_bytes faults_spec trace_out journal_dir =
+    high_water max_frame_bytes faults_spec trace_out wide_events
+    wide_sample_ratio wide_latency_threshold_ms journal_dir =
   if queue_depth < 1 then begin
     prerr_endline "rip_serviced: --queue-depth must be at least 1";
     2
@@ -75,11 +108,34 @@ let serve socket_path port host shard_id jobs cache_capacity queue_depth
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         (* One tracer for the daemon's lifetime; installed globally so
            engine batch spans land in the same timeline as the service
-           spans.  Dumped once, at shutdown. *)
+           spans.  Scoped by shard id and pid, so span ids and merged
+           timelines stay collision-free across shards.  Dumped once,
+           at shutdown. *)
         let tracer =
-          Option.map (fun _ -> Rip_obs.Trace.create ()) trace_out
+          Option.map
+            (fun _ ->
+              Trace.create ~scope:shard_id ~pid:(Unix.getpid ()) ())
+            trace_out
         in
-        if Option.is_some tracer then Rip_obs.Trace.set_global tracer;
+        if Option.is_some tracer then Trace.set_global tracer;
+        let spool =
+          Option.map
+            (fun path ->
+              let path =
+                per_shard_sink ~shard_id
+                  ~default_name:(Printf.sprintf "wide-%s.jsonl")
+                  path
+              in
+              Wide_event.create
+                ~sampler:
+                  {
+                    Wide_event.latency_threshold =
+                      wide_latency_threshold_ms /. 1000.0;
+                    sample_ratio = wide_sample_ratio;
+                  }
+                path)
+            wide_events
+        in
         let config =
           {
             Server.default_config with
@@ -91,6 +147,7 @@ let serve socket_path port host shard_id jobs cache_capacity queue_depth
             max_frame_bytes;
             faults;
             tracer;
+            spool;
             journal_dir;
           }
         in
@@ -138,11 +195,24 @@ let serve socket_path port host shard_id jobs cache_capacity queue_depth
            try Unix.unlink socket_path with Unix.Unix_error _ -> ());
         (match (tracer, trace_out) with
         | Some tr, Some path ->
-            Rip_obs.Trace.dump_to_file tr path;
+            let path =
+              per_shard_sink ~shard_id
+                ~default_name:(Printf.sprintf "trace-%s.json")
+                path
+            in
+            Trace.dump_to_file tr path;
             Printf.printf "rip_serviced: wrote %d trace spans to %s\n%!"
-              (Rip_obs.Trace.span_count tr)
-              path
+              (Trace.span_count tr) path
         | _ -> ());
+        (match spool with
+        | Some spool ->
+            Printf.printf
+              "rip_serviced: wide events: %d written, %d sampled out (%s)\n%!"
+              (Wide_event.written spool)
+              (Wide_event.sampled_out spool)
+              (Wide_event.path spool);
+            Wide_event.close spool
+        | None -> ());
         Printf.printf "rip_serviced: shut down\n%!";
         0
   end
@@ -231,7 +301,40 @@ let trace_out =
         ~doc:"Record per-request trace spans (admission, cache lookup, queue \
               wait, solve, solver phases) and write them as Chrome-trace \
               JSON to $(docv) at shutdown; open in chrome://tracing or \
-              Perfetto.  Off by default — the span hooks are nops.")
+              Perfetto, or merge across processes with rip_trace merge.  A \
+              $(docv) ending in '/' (or naming a directory) writes \
+              trace-<shard-id>.json inside it.  Requests carrying a TRACE \
+              header keep their trace id on every span.  Off by default — \
+              the span hooks are nops.")
+
+let wide_events =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wide-events" ] ~docv:"FILE"
+        ~doc:"Emit one structured wide-event JSON line per SOLVE to this \
+              bounded spool, tail-sampled: errors, timeouts, degraded and \
+              hedge/failover-involved requests are always kept, the rest \
+              pass a latency threshold or a probabilistic sample.  A \
+              $(docv) ending in '/' writes wide-<shard-id>.jsonl inside \
+              it.  Query offline with rip_trace query.")
+
+let wide_sample_ratio =
+  Arg.(
+    value
+    & opt float Rip_obs.Wide_event.default_sampler.sample_ratio
+    & info [ "wide-sample-ratio" ] ~docv:"R"
+        ~doc:"Fraction of uninteresting (fast, successful) wide events kept \
+              by the tail sampler, in [0,1]; 1 keeps everything.")
+
+let wide_latency_threshold_ms =
+  Arg.(
+    value
+    & opt float
+        (Rip_obs.Wide_event.default_sampler.latency_threshold *. 1000.0)
+    & info [ "wide-latency-threshold-ms" ] ~docv:"MS"
+        ~doc:"Requests at least this slow are always kept by the tail \
+              sampler, whatever their outcome.")
 
 let journal_dir =
   Arg.(
@@ -253,6 +356,7 @@ let main =
     Term.(
       const serve $ socket_path $ port $ host $ shard_id $ jobs
       $ cache_capacity $ queue_depth $ high_water $ max_frame_bytes
-      $ faults_spec $ trace_out $ journal_dir)
+      $ faults_spec $ trace_out $ wide_events $ wide_sample_ratio
+      $ wide_latency_threshold_ms $ journal_dir)
 
 let () = exit (Cmd.eval' main)

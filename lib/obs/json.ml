@@ -1,0 +1,281 @@
+(* A minimal zero-dependency JSON reader/writer — just enough for the
+   observability artifacts this repo produces and consumes itself
+   (Chrome-trace dumps, wide-event spool lines).  Not a general JSON
+   library: \uXXXX escapes above U+00FF decode to '?', and numbers are
+   either OCaml ints or floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Printing ----------------------------------------------------------- *)
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let float_str v =
+  if Float.is_nan v then "null"  (* NaN is not JSON; absent beats invalid *)
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec write buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float v -> Buffer.add_string buffer (float_str v)
+  | String s ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer (escape s);
+      Buffer.add_char buffer '"'
+  | List items ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buffer ',';
+          write buffer item)
+        items;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buffer ',';
+          Buffer.add_char buffer '"';
+          Buffer.add_string buffer (escape k);
+          Buffer.add_string buffer "\":";
+          write buffer v)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string value =
+  let buffer = Buffer.create 256 in
+  write buffer value;
+  Buffer.contents buffer
+
+(* --- Parsing ------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c message =
+  raise (Bad (Printf.sprintf "%s at offset %d" message c.pos))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.equal (String.sub c.text c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let hex_value ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> raise (Bad "bad \\u escape")
+
+let parse_string_body c =
+  let buffer = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char buffer '"'
+            | '\\' -> Buffer.add_char buffer '\\'
+            | '/' -> Buffer.add_char buffer '/'
+            | 'b' -> Buffer.add_char buffer '\b'
+            | 'f' -> Buffer.add_char buffer '\012'
+            | 'n' -> Buffer.add_char buffer '\n'
+            | 'r' -> Buffer.add_char buffer '\r'
+            | 't' -> Buffer.add_char buffer '\t'
+            | 'u' ->
+                if c.pos + 4 > String.length c.text then
+                  fail c "truncated \\u escape";
+                let code =
+                  (hex_value c.text.[c.pos] * 4096)
+                  + (hex_value c.text.[c.pos + 1] * 256)
+                  + (hex_value c.text.[c.pos + 2] * 16)
+                  + hex_value c.text.[c.pos + 3]
+                in
+                c.pos <- c.pos + 4;
+                Buffer.add_char buffer
+                  (if code < 0x100 then Char.chr code else '?')
+            | _ -> fail c "unknown escape");
+            loop ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buffer ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buffer
+
+let parse_number c =
+  let start = c.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec scan () =
+    match peek c with
+    | Some ch when is_number_char ch ->
+        advance c;
+        scan ()
+    | _ -> ()
+  in
+  scan ();
+  let token = String.sub c.text start (c.pos - start) in
+  let looks_int =
+    String.for_all (function '0' .. '9' | '-' -> true | _ -> false) token
+  in
+  if looks_int then
+    match int_of_string_opt token with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt token with
+        | Some v -> Float v
+        | None -> fail c (Printf.sprintf "bad number %S" token))
+  else
+    match float_of_string_opt token with
+    | Some v -> Float v
+    | None -> fail c (Printf.sprintf "bad number %S" token)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' ->
+      advance c;
+      String (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let value = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((key, value) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, value) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (value :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (value :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse text =
+  let c = { text; pos = 0 } in
+  match parse_value c with
+  | value ->
+      skip_ws c;
+      if c.pos = String.length text then Ok value
+      else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+  | exception Bad message -> Error message
+
+(* --- Accessors ---------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let string_value = function String s -> Some s | _ -> None
+
+let int_value = function
+  | Int i -> Some i
+  | Float v when Float.is_integer v && Float.abs v < 1e15 ->
+      Some (int_of_float v)
+  | _ -> None
+
+let float_value = function
+  | Int i -> Some (float_of_int i)
+  | Float v -> Some v
+  | _ -> None
+
+let bool_value = function Bool b -> Some b | _ -> None
+let list_value = function List items -> Some items | _ -> None

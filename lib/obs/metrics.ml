@@ -283,12 +283,26 @@ let float_str v =
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%.17g" v
 
+(* Prometheus text exposition escapes exactly two characters in HELP
+   text: backslash and newline.  Help strings in this repo are single
+   lines today, but conformance must not depend on that staying true. *)
+let help_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
 let render t =
   let buffer = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buffer (s ^ "\n")) fmt in
   List.iter
     (fun e ->
-      line "# HELP %s %s" e.name e.help;
+      line "# HELP %s %s" e.name (help_escape e.help);
       match e.instrument with
       | I_counter c ->
           line "# TYPE %s counter" e.name;
@@ -428,3 +442,29 @@ let parse_histograms text =
                    } )
              else None
          | _ -> None)
+
+(* Scalar samples — counters and gauges, plus the _sum/_count series of
+   histograms — for consumers that watch individual values rather than
+   whole histograms (rip_top).  Label-carrying series are skipped: this
+   registry never emits them. *)
+let parse_scalars text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' || String.contains line '{' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some space ->
+               let name = String.sub line 0 space in
+               let value =
+                 String.trim
+                   (String.sub line (space + 1)
+                      (String.length line - space - 1))
+               in
+               if valid_name name then
+                 Option.map (fun v -> (name, v)) (float_of_string_opt value)
+               else None)
+
+let scalar text name =
+  (* First match wins; an exposition renders each family once. *)
+  List.assoc_opt name (parse_scalars text)

@@ -100,13 +100,25 @@ val find_histogram : t -> string -> Histogram.t option
 val render : t -> string
 (** Prometheus text exposition: [# HELP]/[# TYPE] then samples, metrics
     in registration order, histogram buckets as cumulative
-    [name_bucket{le="..."}] plus [name_sum]/[name_count].  Floats are
-    rendered at full precision so a scrape diff round-trips. *)
+    [name_bucket{le="..."}] with an explicit [+Inf] bucket, plus
+    [name_sum]/[name_count].  HELP text is escaped per the exposition
+    format (backslash and newline); floats are rendered at full
+    precision so a scrape diff round-trips. *)
 
 val parse_histograms : string -> (string * Histogram.snapshot) list
 (** Parse the histogram families out of a {!render}-produced exposition
     (the client side of METRICS reconciliation).  Unknown lines are
     ignored; malformed histogram families are dropped. *)
+
+val parse_scalars : string -> (string * float) list
+(** The scalar samples of an exposition — counters, gauges, histogram
+    [_sum]/[_count] series — in exposition order.  Comment and
+    label-carrying lines are skipped (this registry never emits
+    labels). *)
+
+val scalar : string -> string -> float option
+(** [scalar text name]: the first scalar sample named [name], the
+    single-value lookup dashboards poll. *)
 
 val registered_names : t -> string list
 (** Registration order; duplicate registration raises. *)

@@ -11,16 +11,23 @@ type span = {
 
 type t = {
   epoch : float;
+  scope : string;
+  pid : int;
   mutex : Mutex.t;  (* guards the buffer table, not the buffers *)
   buffers : (int, span list ref) Hashtbl.t;  (* Thread.id -> own buffer *)
 }
 
-let create () =
+let create ?(scope = "") ?(pid = 0) () =
   {
     epoch = Cpu_clock.monotonic_seconds ();
+    scope;
+    pid;
     mutex = Mutex.create ();
     buffers = Hashtbl.create 8;
   }
+
+let scope t = t.scope
+let epoch t = t.epoch
 
 (* Each buffer is only ever pushed by its owning thread; the mutex is
    held just long enough to find or create the ref, because a Hashtbl
@@ -75,8 +82,67 @@ let span t ?cat ?args name f =
       let finish = begin_span t ?cat ?args name in
       Fun.protect ~finally:finish f
 
-let span_id ~digest name =
-  String.sub (Digest.to_hex (Digest.string (digest ^ "/" ^ name))) 0 16
+(* The legacy formula (no scope) is kept bit-for-bit so single-process
+   traces of the same workload still diff cleanly across releases; a
+   non-empty scope keys the hash so two shards solving the same digest
+   no longer collide in a merged timeline. *)
+let span_id ?(scope = "") ~digest name =
+  let base = digest ^ "/" ^ name in
+  let keyed = if scope = "" then base else scope ^ "\x00" ^ base in
+  String.sub (Digest.to_hex (Digest.string keyed)) 0 16
+
+let scoped_span_id t ~digest name = span_id ~scope:t.scope ~digest name
+
+(* --- Trace context (the TRACE protocol header) -------------------------- *)
+
+type context = {
+  trace_id : string;  (* 32 hex chars *)
+  parent_span_id : string;  (* 16 hex chars *)
+  flags : int;  (* 0..255; bit 0 = sampled *)
+}
+
+let root_span_id = String.make 16 '0'
+
+let is_hex s =
+  s <> ""
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+let valid_context c =
+  String.length c.trace_id = 32
+  && is_hex c.trace_id
+  && String.length c.parent_span_id = 16
+  && is_hex c.parent_span_id
+  && c.flags >= 0 && c.flags <= 255
+
+let make_context ?(scope = "") ~digest ~seq () =
+  {
+    trace_id =
+      Digest.to_hex
+        (Digest.string (Printf.sprintf "trace/%s/%s/%d" scope digest seq));
+    parent_span_id = root_span_id;
+    flags = 1;
+  }
+
+let context_of_tokens ~trace_id ~parent_span_id ~flags =
+  match int_of_string_opt flags with
+  | None -> None
+  | Some flags ->
+      let c = { trace_id; parent_span_id; flags } in
+      if valid_context c then Some c else None
+
+let child context ~span_id = { context with parent_span_id = span_id }
+
+let context_args c =
+  [ ("trace_id", c.trace_id); ("parent_span_id", c.parent_span_id) ]
+
+let context_equal a b =
+  String.equal a.trace_id b.trace_id
+  && String.equal a.parent_span_id b.parent_span_id
+  && a.flags = b.flags
+
+(* --- Dumping ------------------------------------------------------------ *)
 
 let spans t =
   (* Reading a buffer owned by a still-running thread sees some prefix
@@ -116,15 +182,33 @@ let json_escape s =
 
 let to_chrome_json t =
   let buffer = Buffer.create 4096 in
-  Buffer.add_string buffer "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char buffer ',';
+  (* ripMeta carries what a cross-process merge needs: the scope that
+     keys this process's span ids and the tracer epoch on the shared
+     CLOCK_MONOTONIC timebase, so per-process dumps can be rebased onto
+     one timeline.  Chrome/Perfetto ignore unknown top-level keys. *)
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "{\"displayTimeUnit\":\"ms\",\"ripMeta\":{\"scope\":\"%s\",\"pid\":%d,\"epoch_us\":%.3f},\"traceEvents\":["
+       (json_escape t.scope) t.pid (t.epoch *. 1e6));
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buffer ','
+  in
+  if t.scope <> "" then begin
+    sep ();
+    Buffer.add_string buffer
+      (Printf.sprintf
+         "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+         t.pid (json_escape t.scope))
+  end;
+  List.iter
+    (fun s ->
+      sep ();
       Buffer.add_string buffer
         (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d"
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
            (json_escape s.name) (json_escape s.cat) (s.start *. 1e6)
-           (s.duration *. 1e6) s.tid);
+           (s.duration *. 1e6) t.pid s.tid);
       (match s.args with
       | [] -> ()
       | args ->

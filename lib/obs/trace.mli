@@ -6,13 +6,28 @@
     Timestamps come from {!Rip_numerics.Cpu_clock.monotonic_seconds} —
     wall clocks can step backwards under NTP and would produce negative
     durations; span ids must come from request digests, never from the
-    clock, so traces of the same workload are comparable run to run. *)
+    clock, so traces of the same workload are comparable run to run.
+
+    For cross-process traces each tracer carries a {e scope} — by
+    convention [<shard-id>] or ["router"] — mixed into every span id
+    ({!scoped_span_id}) so two shards tracing the same request digest
+    produce distinct ids, and a [pid] stamped into the Chrome dump so a
+    merged timeline ({!Trace_merge}) keeps one track per process. *)
 
 type t
 
-val create : unit -> t
+val create : ?scope:string -> ?pid:int -> unit -> t
 (** A fresh tracer; its epoch (Chrome-trace t=0) is the creation
-    instant. *)
+    instant.  [scope] (default [""]) names the process in dumps and
+    keys its span ids; [pid] (default 0) is the OS pid to stamp into
+    the Chrome dump — passed in because this library does not depend
+    on [unix]. *)
+
+val scope : t -> string
+val epoch : t -> float
+(** Tracer creation instant on the monotonic clock — the timebase
+    shared by every process on the machine, which is what lets
+    {!Trace_merge} align per-process dumps. *)
 
 val begin_span :
   t -> ?cat:string -> ?args:(string * string) list -> string -> unit -> unit
@@ -37,10 +52,57 @@ val span :
 (** [span t name f] runs [f] inside a span; the span is recorded even
     when [f] raises. *)
 
-val span_id : digest:string -> string -> string
+val span_id : ?scope:string -> digest:string -> string -> string
 (** Deterministic 16-hex-char span id derived from a request digest and
     the span name — the same request traced twice yields the same ids,
-    so traces diff cleanly. *)
+    so traces diff cleanly.  A non-empty [scope] (default [""]) is
+    mixed into the hash so distinct processes solving the same digest
+    get distinct ids; the empty scope preserves the historical
+    unscoped formula. *)
+
+val scoped_span_id : t -> digest:string -> string -> string
+(** {!span_id} under the tracer's own scope. *)
+
+(** {2 Trace context}
+
+    The value the optional [TRACE <trace-id> <parent-span-id> <flags>]
+    protocol header carries: which distributed trace a request belongs
+    to and which upstream span its server-side spans should parent
+    under. *)
+
+type context = {
+  trace_id : string;  (** 32 hex chars *)
+  parent_span_id : string;  (** 16 hex chars; {!root_span_id} at ingress *)
+  flags : int;  (** 0..255; bit 0 = sampled *)
+}
+
+val root_span_id : string
+(** The all-zero parent span id of an ingress-generated context. *)
+
+val valid_context : context -> bool
+
+val make_context : ?scope:string -> digest:string -> seq:int -> unit -> context
+(** A deterministic ingress context: the trace id is
+    [MD5("trace/" scope "/" digest "/" seq)] — no clock, no randomness,
+    so traced runs of the same workload are diffable; [seq] (a
+    per-process request counter) keeps repeat solves of one digest in
+    distinct traces. *)
+
+val context_of_tokens :
+  trace_id:string -> parent_span_id:string -> flags:string -> context option
+(** Parse the three TRACE header tokens; [None] on anything invalid
+    (bad hex, wrong length, unparsable or out-of-range flags) — the
+    caller degrades to an untraced request, never a protocol error. *)
+
+val child : context -> span_id:string -> context
+(** The context to forward downstream: same trace, the given span as
+    the new parent. *)
+
+val context_args : context -> (string * string) list
+(** [trace_id]/[parent_span_id] span args — how spans advertise their
+    trace membership in dumps. *)
+
+val context_equal : context -> context -> bool
 
 type span = {
   name : string;
@@ -62,7 +124,10 @@ val span_count : t -> int
 val to_chrome_json : t -> string
 (** The [traceEvents] JSON object Chrome's [about://tracing] and Perfetto
     load: one ["ph":"X"] complete event per span, timestamps and
-    durations in microseconds relative to the tracer epoch. *)
+    durations in microseconds relative to the tracer epoch, stamped
+    with the tracer's pid.  A top-level [ripMeta] object carries the
+    scope, pid and epoch for {!Trace_merge}; a [process_name] metadata
+    event labels the process track when the scope is non-empty. *)
 
 val dump_to_file : t -> string -> unit
 (** Write {!to_chrome_json} to a path (truncating). *)

@@ -40,6 +40,8 @@ module Protocol = Rip_service.Protocol
 module Wire = Rip_service.Wire
 module Fallback = Rip_service.Fallback
 module Obs = Rip_obs.Metrics
+module Trace = Rip_obs.Trace
+module Wide_event = Rip_obs.Wide_event
 module Cpu_clock = Rip_numerics.Cpu_clock
 module Net = Rip_net.Net
 
@@ -61,6 +63,8 @@ type config = {
   hedge_delay_floor : float;  (* seconds; hedge delay never below this *)
   hedge_delay_factor : float;  (* hedge delay = factor * forward p99 *)
   breaker_threshold : int;  (* consecutive transport failures to open *)
+  tracer : Trace.t option;  (* ingress/forward spans + TRACE propagation *)
+  spool : Wide_event.spool option;  (* one wide event per request *)
 }
 
 let default_config =
@@ -80,6 +84,8 @@ let default_config =
     hedge_delay_floor = 0.05;
     hedge_delay_factor = 1.5;
     breaker_threshold = 3;
+    tracer = None;
+    spool = None;
   }
 
 (* Counter totals carried across shard incarnations.  A restarted shard
@@ -176,6 +182,7 @@ type t = {
   shards : shard array;
   metrics : Router_metrics.t;
   mutex : Mutex.t;  (* ring + shard state + lifecycle *)
+  seq : int Atomic.t;  (* minted-trace sequence at ingress *)
   mutable ring : Ring.t;
   mutable in_flight : int;
   mutable stopping : bool;
@@ -241,6 +248,7 @@ let create ?(config = default_config) ~shards process =
     shards = shard_states;
     metrics;
     mutex = Mutex.create ();
+    seq = Atomic.make 0;
     ring;
     in_flight = 0;
     stopping = false;
@@ -467,7 +475,12 @@ let find_shard t id =
   | None -> invalid_arg (Printf.sprintf "Router: unknown shard %s" id)
 
 type routing =
-  | Forward of shard * shard option * bool  (* target, failover, spilled *)
+  | Forward of {
+      target : shard;
+      failover : shard option;
+      spilled : bool;
+      breaker_skip : bool;  (* the key's primary was skipped breaker-open *)
+    }
   | Shed
   | No_candidate
 
@@ -494,7 +507,14 @@ let route t key =
         in
         if not (available primary) then
           match secondary_up with
-          | Some s -> Forward (s, None, false)
+          | Some s ->
+              Forward
+                {
+                  target = s;
+                  failover = None;
+                  spilled = false;
+                  breaker_skip = primary.breaker = Breaker_open;
+                }
           | None -> No_candidate
         else
           let p_primary = Pricing.price primary.pricing in
@@ -510,16 +530,20 @@ let route t key =
           let price = Pricing.price target.pricing in
           if price >= t.config.shed_price then
             if Array.length t.shards = 1 && not (floor_reached target) then
-              Forward (target, failover, spilled)
+              Forward { target; failover; spilled; breaker_skip = false }
             else Shed
-          else Forward (target, failover, spilled))
+          else Forward { target; failover; spilled; breaker_skip = false })
   in
   Mutex.unlock t.mutex;
   decision
 
-let forward t shard frame =
+let forward ?(args = []) t shard frame =
   let started = Cpu_clock.monotonic_seconds () in
-  let result = Client.Pool.request shard.pool frame in
+  let result =
+    Trace.span t.config.tracer ~cat:"router" ~args
+      ("forward:" ^ shard.spec.id)
+      (fun () -> Client.Pool.request shard.pool frame)
+  in
   (match result with
   | Ok _ ->
       note_forward_ok t shard;
@@ -551,6 +575,16 @@ type forward_slot = {
   mutable slot_result : (Protocol.response, string) result option;
 }
 
+(* Per-request involvement flags for the wide event; mutated only on
+   the connection thread (the hedge's primary runs on its own thread
+   but posts through the slot, never through this). *)
+type request_obs = {
+  mutable o_shard : string;
+  mutable o_hedged : bool;
+  mutable o_hedge_won : bool;
+  mutable o_failover : bool;
+}
+
 let hedge_tick_seconds = 0.002
 
 let hedge_delay t =
@@ -558,7 +592,8 @@ let hedge_delay t =
   Float.max t.config.hedge_delay_floor
     (t.config.hedge_delay_factor *. Obs.Histogram.quantile snapshot 0.99)
 
-let hedged_forward t primary secondary frame =
+let hedged_forward t obs (primary, primary_frame, primary_args)
+    (secondary, secondary_frame, secondary_args) =
   let slot = { slot_mutex = Mutex.create (); slot_result = None } in
   let post result =
     Mutex.lock slot.slot_mutex;
@@ -572,7 +607,10 @@ let hedged_forward t primary secondary frame =
     r
   in
   ignore
-    (Thread.create (fun () -> post (forward t primary frame)) () : Thread.t);
+    (Thread.create
+       (fun () -> post (forward ~args:primary_args t primary primary_frame))
+       ()
+      : Thread.t);
   let deadline = Cpu_clock.monotonic_seconds () +. hedge_delay t in
   let rec await_primary () =
     match peek () with
@@ -589,10 +627,13 @@ let hedged_forward t primary secondary frame =
   | Some (Error _) ->
       (* The primary's transport failed before the delay expired: this
          is an ordinary failover, not a hedge. *)
-      forward t secondary frame
+      obs.o_failover <- true;
+      obs.o_shard <- secondary.spec.id;
+      forward ~args:secondary_args t secondary secondary_frame
   | None -> (
       Obs.Counter.incr t.metrics.hedges;
-      match forward t secondary frame with
+      obs.o_hedged <- true;
+      match forward ~args:secondary_args t secondary secondary_frame with
       | Ok response -> (
           (* First answer wins: if the primary posted while the hedge
              ran, its answer was first and is the one served. *)
@@ -600,6 +641,8 @@ let hedged_forward t primary secondary frame =
           | Some (Ok primary_response) -> Ok primary_response
           | Some (Error _) | None ->
               Obs.Counter.incr t.metrics.hedge_wins;
+              obs.o_hedge_won <- true;
+              obs.o_shard <- secondary.spec.id;
               Ok response)
       | Error _ ->
           (* The hedge lost its transport; all that is left is waiting
@@ -620,47 +663,163 @@ let hedged_forward t primary secondary frame =
           in
           await_outcome ())
 
-let serve_solve t ~budget ~deadline_ms ~net =
+let serve_solve t ~budget ~deadline_ms ~trace ~net =
+  let started = Cpu_clock.monotonic_seconds () in
   Obs.Counter.incr t.metrics.requests;
   let key = Net.canonical_digest net in
-  let frame = Protocol.Solve { budget; deadline_ms; net } in
-  match route t key with
-  | No_candidate ->
-      (* Every shard is gone; the router still answers. *)
-      degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost
-  | Shed -> degraded_response t ~budget ~net ~shed:true Protocol.Overload
-  | Forward (target, failover, spilled) -> (
-      if spilled then Obs.Counter.incr target.inst.spills;
-      let hedge_target =
-        if t.config.hedge then
-          match failover with
-          | Some other when shard_available t other -> Some other
-          | _ -> None
+  let tracer = t.config.tracer in
+  let scope =
+    match tracer with
+    | Some tr when not (String.equal (Trace.scope tr) "") -> Trace.scope tr
+    | _ -> "router"
+  in
+  (* Ingress: propagate the client's TRACE context, or mint a
+     deterministic root when observability is on — the trace id is the
+     join key every downstream span and wide event carries. *)
+  let context =
+    match trace with
+    | Some c -> Some c
+    | None ->
+        if Option.is_some tracer || Option.is_some t.config.spool then
+          Some
+            (Trace.make_context ~scope ~digest:key
+               ~seq:(Atomic.fetch_and_add t.seq 1) ())
         else None
+  in
+  let sid name = Trace.span_id ~scope ~digest:key name in
+  let span_args ~parent name =
+    ("span_id", sid name)
+    :: (match context with
+       | Some c ->
+           [ ("trace_id", c.Trace.trace_id); ("parent_span_id", parent) ]
+       | None -> [])
+  in
+  let ingress_id = sid "ingress" in
+  (* A forwarded frame carries a child context parented on that shard's
+     forward span, so shard-side spans nest under the router's forward
+     in the merged timeline. *)
+  let frame_for shard =
+    let trace =
+      Option.map
+        (fun c -> Trace.child c ~span_id:(sid ("forward:" ^ shard.spec.id)))
+        context
+    in
+    Protocol.Solve { budget; deadline_ms; trace; net }
+  in
+  let fwd_args shard =
+    span_args ~parent:ingress_id ("forward:" ^ shard.spec.id)
+  in
+  let obs =
+    { o_shard = ""; o_hedged = false; o_hedge_won = false; o_failover = false }
+  in
+  let spilled_flag = ref false and breaker_flag = ref false in
+  let ingress_parent =
+    match context with
+    | Some c -> c.Trace.parent_span_id
+    | None -> Trace.root_span_id
+  in
+  let response =
+    Trace.span tracer ~cat:"router"
+      ~args:(span_args ~parent:ingress_parent "ingress")
+      "ingress"
+      (fun () ->
+        match route t key with
+        | No_candidate ->
+            (* Every shard is gone; the router still answers. *)
+            degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost
+        | Shed -> degraded_response t ~budget ~net ~shed:true Protocol.Overload
+        | Forward { target; failover; spilled; breaker_skip } -> (
+            obs.o_shard <- target.spec.id;
+            spilled_flag := spilled;
+            breaker_flag := breaker_skip;
+            if spilled then Obs.Counter.incr target.inst.spills;
+            let hedge_target =
+              if t.config.hedge then
+                match failover with
+                | Some other when shard_available t other -> Some other
+                | _ -> None
+              else None
+            in
+            match hedge_target with
+            | Some other -> (
+                match
+                  hedged_forward t obs
+                    (target, frame_for target, fwd_args target)
+                    (other, frame_for other, fwd_args other)
+                with
+                | Ok response -> response
+                | Error _ ->
+                    (* Both candidates were already tried inside the
+                       hedge. *)
+                    degraded_response t ~budget ~net ~shed:false
+                      Protocol.Worker_lost)
+            | None -> (
+                match
+                  forward ~args:(fwd_args target) t target (frame_for target)
+                with
+                | Ok response -> response
+                | Error _ -> (
+                    (* The poller will notice the death on its own tick;
+                       the request fails over right now. *)
+                    match failover with
+                    | Some other when shard_available t other -> (
+                        obs.o_failover <- true;
+                        obs.o_shard <- other.spec.id;
+                        match
+                          forward ~args:(fwd_args other) t other
+                            (frame_for other)
+                        with
+                        | Ok response -> response
+                        | Error _ ->
+                            degraded_response t ~budget ~net ~shed:false
+                              Protocol.Worker_lost)
+                    | _ ->
+                        degraded_response t ~budget ~net ~shed:false
+                          Protocol.Worker_lost))))
+  in
+  (* Exactly one wide event per request through the router, always kept
+     by the tail sampler when anything interesting happened (degraded,
+     hedged, failover, spill, breaker skip), so offline [rip_trace
+     query] counts reconcile exactly with the load generator's. *)
+  (match t.config.spool with
+  | None -> ()
+  | Some spool ->
+      let finished = Cpu_clock.monotonic_seconds () in
+      let outcome, degrade_reason, cache =
+        match response with
+        | Protocol.Result { served = Protocol.Cached; _ } ->
+            ("cached", "", "hit")
+        | Protocol.Result { served = Protocol.Fresh; _ } ->
+            ("fresh", "", "miss")
+        | Protocol.Degraded { reason; _ } ->
+            ("degraded", Protocol.degrade_reason_to_string reason, "")
+        | Protocol.Timeout -> ("timeout", "", "")
+        | Protocol.Busy -> ("busy", "", "")
+        | _ -> ("error", "", "")
       in
-      match hedge_target with
-      | Some other -> (
-          match hedged_forward t target other frame with
-          | Ok response -> response
-          | Error _ ->
-              (* Both candidates were already tried inside the hedge. *)
-              degraded_response t ~budget ~net ~shed:false Protocol.Worker_lost)
-      | None -> (
-          match forward t target frame with
-          | Ok response -> response
-          | Error _ -> (
-              (* The poller will notice the death on its own tick; the
-                 request fails over right now. *)
-              match failover with
-              | Some other when shard_available t other -> (
-                  match forward t other frame with
-                  | Ok response -> response
-                  | Error _ ->
-                      degraded_response t ~budget ~net ~shed:false
-                        Protocol.Worker_lost)
-              | _ ->
-                  degraded_response t ~budget ~net ~shed:false
-                    Protocol.Worker_lost)))
+      Wide_event.emit spool
+        {
+          Wide_event.empty with
+          process = scope;
+          trace_id =
+            (match context with Some c -> c.Trace.trace_id | None -> "");
+          digest = key;
+          shard = obs.o_shard;
+          outcome;
+          degrade_reason;
+          cache;
+          hedged = obs.o_hedged;
+          hedge_won = obs.o_hedge_won;
+          failover = obs.o_failover;
+          spilled = !spilled_flag;
+          breaker_skip = !breaker_flag;
+          latency = finished -. started;
+          deadline_slack =
+            (match deadline_ms with
+            | None -> Float.nan
+            | Some ms -> started +. (ms /. 1000.0) -. finished);
+        });
+  response
 
 (* --- Aggregated views ------------------------------------------------------ *)
 
@@ -823,13 +982,13 @@ let handle_connection t fd =
     | Ok (Some Protocol.Shutdown) ->
         send Protocol.Bye;
         request_shutdown t
-    | Ok (Some (Protocol.Solve { budget; deadline_ms; net })) ->
+    | Ok (Some (Protocol.Solve { budget; deadline_ms; trace; net })) ->
         track_in_flight t 1;
         let response =
           Fun.protect
             ~finally:(fun () -> track_in_flight t (-1))
             (fun () ->
-              try serve_solve t ~budget ~deadline_ms ~net
+              try serve_solve t ~budget ~deadline_ms ~trace ~net
               with exn ->
                 Protocol.Error_frame
                   {

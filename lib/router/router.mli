@@ -59,6 +59,17 @@ type config = {
       (** hedge delay = factor x p99 of recent forward round-trips *)
   breaker_threshold : int;
       (** consecutive transport failures that open a shard's breaker *)
+  tracer : Rip_obs.Trace.t option;
+      (** when set, every request leaves an ingress span plus one span
+          per forward attempt, and forwarded frames carry a TRACE
+          context parented on the forward span — shard-side spans nest
+          under it in a {!Rip_obs.Trace_merge} timeline.  A request
+          arriving without a TRACE header gets a deterministic root
+          context minted at ingress. *)
+  spool : Rip_obs.Wide_event.spool option;
+      (** when set, every request emits exactly one wide event (outcome,
+          target shard, hedge/failover/spill/breaker involvement,
+          deadline slack) through the spool's tail sampler *)
 }
 
 val default_config : config

@@ -6,7 +6,7 @@ module Rip = Rip_core.Rip
 module Stats = Rip_numerics.Stats
 
 let workload ?(seed = Suite.default_seed) ?(distinct_nets = 8) ?(slack = 1.3)
-    ?deadline_ms ~requests process =
+    ?deadline_ms ?(traced = false) ~requests process =
   if distinct_nets < 1 then invalid_arg "Loadgen.workload: distinct_nets < 1";
   if requests < 0 then invalid_arg "Loadgen.workload: negative requests";
   let rng = Rip_numerics.Prng.create seed in
@@ -15,9 +15,21 @@ let workload ?(seed = Suite.default_seed) ?(distinct_nets = 8) ?(slack = 1.3)
         let net = Netgen.generate rng ~index:(i + 1) in
         let geometry = Geometry.of_net net in
         let budget = slack *. Rip.tau_min process geometry in
-        Protocol.Solve { budget; deadline_ms; net })
+        Protocol.Solve { budget; deadline_ms; trace = None; net })
   in
-  Array.init requests (fun i -> frames.(i mod distinct_nets))
+  Array.init requests (fun i ->
+      match frames.(i mod distinct_nets) with
+      | Protocol.Solve { budget; deadline_ms; trace = _; net } when traced ->
+          (* Each request gets its own deterministic root context, even
+             when the net repeats — the trace id is the join key across
+             every process the request touches. *)
+          let trace =
+            Some
+              (Rip_obs.Trace.make_context ~scope:"loadgen"
+                 ~digest:(Net.canonical_digest net) ~seq:i ())
+          in
+          Protocol.Solve { budget; deadline_ms; trace; net }
+      | frame -> frame)
 
 type result = {
   sent : int;

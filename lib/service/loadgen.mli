@@ -9,6 +9,7 @@ val workload :
   ?distinct_nets:int ->
   ?slack:float ->
   ?deadline_ms:float ->
+  ?traced:bool ->
   requests:int ->
   Rip_tech.Process.t ->
   Protocol.request array
@@ -19,7 +20,10 @@ val workload :
     distinct-net count far below [requests] is what exercises the solve
     cache, mimicking a router re-querying the same global nets during
     timing closure.  [deadline_ms] stamps every frame with a DEADLINE
-    header (none by default). *)
+    header (none by default).  [traced] (default false) stamps every
+    frame with its own deterministic root TRACE context
+    ({!Rip_obs.Trace.make_context}, scope ["loadgen"], the request index
+    as sequence), so traces join across client, router and shard. *)
 
 type result = {
   sent : int;  (** requests issued *)

@@ -53,13 +53,20 @@ type health = {
   health_high_water : int;
 }
 
+module Trace = Rip_obs.Trace
+
 type request =
   | Ping
   | Stats
   | Metrics
   | Health
   | Shutdown
-  | Solve of { budget : float; deadline_ms : float option; net : Rip_net.Net.t }
+  | Solve of {
+      budget : float;
+      deadline_ms : float option;
+      trace : Trace.context option;
+      net : Rip_net.Net.t;
+    }
 
 type response =
   | Pong
@@ -128,10 +135,20 @@ let print_request = function
   | Metrics -> "METRICS\n"
   | Health -> "HEALTH\n"
   | Shutdown -> "SHUTDOWN\n"
-  | Solve { budget; deadline_ms = None; net } ->
-      Printf.sprintf "SOLVE %.17g\n%sEND\n" budget (Rip_net.Net_io.to_string net)
-  | Solve { budget; deadline_ms = Some ms; net } ->
-      Printf.sprintf "SOLVE %.17g DEADLINE %.17g\n%sEND\n" budget ms
+  | Solve { budget; deadline_ms; trace; net } ->
+      let deadline =
+        match deadline_ms with
+        | None -> ""
+        | Some ms -> Printf.sprintf " DEADLINE %.17g" ms
+      in
+      let traced =
+        match trace with
+        | None -> ""
+        | Some c ->
+            Printf.sprintf " TRACE %s %s %d" c.Trace.trace_id
+              c.Trace.parent_span_id c.Trace.flags
+      in
+      Printf.sprintf "SOLVE %.17g%s%s\n%sEND\n" budget deadline traced
         (Rip_net.Net_io.to_string net)
 
 let solution_body solution =
@@ -268,22 +285,50 @@ let input_request read =
       | [ "SHUTDOWN" ] -> Ok (Some Shutdown)
       | "SOLVE" :: budget :: header ->
           let* budget = parse_float "budget" budget in
-          let* deadline_ms =
+          (* DEADLINE affects correctness, so a malformed one is a
+             protocol error.  TRACE is best-effort observability: a
+             malformed, truncated, oversized or duplicated TRACE
+             degrades the request to untraced — the solve must never
+             fail because telemetry plumbing did. *)
+          let is_keyword t = String.equal t "DEADLINE" || String.equal t "TRACE" in
+          let rec drop_until_keyword = function
+            | t :: rest when not (is_keyword t) -> drop_until_keyword rest
+            | rest -> rest
+          in
+          let rec parse_header deadline trace header =
             match header with
-            | [] -> Ok None
-            | [ "DEADLINE"; ms ] ->
+            | [] -> Ok (deadline, trace)
+            | "DEADLINE" :: ms :: rest ->
                 let* ms = parse_float "deadline" ms in
                 if ms < 0.0 then Error "negative deadline"
-                else Ok (Some ms)
+                else parse_header (Some ms) trace rest
+            | "TRACE" :: tid :: psid :: flags :: rest
+              when not (is_keyword tid || is_keyword psid || is_keyword flags)
+              ->
+                let trace =
+                  match
+                    ( trace,
+                      Trace.context_of_tokens ~trace_id:tid
+                        ~parent_span_id:psid ~flags )
+                  with
+                  | None, Some c -> Some (Some c)
+                  | _, _ -> Some None  (* duplicate or invalid: untraced *)
+                in
+                parse_header deadline trace rest
+            | "TRACE" :: rest ->
+                (* Truncated TRACE: discard its tokens, keep parsing. *)
+                parse_header deadline (Some None) (drop_until_keyword rest)
             | _ -> Error "malformed SOLVE header"
           in
+          let* deadline_ms, trace = parse_header None None header in
+          let trace = Option.join trace in
           let* body = body_until_end read in
           let* net =
             Result.map_error
               (fun e -> Printf.sprintf "bad net body: %s" e)
               (Rip_net.Net_io.parse_string (String.concat "\n" body))
           in
-          Ok (Some (Solve { budget; deadline_ms; net }))
+          Ok (Some (Solve { budget; deadline_ms; trace; net }))
       | [] -> Error "empty request line"
       | word :: _ -> Error (Printf.sprintf "unknown request %S" word))
 
@@ -488,6 +533,7 @@ let request_equal a b =
   | Solve a, Solve b ->
       a.budget = b.budget
       && Option.equal Float.equal a.deadline_ms b.deadline_ms
+      && Option.equal Trace.context_equal a.trace b.trace
       && Rip_net.Net.equal a.net b.net
   | (Ping | Stats | Metrics | Health | Shutdown | Solve _), _ -> false
 

@@ -12,7 +12,7 @@
     METRICS
     HEALTH
     SHUTDOWN
-    SOLVE <budget-seconds> [DEADLINE <milliseconds>]
+    SOLVE <budget-seconds> [DEADLINE <milliseconds>] [TRACE <trace-id> <parent-span-id> <flags>]
     <net body in the Rip_net.Net_io file format>
     END
     v}
@@ -22,6 +22,15 @@
     monotonic clock.  Past the deadline the server answers [TIMEOUT]
     (nothing started yet) or degrades to its analytic fallback tier and
     answers [DEGRADED] (see below); it never keeps solving.
+
+    The optional [TRACE] header propagates a distributed-trace context:
+    a 32-hex-digit trace id, the 16-hex-digit span id of the caller's
+    span (all zeros for a root), and a decimal flags byte (bit 0 =
+    sampled).  The two headers may appear in either order.  TRACE is
+    best-effort observability: a malformed, truncated, duplicated or
+    otherwise invalid TRACE header degrades the request to untraced and
+    the solve proceeds normally — a bad DEADLINE is still a protocol
+    error, because deadlines affect correctness.
 
     The net body must not contain a line equal to [END] (bodies produced
     by {!Rip_net.Net_io.to_string} never do).
@@ -159,6 +168,9 @@ type request =
   | Solve of {
       budget : float;
       deadline_ms : float option;  (** wall-time budget for the request *)
+      trace : Rip_obs.Trace.context option;
+          (** distributed-trace context from the TRACE header, when one
+              was present and valid *)
       net : Rip_net.Net.t;
     }
 

@@ -1,6 +1,7 @@
 module Engine = Rip_engine.Engine
 module Cancel = Rip_engine.Cancel
 module Trace = Rip_obs.Trace
+module Wide_event = Rip_obs.Wide_event
 module Cpu_clock = Rip_numerics.Cpu_clock
 module Rip = Rip_core.Rip
 module Net = Rip_net.Net
@@ -17,6 +18,7 @@ type config = {
   solver : Rip_core.Config.t option;
   faults : Faults.t option;
   tracer : Trace.t option;
+  spool : Wide_event.spool option;
   journal_dir : string option;
 }
 
@@ -31,6 +33,7 @@ let default_config =
     solver = None;
     faults = None;
     tracer = None;
+    spool = None;
     journal_dir = None;
   }
 
@@ -389,18 +392,23 @@ type solve_outcome =
    bumps, cheap enough to keep on for every solve.  Both DP backends
    report through the same [Column] event, so the counters are
    backend-independent. *)
-let solver_probe t = function
+let solver_probe t ~pruned = function
   | Rip.Dp (Rip_dp.Power_dp.Column { collected; kept; _ }) ->
       Metrics.incr_dp_columns t.metrics;
-      Metrics.add_dp_labels_pruned t.metrics (collected - kept)
+      Metrics.add_dp_labels_pruned t.metrics (collected - kept);
+      ignore (Atomic.fetch_and_add pruned (collected - kept))
   | Rip.Refine (Rip_refine.Refine.Iteration _) ->
       Metrics.incr_refine_iterations t.metrics
   | Rip.Refine (Rip_refine.Refine.Newton _) ->
       Metrics.incr_newton_iterations t.metrics
 
-let run_full_solve t ~budget ~net ~key token =
+let run_full_solve t ~budget ~net ~key ~trace ~pruned token =
   let tracer = t.config.tracer in
-  let span_args name = [ ("span_id", Trace.span_id ~digest:key name) ] in
+  let scope = match tracer with Some tr -> Trace.scope tr | None -> "" in
+  let span_args name =
+    ("span_id", Trace.span_id ~scope ~digest:key name)
+    :: (match trace with Some c -> Trace.context_args c | None -> [])
+  in
   let enqueued = Cpu_clock.monotonic_seconds () in
   (* Started on the connection thread, ended by the worker the moment it
      picks the job up: the span is exactly the queue wait.  The
@@ -440,7 +448,7 @@ let run_full_solve t ~budget ~net ~key token =
                       Rip.solve ?config:t.config.solver
                         ~hooks:
                           (Rip_core.Hooks.make ~cancel:(Cancel.hook token)
-                             ~probe:(solver_probe t) ?phase ())
+                             ~probe:(solver_probe t ~pruned) ?phase ())
                         { Rip.process = t.process; net; geometry = None;
                           budget }
                     with
@@ -457,7 +465,8 @@ let run_full_solve t ~budget ~net ~key token =
       in
       outcomes.(0))
 
-let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
+let serve_admitted t ~budget ~deadline_ms ~net ~key ~trace ~pruned ~queue_wait
+    ~admitted_at =
   let token = Cancel.create () in
   let watchdog_id =
     Option.map
@@ -471,8 +480,9 @@ let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
     ~finally:(fun () -> Option.iter (Watchdog.disarm t.watchdog) watchdog_id)
     (fun () ->
       let outcome, queue_seconds, cpu_seconds =
-        run_full_solve t ~budget ~net ~key token
+        run_full_solve t ~budget ~net ~key ~trace ~pruned token
       in
+      queue_wait := queue_seconds;
       Metrics.add_solve_times t.metrics ~queue_seconds ~cpu_seconds;
       match outcome with
       | Solved report ->
@@ -501,48 +511,103 @@ let serve_admitted t ~budget ~deadline_ms ~net ~key ~admitted_at =
       | Worker_lost_mid_solve ->
           degraded_response t ~budget ~net Protocol.Worker_lost)
 
-let serve_solve t ~budget ~deadline_ms ~net =
+let serve_solve t ~budget ~deadline_ms ~trace ~net =
+  let started = Cpu_clock.monotonic_seconds () in
   Metrics.incr_requests t.metrics;
   let key = cache_key t ~net ~budget in
   let tracer = t.config.tracer in
-  (* Span ids derive from the cache key, so the same request traced
-     twice produces the same ids — traces diff across runs. *)
+  let scope = match tracer with Some tr -> Trace.scope tr | None -> "" in
+  (* Span ids derive from the cache key and the tracer's scope — the
+     same request traced twice produces the same ids (traces diff
+     across runs) while two shards tracing the same digest never
+     collide.  A propagated TRACE context rides along on every span, so
+     a cross-process merge can parent these under the caller's span. *)
   let span name f =
     Trace.span tracer ~cat:"service"
-      ~args:[ ("span_id", Trace.span_id ~digest:key name) ]
+      ~args:
+        (("span_id", Trace.span_id ~scope ~digest:key name)
+        :: (match trace with Some c -> Trace.context_args c | None -> []))
       name f
   in
-  (* The cache is consulted before the deadline: replaying a cached
-     solution is effectively free, so a cached answer always beats a
-     TIMEOUT, even for a deadline that expired in transit. *)
-  match
-    span "cache_lookup" (fun () ->
-        Solve_cache.find_verified t.cache key ~digest_of:solution_digest)
-  with
-  | Some solution ->
-      Metrics.incr_solved t.metrics;
-      Protocol.Result { served = Cached; solution }
-  | None -> (
-      match deadline_ms with
-      | Some ms when ms <= 0.0 ->
-          (* Expired at admission: answer immediately, dispatch nothing. *)
-          Metrics.incr_timeouts t.metrics;
-          Protocol.Timeout
-      | _ -> (
-          match span "admission" (fun () -> try_acquire_slot t) with
-          | Rejected ->
-              Metrics.incr_busy t.metrics;
-              Protocol.Busy
-          | Admitted depth ->
-              Fun.protect
-                ~finally:(fun () -> release_slot t)
-                (fun () ->
-                  if depth > t.config.high_water then
-                    degraded_response t ~budget ~net Protocol.Overload
-                  else
-                    let admitted_at = Cpu_clock.monotonic_seconds () in
-                    serve_admitted t ~budget ~deadline_ms ~net ~key
-                      ~admitted_at)))
+  let pruned = Atomic.make 0 in
+  let queue_wait = ref Float.nan in
+  let response =
+    (* The cache is consulted before the deadline: replaying a cached
+       solution is effectively free, so a cached answer always beats a
+       TIMEOUT, even for a deadline that expired in transit. *)
+    match
+      span "cache_lookup" (fun () ->
+          Solve_cache.find_verified t.cache key ~digest_of:solution_digest)
+    with
+    | Some solution ->
+        Metrics.incr_solved t.metrics;
+        Protocol.Result { served = Cached; solution }
+    | None -> (
+        match deadline_ms with
+        | Some ms when ms <= 0.0 ->
+            (* Expired at admission: answer immediately, dispatch nothing. *)
+            Metrics.incr_timeouts t.metrics;
+            Protocol.Timeout
+        | _ -> (
+            match span "admission" (fun () -> try_acquire_slot t) with
+            | Rejected ->
+                Metrics.incr_busy t.metrics;
+                Protocol.Busy
+            | Admitted depth ->
+                Fun.protect
+                  ~finally:(fun () -> release_slot t)
+                  (fun () ->
+                    if depth > t.config.high_water then
+                      degraded_response t ~budget ~net Protocol.Overload
+                    else
+                      let admitted_at = Cpu_clock.monotonic_seconds () in
+                      serve_admitted t ~budget ~deadline_ms ~net ~key ~trace
+                        ~pruned ~queue_wait ~admitted_at)))
+  in
+  (* Exactly one wide event per SOLVE: the canonical log line the tail
+     sampler and offline [rip_trace query] aggregate over. *)
+  (match t.config.spool with
+  | None -> ()
+  | Some spool ->
+      let finished = Cpu_clock.monotonic_seconds () in
+      let outcome, degrade_reason, cache =
+        match response with
+        | Protocol.Result { served = Cached; _ } -> ("cached", "", "hit")
+        | Protocol.Result { served = Fresh; _ } -> ("fresh", "", "miss")
+        | Protocol.Degraded { reason; _ } ->
+            ("degraded", Protocol.degrade_reason_to_string reason, "miss")
+        | Protocol.Timeout -> ("timeout", "", "miss")
+        | Protocol.Busy -> ("busy", "", "miss")
+        | _ -> ("error", "", "miss")
+      in
+      let solver =
+        match t.config.solver with
+        | Some c -> c
+        | None -> Rip_core.Config.default
+      in
+      Wide_event.emit spool
+        {
+          Wide_event.empty with
+          process =
+            (if String.equal scope "" then t.config.shard_id else scope);
+          trace_id =
+            (match trace with Some c -> c.Trace.trace_id | None -> "");
+          digest = Digest.to_hex (Digest.string key);
+          shard = t.config.shard_id;
+          outcome;
+          degrade_reason;
+          cache;
+          dp_backend =
+            Rip_dp.Power_dp.backend_name solver.Rip_core.Config.dp.backend;
+          labels_pruned = Atomic.get pruned;
+          queue_wait = !queue_wait;
+          latency = finished -. started;
+          deadline_slack =
+            (match deadline_ms with
+            | None -> Float.nan
+            | Some ms -> started +. (ms /. 1000.0) -. finished);
+        });
+  response
 
 (* --- Connection handling -------------------------------------------------- *)
 
@@ -583,9 +648,9 @@ let handle_connection t fd =
     | Ok (Some Protocol.Shutdown) ->
         send Protocol.Bye;
         request_shutdown t
-    | Ok (Some (Protocol.Solve { budget; deadline_ms; net })) ->
+    | Ok (Some (Protocol.Solve { budget; deadline_ms; trace; net })) ->
         let response =
-          try serve_solve t ~budget ~deadline_ms ~net
+          try serve_solve t ~budget ~deadline_ms ~trace ~net
           with exn ->
             Protocol.Error_frame
               {

@@ -56,8 +56,16 @@ type config = {
   tracer : Rip_obs.Trace.t option;
       (** when set, every request leaves spans (admission, cache lookup,
           queue wait, solve, per-phase solver work) in the tracer, with
-          span ids derived from the request's cache key; the daemon dumps
-          them as Chrome-trace JSON on exit ([--trace-out]) *)
+          span ids derived from the request's cache key and the tracer's
+          scope (collision-free across shards); a request carrying a
+          TRACE context gets its [trace_id]/[parent_span_id] attached to
+          every span, so a cross-process merge ({!Rip_obs.Trace_merge})
+          parents them under the caller's span; the daemon dumps spans
+          as Chrome-trace JSON on exit ([--trace-out]) *)
+  spool : Rip_obs.Wide_event.spool option;
+      (** when set, every SOLVE emits exactly one wide event (outcome,
+          cache, queue wait, DP backend, labels pruned, deadline slack)
+          through the spool's tail sampler *)
   journal_dir : string option;
       (** when set, every verified cache insert is appended to a
           crash-durable {!Journal} in this directory and the log is
@@ -71,7 +79,8 @@ val default_config : config
 (** [shard_id = "standalone"], [jobs = None], [queue_depth = 64],
     [high_water = 48], [cache_capacity = 512],
     [max_frame_bytes = Wire.default_max_frame_bytes], [solver = None],
-    [faults = None], [tracer = None], [journal_dir = None]. *)
+    [faults = None], [tracer = None], [spool = None],
+    [journal_dir = None]. *)
 
 type t
 

@@ -8,6 +8,7 @@ module Counter = Rip_obs.Metrics.Counter
 module Gauge = Rip_obs.Metrics.Gauge
 module Histogram = Rip_obs.Metrics.Histogram
 module Trace = Rip_obs.Trace
+module Trace_merge = Rip_obs.Trace_merge
 module Geometry = Rip_net.Geometry
 module Rip = Rip_core.Rip
 
@@ -274,6 +275,289 @@ let test_trace_disabled_nop () =
   let finish = Trace.begin_opt None "nothing" in
   finish ()
 
+(* Regression: span ids used to be MD5(digest/name) with no process
+   scope, so two shards solving the same digest collided in a merged
+   timeline.  The empty scope must keep the historical formula (old
+   dumps stay diffable); any non-empty scope must perturb it. *)
+let test_scoped_span_ids () =
+  let legacy = Trace.span_id ~digest:"abc" "solve" in
+  Alcotest.(check string)
+    "empty scope is the legacy id" legacy
+    (Trace.span_id ~scope:"" ~digest:"abc" "solve");
+  let s0 = Trace.span_id ~scope:"s0" ~digest:"abc" "solve" in
+  let s1 = Trace.span_id ~scope:"s1" ~digest:"abc" "solve" in
+  Alcotest.(check bool) "scope perturbs the id" true (s0 <> legacy);
+  Alcotest.(check bool) "distinct scopes, distinct ids" true (s0 <> s1);
+  Alcotest.(check int) "still 16 hex chars" 16 (String.length s0);
+  let t = Trace.create ~scope:"s0" () in
+  Alcotest.(check string)
+    "scoped_span_id uses the tracer's scope" s0
+    (Trace.scoped_span_id t ~digest:"abc" "solve")
+
+let test_trace_context () =
+  let c = Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:7 () in
+  Alcotest.(check bool) "valid" true (Trace.valid_context c);
+  Alcotest.(check int) "32-hex trace id" 32 (String.length c.Trace.trace_id);
+  Alcotest.(check string)
+    "ingress parent is the root" Trace.root_span_id c.Trace.parent_span_id;
+  Alcotest.(check bool)
+    "deterministic" true
+    (Trace.context_equal c
+       (Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:7 ()));
+  Alcotest.(check bool)
+    "seq separates repeat solves" true
+    (not
+       (Trace.context_equal c
+          (Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:8 ())));
+  let child = Trace.child c ~span_id:"aaaaaaaaaaaaaaaa" in
+  Alcotest.(check string)
+    "child keeps the trace" c.Trace.trace_id child.Trace.trace_id;
+  Alcotest.(check string)
+    "child reparents" "aaaaaaaaaaaaaaaa" child.Trace.parent_span_id;
+  (match
+     Trace.context_of_tokens ~trace_id:c.Trace.trace_id
+       ~parent_span_id:c.Trace.parent_span_id
+       ~flags:(string_of_int c.Trace.flags)
+   with
+  | Some parsed ->
+      Alcotest.(check bool)
+        "token round trip" true (Trace.context_equal c parsed)
+  | None -> Alcotest.fail "valid tokens rejected");
+  List.iter
+    (fun (tid, psid, flags) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %s/%s/%s" tid psid flags)
+        true
+        (Option.is_none
+           (Trace.context_of_tokens ~trace_id:tid ~parent_span_id:psid ~flags)))
+    [
+      ("short", "0000000000000000", "0");
+      (String.make 32 'g', "0000000000000000", "0");
+      (c.Trace.trace_id, "short", "0");
+      (c.Trace.trace_id, "0000000000000000", "256");
+      (c.Trace.trace_id, "0000000000000000", "-1");
+      (c.Trace.trace_id, "0000000000000000", "x");
+    ]
+
+(* --- Wide events ---------------------------------------------------------- *)
+
+module Wide_event = Rip_obs.Wide_event
+
+let sample_event =
+  {
+    Wide_event.empty with
+    process = "s0";
+    trace_id = "deadbeefdeadbeefdeadbeefdeadbeef";
+    digest = "abc";
+    shard = "s0";
+    outcome = "fresh";
+    cache = "miss";
+    dp_backend = "pruning";
+    labels_pruned = 42;
+    queue_wait = 0.001;
+    latency = 0.25;
+    deadline_slack = 0.75;
+  }
+
+let test_wide_event_roundtrip () =
+  let line = Wide_event.to_line sample_event in
+  Alcotest.(check bool)
+    "one line, no newline" true
+    (not (String.contains line '\n'));
+  (match Wide_event.of_line line with
+  | Ok e -> Alcotest.(check bool) "round trips" true (e = sample_event)
+  | Error e -> Alcotest.fail e);
+  (* nan deadline slack (no deadline) must survive the round trip *)
+  let no_deadline = { sample_event with Wide_event.deadline_slack = Float.nan } in
+  (match Wide_event.of_line (Wide_event.to_line no_deadline) with
+  | Ok e ->
+      Alcotest.(check bool)
+        "nan slack round trips" true
+        (Float.is_nan e.Wide_event.deadline_slack)
+  | Error e -> Alcotest.fail e);
+  (match Wide_event.of_line "{\"schema\":999}" with
+  | Ok _ -> Alcotest.fail "future schema accepted"
+  | Error _ -> ());
+  match Wide_event.of_line "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let test_wide_event_sampling () =
+  let sampler = { Wide_event.latency_threshold = 0.1; sample_ratio = 0.0 } in
+  let fast = { sample_event with Wide_event.latency = 0.001 } in
+  Alcotest.(check bool)
+    "boring fast event sampled out at ratio 0" false
+    (Wide_event.keep sampler fast);
+  Alcotest.(check bool)
+    "slow event always kept" true
+    (Wide_event.keep sampler { fast with Wide_event.latency = 0.2 });
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("interesting always kept: " ^ e.Wide_event.outcome
+       ^ if e.Wide_event.hedged then "+hedged" else "")
+        true
+        (Wide_event.interesting e && Wide_event.keep sampler e))
+    [
+      { fast with Wide_event.outcome = "degraded" };
+      { fast with Wide_event.outcome = "timeout" };
+      { fast with Wide_event.outcome = "error" };
+      { fast with Wide_event.hedged = true };
+      { fast with Wide_event.failover = true };
+      { fast with Wide_event.spilled = true };
+      { fast with Wide_event.breaker_skip = true };
+    ];
+  Alcotest.(check bool)
+    "ratio 1 keeps everything" true
+    (Wide_event.keep Wide_event.keep_all fast);
+  (* the probabilistic tier is deterministic in the event identity *)
+  let half = { Wide_event.latency_threshold = 0.1; sample_ratio = 0.5 } in
+  Alcotest.(check bool)
+    "sampling decision is deterministic" (Wide_event.keep half fast)
+    (Wide_event.keep half fast)
+
+let test_wide_event_spool () =
+  let path = Filename.temp_file "rip_spool" ".jsonl" in
+  let spool = Wide_event.create ~sampler:Wide_event.keep_all path in
+  let events =
+    List.init 5 (fun i ->
+        { sample_event with Wide_event.labels_pruned = i })
+  in
+  List.iter (Wide_event.emit spool) events;
+  Alcotest.(check int) "all written" 5 (Wide_event.written spool);
+  Alcotest.(check int) "none sampled out" 0 (Wide_event.sampled_out spool);
+  Wide_event.close spool;
+  let loaded = Wide_event.load_file path in
+  Alcotest.(check int) "all load back" 5 (List.length loaded);
+  Alcotest.(check bool) "in order, intact" true (loaded = events);
+  (* a torn tail (crash mid-line) is skipped, not an error *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"schema\":1,\"proc";
+  close_out oc;
+  Alcotest.(check int)
+    "torn tail skipped" 5
+    (List.length (Wide_event.load_file path));
+  Sys.remove path
+
+let test_wide_event_spool_rotation () =
+  let path = Filename.temp_file "rip_spool_rot" ".jsonl" in
+  let spool =
+    Wide_event.create ~max_bytes:4096 ~sampler:Wide_event.keep_all path
+  in
+  for i = 1 to 40 do
+    Wide_event.emit spool { sample_event with Wide_event.labels_pruned = i }
+  done;
+  Wide_event.close spool;
+  Alcotest.(check bool)
+    "rotated generation exists" true
+    (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool)
+    "live file stays under the cap" true
+    ((Unix.stat path).Unix.st_size <= 4096);
+  (* disk is bounded at ~2x max_bytes: older generations are clobbered,
+     but the most recent events always survive in the live file *)
+  let live = Wide_event.load_file path in
+  let old = Wide_event.load_file (path ^ ".1") in
+  Alcotest.(check bool)
+    "both generations parse" true
+    (live <> [] && old <> []);
+  (match List.rev live with
+  | last :: _ ->
+      Alcotest.(check int)
+        "newest event is in the live file" 40 last.Wide_event.labels_pruned
+  | [] -> Alcotest.fail "empty live spool");
+  Sys.remove path;
+  Sys.remove (path ^ ".1")
+
+(* --- Cross-process trace merging ------------------------------------------ *)
+
+let test_trace_merge () =
+  let router = Trace.create ~scope:"router" ~pid:11 () in
+  let shard = Trace.create ~scope:"s0" ~pid:22 () in
+  let ctx = Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:0 () in
+  let fwd_id = Trace.scoped_span_id router ~digest:"abc" "forward:s0" in
+  Trace.span (Some router) ~cat:"router"
+    ~args:
+      (("span_id", fwd_id)
+      :: Trace.context_args (Trace.child ctx ~span_id:fwd_id))
+    "forward:s0"
+    (fun () ->
+      Trace.span (Some shard) ~cat:"service"
+        ~args:
+          (("span_id", Trace.scoped_span_id shard ~digest:"abc" "solve")
+          :: Trace.context_args (Trace.child ctx ~span_id:fwd_id))
+        "solve"
+        (fun () -> ()));
+  let parse t =
+    match Trace_merge.parse (Trace.to_chrome_json t) with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let dr = parse router and ds = parse shard in
+  Alcotest.(check string)
+    "ripMeta scope becomes the label" "router" dr.Trace_merge.label;
+  Alcotest.(check int) "pid carried" 11 dr.Trace_merge.pid;
+  let merged = Trace_merge.merge [ dr; ds ] in
+  Alcotest.(check bool)
+    "both process tracks labelled" true
+    (contains merged "\"router\"" && contains merged "\"s0\""
+    && contains merged "process_name");
+  (match Trace_merge.parse merged with
+  | Ok d ->
+      Alcotest.(check bool)
+        "merged doc reparses" true
+        (List.length d.Trace_merge.events >= 2)
+  | Error e -> Alcotest.fail e);
+  match Trace_merge.traces [ dr; ds ] with
+  | [ (tid, spans) ] ->
+      Alcotest.(check string) "grouped by trace id" ctx.Trace.trace_id tid;
+      Alcotest.(check int) "both spans in the trace" 2 (List.length spans);
+      let solve =
+        List.find
+          (fun (s : Trace_merge.trace_span) -> s.span_name = "solve")
+          spans
+      in
+      Alcotest.(check string)
+        "shard span parents under the forward span" fwd_id
+        (Option.value ~default:""
+           (List.assoc_opt "parent_span_id" solve.Trace_merge.span_args))
+  | traces ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 trace, got %d" (List.length traces))
+
+(* --- Prometheus exposition conformance ------------------------------------ *)
+
+let test_exposition_conformance () =
+  let r = Obs.create () in
+  let c =
+    Obs.counter r ~name:"conf_total" ~help:"line one\nline two \\ backslash"
+  in
+  let h = Obs.histogram ~bounds r ~name:"conf_seconds" ~help:"latency" in
+  Counter.incr c;
+  Histogram.observe h 0.5;
+  Histogram.observe h 1e9 (* lands in the +Inf overflow bucket *);
+  let text = Obs.render r in
+  Alcotest.(check bool)
+    "HELP and TYPE comments" true
+    (contains text "# HELP conf_total "
+    && contains text "# TYPE conf_total counter"
+    && contains text "# HELP conf_seconds "
+    && contains text "# TYPE conf_seconds histogram");
+  Alcotest.(check bool)
+    "HELP newline and backslash escaped" true
+    (contains text "line one\\nline two \\\\ backslash");
+  Alcotest.(check bool)
+    "explicit +Inf bucket" true
+    (contains text "conf_seconds_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool)
+    "sum and count series" true
+    (contains text "conf_seconds_sum" && contains text "conf_seconds_count 2");
+  (* every bucket line is cumulative and le-sorted *)
+  match Obs.parse_histograms text with
+  | [ ("conf_seconds", s) ] ->
+      Alcotest.(check int) "parse sees both samples" 2 s.Histogram.count
+  | _ -> Alcotest.fail "histogram family did not round trip"
+
 (* --- Solver probes through the full pipeline ------------------------------ *)
 
 let probe_request () =
@@ -361,6 +645,27 @@ let suite =
         Alcotest.test_case "deterministic span ids" `Quick test_trace_span_id;
         Alcotest.test_case "disabled tracer is a nop" `Quick
           test_trace_disabled_nop;
+        Alcotest.test_case "scoped span ids do not collide across shards"
+          `Quick test_scoped_span_ids;
+        Alcotest.test_case "trace contexts: mint, parse, child" `Quick
+          test_trace_context;
+        Alcotest.test_case "cross-process merge links forward to solve"
+          `Quick test_trace_merge;
+      ] );
+    ( "obs.wide_events",
+      [
+        Alcotest.test_case "line round trip" `Quick test_wide_event_roundtrip;
+        Alcotest.test_case "tail sampler keeps the tail" `Quick
+          test_wide_event_sampling;
+        Alcotest.test_case "spool write/load and torn tails" `Quick
+          test_wide_event_spool;
+        Alcotest.test_case "spool rotation bounds disk" `Quick
+          test_wide_event_spool_rotation;
+      ] );
+    ( "obs.exposition",
+      [
+        Alcotest.test_case "Prometheus conformance: HELP escaping, +Inf"
+          `Quick test_exposition_conformance;
       ] );
     ( "obs.probes",
       [

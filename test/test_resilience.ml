@@ -92,7 +92,7 @@ let test_timeout_at_admission () =
       (match
          Client.request client
            (Protocol.Solve
-              { budget = feasible_budget net; deadline_ms = Some 0.0; net })
+              { budget = feasible_budget net; deadline_ms = Some 0.0; trace = None; net })
        with
       | Ok Protocol.Timeout -> ()
       | Ok other ->
@@ -115,7 +115,7 @@ let test_cache_hit_beats_expired_deadline () =
       let budget = feasible_budget net in
       (match
          Client.request client
-           (Protocol.Solve { budget; deadline_ms = None; net })
+           (Protocol.Solve { budget; deadline_ms = None; trace = None; net })
        with
       | Ok (Protocol.Result { served = Protocol.Fresh; _ }) -> ()
       | Ok other ->
@@ -125,7 +125,7 @@ let test_cache_hit_beats_expired_deadline () =
          deadline that was already dead on arrival. *)
       (match
          Client.request client
-           (Protocol.Solve { budget; deadline_ms = Some 0.0; net })
+           (Protocol.Solve { budget; deadline_ms = Some 0.0; trace = None; net })
        with
       | Ok (Protocol.Result { served = Protocol.Cached; _ }) -> ()
       | Ok other ->
@@ -154,7 +154,7 @@ let test_deadline_mid_solve_degrades () =
       let budget = feasible_budget net in
       (match
          Client.request client
-           (Protocol.Solve { budget; deadline_ms = Some 50.0; net })
+           (Protocol.Solve { budget; deadline_ms = Some 50.0; trace = None; net })
        with
       | Ok (Protocol.Degraded { reason = Protocol.Deadline_exceeded; solution })
         ->
@@ -185,7 +185,7 @@ let test_worker_kill_degrades () =
       let net = sample_net () in
       let budget = feasible_budget net in
       let solve =
-        Protocol.Solve { budget; deadline_ms = None; net }
+        Protocol.Solve { budget; deadline_ms = None; trace = None; net }
       in
       (match Client.request client solve with
       | Ok (Protocol.Degraded { reason = Protocol.Worker_lost; solution }) ->
@@ -229,7 +229,7 @@ let test_overload_sheds_to_degraded () =
     (fun server ->
       let net = sample_net () in
       let budget = feasible_budget net in
-      let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+      let solve = Protocol.Solve { budget; deadline_ms = None; trace = None; net } in
       let responses = Array.make 2 (Error "not run") in
       let one index () =
         let client, worker = connect_pair server in
@@ -266,7 +266,7 @@ let test_cache_corruption_self_heals () =
       let client, worker = connect_pair server in
       let net = sample_net () in
       let budget = feasible_budget net in
-      let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+      let solve = Protocol.Solve { budget; deadline_ms = None; trace = None; net } in
       let served () =
         match Client.request client solve with
         | Ok (Protocol.Result { served; _ }) -> served
@@ -473,7 +473,7 @@ let test_dropped_connection_retries () =
       let outcome =
         Client.request_with_retry session
           (Protocol.Solve
-             { budget = feasible_budget net; deadline_ms = None; net })
+             { budget = feasible_budget net; deadline_ms = None; trace = None; net })
       in
       Client.close_session session;
       (match outcome.Client.response with
@@ -520,7 +520,7 @@ let test_busy_retries_counted () =
       let outcome =
         Client.request_with_retry session
           (Protocol.Solve
-             { budget = feasible_budget net; deadline_ms = None; net })
+             { budget = feasible_budget net; deadline_ms = None; trace = None; net })
       in
       (match outcome.Client.response with
       | Ok Protocol.Busy -> ()
@@ -904,7 +904,7 @@ let test_journal_server_restart () =
         let answer =
           Client.request client
             (Protocol.Solve
-               { budget = feasible_budget net; deadline_ms = None; net })
+               { budget = feasible_budget net; deadline_ms = None; trace = None; net })
         in
         Client.close client;
         Thread.join worker;

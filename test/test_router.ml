@@ -244,6 +244,135 @@ let prop_pricing_deterministic =
       in
       List.for_all2 (fun a b -> Float.equal a b) (run ()) (run ()))
 
+(* --- End to end: router -> shard span parentage -------------------------- *)
+
+(* One in-process shard server and router, each with a scoped tracer,
+   a traced SOLVE through the router's front socket — then merge both
+   Chrome dumps and assert the cross-process parent chain the TRACE
+   header is supposed to build: client root -> router ingress -> router
+   forward:<shard> -> shard spans. *)
+let test_router_trace_parentage () =
+  let process = Helpers.process in
+  let module Server = Rip_service.Server in
+  let module Client = Rip_service.Client in
+  let module Protocol = Rip_service.Protocol in
+  let module Trace = Rip_obs.Trace in
+  let module Trace_merge = Rip_obs.Trace_merge in
+  let dir = Filename.get_temp_dir_name () in
+  let tag = Unix.getpid () in
+  let shard_sock =
+    Filename.concat dir (Printf.sprintf "rip-test-%d-shard.sock" tag)
+  in
+  let router_sock =
+    Filename.concat dir (Printf.sprintf "rip-test-%d-router.sock" tag)
+  in
+  let shard_tracer = Trace.create ~scope:"s0" ~pid:1 () in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          jobs = Some 1;
+          shard_id = "s0";
+          tracer = Some shard_tracer;
+        }
+      process
+  in
+  let server_listener = Server.listen_unix shard_sock in
+  let server_thread =
+    Thread.create (fun () -> Server.run server server_listener) ()
+  in
+  let router_tracer = Trace.create ~scope:"router" ~pid:2 () in
+  let router =
+    Router.create
+      ~config:{ Router.default_config with tracer = Some router_tracer }
+      ~shards:[ { Router.id = "s0"; socket = shard_sock; weight = 1 } ]
+      process
+  in
+  let router_listener = Router.listen_unix router_sock in
+  let router_thread =
+    Thread.create (fun () -> Router.run router router_listener) ()
+  in
+  let net =
+    Helpers.Net.uniform ~name:"traced" Rip_tech.Layer.metal4 ~length:5000.0
+      ~segment_count:3 ~driver_width:30.0 ~receiver_width:60.0
+  in
+  let budget =
+    1.3
+    *. Rip_core.Rip.tau_min process (Rip_net.Geometry.of_net net)
+  in
+  let ctx =
+    Trace.make_context ~scope:"test" ~digest:"client" ~seq:0 ()
+  in
+  let client = Client.connect_unix router_sock in
+  (match
+     Client.request client
+       (Protocol.Solve { budget; deadline_ms = None; trace = Some ctx; net })
+   with
+  | Ok (Protocol.Result _) -> ()
+  | Ok other ->
+      Alcotest.failf "traced solve answered %S"
+        (Protocol.print_response other)
+  | Error e -> Alcotest.failf "traced solve failed: %s" e);
+  (match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok _ | Error _ -> Router.request_shutdown router);
+  Client.close client;
+  Thread.join router_thread;
+  Server.request_shutdown server;
+  (* nudge the accept loop awake so it notices the shutdown *)
+  (try Client.close (Client.connect_unix shard_sock)
+   with Unix.Unix_error _ -> ());
+  Thread.join server_thread;
+  Server.shutdown server;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ shard_sock; router_sock ];
+  let parse t =
+    match Trace_merge.parse (Trace.to_chrome_json t) with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let dumps = [ parse router_tracer; parse shard_tracer ] in
+  match Trace_merge.traces dumps with
+  | [ (tid, spans) ] ->
+      Alcotest.(check string)
+        "one trace, the client's" ctx.Trace.trace_id tid;
+      let find name =
+        match
+          List.find_opt
+            (fun (s : Trace_merge.trace_span) -> s.span_name = name)
+            spans
+        with
+        | Some s -> s
+        | None -> Alcotest.failf "span %S missing from the merged trace" name
+      in
+      let span_arg name (s : Trace_merge.trace_span) =
+        Option.value ~default:"" (List.assoc_opt name s.span_args)
+      in
+      let ingress = find "ingress" in
+      let forward = find "forward:s0" in
+      let solve = find "solve" in
+      Alcotest.(check string)
+        "ingress recorded by the router" "router" ingress.span_process;
+      Alcotest.(check string)
+        "solve recorded by the shard" "s0" solve.span_process;
+      Alcotest.(check string)
+        "ingress parents under the client's context"
+        ctx.Trace.parent_span_id
+        (span_arg "parent_span_id" ingress);
+      Alcotest.(check string)
+        "forward parents under ingress"
+        (span_arg "span_id" ingress)
+        (span_arg "parent_span_id" forward);
+      Alcotest.(check string)
+        "shard solve parents under the router's forward span"
+        (span_arg "span_id" forward)
+        (span_arg "parent_span_id" solve)
+  | traces ->
+      Alcotest.failf "expected exactly 1 merged trace, got %d"
+        (List.length traces)
+
 let suite =
   [
     ( "router.ring",
@@ -271,5 +400,11 @@ let suite =
       [
         Alcotest.test_case "hedge and breaker validation" `Quick
           test_router_config_validation;
+      ] );
+    ( "router.trace",
+      [
+        Alcotest.test_case
+          "merged trace links client, router and shard spans" `Quick
+          test_router_trace_parentage;
       ] );
   ]

@@ -3,6 +3,7 @@
    server over a socketpair. *)
 
 module Protocol = Rip_service.Protocol
+module Trace = Rip_obs.Trace
 module Solve_cache = Rip_service.Solve_cache
 module Server = Rip_service.Server
 module Client = Rip_service.Client
@@ -102,14 +103,35 @@ let test_protocol_request_round_trips () =
   check_request_round_trip Protocol.Shutdown;
   check_request_round_trip
     (Protocol.Solve
-       { budget = 6.25e-10; deadline_ms = None; net = sample_net () });
+       {
+         budget = 6.25e-10;
+         deadline_ms = None;
+         trace = None;
+         net = sample_net ();
+       });
   check_request_round_trip
     (Protocol.Solve
-       { budget = 6.25e-10; deadline_ms = Some 50.0; net = sample_net () });
+       {
+         budget = 6.25e-10;
+         deadline_ms = Some 50.0;
+         trace = None;
+         net = sample_net ();
+       });
+  check_request_round_trip
+    (Protocol.Solve
+       {
+         budget = 6.25e-10;
+         deadline_ms = Some 50.0;
+         trace =
+           Some
+             (Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:7 ());
+         net = sample_net ();
+       });
   (* A budget that needs all 17 significant digits must survive. *)
   check_request_round_trip
     (Protocol.Solve
        { budget = 1.0 /. 3.0 *. 1e-9; deadline_ms = Some (1.0 /. 3.0);
+         trace = None;
          net = Helpers.Net.uniform ~name:"u"
            Rip_tech.Layer.metal4 ~length:5000.0 ~segment_count:3
            ~driver_width:30.0 ~receiver_width:60.0 })
@@ -198,6 +220,113 @@ let test_protocol_errors () =
   match request_of [ "PING\r" ] with
   | Ok (Some Protocol.Ping) -> ()
   | Ok _ | Error _ -> Alcotest.fail "trailing \\r should be stripped"
+
+(* TRACE is best-effort context propagation: a malformed, truncated or
+   duplicated header must degrade to an untraced request — never a
+   protocol error, never a crash — while DEADLINE keeps its strict
+   semantics in the same header line. *)
+let solve_body_lines =
+  lazy
+    (let base =
+       Protocol.print_request
+         (Protocol.Solve
+            {
+              budget = 2.5e-10;
+              deadline_ms = None;
+              trace = None;
+              net = sample_net ();
+            })
+     in
+     List.tl (frame_lines base))
+
+let parse_with_header header =
+  Protocol.input_request
+    (Protocol.reader_of_lines (header :: Lazy.force solve_body_lines))
+
+let test_trace_header_parsing () =
+  let ctx = Trace.make_context ~scope:"loadgen" ~digest:"abc" ~seq:3 () in
+  let trace_tokens =
+    Printf.sprintf "TRACE %s %s %d" ctx.Trace.trace_id
+      ctx.Trace.parent_span_id ctx.Trace.flags
+  in
+  let expect_trace name header expected =
+    match parse_with_header header with
+    | Ok (Some (Protocol.Solve { trace; _ })) ->
+        Alcotest.(check bool)
+          name true
+          (Option.equal Trace.context_equal trace expected)
+    | Ok _ -> Alcotest.failf "%s: not a SOLVE" name
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  let expect_deadline name header expected =
+    match parse_with_header header with
+    | Ok (Some (Protocol.Solve { deadline_ms; _ })) ->
+        Alcotest.(check (option (float 1e-9))) name expected deadline_ms
+    | Ok _ -> Alcotest.failf "%s: not a SOLVE" name
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  expect_trace "valid TRACE parses" ("SOLVE 2.5e-10 " ^ trace_tokens)
+    (Some ctx);
+  expect_trace "TRACE then DEADLINE"
+    ("SOLVE 2.5e-10 " ^ trace_tokens ^ " DEADLINE 50")
+    (Some ctx);
+  expect_trace "DEADLINE then TRACE"
+    ("SOLVE 2.5e-10 DEADLINE 50 " ^ trace_tokens)
+    (Some ctx);
+  expect_deadline "deadline survives a leading TRACE"
+    ("SOLVE 2.5e-10 " ^ trace_tokens ^ " DEADLINE 50")
+    (Some 50.0);
+  (* every malformed variant degrades to untraced, still Ok *)
+  List.iter
+    (fun (name, header) -> expect_trace name header None)
+    [
+      ("bad hex degrades", "SOLVE 2.5e-10 TRACE zz yy 0");
+      ("short trace id degrades", "SOLVE 2.5e-10 TRACE abc 0000000000000000 0");
+      ( "flags out of range degrade",
+        Printf.sprintf "SOLVE 2.5e-10 TRACE %s %s 999" ctx.Trace.trace_id
+          ctx.Trace.parent_span_id );
+      ("truncated TRACE degrades", "SOLVE 2.5e-10 TRACE abcdef");
+      ("bare TRACE degrades", "SOLVE 2.5e-10 TRACE");
+      ( "duplicate TRACE degrades",
+        Printf.sprintf "SOLVE 2.5e-10 %s %s" trace_tokens trace_tokens );
+    ];
+  expect_deadline "deadline survives a truncated TRACE"
+    "SOLVE 2.5e-10 TRACE garbage DEADLINE 50" (Some 50.0);
+  (* DEADLINE stays strict: its errors are still protocol errors *)
+  (match parse_with_header "SOLVE 2.5e-10 DEADLINE -5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative deadline should not parse");
+  match parse_with_header "SOLVE 2.5e-10 DEADLINE nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric deadline should not parse"
+
+let fuzz_trace_header =
+  QCheck.Test.make ~count:500
+    ~name:"arbitrary SOLVE header tokens never crash the parser"
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 0 8)
+            (oneofl
+               [
+                 "TRACE";
+                 "DEADLINE";
+                 "50";
+                 "-3";
+                 "abc";
+                 String.make 32 'a';
+                 String.make 32 'g';
+                 String.make 16 '0';
+                 "zz";
+                 "1e-3";
+                 "999";
+                 "";
+               ])))
+    (fun tokens ->
+      let header = String.concat " " ("SOLVE" :: "2.5e-10" :: tokens) in
+      match parse_with_header header with
+      | Ok (Some (Protocol.Solve { budget; _ })) -> budget = 2.5e-10
+      | Ok _ | Error _ -> true)
 
 let test_protocol_cached_body_identical () =
   let body served =
@@ -337,7 +466,7 @@ let test_server_end_to_end () =
   | Error e -> Alcotest.failf "PING failed: %s" e);
   let net = sample_net () in
   let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
-  let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+  let solve = Protocol.Solve { budget; deadline_ms = None; trace = None; net } in
   let served1, solution1 = expect_result (Client.request client solve) in
   Alcotest.(check bool) "first solve is fresh" true (served1 = Protocol.Fresh);
   Alcotest.(check bool) "some repeaters inserted" true
@@ -351,7 +480,7 @@ let test_server_end_to_end () =
   (* An infeasible budget comes back as a typed ERROR, uncached. *)
   (match
      Client.request client
-       (Protocol.Solve { budget = 1e-15; deadline_ms = None; net })
+       (Protocol.Solve { budget = 1e-15; deadline_ms = None; trace = None; net })
    with
   | Ok (Protocol.Error_frame { kind = Protocol.Infeasible_budget; _ }) -> ()
   | Ok other ->
@@ -429,7 +558,7 @@ let test_server_traced_spans () =
   let client = Client.of_fd client_fd in
   let net = sample_net () in
   let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
-  let solve = Protocol.Solve { budget; deadline_ms = None; net } in
+  let solve = Protocol.Solve { budget; deadline_ms = None; trace = None; net } in
   let _ = expect_result (Client.request client solve) in
   (match Client.request client Protocol.Shutdown with
   | Ok Protocol.Bye -> ()
@@ -461,6 +590,113 @@ let test_server_traced_spans () =
        (Rip_obs.Trace.to_chrome_json tracer)
        "\"name\":\"solve\"")
 
+(* The cross-process parentage contract: a SOLVE carrying a TRACE
+   context (as the router's forward path sends it) must stamp every
+   server-side span with that trace id, parented under the upstream
+   span — and a scoped tracer must key its span ids on the scope, so
+   two shards solving the same digest cannot collide in a merged
+   timeline. *)
+let test_server_trace_parentage () =
+  let tracer = Rip_obs.Trace.create ~scope:"s7" ~pid:1234 () in
+  let server =
+    Server.create
+      ~config:
+        {
+          Server.default_config with
+          jobs = Some 1;
+          cache_capacity = 8;
+          tracer = Some tracer;
+        }
+      process
+  in
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  let client = Client.of_fd client_fd in
+  let net = sample_net () in
+  let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
+  (* the upstream parent: what a router's forward span would mint *)
+  let root = Trace.make_context ~scope:"router" ~digest:"up" ~seq:0 () in
+  let ctx = Trace.child root ~span_id:"feedfacefeedface" in
+  let solve =
+    Protocol.Solve { budget; deadline_ms = None; trace = Some ctx; net }
+  in
+  let _ = expect_result (Client.request client solve) in
+  (match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Bye -> ()
+  | Ok other ->
+      Alcotest.failf "SHUTDOWN answered %S" (Protocol.print_response other)
+  | Error e -> Alcotest.failf "SHUTDOWN failed: %s" e);
+  Thread.join worker;
+  Client.close client;
+  Server.shutdown server;
+  let spans = Rip_obs.Trace.spans tracer in
+  let solve_span =
+    List.find (fun (s : Rip_obs.Trace.span) -> s.name = "solve") spans
+  in
+  Alcotest.(check (option string))
+    "solve span carries the trace id"
+    (Some ctx.Trace.trace_id)
+    (List.assoc_opt "trace_id" solve_span.args);
+  Alcotest.(check (option string))
+    "solve span parents under the upstream span" (Some "feedfacefeedface")
+    (List.assoc_opt "parent_span_id" solve_span.args);
+  let key = Server.cache_key server ~net ~budget in
+  Alcotest.(check (option string))
+    "span ids are scoped to the shard"
+    (Some (Rip_obs.Trace.span_id ~scope:"s7" ~digest:key "solve"))
+    (List.assoc_opt "span_id" solve_span.args);
+  (* every span of the request carries the same trace id *)
+  List.iter
+    (fun (s : Rip_obs.Trace.span) ->
+      if List.mem s.name [ "admission"; "cache_lookup"; "queue"; "solve" ]
+      then
+        Alcotest.(check (option string))
+          (Printf.sprintf "span %S in the trace" s.name)
+          (Some ctx.Trace.trace_id)
+          (List.assoc_opt "trace_id" s.args))
+    spans
+
+(* A garbage TRACE header on the live wire must not kill the
+   connection: the server answers the solve untraced. *)
+let test_server_garbage_trace_header () =
+  let server =
+    Server.create
+      ~config:{ Server.default_config with jobs = Some 1 }
+      process
+  in
+  let server_fd, client_fd =
+    Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let worker = Thread.create (Server.handle_connection server) server_fd in
+  let net = sample_net () in
+  let budget = 1.3 *. Rip.tau_min process (Geometry.of_net net) in
+  let base =
+    Protocol.print_request
+      (Protocol.Solve { budget; deadline_ms = None; trace = None; net })
+  in
+  let nl = String.index base '\n' in
+  let frame =
+    String.sub base 0 nl ^ " TRACE zz yy 999"
+    ^ String.sub base nl (String.length base - nl)
+  in
+  let _ = Unix.write_substring client_fd frame 0 (String.length frame) in
+  let buffer = Bytes.create 65536 in
+  let rec read_response acc =
+    if Helpers.contains acc "END\n" then acc
+    else
+      let n = Unix.read client_fd buffer 0 (Bytes.length buffer) in
+      if n = 0 then acc else read_response (acc ^ Bytes.sub_string buffer 0 n)
+  in
+  let answer = read_response "" in
+  Alcotest.(check bool)
+    "garbage TRACE still answers RESULT" true
+    (String.length answer >= 6 && String.sub answer 0 6 = "RESULT");
+  Unix.close client_fd;
+  Thread.join worker;
+  Server.shutdown server
+
 let test_server_rejects_garbage () =
   let server =
     Server.create
@@ -491,6 +727,9 @@ let suite =
         Alcotest.test_case "response round trips" `Quick
           test_protocol_response_round_trips;
         Alcotest.test_case "parse errors" `Quick test_protocol_errors;
+        Alcotest.test_case "TRACE header: best-effort parsing" `Quick
+          test_trace_header_parsing;
+        QCheck_alcotest.to_alcotest fuzz_trace_header;
         Alcotest.test_case "cached body identical" `Quick
           test_protocol_cached_body_identical;
       ] );
@@ -513,6 +752,10 @@ let suite =
         Alcotest.test_case "end to end" `Quick test_server_end_to_end;
         Alcotest.test_case "traced solve leaves the span tree" `Quick
           test_server_traced_spans;
+        Alcotest.test_case "TRACE context parents the server spans" `Quick
+          test_server_trace_parentage;
+        Alcotest.test_case "garbage TRACE header degrades to untraced"
+          `Quick test_server_garbage_trace_header;
         Alcotest.test_case "rejects garbage" `Quick
           test_server_rejects_garbage;
       ] );
